@@ -1,0 +1,60 @@
+//! Criterion benches, one per paper figure (reduced sweeps so `cargo
+//! bench` completes in minutes; the full-resolution regenerators are the
+//! `fig*` binaries). Each bench measures the wall-clock cost of
+//! regenerating a representative slice of the figure, which doubles as a
+//! performance regression guard on the whole simulation stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig1_storage_sharing(c: &mut Criterion) {
+    c.bench_function("fig1/storage_sharing_32_clients", |b| {
+        b.iter(|| black_box(gbcr_bench::fig1::run_point(32, 100)));
+    });
+}
+
+fn fig3_micro_group_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("micro_comm4_sizes_8_4", |b| {
+        b.iter(|| black_box(gbcr_bench::fig3::run_with(16, &[4], &[8, 4])));
+    });
+    g.finish();
+}
+
+fn fig4_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("placement_two_points", |b| {
+        b.iter(|| black_box(gbcr_bench::fig4::run_with(&[15, 55])));
+    });
+    g.finish();
+}
+
+fn fig5_hpl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig6");
+    g.sample_size(10);
+    g.bench_function("hpl_point50_all_vs_g4", |b| {
+        b.iter(|| black_box(gbcr_bench::fig5::run_with(&[50], &[32, 4])));
+    });
+    g.finish();
+}
+
+fn fig7_motifminer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("motifminer_point30_all_vs_g4", |b| {
+        b.iter(|| black_box(gbcr_bench::fig7::run_with(&[30], &[32, 4])));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_storage_sharing,
+    fig3_micro_group_sizes,
+    fig4_placement,
+    fig5_hpl,
+    fig7_motifminer
+);
+criterion_main!(figures);

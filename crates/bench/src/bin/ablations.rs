@@ -1,0 +1,15 @@
+//! Run all four design-choice ablations (§4.1, §4.3, §4.4, §2.1/§7).
+fn main() {
+    let p = gbcr_bench::ablations::progress_ablation();
+    println!("{}", gbcr_bench::ablations::progress_table(&p).render());
+    let b = gbcr_bench::ablations::buffering_ablation();
+    println!("{}", gbcr_bench::ablations::buffering_table(&b).render());
+    let l = gbcr_bench::ablations::logging_ablation();
+    println!("{}", gbcr_bench::ablations::logging_table(&l).render());
+    let f = gbcr_bench::ablations::formation_ablation();
+    println!("{}", gbcr_bench::ablations::formation_table(&f).render());
+    let cl = gbcr_bench::ablations::chandy_lamport_ablation();
+    println!("{}", gbcr_bench::ablations::chandy_lamport_table(&cl).render());
+    let inc = gbcr_bench::ablations::incremental_ablation();
+    println!("{}", gbcr_bench::ablations::incremental_table(&inc).render());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 1: bandwidth per client vs number of clients.
+fn main() {
+    let rows = gbcr_bench::fig1::run();
+    print!("{}", gbcr_bench::fig1::table(&rows).render());
+    println!(
+        "\npaper anchors: aggregate ≈ {} MB/s; per-client at 32 ≈ {} MB/s",
+        gbcr_bench::paper::fig1::AGGREGATE_MBS,
+        gbcr_bench::paper::fig1::PER_CLIENT_AT_32
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerate Figure 3: effective delay vs checkpoint group size for each
+//! communication group size (32 ranks, 180 MB/process).
+fn main() {
+    let fig = gbcr_bench::fig3::run();
+    print!("{}", gbcr_bench::fig3::table(&fig).render());
+    println!(
+        "\npaper anchors: All(32) ≈ {}s; halving group size halves the delay while \
+         it covers a comm group; sizes 1-2 under-utilize storage",
+        gbcr_bench::paper::fig3::ALL32_SECS
+    );
+}

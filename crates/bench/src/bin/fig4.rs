@@ -1,0 +1,6 @@
+//! Regenerate Figure 4: checkpoint placement vs the synchronization line.
+fn main() {
+    let sw = gbcr_bench::fig4::run();
+    print!("{}", gbcr_bench::fig4::table(&sw).render());
+    println!("\npaper shape: Effective lies between Individual and Total, rising toward the barrier (60 s, 120 s)");
+}

@@ -1,0 +1,20 @@
+//! Regenerate Figure 5: HPL effective delay at 8 issuance points per group
+//! size (also prints the Figure 6 summary; `fig6` reruns just the summary).
+fn main() {
+    let sw = gbcr_bench::fig5::run();
+    print!("{}", gbcr_bench::fig5::table(&sw).render());
+    println!();
+    print!(
+        "{}",
+        gbcr_bench::fig5::summary_table(
+            &sw,
+            "Figure 6 — HPL Effective Checkpoint Delay per group size (avg with min/max)"
+        )
+        .render()
+    );
+    println!(
+        "\npaper anchors: up to {:.0}% reduction for Group(4) at 50 s; average reductions {:?}",
+        gbcr_bench::paper::fig56::MAX_REDUCTION_G4 * 100.0,
+        gbcr_bench::paper::fig56::AVG_REDUCTIONS
+    );
+}

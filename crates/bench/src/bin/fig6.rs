@@ -1,0 +1,17 @@
+//! Regenerate Figure 6: HPL average/min/max effective delay per checkpoint
+//! group size (aggregates the Figure 5 sweep).
+fn main() {
+    let sw = gbcr_bench::fig5::run();
+    print!(
+        "{}",
+        gbcr_bench::fig5::summary_table(
+            &sw,
+            "Figure 6 — HPL Effective Checkpoint Delay per group size (avg with min/max)"
+        )
+        .render()
+    );
+    println!(
+        "\npaper anchors: average reductions {:?} (sizes 4 and 8 best, matching the 8×4 grid)",
+        gbcr_bench::paper::fig56::AVG_REDUCTIONS
+    );
+}

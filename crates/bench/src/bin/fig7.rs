@@ -1,0 +1,18 @@
+//! Regenerate Figure 7: MotifMiner effective delay at 4 issuance points.
+fn main() {
+    let sw = gbcr_bench::fig7::run();
+    print!("{}", gbcr_bench::fig7::table(&sw).render());
+    print!(
+        "\n{}",
+        gbcr_bench::fig5::summary_table(
+            &sw,
+            "Figure 7 summary — MotifMiner average effective delay per group size"
+        )
+        .render()
+    );
+    println!(
+        "\npaper anchors: up to {:.0}% reduction for Group(4) at 30 s; average reductions {:?}",
+        gbcr_bench::paper::fig7::MAX_REDUCTION_G4 * 100.0,
+        gbcr_bench::paper::fig7::AVG_REDUCTIONS
+    );
+}

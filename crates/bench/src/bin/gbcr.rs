@@ -1,0 +1,190 @@
+//! `gbcr` — command-line front end for the whole reproduction.
+//!
+//! ```text
+//! gbcr fig <1|3|4|5|6|7>      regenerate one paper figure
+//! gbcr ablations              run the design-choice ablations
+//! gbcr all                    everything (figures + ablations)
+//! gbcr run [options]          one experiment, printing the §5 metrics
+//!     --workload micro|placement|hpl|motifminer   (default micro)
+//!     --group-size G                              (default 4)
+//!     --at SECONDS                                (default 30)
+//!     --mode buffering|logging|cl|uncoordinated   (default buffering)
+//!     --formation static|dynamic                  (default static)
+//!     --incremental                               (off by default)
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency set at the
+//! workspace's approved crates.
+
+use gbcr_core::{
+    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
+};
+use gbcr_des::time;
+
+fn usage() -> ! {
+    eprint!(
+        "gbcr — group-based coordinated checkpointing (ICPP'07 reproduction)\n\n\
+         usage:\n\
+         \u{20}  gbcr fig <1|3|4|5|6|7>   regenerate one paper figure\n\
+         \u{20}  gbcr ablations           design-choice ablations (§2.1/§4.1/§4.3/§4.4/§8)\n\
+         \u{20}  gbcr all                 every figure and ablation\n\
+         \u{20}  gbcr run [options]       one experiment with the §5 metrics\n\n\
+         run options:\n\
+         \u{20}  --workload micro|placement|hpl|motifminer   workload (default micro)\n\
+         \u{20}  --group-size G                              checkpoint group size (default 4)\n\
+         \u{20}  --at SECONDS                                issuance time (default 30)\n\
+         \u{20}  --mode buffering|logging|cl|uncoordinated   consistency mode (default buffering)\n\
+         \u{20}  --formation static|dynamic                  group formation (default static)\n\
+         \u{20}  --incremental                               incremental images (default off)\n"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn spec_for(workload: &str) -> (JobSpec, &'static str) {
+    match workload {
+        "micro" => (gbcr_workloads::MicroBench::default().job(), "micro"),
+        "placement" => (gbcr_workloads::PlacementBench::default().job(), "placement"),
+        "hpl" => (gbcr_workloads::HplWorkload::default().job(None), "hpl"),
+        "motifminer" => (gbcr_workloads::MotifMinerWorkload::default().job(None), "motifminer"),
+        other => {
+            eprintln!("unknown workload '{other}'");
+            usage()
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let workload = parse_flag(args, "--workload").unwrap_or("micro");
+    let group_size: u32 = parse_flag(args, "--group-size")
+        .unwrap_or("4")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let at_secs: u64 =
+        parse_flag(args, "--at").unwrap_or("30").parse().unwrap_or_else(|_| usage());
+    let mode = match parse_flag(args, "--mode").unwrap_or("buffering") {
+        "buffering" => CkptMode::Buffering,
+        "logging" => CkptMode::Logging,
+        "cl" => CkptMode::ChandyLamport,
+        "uncoordinated" => CkptMode::Uncoordinated,
+        _ => usage(),
+    };
+    let formation = match parse_flag(args, "--formation").unwrap_or("static") {
+        "static" => Formation::Static { group_size },
+        "dynamic" => Formation::Dynamic {
+            frequent_fraction: 0.2,
+            fallback_group_size: group_size,
+            max_group_size: 16,
+        },
+        _ => usage(),
+    };
+    let incremental = args.iter().any(|a| a == "--incremental");
+
+    let (spec, job) = spec_for(workload);
+    eprintln!("running baseline ({workload}, {} ranks)…", spec.mpi.n);
+    let base = run_job(&spec, None).expect("baseline run");
+    eprintln!(
+        "baseline completion: {:.1} s — running checkpointed…",
+        time::as_secs_f64(base.completion)
+    );
+    let cfg = CoordinatorCfg {
+        job: job.into(),
+        mode,
+        formation,
+        schedule: CkptSchedule::once(time::secs(at_secs)),
+        incremental,
+    };
+    let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
+    let Some(ep) = ck.epochs.first() else {
+        eprintln!("checkpoint at {at_secs} s never ran (job finished first)");
+        std::process::exit(1);
+    };
+
+    println!("workload            : {workload} ({} ranks)", spec.mpi.n);
+    println!("mode                : {mode:?}{}", if incremental { " + incremental" } else { "" });
+    println!("groups              : {} (plan: {:?}…)", ep.plan.group_count(), ep.plan.members(0));
+    println!("issuance            : {at_secs} s");
+    println!("--- §5 metrics ---");
+    println!(
+        "Individual (mean)   : {:.2} s  (min {:.2}, max {:.2})",
+        time::as_secs_f64(ep.mean_individual()),
+        time::as_secs_f64(ep.individuals.iter().map(|(_, t)| *t).min().unwrap_or(0)),
+        time::as_secs_f64(ep.max_individual()),
+    );
+    println!("Total               : {:.2} s", time::as_secs_f64(ep.total_time()));
+    println!(
+        "Effective           : {:.2} s",
+        time::as_secs_f64(ck.completion.saturating_sub(base.completion))
+    );
+    println!("--- bookkeeping ---");
+    println!(
+        "deferred ops        : {} message-buffered ({} B), {} request-buffered ({} B avoided)",
+        ck.defer_stats.msg_buffered,
+        ck.defer_stats.msg_buffered_bytes,
+        ck.defer_stats.req_buffered,
+        ck.defer_stats.req_buffered_bytes,
+    );
+    println!("logged bytes        : {} (logging) / {} (channel state)", ck.logged_bytes, ck.channel_logged_bytes);
+    println!("connection teardowns: {}", ck.net_stats.teardowns);
+    println!(
+        "images on storage   : {}",
+        ck.images.iter().filter(|(n, _)| n.starts_with("ckpt/")).count()
+    );
+}
+
+fn cmd_fig(which: &str) {
+    match which {
+        "1" => print!("{}", gbcr_bench::fig1::table(&gbcr_bench::fig1::run()).render()),
+        "3" => print!("{}", gbcr_bench::fig3::table(&gbcr_bench::fig3::run()).render()),
+        "4" => print!("{}", gbcr_bench::fig4::table(&gbcr_bench::fig4::run()).render()),
+        "5" => print!("{}", gbcr_bench::fig5::table(&gbcr_bench::fig5::run()).render()),
+        "6" => print!(
+            "{}",
+            gbcr_bench::fig5::summary_table(
+                &gbcr_bench::fig5::run(),
+                "Figure 6 — HPL effective delay per group size (avg with min/max)"
+            )
+            .render()
+        ),
+        "7" => print!("{}", gbcr_bench::fig7::table(&gbcr_bench::fig7::run()).render()),
+        _ => usage(),
+    }
+}
+
+fn cmd_ablations() {
+    let p = gbcr_bench::ablations::progress_ablation();
+    println!("{}", gbcr_bench::ablations::progress_table(&p).render());
+    let b = gbcr_bench::ablations::buffering_ablation();
+    println!("{}", gbcr_bench::ablations::buffering_table(&b).render());
+    let l = gbcr_bench::ablations::logging_ablation();
+    println!("{}", gbcr_bench::ablations::logging_table(&l).render());
+    let f = gbcr_bench::ablations::formation_ablation();
+    println!("{}", gbcr_bench::ablations::formation_table(&f).render());
+    let cl = gbcr_bench::ablations::chandy_lamport_ablation();
+    println!("{}", gbcr_bench::ablations::chandy_lamport_table(&cl).render());
+    let inc = gbcr_bench::ablations::incremental_ablation();
+    println!("{}", gbcr_bench::ablations::incremental_table(&inc).render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fig") => cmd_fig(args.get(1).map(String::as_str).unwrap_or_else(|| usage())),
+        Some("ablations") => cmd_ablations(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("all") => {
+            for f in ["1", "3", "4", "5", "7"] {
+                cmd_fig(f);
+                println!();
+            }
+            cmd_ablations();
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerate every figure and ablation in one pass (the EXPERIMENTS.md
+//! source of truth). Prints everything to stdout; redirect to a file.
+fn main() {
+    println!("=== gbcr: full evaluation reproduction ===\n");
+    let t0 = std::time::Instant::now();
+
+    let rows = gbcr_bench::fig1::run();
+    println!("{}", gbcr_bench::fig1::table(&rows).render());
+
+    let fig3 = gbcr_bench::fig3::run();
+    println!("{}", gbcr_bench::fig3::table(&fig3).render());
+
+    let fig4 = gbcr_bench::fig4::run();
+    println!("{}", gbcr_bench::fig4::table(&fig4).render());
+
+    let fig5 = gbcr_bench::fig5::run();
+    println!("{}", gbcr_bench::fig5::table(&fig5).render());
+    println!(
+        "{}",
+        gbcr_bench::fig5::summary_table(
+            &fig5,
+            "Figure 6 — HPL Effective Checkpoint Delay per group size (avg with min/max)"
+        )
+        .render()
+    );
+
+    let fig7 = gbcr_bench::fig7::run();
+    println!("{}", gbcr_bench::fig7::table(&fig7).render());
+    println!(
+        "{}",
+        gbcr_bench::fig5::summary_table(
+            &fig7,
+            "Figure 7 summary — MotifMiner average effective delay per group size"
+        )
+        .render()
+    );
+
+    let p = gbcr_bench::ablations::progress_ablation();
+    println!("{}", gbcr_bench::ablations::progress_table(&p).render());
+    let b = gbcr_bench::ablations::buffering_ablation();
+    println!("{}", gbcr_bench::ablations::buffering_table(&b).render());
+    let l = gbcr_bench::ablations::logging_ablation();
+    println!("{}", gbcr_bench::ablations::logging_table(&l).render());
+    let f = gbcr_bench::ablations::formation_ablation();
+    println!("{}", gbcr_bench::ablations::formation_table(&f).render());
+    let cl = gbcr_bench::ablations::chandy_lamport_ablation();
+    println!("{}", gbcr_bench::ablations::chandy_lamport_table(&cl).render());
+    let inc = gbcr_bench::ablations::incremental_ablation();
+    println!("{}", gbcr_bench::ablations::incremental_table(&inc).render());
+
+    eprintln!("total wall time: {:?}", t0.elapsed());
+}

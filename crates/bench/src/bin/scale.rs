@@ -1,0 +1,61 @@
+//! Scalability study: the paper's core claim is that group-based
+//! checkpointing "alleviates the scalability limitation" of coordinated
+//! checkpointing. Sweep the job size at fixed per-process footprint and
+//! fixed central storage: the regular protocol's effective delay grows
+//! linearly with the rank count, while group-based delay tracks the
+//! (constant) per-group write time as long as computation can overlap.
+//! Also prints the Thunderbird-scale estimate from §3.1.
+
+use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_des::time;
+use gbcr_metrics::Table;
+use gbcr_storage::{StorageConfig, GB, MB};
+use gbcr_workloads::MicroBench;
+
+fn main() {
+    let mut t = Table::new(
+        "Scale study — effective delay (s) vs job size (180 MB/proc, 140 MB/s storage)",
+        &["ranks", "regular All(n)", "group-based g=8", "reduction"],
+    );
+    for n in [16u32, 32, 64, 128] {
+        let mb = MicroBench {
+            n,
+            comm_group_size: 8,
+            steps: 360,
+            step_compute: time::ms(500),
+            ..Default::default()
+        };
+        let spec = mb.job();
+        let base = run_job(&spec, None).expect("baseline");
+        let eff = |g: u32| {
+            let cfg = CoordinatorCfg {
+                job: "micro".into(),
+                mode: CkptMode::Buffering,
+                formation: Formation::Static { group_size: g },
+                schedule: CkptSchedule::once(time::secs(30)),
+                incremental: false,
+            };
+            let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
+            time::as_secs_f64(ck.completion.saturating_sub(base.completion))
+        };
+        let all = eff(n);
+        let grouped = eff(8);
+        t.row(&[
+            n.to_string(),
+            format!("{all:.1}"),
+            format!("{grouped:.1}"),
+            format!("{:.0}%", (1.0 - grouped / all) * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // §3.1's motivating estimate, on the Thunderbird-class storage model.
+    let tb = StorageConfig::thunderbird();
+    let t_est = tb.ideal_access_time(8960, GB);
+    println!(
+        "\n§3.1 estimate check: 8960 × 1 GB over {} GB/s ≈ {:.0} s (paper: 1493 s)",
+        tb.aggregate_bw / GB as f64,
+        time::as_secs_f64(t_est)
+    );
+    let _ = MB;
+}

@@ -1,0 +1,91 @@
+//! Figure 3: Effective Checkpoint Delay versus checkpoint group size, for
+//! several communication group sizes (§6.1 micro-benchmark; 32 ranks,
+//! 180 MB/process).
+
+use crate::{size_label, sweep, Sweep, GROUP_SIZES};
+use gbcr_des::time;
+use gbcr_metrics::Table;
+use gbcr_workloads::MicroBench;
+
+/// Communication group sizes the paper sweeps (1 = embarrassingly
+/// parallel).
+pub const COMM_SIZES: [u32; 5] = [16, 8, 4, 2, 1];
+
+/// The figure's data: one sweep per communication group size.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// `(comm_group_size, sweep at a single issuance point)`.
+    pub by_comm: Vec<(u32, Sweep)>,
+}
+
+/// Micro-benchmark used for one communication group size.
+pub fn bench(comm: u32, n: u32) -> MicroBench {
+    MicroBench { n, comm_group_size: comm, ..Default::default() }
+}
+
+/// Run the figure. `n` is the world size (paper: 32); `comm_sizes` and
+/// `ckpt_sizes` default to the paper's choices via [`run`].
+pub fn run_with(n: u32, comm_sizes: &[u32], ckpt_sizes: &[u32]) -> Fig3 {
+    let at = [time::secs(30)];
+    let by_comm = comm_sizes
+        .iter()
+        .map(|&c| (c, sweep(&bench(c, n).job(), "micro", &at, ckpt_sizes)))
+        .collect();
+    Fig3 { by_comm }
+}
+
+/// The paper's full Figure 3.
+pub fn run() -> Fig3 {
+    run_with(32, &COMM_SIZES, &GROUP_SIZES)
+}
+
+/// Render the figure's series.
+pub fn table(fig: &Fig3) -> Table {
+    let n = fig.by_comm[0].1.n;
+    let mut header: Vec<String> = vec!["ckpt group".into()];
+    for (c, _) in &fig.by_comm {
+        header.push(if *c == 1 {
+            "embarrassingly-par".into()
+        } else {
+            format!("comm-group {c}")
+        });
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 3 — Effective Checkpoint Delay (s) vs Checkpoint Group Size",
+        &header_refs,
+    );
+    let sizes: Vec<u32> =
+        fig.by_comm[0].1.cells.iter().map(|c| c.group_size).collect();
+    for g in sizes {
+        let mut row = vec![size_label(n, g)];
+        for (_, sw) in &fig.by_comm {
+            let cell = sw.cells.iter().find(|c| c.group_size == g).expect("cell");
+            row.push(format!("{:.1}", cell.effective));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down figure run exercising the paper's three claims:
+    /// halving above the comm-group size, flattening below it, and
+    /// degradation at size 1.
+    #[test]
+    fn shape_matches_paper_claims_at_reduced_scale() {
+        let fig = run_with(16, &[4], &[16, 8, 4, 2, 1]);
+        let sw = &fig.by_comm[0].1;
+        let eff = |g: u32| sw.cells.iter().find(|c| c.group_size == g).unwrap().effective;
+        // Halving while the checkpoint group covers >= 1 comm group.
+        assert!(eff(8) < 0.62 * eff(16), "16→8: {} vs {}", eff(8), eff(16));
+        assert!(eff(4) < 0.62 * eff(8), "8→4: {} vs {}", eff(4), eff(8));
+        // Below the comm group size the delay flattens (or worsens).
+        assert!(eff(2) > 0.85 * eff(4), "2 should not keep halving: {} vs {}", eff(2), eff(4));
+        // Size 1 under-utilizes the parallel file system.
+        assert!(eff(1) > eff(4), "1 should be worse than 4: {} vs {}", eff(1), eff(4));
+    }
+}

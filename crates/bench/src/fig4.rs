@@ -1,0 +1,85 @@
+//! Figure 4: checkpoint placement — Effective / Individual / Total
+//! checkpoint time versus the issuance time relative to a global
+//! synchronization line (§6.1; comm group = ckpt group = 8, global
+//! barrier every minute).
+
+use crate::{static_cfg, sweep, Sweep};
+use gbcr_des::time;
+use gbcr_metrics::Table;
+use gbcr_workloads::PlacementBench;
+
+/// Issuance times the paper sweeps (seconds); the barrier sits at 60 s and
+/// 120 s.
+pub const POINTS: [u64; 11] = [15, 25, 35, 45, 55, 65, 75, 85, 95, 105, 115];
+
+/// Run the placement sweep at group size 8.
+pub fn run() -> Sweep {
+    run_with(&POINTS)
+}
+
+/// Run with custom issuance points (seconds).
+pub fn run_with(points_secs: &[u64]) -> Sweep {
+    let pb = PlacementBench::default();
+    let points: Vec<_> = points_secs.iter().map(|&s| time::secs(s)).collect();
+    sweep(&pb.job(), "placement", &points, &[8])
+}
+
+/// Render the three series of the figure.
+pub fn table(sw: &Sweep) -> Table {
+    let mut t = Table::new(
+        "Figure 4 — Checkpoint Placement (comm group 8, ckpt group 8, barrier every 60 s)",
+        &["issuance (s)", "effective (s)", "individual (s)", "total (s)"],
+    );
+    for c in &sw.cells {
+        t.row(&[
+            format!("{:.0}", c.at_secs),
+            format!("{:.1}", c.effective),
+            format!("{:.1}", c.individual),
+            format!("{:.1}", c.total),
+        ]);
+    }
+    t
+}
+
+/// Convenience used by the ablation bench: a single placement measurement
+/// at `at` seconds, returning the effective delay in seconds.
+pub fn effective_at(at_secs: u64) -> f64 {
+    let pb = PlacementBench::default();
+    let base = gbcr_core::run_job(&pb.job(), None).expect("baseline");
+    let ck = gbcr_core::run_job(
+        &pb.job(),
+        Some(static_cfg("placement", 8, time::secs(at_secs))),
+    )
+    .expect("ckpt run");
+    time::as_secs_f64(ck.completion.saturating_sub(base.completion))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_lies_between_individual_and_total_and_peaks_near_barrier() {
+        // Two points suffice for the shape: far from the barrier the delay
+        // approaches Individual; just before it, Total.
+        let sw = run_with(&[15, 55]);
+        let far = &sw.cells[0];
+        let near = &sw.cells[1];
+        for c in [far, near] {
+            assert!(c.effective >= c.individual_min - 0.5, "{c:?}");
+            assert!(c.effective <= c.total + 1.0, "{c:?}");
+        }
+        assert!(
+            near.effective > far.effective * 1.5,
+            "delay near the barrier ({}) must exceed far ({})",
+            near.effective,
+            far.effective
+        );
+        assert!(
+            far.effective < 0.5 * far.total,
+            "far placement should be well below Total: {} vs {}",
+            far.effective,
+            far.total
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures 5 and 6: HPL Effective Checkpoint Delay at eight issuance
+//! points for each checkpoint group size (Fig. 5), and its
+//! average/min/max summary per group size (Fig. 6).
+
+use crate::{size_label, sweep, Sweep, GROUP_SIZES};
+use gbcr_des::time;
+use gbcr_metrics::Table;
+use gbcr_workloads::HplWorkload;
+
+/// The eight issuance points (seconds), evenly placed across the run as in
+/// the paper.
+pub const POINTS: [u64; 8] = [50, 100, 150, 200, 250, 300, 350, 400];
+
+/// Run the full Figure 5 sweep (also feeds Figure 6).
+pub fn run() -> Sweep {
+    run_with(&POINTS, &GROUP_SIZES)
+}
+
+/// Run with custom points/sizes (used by tests and criterion).
+pub fn run_with(points_secs: &[u64], sizes: &[u32]) -> Sweep {
+    let w = HplWorkload::default();
+    let points: Vec<_> = points_secs.iter().map(|&s| time::secs(s)).collect();
+    sweep(&w.job(None), "hpl", &points, sizes)
+}
+
+/// Figure 5: the full per-point matrix.
+pub fn table(sw: &Sweep) -> Table {
+    let sizes: Vec<u32> = {
+        let mut s: Vec<u32> = sw.cells.iter().map(|c| c.group_size).collect();
+        s.dedup();
+        s.truncate(sw.cells.len() / sw.series(sw.n).len());
+        s
+    };
+    let mut header: Vec<String> = vec!["issuance (s)".into()];
+    header.extend(sizes.iter().map(|&g| size_label(sw.n, g)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Figure 5 — HPL Effective Checkpoint Delay (s) at 8 issuance points",
+        &header_refs,
+    );
+    let points: Vec<f64> = {
+        let mut p: Vec<f64> = sw.series(sizes[0]).iter().map(|c| c.at_secs).collect();
+        p.dedup();
+        p
+    };
+    for at in points {
+        let mut row = vec![format!("{at:.0}")];
+        for &g in &sizes {
+            let cell = sw
+                .cells
+                .iter()
+                .find(|c| c.group_size == g && (c.at_secs - at).abs() < 1e-9)
+                .expect("cell");
+            row.push(format!("{:.1}", cell.effective));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Figure 6: average with min/max whiskers per checkpoint group size.
+pub fn summary_table(sw: &Sweep, title: &str) -> Table {
+    let mut sizes: Vec<u32> = sw.cells.iter().map(|c| c.group_size).collect();
+    sizes.dedup();
+    sizes.truncate(sw.cells.len() / sw.series(sw.n).len());
+    let mut t = Table::new(
+        title,
+        &["ckpt group", "avg effective (s)", "min (s)", "max (s)", "reduction vs All"],
+    );
+    for &g in &sizes {
+        let (min, max) = sw.min_max_effective(g);
+        t.row(&[
+            size_label(sw.n, g),
+            format!("{:.1}", sw.avg_effective(g)),
+            format!("{min:.1}"),
+            format!("{max:.1}"),
+            format!("{:.0}%", sw.avg_reduction(g) * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    /// Reduced sweep (3 points × 3 sizes) checking the headline shape:
+    /// groups of 4 clearly beat the regular protocol, with a large
+    /// best-point reduction.
+    #[test]
+    fn grouped_hpl_beats_regular_with_large_best_point_reduction() {
+        let sw = run_with(&[50, 150, 300], &[32, 4, 1]);
+        assert!(
+            sw.avg_reduction(4) > 0.30,
+            "avg reduction for g=4 too small: {:.2}",
+            sw.avg_reduction(4)
+        );
+        assert!(
+            sw.max_reduction(4) > paper::fig56::MAX_REDUCTION_G4 - 0.10,
+            "best-point reduction {:.2} below paper's {:.2} band",
+            sw.max_reduction(4),
+            paper::fig56::MAX_REDUCTION_G4
+        );
+        // Size 1 clearly worse than 4 (storage under-utilization).
+        assert!(sw.avg_effective(1) > 1.2 * sw.avg_effective(4));
+    }
+}

@@ -1,0 +1,150 @@
+//! # gbcr-bench — regenerators for every figure in the paper's evaluation
+//!
+//! One module per figure (the paper has no numbered tables; Figures 1 and
+//! 3–7 carry the evaluation; Figure 2 is a protocol diagram). Each module
+//! exposes a `run()` returning structured rows plus a `table()` rendering
+//! the same series the paper plots; the `fig*` binaries print them, and
+//! `make_all` regenerates everything for EXPERIMENTS.md.
+//!
+//! Paper-reported anchor values are kept alongside in [`paper`] so every
+//! table can print the measured-vs-paper comparison.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod paper;
+
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_des::Time;
+
+/// Checkpoint group sizes swept in Figures 3, 5, 6, 7 (`32` = the regular
+/// coordinated baseline, "All").
+pub const GROUP_SIZES: [u32; 6] = [32, 16, 8, 4, 2, 1];
+
+/// A static-formation coordinator config with one checkpoint at `at`.
+pub fn static_cfg(job: &str, group_size: u32, at: Time) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: job.into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size },
+        schedule: CkptSchedule::once(at),
+        incremental: false,
+    }
+}
+
+/// Label used for a checkpoint group size in the tables.
+pub fn size_label(n: u32, g: u32) -> String {
+    if g >= n {
+        format!("All({n})")
+    } else if g == 1 {
+        "Individual(1)".to_owned()
+    } else {
+        format!("Group({g})")
+    }
+}
+
+/// One measured cell of a (issuance time × group size) sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Checkpoint issuance time, seconds.
+    pub at_secs: f64,
+    /// Checkpoint group size.
+    pub group_size: u32,
+    /// Effective Checkpoint Delay, seconds.
+    pub effective: f64,
+    /// Mean Individual Checkpoint Time, seconds.
+    pub individual: f64,
+    /// Min/max Individual across ranks, seconds.
+    pub individual_min: f64,
+    /// Max Individual across ranks, seconds.
+    pub individual_max: f64,
+    /// Total Checkpoint Time, seconds.
+    pub total: f64,
+}
+
+/// A full sweep over issuance points × group sizes for one workload.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// World size.
+    pub n: u32,
+    /// Baseline (no-checkpoint) completion, seconds.
+    pub baseline_secs: f64,
+    /// Measured cells, in `points × sizes` order.
+    pub cells: Vec<Cell>,
+}
+
+impl Sweep {
+    /// All cells for one group size, ordered by issuance point.
+    pub fn series(&self, group_size: u32) -> Vec<&Cell> {
+        self.cells.iter().filter(|c| c.group_size == group_size).collect()
+    }
+
+    /// Mean effective delay for one group size.
+    pub fn avg_effective(&self, group_size: u32) -> f64 {
+        let s = self.series(group_size);
+        s.iter().map(|c| c.effective).sum::<f64>() / s.len() as f64
+    }
+
+    /// Min/max effective delay for one group size.
+    pub fn min_max_effective(&self, group_size: u32) -> (f64, f64) {
+        let s = self.series(group_size);
+        let min = s.iter().map(|c| c.effective).fold(f64::INFINITY, f64::min);
+        let max = s.iter().map(|c| c.effective).fold(0.0, f64::max);
+        (min, max)
+    }
+
+    /// Average reduction of a group size relative to the regular (`All`)
+    /// baseline, as a fraction in `[0, 1]`.
+    pub fn avg_reduction(&self, group_size: u32) -> f64 {
+        1.0 - self.avg_effective(group_size) / self.avg_effective(self.n)
+    }
+
+    /// Largest single-point reduction for a group size.
+    pub fn max_reduction(&self, group_size: u32) -> f64 {
+        self.series(group_size)
+            .iter()
+            .zip(self.series(self.n))
+            .map(|(g, all)| 1.0 - g.effective / all.effective)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run a sweep: one baseline run plus one checkpointed run per
+/// (point, size) pair. `job` must match the spec's image namespace.
+pub fn sweep(
+    spec: &gbcr_core::JobSpec,
+    job: &str,
+    points: &[Time],
+    sizes: &[u32],
+) -> Sweep {
+    let baseline = gbcr_core::run_job(spec, None).expect("baseline run");
+    let mut cells = Vec::with_capacity(points.len() * sizes.len());
+    for &at in points {
+        for &g in sizes {
+            let ck = gbcr_core::run_job(spec, Some(static_cfg(job, g, at)))
+                .expect("checkpointed run");
+            let ep = ck.epochs.first().unwrap_or_else(|| {
+                panic!("checkpoint at {} never ran", gbcr_des::time::fmt(at))
+            });
+            cells.push(Cell {
+                at_secs: gbcr_des::time::as_secs_f64(at),
+                group_size: g,
+                effective: gbcr_des::time::as_secs_f64(
+                    ck.completion.saturating_sub(baseline.completion),
+                ),
+                individual: gbcr_des::time::as_secs_f64(ep.mean_individual()),
+                individual_min: gbcr_des::time::as_secs_f64(
+                    ep.individuals.iter().map(|(_, t)| *t).min().unwrap_or(0),
+                ),
+                individual_max: gbcr_des::time::as_secs_f64(ep.max_individual()),
+                total: gbcr_des::time::as_secs_f64(ep.total_time()),
+            });
+        }
+    }
+    Sweep { n: spec.mpi.n, baseline_secs: gbcr_des::time::as_secs_f64(baseline.completion), cells }
+}

@@ -1,0 +1,378 @@
+//! A compact, dependency-free binary codec for checkpoint payloads.
+//!
+//! Little-endian fixed-width integers, length-prefixed byte strings, and a
+//! [`Checkpointable`] trait that application state implements to ride inside
+//! a [`crate::ProcessImage`]. Deliberately minimal: the simulation never
+//! needs schema evolution, only a faithful round-trip with corruption
+//! detection (done at the image layer via FNV-1a).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the read required.
+    Truncated {
+        /// Bytes needed by the read.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A tag or magic value did not match expectations.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, had {remaining}")
+            }
+            CodecError::Corrupt(what) => write!(f, "corrupt input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Fresh, empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, yielding the encoded buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+    /// Write a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+    /// Write a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+    /// Write a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+    /// Write an `f64` by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+    /// Write a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+    /// Write a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+    /// Write a length-prefixed sequence of [`Checkpointable`] items.
+    pub fn put_seq<T: Checkpointable>(&mut self, items: &[T]) {
+        self.put_u64(items.len() as u64);
+        for it in items {
+            it.save(self);
+        }
+    }
+}
+
+/// Sequential decoder over an encoded buffer.
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Decode from the given buffer.
+    pub fn new(buf: Bytes) -> Self {
+        Decoder { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.buf.len() < n {
+            Err(CodecError::Truncated { needed: n, remaining: self.buf.len() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+    /// Read an `f64` by bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+    /// Read a bool; any nonzero byte is an error (corruption guard).
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Corrupt("bool out of range")),
+        }
+    }
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.get_u64()? as usize;
+        self.need(len)?;
+        Ok(self.buf.split_to(len))
+    }
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::Corrupt("invalid utf-8"))
+    }
+    /// Read a length-prefixed sequence of [`Checkpointable`] items.
+    pub fn get_seq<T: Checkpointable>(&mut self) -> Result<Vec<T>, CodecError> {
+        let n = self.get_u64()? as usize;
+        // Guard absurd lengths so corrupt input cannot OOM the decoder.
+        if n > self.remaining() {
+            return Err(CodecError::Corrupt("sequence length exceeds input"));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::restore(self)?);
+        }
+        Ok(v)
+    }
+}
+
+/// Application state that can ride inside a checkpoint image.
+///
+/// Workloads implement this for their iteration state; the checkpoint
+/// framework serializes it into the image payload and hands it back on
+/// restart.
+pub trait Checkpointable: Sized {
+    /// Serialize `self` into the encoder.
+    fn save(&self, enc: &mut Encoder);
+    /// Rebuild from the decoder.
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError>;
+
+    /// Convenience: encode to a standalone buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut e = Encoder::new();
+        self.save(&mut e);
+        e.finish()
+    }
+
+    /// Convenience: decode from a standalone buffer, requiring full
+    /// consumption.
+    fn from_bytes(buf: Bytes) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(buf);
+        let v = Self::restore(&mut d)?;
+        if d.remaining() != 0 {
+            return Err(CodecError::Corrupt("trailing bytes after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl Checkpointable for u64 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_u64()
+    }
+}
+
+impl Checkpointable for u32 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_u32()
+    }
+}
+
+impl Checkpointable for i64 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_i64()
+    }
+}
+
+impl Checkpointable for f64 {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_f64()
+    }
+}
+
+impl Checkpointable for bool {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_bool()
+    }
+}
+
+impl Checkpointable for String {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_str()
+    }
+}
+
+impl<T: Checkpointable> Checkpointable for Vec<T> {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_seq(self);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_seq()
+    }
+}
+
+impl<A: Checkpointable, B: Checkpointable> Checkpointable for (A, B) {
+    fn save(&self, enc: &mut Encoder) {
+        self.0.save(enc);
+        self.1.save(enc);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok((A::restore(dec)?, B::restore(dec)?))
+    }
+}
+
+/// FNV-1a 64-bit hash, used as the image checksum.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX);
+        e.put_i64(-42);
+        e.put_f64(std::f64::consts::PI);
+        e.put_bool(true);
+        e.put_str("héllo");
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), -42);
+        assert_eq!(d.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut e = Encoder::new();
+        e.put_u64(1);
+        let buf = e.finish();
+        let mut d = Decoder::new(buf.slice(0..4));
+        assert!(matches!(d.get_u64(), Err(CodecError::Truncated { needed: 8, remaining: 4 })));
+    }
+
+    #[test]
+    fn bool_out_of_range_is_corrupt() {
+        let mut d = Decoder::new(Bytes::from_static(&[2]));
+        assert_eq!(d.get_bool(), Err(CodecError::Corrupt("bool out of range")));
+    }
+
+    #[test]
+    fn seq_round_trips_and_guards_length() {
+        let v: Vec<u64> = (0..100).collect();
+        let b = v.to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(b).unwrap(), v);
+
+        // Claimed length far beyond input.
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX);
+        let mut d = Decoder::new(e.finish());
+        assert!(matches!(d.get_seq::<u64>(), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut e = Encoder::new();
+        e.put_u64(5);
+        e.put_u8(9); // extra
+        assert!(matches!(u64::from_bytes(e.finish()), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn tuple_and_nested_vec() {
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let b = v.to_bytes();
+        assert_eq!(Vec::<(u64, String)>::from_bytes(b).unwrap(), v);
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"acb"));
+    }
+}

@@ -1,0 +1,127 @@
+//! The application-facing checkpoint client.
+
+use bytes::Bytes;
+use gbcr_mpi::{Mpi, Rank};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle through which the application keeps the checkpoint system
+/// informed of its restartable state and memory footprint.
+///
+/// A real BLCR snapshot captures the whole address space; this simulated
+/// reproduction instead captures (a) the *registered state* — whatever the
+/// application last passed to [`CkptClient::set_state`], typically its
+/// iteration counters and accumulators, refreshed at each natural boundary
+/// — and (b) the declared *footprint*, which is what the storage transfer
+/// is charged for. See DESIGN.md for the replay model this supports.
+#[derive(Clone)]
+pub struct CkptClient {
+    inner: Arc<ClientInner>,
+}
+
+type Boundary = (Vec<(Rank, u64)>, Vec<(u32, u32)>);
+
+struct ClientInner {
+    state: Mutex<(Bytes, Boundary)>,
+    footprint: AtomicU64,
+    dirty: AtomicU64,
+    mpi: Mutex<Option<Mpi>>,
+}
+
+impl CkptClient {
+    /// New client with the given initial footprint (bytes).
+    pub fn new(footprint: u64) -> Self {
+        CkptClient {
+            inner: Arc::new(ClientInner {
+                state: Mutex::new((Bytes::new(), (Vec::new(), Vec::new()))),
+                footprint: AtomicU64::new(footprint),
+                dirty: AtomicU64::new(0),
+                mpi: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Bind the rank's MPI runtime so state registrations atomically
+    /// capture the send-sequence counters (done by the job harness).
+    pub fn bind_runtime(&self, mpi: Mpi) {
+        *self.inner.mpi.lock() = Some(mpi);
+    }
+
+    /// Register the application's current restartable state. The send
+    /// sequence counters are captured at the same instant, so replay after
+    /// a restart re-executes exactly the sends past this boundary with
+    /// their original sequence numbers. Cheap: the bytes are
+    /// reference-counted, not copied.
+    pub fn set_state(&self, state: Bytes) {
+        let boundary =
+            self.inner.mpi.lock().as_ref().map(Mpi::boundary_snapshot).unwrap_or_default();
+        *self.inner.state.lock() = (state, boundary);
+    }
+
+    /// Declare the current memory footprint (the simulated image size).
+    /// Applications whose resident set varies over time (HPL) update this
+    /// as they run; the paper notes checkpoint delay varies accordingly.
+    pub fn set_footprint(&self, bytes: u64) {
+        self.inner.footprint.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Current declared footprint.
+    pub fn footprint(&self) -> u64 {
+        self.inner.footprint.load(Ordering::Relaxed)
+    }
+
+    /// Report `bytes` of memory written since the last report. Feeds
+    /// incremental checkpointing (the paper's §8 future work): an
+    /// incremental image only writes the bytes dirtied since the previous
+    /// checkpoint. Saturates at the declared footprint.
+    pub fn mark_dirty(&self, bytes: u64) {
+        self.inner.dirty.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Dirty bytes accumulated since the last [`CkptClient::take_dirty`],
+    /// clamped to the footprint; resets the counter (controller use).
+    pub fn take_dirty(&self) -> u64 {
+        self.inner.dirty.swap(0, Ordering::Relaxed).min(self.footprint())
+    }
+
+    /// Snapshot `(state, boundary, footprint)` — called by the controller
+    /// at freeze.
+    pub fn snapshot(&self) -> (Bytes, Boundary, u64) {
+        let (state, boundary) = self.inner.state.lock().clone();
+        (state, boundary, self.footprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_latest_registration() {
+        let c = CkptClient::new(1000);
+        assert_eq!(c.snapshot(), (Bytes::new(), (Vec::new(), Vec::new()), 1000));
+        c.set_state(Bytes::from_static(b"iter=3"));
+        c.set_footprint(2000);
+        assert_eq!(
+            c.snapshot(),
+            (Bytes::from_static(b"iter=3"), (Vec::new(), Vec::new()), 2000)
+        );
+        // Clones share the same cell.
+        let c2 = c.clone();
+        c2.set_state(Bytes::from_static(b"iter=4"));
+        assert_eq!(c.snapshot().0, Bytes::from_static(b"iter=4"));
+    }
+
+    #[test]
+    fn dirty_accumulates_clamps_and_resets() {
+        let c = CkptClient::new(0);
+        c.set_footprint(1000);
+        c.mark_dirty(300);
+        c.mark_dirty(400);
+        assert_eq!(c.take_dirty(), 700);
+        assert_eq!(c.take_dirty(), 0, "take resets");
+        c.mark_dirty(5000);
+        assert_eq!(c.take_dirty(), 1000, "clamped to footprint");
+    }
+}

@@ -1,0 +1,548 @@
+//! The local C/R controller: one per MPI process, registered as its
+//! runtime's [`CrHook`].
+
+use crate::client::CkptClient;
+use crate::group::GroupPlan;
+use crate::proto;
+use gbcr_blcr::{LocalCheckpointer, ProcessImage};
+use gbcr_des::{Proc, Time};
+use gbcr_mpi::{CrHook, CtrlWire, Mpi, OobMsg, Rank, COORDINATOR_NODE};
+use gbcr_net::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Minimum bytes an incremental image writes (page tables, registers,
+/// metadata — never free even when nothing was dirtied).
+const MB_FLOOR: u64 = 1_000_000;
+
+/// How global consistency is maintained during an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptMode {
+    /// The paper's design: defer cross-line communication with message and
+    /// request buffering. No payload is ever written to a log.
+    Buffering,
+    /// The alternative the paper argues against (§2.1/§7): let everything
+    /// flow but copy+log every outgoing message, which also forfeits
+    /// zero-copy rendezvous. Implemented for the failure-free-overhead
+    /// ablation; log-replay restart is out of scope.
+    Logging,
+    /// Uncoordinated checkpointing (§2.1's first category): every process
+    /// checkpoints independently on its own schedule with **message
+    /// logging enabled for the entire run** (sender-based pessimistic
+    /// logging is what prevents cascade rollback). No coordination, no
+    /// gates, no global consistency — the epoch machinery merely triggers
+    /// per-rank snapshots at staggered times. Implemented for the
+    /// failure-free-overhead comparison; log-based recovery is out of
+    /// scope, as in the paper (§2.1 argues the logging volume alone is
+    /// prohibitive on high-bandwidth interconnects).
+    Uncoordinated,
+    /// Non-blocking Chandy-Lamport coordinated checkpointing (§2.1),
+    /// implemented as an *idealized* comparator: snapshots are written in
+    /// the background without stopping computation or tearing down
+    /// connections (infeasible on real InfiniBand — the paper's §2.2
+    /// point), markers flow on every channel, and messages arriving
+    /// between a rank's snapshot and the channel's marker are counted as
+    /// channel-state log bytes. Demonstrates that even ideal CL leaves all
+    /// processes writing to storage at the same time. Restart via channel
+    /// logs is out of scope.
+    ChandyLamport,
+}
+
+/// One rank's record of one checkpoint epoch (for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankCkptRecord {
+    /// Epoch number.
+    pub epoch: u64,
+    /// The rank.
+    pub rank: Rank,
+    /// The paper's *Individual Checkpoint Time*: downtime from entering the
+    /// local checkpoint procedure to resuming execution.
+    pub individual: Time,
+    /// Connections torn down (== rebuilt lazily afterwards).
+    pub connections_torn: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GStatus {
+    NotDone,
+    InProgress,
+    Done,
+}
+
+struct EpochState {
+    epoch: u64,
+    plan: GroupPlan,
+    status: Vec<GStatus>,
+}
+
+struct ClState {
+    epoch: u64,
+    /// Peers we still expect a marker from.
+    expected: std::collections::HashSet<Rank>,
+    /// Received-bytes baseline per expected peer, taken at our snapshot.
+    baseline: std::collections::HashMap<Rank, u64>,
+    /// Whether the background image write has completed.
+    write_done: bool,
+    /// Whether RANK_DONE has been sent.
+    reported: bool,
+    /// When the snapshot began (for the individual-time report).
+    started: Time,
+}
+
+struct CtlState {
+    epoch: Option<EpochState>,
+    cl: Option<ClState>,
+    records: Vec<RankCkptRecord>,
+    /// Channel-state bytes logged across all CL epochs.
+    cl_logged: u64,
+    /// Incremental-chain accounting: bytes a restore of the latest image
+    /// must read in addition to that image (last full + increments).
+    chain_bytes: u64,
+    /// Whether a full image has been taken in this job yet.
+    has_full: bool,
+}
+
+/// The per-process local C/R controller (paper §2.2's "local C/R
+/// controller", extended with the group-based protocol of §3–4).
+///
+/// Consistency gate: during an epoch, rank `p` may send user-plane traffic
+/// to rank `q` iff `status(group(p)) == status(group(q))` and neither group
+/// is `InProgress`. Both directions between a checkpointed and a
+/// not-yet-checkpointed group are thereby deferred — a message crossing the
+/// recovery line in either direction would be lost or duplicated at
+/// restart (§3.2).
+pub struct Controller {
+    self_ref: Mutex<std::sync::Weak<Controller>>,
+    rank: Rank,
+    job: String,
+    mode: CkptMode,
+    incremental: bool,
+    blcr: LocalCheckpointer,
+    client: CkptClient,
+    st: Mutex<CtlState>,
+    shutdown: AtomicBool,
+}
+
+impl Controller {
+    /// Build a controller for `rank`. Register it with
+    /// [`Mpi::set_hook`] before the application body starts.
+    pub fn new(
+        rank: Rank,
+        job: impl Into<String>,
+        mode: CkptMode,
+        incremental: bool,
+        blcr: LocalCheckpointer,
+        client: CkptClient,
+    ) -> Arc<Self> {
+        let ctl = Arc::new(Controller {
+            self_ref: Mutex::new(std::sync::Weak::new()),
+            rank,
+            job: job.into(),
+            mode,
+            incremental,
+            blcr,
+            client,
+            st: Mutex::new(CtlState {
+                epoch: None,
+                cl: None,
+                records: Vec::new(),
+                cl_logged: 0,
+                chain_bytes: 0,
+                has_full: false,
+            }),
+            shutdown: AtomicBool::new(false),
+        });
+        *ctl.self_ref.lock() = Arc::downgrade(&ctl);
+        ctl
+    }
+
+    fn arc(&self) -> Arc<Controller> {
+        self.self_ref.lock().upgrade().expect("controller alive")
+    }
+
+    /// Whether the coordinator has told this rank to leave its service loop.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Per-epoch records accumulated so far.
+    pub fn records(&self) -> Vec<RankCkptRecord> {
+        self.st.lock().records.clone()
+    }
+
+    /// Channel-state bytes this rank logged across Chandy-Lamport epochs.
+    pub fn cl_logged_bytes(&self) -> u64 {
+        self.st.lock().cl_logged
+    }
+
+    /// The checkpoint client shared with the application.
+    pub fn client(&self) -> &CkptClient {
+        &self.client
+    }
+
+    fn handle_epoch_begin(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        let group_of = proto::decode_plan(msg.data.clone()).expect("valid plan payload");
+        let plan = GroupPlan::from_map(group_of);
+        {
+            let mut st = self.st.lock();
+            assert!(st.epoch.is_none(), "rank {}: overlapping epochs", self.rank);
+            let status = vec![GStatus::NotDone; plan.group_count()];
+            st.epoch = Some(EpochState { epoch: msg.a, plan, status });
+        }
+        // Passive coordination (helper thread) active for the whole epoch;
+        // in Logging mode turn on the copy+log path instead of any gating.
+        mpi.set_passive(true);
+        if self.mode == CkptMode::Logging {
+            mpi.set_log_mode(true);
+        }
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::EPOCH_BEGIN_ACK, msg.a, 0));
+    }
+
+    fn handle_group_start(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        {
+            let mut st = self.st.lock();
+            let ep = st.epoch.as_mut().expect("GROUP_START outside epoch");
+            assert_eq!(ep.epoch, msg.a);
+            ep.status[msg.b as usize] = GStatus::InProgress;
+        }
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::GROUP_START_ACK, msg.a, msg.b));
+    }
+
+    /// The member-side local checkpoint procedure: drain → per-connection
+    /// teardown → snapshot (app state + MPI library state) → report.
+    fn handle_group_go(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        let t0 = p.now();
+        let epoch = msg.a;
+        {
+            let st = self.st.lock();
+            let ep = st.epoch.as_ref().expect("GROUP_GO outside epoch");
+            assert_eq!(ep.epoch, epoch);
+            assert_eq!(
+                ep.plan.group_of(self.rank),
+                msg.b as usize,
+                "GROUP_GO sent to non-member"
+            );
+        }
+        // 1. Flush, per connection (§4.2's client/server connection
+        //    manager): ask every connected peer to acknowledge that it has
+        //    stopped sending. Peers outside the group answer from their
+        //    progress engines — while computing, that reply latency is
+        //    bounded only by the §4.4 helper thread. Members of the same
+        //    group are inside this same handler, so their FLUSH_REQs are
+        //    consumed inline below (avoiding a mutual-wait deadlock).
+        let peers = mpi.connected_peers();
+        for &peer in &peers {
+            mpi.ctrl_send(p, peer, CtrlWire { kind: proto::FLUSH_REQ, a: epoch, b: 0 });
+        }
+        let mut acks = 0usize;
+        while acks < peers.len() {
+            let (from, cw) = mpi.ctrl_recv_match(p, |_, c| {
+                c.kind == proto::FLUSH_ACK || c.kind == proto::FLUSH_REQ
+            });
+            match cw.kind {
+                proto::FLUSH_ACK => acks += 1,
+                proto::FLUSH_REQ => {
+                    mpi.ctrl_send(p, from, CtrlWire { kind: proto::FLUSH_ACK, a: cw.a, b: 0 })
+                }
+                _ => unreachable!(),
+            }
+        }
+        // With every peer quiesced, wait for in-flight traffic to land.
+        for &peer in &peers {
+            mpi.conn_wait_drained(p, peer);
+        }
+        // Fold anything the drain delivered into the library queues so the
+        // snapshot below captures it.
+        mpi.poke(p);
+        // 2. Tear down every established connection: the NIC context cannot
+        //    ride inside a process image (§2.2). Peers outside the group
+        //    participate passively (the fabric charges only this side).
+        for &peer in &peers {
+            mpi.conn_teardown(p, peer);
+        }
+        // 3. Local snapshot via the BLCR-equivalent: registered application
+        //    state plus the checkpointable MPI library state, charged to
+        //    central storage at the processor-shared rate (this is where
+        //    group size buys bandwidth).
+        let (app_state, (boundary_seqs, boundary_coll), footprint) = self.client.snapshot();
+        let payload = proto::encode_image_payload(
+            &app_state,
+            &mpi.export_cr_state(&boundary_seqs, &boundary_coll),
+        );
+        // Incremental checkpointing: after the first full image, write only
+        // the dirty bytes (plus a small metadata floor) and record the
+        // chain a restore must additionally read.
+        let (write_bytes, restore_extra) = {
+            let mut st = self.st.lock();
+            let dirty = self.client.take_dirty();
+            if self.incremental && st.has_full {
+                let inc = dirty.max(MB_FLOOR).min(footprint);
+                let extra = st.chain_bytes;
+                st.chain_bytes += inc;
+                (inc, extra)
+            } else {
+                st.has_full = true;
+                st.chain_bytes = footprint;
+                (footprint, 0)
+            }
+        };
+        let image = ProcessImage {
+            rank: self.rank,
+            epoch,
+            taken_at: p.now(),
+            footprint: write_bytes,
+            restore_extra,
+            app_state: payload,
+        };
+        self.blcr.checkpoint(p, &self.job, image);
+        let individual = p.now() - t0;
+        self.st.lock().records.push(RankCkptRecord {
+            epoch,
+            rank: self.rank,
+            individual,
+            connections_torn: peers.len(),
+        });
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, epoch, individual));
+        p.handle().trace_event("ckpt.rank_done", || {
+            format!("rank={} epoch={epoch} individual={}", self.rank, gbcr_des::time::fmt(individual))
+        });
+    }
+
+    fn handle_group_done(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        {
+            let mut st = self.st.lock();
+            let ep = st.epoch.as_mut().expect("GROUP_DONE outside epoch");
+            assert_eq!(ep.epoch, msg.a);
+            ep.status[msg.b as usize] = GStatus::Done;
+        }
+        // Pairs of Done groups may communicate again.
+        mpi.release_deferred(p);
+    }
+
+    fn handle_epoch_end(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        {
+            let mut st = self.st.lock();
+            let ep = st.epoch.take().expect("EPOCH_END outside epoch");
+            assert_eq!(ep.epoch, msg.a);
+            if self.mode != CkptMode::ChandyLamport {
+                debug_assert!(
+                    ep.status.iter().all(|s| *s == GStatus::Done),
+                    "EPOCH_END with unfinished groups"
+                );
+            }
+            st.cl = None;
+        }
+        mpi.set_passive(false);
+        if self.mode == CkptMode::Logging {
+            mpi.set_log_mode(false);
+        }
+        mpi.release_deferred(p);
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::EPOCH_END_ACK, msg.a, 0));
+    }
+}
+
+impl Controller {
+    /// Chandy-Lamport snapshot: record state, start a *background* image
+    /// write, and send markers on every channel. Triggered by the
+    /// coordinator's CL_SNAPSHOT or by the first marker to arrive,
+    /// whichever comes first — exactly the CL rule.
+    fn cl_snapshot(&self, p: &Proc, mpi: &Mpi, epoch: u64) {
+        {
+            let st = self.st.lock();
+            if st.cl.is_some() {
+                return; // already snapshotted this epoch
+            }
+        }
+        let started = p.now();
+        let peers = mpi.connected_peers();
+        let (app_state, (boundary_seqs, boundary_coll), footprint) = self.client.snapshot();
+        let payload = proto::encode_image_payload(
+            &app_state,
+            &mpi.export_cr_state(&boundary_seqs, &boundary_coll),
+        );
+        let image = ProcessImage {
+            rank: self.rank,
+            epoch,
+            taken_at: started,
+            footprint,
+            restore_extra: 0,
+            app_state: payload,
+        };
+        let name = ProcessImage::object_name(&self.job, epoch, self.rank);
+        let obj = gbcr_storage::StoredObject::new(image.encode(), footprint);
+        let stream = self.blcr.storage().start_write(p, self.rank, &name, obj);
+        {
+            let mut st = self.st.lock();
+            st.cl = Some(ClState {
+                epoch,
+                expected: peers.iter().copied().collect(),
+                baseline: peers
+                    .iter()
+                    .map(|&q| (q, mpi.recv_bytes_from(q)))
+                    .collect(),
+                write_done: false,
+                reported: false,
+                started,
+            });
+        }
+        // Markers on every channel (in-band, never gated).
+        for &q in &peers {
+            mpi.ctrl_send(p, q, CtrlWire { kind: proto::CL_MARKER, a: epoch, b: 0 });
+        }
+        // Background writer: computation continues while the image drains
+        // to storage (the idealized non-blocking property).
+        let ctl = self.arc();
+        let storage = self.blcr.storage().clone();
+        let mpi2 = mpi.clone();
+        p.handle().spawn(format!("cl-writer-{}", self.rank), move |hp| {
+            storage.wait(hp, stream);
+            {
+                let mut st = ctl.st.lock();
+                if let Some(cl) = st.cl.as_mut() {
+                    cl.write_done = true;
+                }
+            }
+            ctl.cl_maybe_report(hp, &mpi2);
+        });
+        self.cl_maybe_report(p, mpi);
+    }
+
+    /// Marker received from `q`: everything that arrived on that channel
+    /// since our snapshot is channel state and must be logged.
+    fn cl_on_marker(&self, p: &Proc, mpi: &Mpi, q: Rank, epoch: u64) {
+        self.cl_snapshot(p, mpi, epoch); // first marker triggers the snapshot
+        {
+            let mut st = self.st.lock();
+            let Some(cl) = st.cl.as_mut() else { return };
+            if cl.epoch != epoch || !cl.expected.remove(&q) {
+                return; // stale or duplicate marker
+            }
+            let base = cl.baseline.get(&q).copied().unwrap_or(0);
+            let delta = mpi.recv_bytes_from(q).saturating_sub(base);
+            st.cl_logged += delta;
+        }
+        self.cl_maybe_report(p, mpi);
+    }
+
+    /// Report RANK_DONE once the image is durable and every channel's
+    /// marker has arrived.
+    fn cl_maybe_report(&self, p: &Proc, mpi: &Mpi) {
+        let done = {
+            let mut st = self.st.lock();
+            let Some(cl) = st.cl.as_mut() else { return };
+            if cl.reported || !cl.write_done || !cl.expected.is_empty() {
+                return;
+            }
+            cl.reported = true;
+            let individual = p.now() - cl.started;
+            let epoch = cl.epoch;
+            st.records.push(RankCkptRecord {
+                epoch,
+                rank: self.rank,
+                individual,
+                connections_torn: 0, // CL never tears connections down
+            });
+            (epoch, individual)
+        };
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, done.0, done.1));
+    }
+}
+
+impl Controller {
+    /// Uncoordinated local snapshot: no drain, no teardown, no gates —
+    /// just freeze-and-write on this rank's own schedule. Message logging
+    /// runs for the whole job in this mode (enabled at attach time by the
+    /// job harness), so the snapshot itself is the only extra cost here.
+    fn uncoordinated_snapshot(&self, p: &Proc, mpi: &Mpi, epoch: u64) {
+        let t0 = p.now();
+        let (app_state, (boundary_seqs, boundary_coll), footprint) = self.client.snapshot();
+        let payload = proto::encode_image_payload(
+            &app_state,
+            &mpi.export_cr_state(&boundary_seqs, &boundary_coll),
+        );
+        let image = ProcessImage {
+            rank: self.rank,
+            epoch,
+            taken_at: t0,
+            footprint,
+            restore_extra: 0,
+            app_state: payload,
+        };
+        self.blcr.checkpoint(p, &self.job, image);
+        let individual = p.now() - t0;
+        self.st.lock().records.push(RankCkptRecord {
+            epoch,
+            rank: self.rank,
+            individual,
+            connections_torn: 0,
+        });
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, epoch, individual));
+    }
+}
+
+impl CrHook for Controller {
+    fn user_send_allowed(&self, peer: Rank) -> bool {
+        if matches!(
+            self.mode,
+            CkptMode::Logging | CkptMode::ChandyLamport | CkptMode::Uncoordinated
+        ) {
+            return true;
+        }
+        let st = self.st.lock();
+        let Some(ep) = st.epoch.as_ref() else {
+            return true;
+        };
+        let mine = ep.status[ep.plan.group_of(self.rank)];
+        let theirs = ep.status[ep.plan.group_of(peer)];
+        mine == theirs && mine != GStatus::InProgress
+    }
+
+    fn on_ctrl(&self, p: &Proc, mpi: &Mpi, from: Rank, msg: CtrlWire) {
+        match msg.kind {
+            proto::CL_MARKER => self.cl_on_marker(p, mpi, from, msg.a),
+            proto::FLUSH_REQ => {
+                // Passive side of the per-connection manager: confirm we
+                // have stopped sending (our gate toward the requester is
+                // already closed by GROUP_START).
+                mpi.ctrl_send(p, from, CtrlWire { kind: proto::FLUSH_ACK, a: msg.a, b: 0 });
+            }
+            // A FLUSH_ACK arriving here (not consumed by a member's wait
+            // loop) would be a protocol error.
+            other => panic!(
+                "rank {}: unexpected in-band control message {} ({})",
+                self.rank,
+                other,
+                proto::kind_name(other)
+            ),
+        }
+    }
+
+    fn on_oob(&self, p: &Proc, mpi: &Mpi, from: NodeId, msg: OobMsg) {
+        debug_assert_eq!(from, COORDINATOR_NODE, "protocol messages come from the coordinator");
+        match msg.kind {
+            proto::EPOCH_BEGIN => self.handle_epoch_begin(p, mpi, &msg),
+            proto::GROUP_START => self.handle_group_start(p, mpi, &msg),
+            proto::GROUP_GO => self.handle_group_go(p, mpi, &msg),
+            proto::CL_SNAPSHOT => self.cl_snapshot(p, mpi, msg.a),
+            proto::UNCOORD_GO => self.uncoordinated_snapshot(p, mpi, msg.a),
+            proto::GROUP_DONE => self.handle_group_done(p, mpi, &msg),
+            proto::EPOCH_END => self.handle_epoch_end(p, mpi, &msg),
+            proto::TRAFFIC_QUERY => {
+                let data = proto::encode_traffic(&mpi.traffic().per_peer);
+                mpi.oob_send(
+                    p,
+                    COORDINATOR_NODE,
+                    OobMsg { kind: proto::TRAFFIC_REPLY, a: msg.a, b: 0, data },
+                );
+            }
+            proto::SHUTDOWN => self.shutdown.store(true, Ordering::Relaxed),
+            other => panic!(
+                "rank {}: unexpected OOB message {} ({})",
+                self.rank,
+                other,
+                proto::kind_name(other)
+            ),
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The global C/R coordinator (the `mpirun` console process).
+
+use crate::controller::CkptMode;
+use crate::group::{Formation, GroupPlan};
+use crate::proto;
+use gbcr_des::{Proc, SimHandle, Time};
+use gbcr_mpi::{OobMsg, Rank, World, COORDINATOR_NODE};
+use gbcr_net::{Endpoint, NodeId};
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+/// When checkpoints are requested (issuance/placement times, §5).
+#[derive(Debug, Clone, Default)]
+pub struct CkptSchedule {
+    /// Absolute virtual times at which to take a global checkpoint.
+    pub at: Vec<Time>,
+}
+
+impl CkptSchedule {
+    /// No checkpoints (baseline runs).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// One checkpoint at `t`.
+    pub fn once(t: Time) -> Self {
+        CkptSchedule { at: vec![t] }
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorCfg {
+    /// Job name (namespaces the checkpoint images).
+    pub job: String,
+    /// Buffering (the paper) or Logging (ablation).
+    pub mode: CkptMode,
+    /// Group formation policy.
+    pub formation: Formation,
+    /// Issuance times.
+    pub schedule: CkptSchedule,
+    /// Incremental checkpointing (§8 future work, implemented as an
+    /// extension): after a rank's first full image in a job, later images
+    /// only write the bytes the application reported dirty since the
+    /// previous checkpoint; restores read the image plus its chain.
+    pub incremental: bool,
+}
+
+/// Outcome of one global checkpoint epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Epoch number (0-based).
+    pub epoch: u64,
+    /// When the checkpoint was requested.
+    pub requested_at: Time,
+    /// When the coordinator began orchestrating (after any traffic query).
+    pub started_at: Time,
+    /// When the last member reported its image durable — the end point of
+    /// the paper's *Total Checkpoint Time*.
+    pub all_ranks_done_at: Time,
+    /// When the epoch-end acknowledgements completed.
+    pub finished_at: Time,
+    /// `(rank, Individual Checkpoint Time)` sorted by rank.
+    pub individuals: Vec<(Rank, Time)>,
+    /// The group plan used.
+    pub plan: GroupPlan,
+}
+
+impl EpochReport {
+    /// The paper's *Total Checkpoint Time*: request issue → all processes
+    /// finished taking their checkpoints.
+    pub fn total_time(&self) -> Time {
+        self.all_ranks_done_at - self.requested_at
+    }
+
+    /// Mean of the per-rank *Individual Checkpoint Times*.
+    pub fn mean_individual(&self) -> Time {
+        if self.individuals.is_empty() {
+            return 0;
+        }
+        self.individuals.iter().map(|(_, t)| t).sum::<Time>() / self.individuals.len() as Time
+    }
+
+    /// Largest per-rank *Individual Checkpoint Time*.
+    pub fn max_individual(&self) -> Time {
+        self.individuals.iter().map(|(_, t)| *t).max().unwrap_or(0)
+    }
+}
+
+/// Handle to a spawned coordinator; epoch reports land here as they finish.
+#[derive(Clone)]
+pub struct Coordinator {
+    reports: Arc<Mutex<Vec<EpochReport>>>,
+    pid: gbcr_des::ProcId,
+}
+
+impl Coordinator {
+    /// Spawn the coordinator process into the simulation. It connects to
+    /// every rank's out-of-band endpoint, executes the configured schedule,
+    /// and shuts the ranks' service loops down once all have finished.
+    pub fn spawn(handle: &SimHandle, world: &World, cfg: CoordinatorCfg) -> Coordinator {
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        let out = reports.clone();
+        let world = world.clone();
+        let pid = handle.spawn("cr-coordinator", move |p| {
+            let mut body = CoordBody {
+                ep: world.oob_endpoint(COORDINATOR_NODE),
+                n: world.size(),
+                cfg,
+                stash: VecDeque::new(),
+                finished: HashSet::new(),
+            };
+            body.run(p, &out);
+        });
+        Coordinator { reports, pid }
+    }
+
+    /// The coordinator's simulated process id (for failure injection).
+    pub fn proc_id(&self) -> gbcr_des::ProcId {
+        self.pid
+    }
+
+    /// Reports for all epochs completed so far (all of them, after `run`).
+    pub fn reports(&self) -> Vec<EpochReport> {
+        self.reports.lock().clone()
+    }
+}
+
+struct CoordBody {
+    ep: Endpoint<OobMsg>,
+    n: u32,
+    cfg: CoordinatorCfg,
+    stash: VecDeque<(NodeId, OobMsg)>,
+    finished: HashSet<Rank>,
+}
+
+impl CoordBody {
+    fn run(&mut self, p: &Proc, out: &Arc<Mutex<Vec<EpochReport>>>) {
+        // Connect to every rank's OOB endpoint up front (job launch cost).
+        for r in 0..self.n {
+            self.ep.connect(p, NodeId(r));
+        }
+        let schedule = self.cfg.schedule.at.clone();
+        for (i, &t) in schedule.iter().enumerate() {
+            self.wait_until(p, t);
+            if self.finished.len() as u32 == self.n {
+                break; // job already over; nothing to checkpoint
+            }
+            let report = match self.cfg.mode {
+                CkptMode::ChandyLamport => self.run_cl_epoch(p, i as u64, t),
+                CkptMode::Uncoordinated => self.run_uncoordinated_epoch(p, i as u64, t),
+                _ => self.run_epoch(p, i as u64, t),
+            };
+            out.lock().push(report);
+        }
+        // Wait for every rank to finish, then release their service loops.
+        while self.finished.len() as u32 != self.n {
+            let (from, msg) = self.recv_raw(p);
+            self.sort_message(from, msg);
+        }
+        for r in 0..self.n {
+            self.ep.send(NodeId(r), OobMsg::new(proto::SHUTDOWN, 0, 0), 64);
+        }
+    }
+
+    /// One Chandy-Lamport epoch: announce, snapshot everyone at once
+    /// (non-blocking), collect completions. No groups, no gates.
+    fn run_cl_epoch(&mut self, p: &Proc, epoch: u64, requested_at: Time) -> EpochReport {
+        let plan = GroupPlan::by_size(self.n, self.n);
+        let started_at = p.now();
+        let plan_bytes = proto::encode_plan(plan.group_map());
+        for r in 0..self.n {
+            let msg =
+                OobMsg { kind: proto::EPOCH_BEGIN, a: epoch, b: 0, data: plan_bytes.clone() };
+            let size = msg.wire_size();
+            self.ep.send(NodeId(r), msg, size);
+        }
+        self.collect(p, proto::EPOCH_BEGIN_ACK, epoch, self.n);
+        self.broadcast(proto::CL_SNAPSHOT, epoch, 0);
+        let mut individuals: Vec<(Rank, Time)> = Vec::new();
+        let mut all_ranks_done_at = started_at;
+        for _ in 0..self.n {
+            let (from, msg) =
+                self.recv_match(p, |_, m| m.kind == proto::RANK_DONE && m.a == epoch);
+            individuals.push((from.0, msg.b));
+            all_ranks_done_at = p.now();
+        }
+        self.broadcast(proto::EPOCH_END, epoch, 0);
+        self.collect(p, proto::EPOCH_END_ACK, epoch, self.n);
+        individuals.sort_by_key(|(r, _)| *r);
+        EpochReport {
+            epoch,
+            requested_at,
+            started_at,
+            all_ranks_done_at,
+            finished_at: p.now(),
+            individuals,
+            plan,
+        }
+    }
+
+    /// One "epoch" of uncoordinated checkpointing: each rank snapshots
+    /// independently at a staggered offset (emulating per-rank local
+    /// timers). No gates, no consistency — the images do NOT form a
+    /// consistent global checkpoint; this mode exists for the §2.1
+    /// failure-free-overhead comparison.
+    fn run_uncoordinated_epoch(&mut self, p: &Proc, epoch: u64, requested_at: Time) -> EpochReport {
+        let plan = GroupPlan::by_size(self.n, 1);
+        let started_at = p.now();
+        // Rank r's "local timer" fires at requested_at + r·stagger.
+        let stagger = gbcr_des::time::secs(2);
+        let mut individuals: Vec<(Rank, Time)> = Vec::new();
+        let mut all_ranks_done_at = started_at;
+        for r in 0..self.n {
+            self.wait_until(p, requested_at + u64::from(r) * stagger);
+            self.ep.send(NodeId(r), OobMsg::new(proto::UNCOORD_GO, epoch, 0), 64);
+        }
+        for _ in 0..self.n {
+            let (from, msg) =
+                self.recv_match(p, |_, m| m.kind == proto::RANK_DONE && m.a == epoch);
+            individuals.push((from.0, msg.b));
+            all_ranks_done_at = p.now();
+        }
+        individuals.sort_by_key(|(r, _)| *r);
+        EpochReport {
+            epoch,
+            requested_at,
+            started_at,
+            all_ranks_done_at,
+            finished_at: p.now(),
+            individuals,
+            plan,
+        }
+    }
+
+    /// One global checkpoint epoch (§3.2's three steps).
+    fn run_epoch(&mut self, p: &Proc, epoch: u64, requested_at: Time) -> EpochReport {
+        // Step 1: divide processes into groups and decide the order.
+        let plan = match &self.cfg.formation {
+            Formation::Dynamic { .. } => {
+                self.broadcast(proto::TRAFFIC_QUERY, epoch, 0);
+                let mut traffic: Vec<crate::group::TrafficRows> = vec![Vec::new(); self.n as usize];
+                for _ in 0..self.n {
+                    let (from, msg) =
+                        self.recv_match(p, |_, m| m.kind == proto::TRAFFIC_REPLY && m.a == epoch);
+                    traffic[from.0 as usize] =
+                        proto::decode_traffic(msg.data).expect("valid traffic payload");
+                }
+                GroupPlan::from_formation(self.n, &self.cfg.formation, Some(&traffic))
+            }
+            f => GroupPlan::from_formation(self.n, f, None),
+        };
+        let started_at = p.now();
+        let plan_bytes = proto::encode_plan(plan.group_map());
+        for r in 0..self.n {
+            let msg =
+                OobMsg { kind: proto::EPOCH_BEGIN, a: epoch, b: 0, data: plan_bytes.clone() };
+            let size = msg.wire_size();
+            self.ep.send(NodeId(r), msg, size);
+        }
+        self.collect(p, proto::EPOCH_BEGIN_ACK, epoch, self.n);
+
+        // Step 2: the groups take checkpoints in turn.
+        let mut individuals: Vec<(Rank, Time)> = Vec::new();
+        let mut all_ranks_done_at = started_at;
+        for (g, members) in plan.groups().iter().enumerate() {
+            // Close every rank's gate toward (and from) this group before
+            // any member freezes.
+            self.broadcast(proto::GROUP_START, epoch, g as u64);
+            self.collect(p, proto::GROUP_START_ACK, epoch, self.n);
+            for &m in members {
+                self.ep.send(NodeId(m), OobMsg::new(proto::GROUP_GO, epoch, g as u64), 64);
+            }
+            for _ in members {
+                let (from, msg) =
+                    self.recv_match(p, |_, m| m.kind == proto::RANK_DONE && m.a == epoch);
+                individuals.push((from.0, msg.b));
+                all_ranks_done_at = p.now();
+            }
+            self.broadcast(proto::GROUP_DONE, epoch, g as u64);
+        }
+
+        // Step 3: mark the global checkpoint complete.
+        self.broadcast(proto::EPOCH_END, epoch, 0);
+        self.collect(p, proto::EPOCH_END_ACK, epoch, self.n);
+        individuals.sort_by_key(|(r, _)| *r);
+        p.handle().trace_event("ckpt.epoch_done", || {
+            format!("epoch={epoch} groups={} total={}", plan.group_count(),
+                gbcr_des::time::fmt(all_ranks_done_at - requested_at))
+        });
+        EpochReport {
+            epoch,
+            requested_at,
+            started_at,
+            all_ranks_done_at,
+            finished_at: p.now(),
+            individuals,
+            plan,
+        }
+    }
+
+    fn broadcast(&mut self, kind: u32, a: u64, b: u64) {
+        for r in 0..self.n {
+            self.ep.send(NodeId(r), OobMsg::new(kind, a, b), 64);
+        }
+    }
+
+    /// Collect `count` messages of `kind` for epoch `a`.
+    fn collect(&mut self, p: &Proc, kind: u32, a: u64, count: u32) {
+        for _ in 0..count {
+            self.recv_match(p, |_, m| m.kind == kind && m.a == a);
+        }
+    }
+
+    /// FINISHED messages are folded into the `finished` set whenever seen;
+    /// everything else goes to the stash for matching.
+    fn sort_message(&mut self, from: NodeId, msg: OobMsg) {
+        if msg.kind == proto::FINISHED {
+            self.finished.insert(from.0);
+        } else {
+            self.stash.push_back((from, msg));
+        }
+    }
+
+    fn recv_raw(&mut self, p: &Proc) -> (NodeId, OobMsg) {
+        loop {
+            if let Some(m) = self.ep.try_recv() {
+                return m;
+            }
+            self.ep.register_waiter(p.id());
+            p.park();
+        }
+    }
+
+    fn recv_match(
+        &mut self,
+        p: &Proc,
+        mut pred: impl FnMut(NodeId, &OobMsg) -> bool,
+    ) -> (NodeId, OobMsg) {
+        if let Some(i) = self.stash.iter().position(|(n, m)| pred(*n, m)) {
+            return self.stash.remove(i).expect("index valid");
+        }
+        loop {
+            let (from, msg) = self.recv_raw(p);
+            if msg.kind == proto::FINISHED {
+                self.finished.insert(from.0);
+                continue;
+            }
+            if pred(from, &msg) {
+                return (from, msg);
+            }
+            self.stash.push_back((from, msg));
+        }
+    }
+
+    fn wait_until(&mut self, p: &Proc, t: Time) {
+        loop {
+            if p.now() >= t {
+                return;
+            }
+            if let Some((from, msg)) = self.ep.try_recv() {
+                self.sort_message(from, msg);
+                continue;
+            }
+            self.ep.register_waiter(p.id());
+            p.handle().schedule_wake(t, p.id());
+            p.park();
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The job harness: run an MPI workload under (optional) checkpointing.
+
+use crate::client::CkptClient;
+use crate::controller::{CkptMode, Controller, RankCkptRecord};
+use crate::coordinator::{Coordinator, CoordinatorCfg, EpochReport};
+use crate::proto;
+use bytes::Bytes;
+use gbcr_blcr::{LocalCheckpointer, LocalCrConfig};
+use gbcr_des::{Proc, Sim, SimResult, Time};
+use gbcr_mpi::{DeferStats, Mpi, MpiConfig, OobMsg, World, COORDINATOR_NODE};
+use gbcr_storage::{Storage, StorageConfig, StorageStats, StoredObject};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Everything a rank's body closure gets to work with.
+pub struct RankCtx<'p> {
+    /// The rank's simulated process.
+    pub p: &'p Proc,
+    /// The rank's MPI handle.
+    pub mpi: Mpi,
+    /// The world (for creating communicators).
+    pub world: World,
+    /// The checkpoint client: register state and footprint here.
+    pub client: CkptClient,
+    /// On restart, the application state saved at the restored epoch.
+    pub restored: Option<Bytes>,
+}
+
+/// The per-rank application body. Called once per rank; blocking MPI calls
+/// are made through `ctx.mpi` with `ctx.p`.
+pub type RankBody = Arc<dyn for<'p> Fn(RankCtx<'p>) + Send + Sync>;
+
+/// A complete job description: workload plus substrate configurations.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Job name (namespaces checkpoint images on storage).
+    pub name: String,
+    /// Simulation seed.
+    pub seed: u64,
+    /// MPI/world configuration (rank count, fabrics, thresholds).
+    pub mpi: MpiConfig,
+    /// Central storage configuration.
+    pub storage: StorageConfig,
+    /// Local checkpointer timing.
+    pub blcr: LocalCrConfig,
+    /// The application.
+    pub body: RankBody,
+}
+
+impl JobSpec {
+    /// A spec with paper-testbed defaults for `n` ranks.
+    pub fn new(name: impl Into<String>, n: u32, body: RankBody) -> Self {
+        JobSpec {
+            name: name.into(),
+            seed: 0,
+            mpi: MpiConfig::new(n),
+            storage: StorageConfig::paper_testbed(),
+            blcr: LocalCrConfig::default(),
+            body,
+        }
+    }
+}
+
+/// Everything measured from one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Latest time any rank's application body finished — the job
+    /// completion time used for *Effective Checkpoint Delay*.
+    pub completion: Time,
+    /// When the simulation fully drained (includes shutdown handshakes).
+    pub sim_end: Time,
+    /// Per-epoch checkpoint reports from the coordinator.
+    pub epochs: Vec<EpochReport>,
+    /// Per-rank, per-epoch individual records from the controllers.
+    pub rank_records: Vec<RankCkptRecord>,
+    /// Completed storage transfers.
+    pub storage_stats: StorageStats,
+    /// Data-fabric counters.
+    pub net_stats: gbcr_net::NetStats,
+    /// Aggregated buffering counters across ranks.
+    pub defer_stats: DeferStats,
+    /// Total bytes message-logged (Logging mode only).
+    pub logged_bytes: u64,
+    /// Channel-state bytes logged (Chandy-Lamport mode only).
+    pub channel_logged_bytes: u64,
+    /// The checkpoint images left on storage (for restarts).
+    pub images: Vec<(String, StoredObject)>,
+}
+
+impl RunReport {
+    /// Sum of individual times for `epoch`, per rank.
+    pub fn individuals(&self, epoch: u64) -> Vec<(u32, Time)> {
+        self.epochs
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .map(|e| e.individuals.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Run `spec` to completion with an optional checkpoint configuration.
+/// `None` runs the same harness with an empty schedule, so baseline and
+/// checkpointed runs differ only by the checkpoints themselves.
+pub fn run_job(spec: &JobSpec, ckpt: Option<CoordinatorCfg>) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, None, None)
+}
+
+/// Run `spec` but power-fail the whole cluster at `crash_at`: every rank
+/// and the coordinator are killed at that instant. The returned report
+/// carries whatever the run produced up to the crash — in particular the
+/// **durable checkpoint images** on central storage and the epochs the
+/// coordinator had marked complete; feed those to
+/// [`crate::restart_job`] to recover. `completion` is meaningless for a
+/// crashed run.
+pub fn run_job_with_crash(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    crash_at: Time,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, None, Some(crash_at))
+}
+
+pub(crate) fn run_job_inner(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    preload: Option<crate::restart::RestartSpec>,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, preload, None)
+}
+
+pub(crate) fn run_job_inner_with_crash(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    preload: Option<crate::restart::RestartSpec>,
+    crash_at: Option<Time>,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, preload, crash_at)
+}
+
+fn run_job_full(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    preload: Option<crate::restart::RestartSpec>,
+    crash_at: Option<Time>,
+) -> SimResult<RunReport> {
+    let mut sim = Sim::new(spec.seed);
+    let storage = Storage::new(sim.handle(), spec.storage.clone());
+    let world = World::new(sim.handle(), spec.mpi.clone());
+    let n = world.size();
+
+    let restore = preload.as_ref().map(|r| (r.job.clone(), r.epoch));
+    if let Some(r) = &preload {
+        for (name, obj) in &r.images {
+            storage.preload(name, obj.clone());
+        }
+    }
+
+    let ckpt_cfg = ckpt.unwrap_or(CoordinatorCfg {
+        job: spec.name.clone(),
+        mode: CkptMode::Buffering,
+        formation: crate::group::Formation::regular(n),
+        schedule: crate::coordinator::CkptSchedule::none(),
+        incremental: false,
+    });
+    let job_name = ckpt_cfg.job.clone();
+    let mode = ckpt_cfg.mode;
+    let incremental = ckpt_cfg.incremental;
+    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg);
+
+    let body_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
+    let controllers: Arc<Mutex<Vec<Arc<Controller>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mpis: Arc<Mutex<Vec<Mpi>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut rank_pids = Vec::with_capacity(n as usize);
+
+    for r in 0..n {
+        let mpi = world.attach(r);
+        mpis.lock().push(mpi.clone());
+        let client = CkptClient::new(0);
+        client.bind_runtime(mpi.clone());
+        let blcr = LocalCheckpointer::new(storage.clone(), spec.blcr.clone());
+        let controller =
+            Controller::new(r, job_name.clone(), mode, incremental, blcr.clone(), client.clone());
+        controllers.lock().push(controller.clone());
+        mpi.set_hook(controller.clone());
+        if mode == CkptMode::Uncoordinated {
+            // Sender-based pessimistic logging runs for the entire job in
+            // uncoordinated mode — that is its defining failure-free cost.
+            mpi.set_log_mode(true);
+        }
+
+        let body = spec.body.clone();
+        let world2 = world.clone();
+        let ends = body_ends.clone();
+        // Images are restored under the job name they were saved with; any
+        // new checkpoints go under the coordinator's (possibly different)
+        // job name.
+        let restore = restore.clone();
+        let pid = sim.spawn(format!("rank{r}"), move |p| {
+            let restored = restore.map(|(job, epoch)| {
+                // Restart storm: every rank reads its image back through the
+                // shared storage model before computing.
+                let image = blcr.restart(p, &job, epoch, r);
+                let (app_state, mpi_state) = proto::decode_image_payload(image.app_state)
+                    .expect("valid image payload");
+                mpi.import_cr_state(p, mpi_state);
+                app_state
+            });
+            body(RankCtx { p, mpi: mpi.clone(), world: world2, client, restored });
+            ends.lock().push(p.now());
+            // Tell the coordinator we are done, then keep servicing the
+            // checkpoint protocol until released (a finished rank must
+            // still participate passively in other groups' epochs).
+            mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::FINISHED, 0, 0));
+            while !controller.shutdown_requested() {
+                mpi.poke(p);
+                if controller.shutdown_requested() {
+                    break;
+                }
+                mpi.wait_any_event(p);
+            }
+        });
+        rank_pids.push(pid);
+    }
+
+    if let Some(t) = crash_at {
+        let coord_pid = coordinator.proc_id();
+        sim.handle().call_at(t, move |h| {
+            for &pid in &rank_pids {
+                h.kill(pid);
+            }
+            h.kill(coord_pid);
+            h.trace_event("crash", || "cluster power failure".into());
+        });
+    }
+
+    let sim_end = sim.run()?;
+    let completion = body_ends.lock().iter().copied().max().unwrap_or(sim_end);
+    let rank_records = controllers.lock().iter().flat_map(|c| c.records()).collect();
+    let channel_logged_bytes: u64 =
+        controllers.lock().iter().map(|c| c.cl_logged_bytes()).sum();
+    let (defer_stats, logged_bytes) = {
+        let mpis = mpis.lock();
+        let mut agg = DeferStats::default();
+        let mut logged = 0;
+        for m in mpis.iter() {
+            let d = m.defer_stats();
+            agg.msg_buffered += d.msg_buffered;
+            agg.msg_buffered_bytes += d.msg_buffered_bytes;
+            agg.req_buffered += d.req_buffered;
+            agg.req_buffered_bytes += d.req_buffered_bytes;
+            agg.released += d.released;
+            agg.max_queue = agg.max_queue.max(d.max_queue);
+            agg.dups_dropped += d.dups_dropped;
+            logged += m.logged_bytes();
+        }
+        (agg, logged)
+    };
+    Ok(RunReport {
+        completion,
+        sim_end,
+        epochs: coordinator.reports(),
+        rank_records,
+        storage_stats: storage.stats(),
+        net_stats: world.net_stats(),
+        defer_stats,
+        logged_bytes,
+        channel_logged_bytes,
+        images: storage.export_objects(),
+    })
+}

@@ -1,0 +1,298 @@
+//! Protocol message kinds and serialization helpers.
+//!
+//! Out-of-band messages drive the global protocol; their `kind` field takes
+//! one of the constants below. Serialization of structured payloads (group
+//! plans, traffic vectors, MPI library state) uses the `gbcr-blcr` codec.
+
+use bytes::Bytes;
+use gbcr_blcr::codec::{CodecError, Decoder, Encoder};
+use gbcr_mpi::{Msg, MpiCrState, Rank, Tag};
+
+/// Coordinator → all ranks: an epoch begins; payload carries the plan.
+pub const EPOCH_BEGIN: u32 = 1;
+/// Rank → coordinator: epoch state installed.
+pub const EPOCH_BEGIN_ACK: u32 = 2;
+/// Coordinator → all ranks: group `b` is about to checkpoint (close gates).
+pub const GROUP_START: u32 = 3;
+/// Rank → coordinator: gate toward the starting group is closed.
+pub const GROUP_START_ACK: u32 = 4;
+/// Coordinator → members of group `b`: take your local checkpoints now.
+pub const GROUP_GO: u32 = 5;
+/// Member → coordinator: local checkpoint durable; `b` = individual time.
+pub const RANK_DONE: u32 = 6;
+/// Coordinator → all ranks: group `b` has completed its checkpoints.
+pub const GROUP_DONE: u32 = 7;
+/// Coordinator → all ranks: the global checkpoint is complete.
+pub const EPOCH_END: u32 = 8;
+/// Rank → coordinator: epoch state cleared.
+pub const EPOCH_END_ACK: u32 = 9;
+/// Coordinator → all ranks: report your communication statistics.
+pub const TRAFFIC_QUERY: u32 = 10;
+/// Rank → coordinator: serialized traffic vector.
+pub const TRAFFIC_REPLY: u32 = 11;
+/// Rank → coordinator: application body finished.
+pub const FINISHED: u32 = 12;
+/// Coordinator → all ranks: job over, leave the service loop.
+pub const SHUTDOWN: u32 = 13;
+
+/// In-band (data fabric) control kinds, carried in [`gbcr_mpi::CtrlWire`].
+/// Checkpointing member → peer: "stop sending to me and acknowledge so I
+/// can flush and tear down our connection" (§4.2's active side).
+pub const FLUSH_REQ: u32 = 100;
+/// Peer → member: flush acknowledged (§4.2's passive side). The latency of
+/// this reply is what the §4.4 helper thread bounds for computing peers.
+pub const FLUSH_ACK: u32 = 101;
+/// Chandy-Lamport marker on a channel: "my snapshot precedes this point"
+/// (§2.1's non-blocking alternative, idealized comparator).
+pub const CL_MARKER: u32 = 102;
+
+/// Coordinator → all ranks (Chandy-Lamport mode): take your snapshot now,
+/// non-blocking, with markers and channel-state logging.
+pub const CL_SNAPSHOT: u32 = 14;
+/// Coordinator → one rank (uncoordinated mode): take an independent local
+/// snapshot now (the coordinator only emulates each rank's local timer).
+pub const UNCOORD_GO: u32 = 15;
+
+/// Render a protocol kind for diagnostics.
+pub fn kind_name(kind: u32) -> &'static str {
+    match kind {
+        EPOCH_BEGIN => "EPOCH_BEGIN",
+        EPOCH_BEGIN_ACK => "EPOCH_BEGIN_ACK",
+        GROUP_START => "GROUP_START",
+        GROUP_START_ACK => "GROUP_START_ACK",
+        GROUP_GO => "GROUP_GO",
+        RANK_DONE => "RANK_DONE",
+        GROUP_DONE => "GROUP_DONE",
+        EPOCH_END => "EPOCH_END",
+        EPOCH_END_ACK => "EPOCH_END_ACK",
+        TRAFFIC_QUERY => "TRAFFIC_QUERY",
+        TRAFFIC_REPLY => "TRAFFIC_REPLY",
+        FINISHED => "FINISHED",
+        SHUTDOWN => "SHUTDOWN",
+        FLUSH_REQ => "FLUSH_REQ",
+        FLUSH_ACK => "FLUSH_ACK",
+        CL_MARKER => "CL_MARKER",
+        CL_SNAPSHOT => "CL_SNAPSHOT",
+        UNCOORD_GO => "UNCOORD_GO",
+        _ => "UNKNOWN",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs (free functions: `Msg` and `MpiCrState` live in
+// `gbcr-mpi`, the codec trait in `gbcr-blcr`, so blanket impls would be
+// orphaned).
+// ---------------------------------------------------------------------
+
+/// Encode a group plan (`rank → group` map plus group count).
+pub fn encode_plan(group_of: &[usize]) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_u64(group_of.len() as u64);
+    for &g in group_of {
+        e.put_u32(u32::try_from(g).expect("group index fits u32"));
+    }
+    e.finish()
+}
+
+/// Decode a group plan payload.
+pub fn decode_plan(buf: Bytes) -> Result<Vec<usize>, CodecError> {
+    let mut d = Decoder::new(buf);
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("plan length exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(d.get_u32()? as usize);
+    }
+    Ok(v)
+}
+
+/// Encode a traffic vector `(peer, messages, bytes)*`.
+pub fn encode_traffic(rows: &[(Rank, u64, u64)]) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_u64(rows.len() as u64);
+    for &(r, m, b) in rows {
+        e.put_u32(r);
+        e.put_u64(m);
+        e.put_u64(b);
+    }
+    e.finish()
+}
+
+/// Decode a traffic vector.
+pub fn decode_traffic(buf: Bytes) -> Result<Vec<(Rank, u64, u64)>, CodecError> {
+    let mut d = Decoder::new(buf);
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("traffic length exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((d.get_u32()?, d.get_u64()?, d.get_u64()?));
+    }
+    Ok(v)
+}
+
+fn put_msg(e: &mut Encoder, m: &Msg) {
+    e.put_bytes(&m.data);
+    e.put_u64(m.size);
+}
+
+fn get_msg(d: &mut Decoder) -> Result<Msg, CodecError> {
+    let data = d.get_bytes()?;
+    let size = d.get_u64()?;
+    Ok(Msg { data, size })
+}
+
+fn put_triples(e: &mut Encoder, rows: &[(Rank, Tag, Msg)]) {
+    e.put_u64(rows.len() as u64);
+    for (r, t, m) in rows {
+        e.put_u32(*r);
+        e.put_u32(*t);
+        put_msg(e, m);
+    }
+}
+
+fn get_triples(d: &mut Decoder) -> Result<Vec<(Rank, Tag, Msg)>, CodecError> {
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("triple count exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((d.get_u32()?, d.get_u32()?, get_msg(d)?));
+    }
+    Ok(v)
+}
+
+fn put_seq_pairs(e: &mut Encoder, rows: &[(Rank, u64)]) {
+    e.put_u64(rows.len() as u64);
+    for &(r, s) in rows {
+        e.put_u32(r);
+        e.put_u64(s);
+    }
+}
+
+fn get_seq_pairs(d: &mut Decoder) -> Result<Vec<(Rank, u64)>, CodecError> {
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("pair count exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((d.get_u32()?, d.get_u64()?));
+    }
+    Ok(v)
+}
+
+fn put_deferred(e: &mut Encoder, rows: &[(Rank, Tag, Msg, u64)]) {
+    e.put_u64(rows.len() as u64);
+    for (r, t, m, u) in rows {
+        e.put_u32(*r);
+        e.put_u32(*t);
+        put_msg(e, m);
+        e.put_u64(*u);
+    }
+}
+
+fn get_deferred(d: &mut Decoder) -> Result<Vec<(Rank, Tag, Msg, u64)>, CodecError> {
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("deferred count exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((d.get_u32()?, d.get_u32()?, get_msg(d)?, d.get_u64()?));
+    }
+    Ok(v)
+}
+
+/// Image payload: the application's registered state plus the
+/// checkpointable MPI library state.
+pub fn encode_image_payload(app_state: &Bytes, mpi_state: &MpiCrState) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_bytes(app_state);
+    put_triples(&mut e, &mpi_state.inbound);
+    put_deferred(&mut e, &mpi_state.deferred_eager);
+    put_seq_pairs(&mut e, &mpi_state.send_seqs);
+    put_seq_pairs(&mut e, &mpi_state.recv_watermarks);
+    e.put_u64(mpi_state.coll_seqs.len() as u64);
+    for &(c, q) in &mpi_state.coll_seqs {
+        e.put_u32(c);
+        e.put_u32(q);
+    }
+    e.finish()
+}
+
+/// Inverse of [`encode_image_payload`].
+pub fn decode_image_payload(buf: Bytes) -> Result<(Bytes, MpiCrState), CodecError> {
+    let mut d = Decoder::new(buf);
+    let app_state = d.get_bytes()?;
+    let inbound = get_triples(&mut d)?;
+    let deferred_eager = get_deferred(&mut d)?;
+    let send_seqs = get_seq_pairs(&mut d)?;
+    let recv_watermarks = get_seq_pairs(&mut d)?;
+    let nc = d.get_u64()? as usize;
+    if nc > d.remaining() {
+        return Err(CodecError::Corrupt("coll-seq count exceeds payload"));
+    }
+    let mut coll_seqs = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        coll_seqs.push((d.get_u32()?, d.get_u32()?));
+    }
+    if d.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes in image payload"));
+    }
+    Ok((
+        app_state,
+        MpiCrState { inbound, deferred_eager, send_seqs, recv_watermarks, coll_seqs },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trip() {
+        let plan = vec![0usize, 0, 1, 1, 2, 2, 3, 3];
+        assert_eq!(decode_plan(encode_plan(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn traffic_round_trip() {
+        let t = vec![(1u32, 5u64, 500u64), (7, 1, 16)];
+        assert_eq!(decode_traffic(encode_traffic(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn image_payload_round_trip() {
+        let app = Bytes::from_static(b"app-state");
+        let mpi = MpiCrState {
+            inbound: vec![(3, 7, Msg::with_size(&b"x"[..], 1024))],
+            deferred_eager: vec![(1, 2, Msg::u64(9), 4), (1, 2, Msg::u64(10), 5)],
+            send_seqs: vec![(1, 6), (3, 2)],
+            recv_watermarks: vec![(3, 9)],
+            coll_seqs: vec![(0, 12)],
+        };
+        let (a2, m2) = decode_image_payload(encode_image_payload(&app, &mpi)).unwrap();
+        assert_eq!(a2, app);
+        assert_eq!(m2, mpi);
+    }
+
+    #[test]
+    fn corrupt_plan_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u64(u64::MAX);
+        assert!(decode_plan(e.finish()).is_err());
+    }
+
+    #[test]
+    fn kind_names_cover_protocol() {
+        for k in 1..=13 {
+            assert_ne!(kind_name(k), "UNKNOWN", "kind {k}");
+        }
+        assert_eq!(kind_name(99), "UNKNOWN");
+    }
+}

@@ -1,0 +1,59 @@
+//! Restart a job from a completed global checkpoint epoch.
+
+use crate::coordinator::CoordinatorCfg;
+use crate::job::{run_job_inner, JobSpec, RunReport};
+use gbcr_blcr::ProcessImage;
+use gbcr_des::SimResult;
+use gbcr_storage::StoredObject;
+
+/// Which epoch to restart from, and the images to restart with (normally
+/// [`extract_images`] of a previous run's report).
+#[derive(Debug, Clone)]
+pub struct RestartSpec {
+    /// Job name the images were saved under (may differ from the new run's
+    /// checkpoint job name for generation-2 checkpoints).
+    pub job: String,
+    /// The epoch to restore.
+    pub epoch: u64,
+    /// `(object name, image)` pairs preloaded onto the fresh storage.
+    pub images: Vec<(String, StoredObject)>,
+}
+
+/// Pull the image set for `(job, epoch, n)` out of a previous run's stored
+/// objects. Panics if the epoch is incomplete — restarting from a partial
+/// global checkpoint is never valid.
+pub fn extract_images(
+    report: &RunReport,
+    job: &str,
+    epoch: u64,
+    n: u32,
+) -> Vec<(String, StoredObject)> {
+    let mut out = Vec::with_capacity(n as usize);
+    for r in 0..n {
+        let name = ProcessImage::object_name(job, epoch, r);
+        let obj = report
+            .images
+            .iter()
+            .find(|(k, _)| *k == name)
+            .unwrap_or_else(|| panic!("epoch {epoch} incomplete: missing image '{name}'"))
+            .1
+            .clone();
+        out.push((name, obj));
+    }
+    out
+}
+
+/// Build a fresh simulation, preload the images, and rerun the job with
+/// every rank restored from its image: the rank reads its image back
+/// through the storage model (the restart storm is charged realistically),
+/// re-injects its saved MPI library state, and runs the application body
+/// with `restored = Some(app_state)`.
+///
+/// The restarted run may itself take checkpoints via `ckpt`.
+pub fn restart_job(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    restart: RestartSpec,
+) -> SimResult<RunReport> {
+    run_job_inner(spec, ckpt, Some(restart))
+}

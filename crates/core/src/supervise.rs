@@ -1,0 +1,112 @@
+//! Supervised execution: run a job under a checkpoint schedule, survive
+//! injected whole-cluster failures by restarting from the last complete
+//! global checkpoint, and repeat until the job finishes.
+//!
+//! This is the operational loop the paper's framework exists to enable
+//! (and what the job-pause service of its reference [23] automates): the
+//! checkpointing system turns a fatal failure into a bounded amount of
+//! recomputation.
+
+use crate::coordinator::CoordinatorCfg;
+use crate::job::{run_job_inner, run_job_with_crash, JobSpec, RunReport};
+use crate::restart::RestartSpec;
+use gbcr_blcr::ProcessImage;
+use gbcr_des::{SimResult, Time};
+
+/// One attempt within a supervised run.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// Crash time injected into this attempt, if any.
+    pub crashed_at: Option<Time>,
+    /// Epoch the attempt started from (`None` = from scratch).
+    pub restored_from: Option<u64>,
+    /// Epochs completed during the attempt.
+    pub epochs_completed: usize,
+    /// Whether the application finished in this attempt.
+    pub finished: bool,
+}
+
+/// Outcome of [`run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisedReport {
+    /// Every attempt, in order; the last one finished.
+    pub attempts: Vec<Attempt>,
+    /// The report of the final (successful) attempt.
+    pub final_report: RunReport,
+}
+
+impl SupervisedReport {
+    /// Number of failures survived.
+    pub fn failures_survived(&self) -> usize {
+        self.attempts.len() - 1
+    }
+}
+
+/// Run `spec` under `ckpt`, injecting a whole-cluster failure at each time
+/// in `crash_at` (one per attempt, applied in order). After each crash the
+/// job restarts from the most recent complete epoch (carrying images
+/// forward across attempts); the final attempt runs to completion.
+///
+/// Panics if a crash happens before the first epoch ever completes (there
+/// is nothing to restart from — exactly the exposure window the paper's
+/// Total Checkpoint Time measures).
+pub fn run_supervised(
+    spec: &JobSpec,
+    ckpt: CoordinatorCfg,
+    crash_at: &[Time],
+) -> SimResult<SupervisedReport> {
+    let n = spec.mpi.n;
+    let job = ckpt.job.clone();
+    let mut attempts = Vec::new();
+    let mut restore: Option<RestartSpec> = None;
+
+    for (i, &t) in crash_at.iter().enumerate() {
+        let report = match restore.clone() {
+            None => run_job_with_crash(spec, Some(ckpt.clone()), t)?,
+            Some(r) => {
+                // Crash this attempt too: reuse the crash-capable path by
+                // preloading the restart images.
+                crate::job::run_job_inner_with_crash(spec, Some(ckpt.clone()), Some(r), Some(t))?
+            }
+        };
+        let last = report
+            .epochs
+            .iter()
+            .filter(|e| {
+                // Only epochs whose image set fully survived count.
+                (0..n).all(|r| {
+                    report
+                        .images
+                        .iter()
+                        .any(|(name, _)| *name == ProcessImage::object_name(&job, e.epoch, r))
+                })
+            })
+            .map(|e| e.epoch)
+            .max();
+        let Some(epoch) = last else {
+            panic!(
+                "attempt {i}: crash at {} preceded the first complete checkpoint — \
+                 nothing to restart from",
+                gbcr_des::time::fmt(t)
+            );
+        };
+        attempts.push(Attempt {
+            crashed_at: Some(t),
+            restored_from: restore.as_ref().map(|r| r.epoch),
+            epochs_completed: report.epochs.len(),
+            finished: false,
+        });
+        let images = crate::restart::extract_images(&report, &job, epoch, n);
+        restore = Some(RestartSpec { job: job.clone(), epoch, images });
+    }
+
+    // Final attempt: no crash.
+    let final_report = run_job_inner(spec, Some(ckpt), restore.clone())?;
+    attempts.push(Attempt {
+        crashed_at: None,
+        restored_from: restore.as_ref().map(|r| r.epoch),
+        epochs_completed: final_report.epochs.len(),
+        finished: true,
+    });
+    Ok(SupervisedReport { attempts, final_report })
+}

@@ -1,0 +1,342 @@
+//! The event queue and scheduler loop.
+
+use crate::error::{SimError, SimResult};
+use crate::process::{Gate, KillSignal, Proc, ProcId};
+use crate::signal::Signal;
+use crate::time::Time;
+use crate::timer::TimerHandle;
+use crate::trace::TraceLog;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A callback executed on the scheduler thread. Must not block.
+type Callback = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
+
+enum EventKind {
+    Wake(ProcId),
+    Call { cancelled: Arc<AtomicBool>, f: Callback },
+}
+
+struct QueuedEvent {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct ProcSlot {
+    name: String,
+    gate: Arc<Gate>,
+    killed: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+pub(crate) struct Inner {
+    now: AtomicU64,
+    seq: AtomicU64,
+    queue: Mutex<BinaryHeap<Reverse<QueuedEvent>>>,
+    procs: Mutex<Vec<ProcSlot>>,
+    rng: Mutex<SmallRng>,
+    trace: TraceLog,
+}
+
+/// A cloneable, `Send + Sync` handle onto a running simulation.
+///
+/// Unlike [`Proc`], a `SimHandle` can never block, so it is safe to use from
+/// scheduler-side timer callbacks as well as from inside processes. It is the
+/// channel through which signals, networks and storage models schedule work.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.inner.now.load(Ordering::Relaxed)
+    }
+
+    fn push(&self, time: Time, kind: EventKind) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue.lock().push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    /// Schedule a wake-up for `pid` at absolute time `at` (clamped to now).
+    pub fn schedule_wake(&self, at: Time, pid: ProcId) {
+        self.push(at.max(self.now()), EventKind::Wake(pid));
+    }
+
+    /// Wake `pid` at the current virtual time (after already-queued events
+    /// at this instant).
+    pub fn wake(&self, pid: ProcId) {
+        self.schedule_wake(self.now(), pid);
+    }
+
+    /// Run `f` on the scheduler thread at absolute time `at`. Returns a
+    /// handle that can cancel the callback before it fires. `f` must not
+    /// block (it has no `Proc`, so it *cannot* call any blocking primitive).
+    pub fn call_at(
+        &self,
+        at: Time,
+        f: impl FnOnce(&SimHandle) + Send + 'static,
+    ) -> TimerHandle {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.push(
+            at.max(self.now()),
+            EventKind::Call { cancelled: cancelled.clone(), f: Box::new(f) },
+        );
+        TimerHandle::new(cancelled)
+    }
+
+    /// Run `f` on the scheduler thread after `dt` of virtual time.
+    pub fn call_after(
+        &self,
+        dt: Time,
+        f: impl FnOnce(&SimHandle) + Send + 'static,
+    ) -> TimerHandle {
+        self.call_at(self.now().saturating_add(dt), f)
+    }
+
+    /// Mark `pid` killed and wake it so the kill unwinds at its next yield
+    /// point. Used for failure injection. No-op on finished processes.
+    pub fn kill(&self, pid: ProcId) {
+        let procs = self.inner.procs.lock();
+        let slot = &procs[pid.index()];
+        slot.killed.store(true, Ordering::Relaxed);
+        drop(procs);
+        self.wake(pid);
+    }
+
+    /// Whether the given process has terminated (normally, by panic, or by
+    /// kill).
+    pub fn is_done(&self, pid: ProcId) -> bool {
+        self.inner.procs.lock()[pid.index()].gate.is_done()
+    }
+
+    /// Access the simulation's seeded RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        f(&mut self.inner.rng.lock())
+    }
+
+    /// The shared trace log (disabled by default; see [`TraceLog`]).
+    pub fn trace(&self) -> &TraceLog {
+        &self.inner.trace
+    }
+
+    /// Record a trace event if tracing is enabled.
+    #[inline]
+    pub fn trace_event(&self, category: &'static str, message: impl FnOnce() -> String) {
+        self.inner.trace.record(self.now(), category, message);
+    }
+
+    /// Spawn a new simulated process; it becomes runnable at the current
+    /// virtual time. See [`Sim::spawn`].
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(&Proc) + Send + 'static) -> ProcId {
+        spawn_impl(self, name.into(), f)
+    }
+
+    /// Create a named [`Signal`] bound to this simulation.
+    pub fn signal(&self, name: impl Into<String>) -> Signal {
+        Signal::new(name.into())
+    }
+}
+
+fn panic_payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+fn spawn_impl(
+    handle: &SimHandle,
+    name: String,
+    f: impl FnOnce(&Proc) + Send + 'static,
+) -> ProcId {
+    let mut procs = handle.inner.procs.lock();
+    let id = ProcId(u32::try_from(procs.len()).expect("too many processes"));
+    let gate = Gate::new();
+    let killed = Arc::new(AtomicBool::new(false));
+    let proc_ctx = Proc {
+        handle: handle.clone(),
+        id,
+        name: name.clone(),
+        killed: killed.clone(),
+        gate: gate.clone(),
+    };
+    let thread_gate = gate.clone();
+    let thread_name = name.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("sim-{thread_name}"))
+        .spawn(move || {
+            thread_gate.wait_first_resume();
+            if proc_ctx.is_killed() {
+                // Killed before ever running: terminate without invoking f.
+                thread_gate.finish(Ok(()));
+                return;
+            }
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&proc_ctx)));
+            let outcome = match result {
+                Ok(()) => Ok(()),
+                Err(payload) if payload.is::<KillSignal>() => Ok(()),
+                Err(payload) => Err(panic_payload_to_string(payload.as_ref())),
+            };
+            thread_gate.finish(outcome);
+        })
+        .expect("failed to spawn simulation thread");
+    procs.push(ProcSlot { name, gate, killed, join: Some(join) });
+    drop(procs);
+    handle.wake(id);
+    id
+}
+
+/// The simulation: owns the clock, the event queue, and all simulated
+/// processes. Create one, [`spawn`](Sim::spawn) processes into it, then
+/// [`run`](Sim::run) it to completion.
+pub struct Sim {
+    handle: SimHandle,
+}
+
+impl Sim {
+    /// Create a simulation whose RNG is seeded with `seed`. Two simulations
+    /// built identically with the same seed produce identical traces.
+    pub fn new(seed: u64) -> Self {
+        let inner = Arc::new(Inner {
+            now: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            queue: Mutex::new(BinaryHeap::new()),
+            procs: Mutex::new(Vec::new()),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            trace: TraceLog::new(),
+        });
+        Sim { handle: SimHandle { inner } }
+    }
+
+    /// A cloneable handle onto this simulation.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn a simulated process running `f`. The process becomes runnable
+    /// at the current virtual time (time 0 before `run`).
+    pub fn spawn(&mut self, name: impl Into<String>, f: impl FnOnce(&Proc) + Send + 'static) -> ProcId {
+        self.handle.spawn(name, f)
+    }
+
+    /// Create a named [`Signal`] bound to this simulation.
+    pub fn signal(&self, name: impl Into<String>) -> Signal {
+        self.handle.signal(name)
+    }
+
+    /// Run until the event queue drains. Returns the final virtual time.
+    ///
+    /// Errors with [`SimError::Deadlock`] if the queue drains while some
+    /// process is still blocked, and [`SimError::ProcessPanicked`] if any
+    /// simulated process panics.
+    pub fn run(&mut self) -> SimResult<Time> {
+        self.run_inner(Time::MAX)
+    }
+
+    /// Run until the event queue drains or virtual time would exceed
+    /// `horizon`, whichever comes first.
+    pub fn run_until(&mut self, horizon: Time) -> SimResult<Time> {
+        self.run_inner(horizon)
+    }
+
+    fn run_inner(&mut self, horizon: Time) -> SimResult<Time> {
+        let inner = &self.handle.inner;
+        loop {
+            let ev = {
+                let mut q = inner.queue.lock();
+                match q.peek() {
+                    Some(Reverse(e)) if e.time > horizon => {
+                        return Err(SimError::HorizonReached { at: horizon });
+                    }
+                    Some(_) => q.pop().map(|Reverse(e)| e),
+                    None => None,
+                }
+            };
+            let Some(ev) = ev else {
+                let now = self.handle.now();
+                let blocked: Vec<String> = inner
+                    .procs
+                    .lock()
+                    .iter()
+                    .filter(|p| !p.gate.is_done())
+                    .map(|p| p.name.clone())
+                    .collect();
+                return if blocked.is_empty() {
+                    Ok(now)
+                } else {
+                    Err(SimError::Deadlock { at: now, blocked })
+                };
+            };
+            debug_assert!(ev.time >= self.handle.now(), "time went backwards");
+            inner.now.store(ev.time, Ordering::Relaxed);
+            match ev.kind {
+                EventKind::Wake(pid) => {
+                    let gate = inner.procs.lock()[pid.index()].gate.clone();
+                    if let Err(message) = gate.resume() {
+                        let name = inner.procs.lock()[pid.index()].name.clone();
+                        return Err(SimError::ProcessPanicked { name, message });
+                    }
+                }
+                EventKind::Call { cancelled, f } => {
+                    if !cancelled.load(Ordering::Relaxed) {
+                        f(&self.handle);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of processes ever spawned.
+    pub fn process_count(&self) -> usize {
+        self.handle.inner.procs.lock().len()
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Unblock any still-parked process threads so they exit, then join.
+        let mut procs = self.handle.inner.procs.lock();
+        for slot in procs.iter_mut() {
+            if !slot.gate.is_done() {
+                slot.killed.store(true, Ordering::Relaxed);
+                // Resuming hands the baton over; the kill check unwinds the
+                // user closure and the gate comes back as Done.
+                let _ = slot.gate.resume();
+            }
+            if let Some(j) = slot.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}

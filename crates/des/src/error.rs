@@ -1,0 +1,55 @@
+//! Simulation-level errors.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Result alias for simulation runs.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by [`crate::Sim::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while one or more processes were still
+    /// blocked: nobody can ever wake them again. Carries the virtual time
+    /// of the last processed event and the names of the stuck processes.
+    Deadlock {
+        /// Virtual time at which the queue drained.
+        at: Time,
+        /// Names of the processes that are parked forever.
+        blocked: Vec<String>,
+    },
+    /// A simulated process panicked; the message is the panic payload
+    /// rendered to a string.
+    ProcessPanicked {
+        /// Name of the panicking process.
+        name: String,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// `run_until` reached its horizon before the event queue drained.
+    HorizonReached {
+        /// The horizon that was reached.
+        at: Time,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => write!(
+                f,
+                "simulation deadlock at t={}: blocked processes: {}",
+                crate::time::fmt(*at),
+                blocked.join(", ")
+            ),
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+            SimError::HorizonReached { at } => {
+                write!(f, "simulation horizon reached at t={}", crate::time::fmt(*at))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,63 @@
+//! # gbcr-des — deterministic discrete-event simulation engine
+//!
+//! The substrate every other crate in this workspace runs on. It provides a
+//! virtual clock with nanosecond resolution, an event queue with a total
+//! deterministic order, and *thread-backed simulated processes*: each
+//! simulated entity (an MPI rank, a storage server, the checkpoint
+//! coordinator) is an OS thread, but a baton protocol guarantees **exactly
+//! one** simulated thread executes at any instant. User code is therefore
+//! written as ordinary straight-line blocking code — exactly like a real MPI
+//! program — while the whole run stays bit-for-bit reproducible for a given
+//! seed.
+//!
+//! This mirrors the classic process-oriented simulation style (SimPy,
+//! OMNeT++ "activities"): a process runs until it *yields* — by sleeping,
+//! by blocking on a [`Signal`], or by finishing — and the scheduler then
+//! dispatches the next event in `(time, sequence)` order.
+//!
+//! ## Why threads and not async?
+//!
+//! The workloads we simulate (HPL, MotifMiner, the paper's micro-benchmarks)
+//! are most naturally expressed as blocking MPI programs. Backing each
+//! simulated process with an OS thread keeps the user-facing API free of
+//! combinators and lifetimes while the baton handoff keeps the simulation
+//! sequential and deterministic. Contention on the handoff locks is nil
+//! because at most one simulated thread and the scheduler are ever awake.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gbcr_des::{Sim, time};
+//!
+//! let mut sim = Sim::new(42);
+//! let sig = sim.signal("ready");
+//! let sig2 = sig.clone();
+//! sim.spawn("producer", move |p| {
+//!     p.sleep(time::ms(10));
+//!     sig2.notify_all(p);
+//! });
+//! sim.spawn("consumer", move |p| {
+//!     sig.wait(p);
+//!     assert_eq!(p.now(), time::ms(10));
+//! });
+//! let end = sim.run().unwrap();
+//! assert_eq!(end, time::ms(10));
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod process;
+mod signal;
+pub mod time;
+mod timer;
+mod trace;
+
+pub use engine::{Sim, SimHandle};
+pub use error::{SimError, SimResult};
+pub use process::{Proc, ProcId};
+pub use signal::Signal;
+pub use time::Time;
+pub use timer::TimerHandle;
+pub use trace::{TraceEvent, TraceLog};

@@ -1,0 +1,232 @@
+//! Simulated processes and the baton handoff between them and the scheduler.
+//!
+//! Every simulated process is an OS thread, but the [`Gate`] baton protocol
+//! guarantees that at most one simulated thread runs at any instant: the
+//! scheduler resumes a process and then blocks until the process either
+//! *parks* (yields) or finishes. All simulation state can therefore be
+//! mutated without data races, as long as code never parks while holding a
+//! lock (an invariant all crates in this workspace follow).
+
+use crate::engine::SimHandle;
+use crate::time::Time;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a simulated process, dense from zero in spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// The dense index of this process (spawn order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Who currently holds the baton for one process thread.
+#[derive(Debug)]
+pub(crate) enum Baton {
+    /// The process thread is parked; the scheduler may resume it.
+    Parked,
+    /// The process thread is running; the scheduler is waiting.
+    Running,
+    /// The process finished normally (or was killed, which is a normal end).
+    DoneOk,
+    /// The process panicked with the given rendered payload.
+    DonePanic(String),
+}
+
+/// The per-process handoff cell shared by the scheduler and the process
+/// thread.
+pub(crate) struct Gate {
+    state: Mutex<Baton>,
+    cv: Condvar,
+}
+
+/// Marker payload used to unwind a killed process out of its user closure.
+/// Treated as a normal termination by the thread wrapper.
+pub(crate) struct KillSignal;
+
+impl Gate {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Gate { state: Mutex::new(Baton::Parked), cv: Condvar::new() })
+    }
+
+    /// Scheduler side: hand the baton to the process and block until it is
+    /// handed back. Returns the terminal panic message if the process died
+    /// panicking during this slice. Stale wakes on finished processes are
+    /// no-ops.
+    pub(crate) fn resume(&self) -> Result<(), String> {
+        {
+            let mut st = self.state.lock();
+            match *st {
+                Baton::Parked => {
+                    *st = Baton::Running;
+                    self.cv.notify_all();
+                }
+                Baton::DoneOk | Baton::DonePanic(_) => return Ok(()),
+                Baton::Running => unreachable!("scheduler resumed a running process"),
+            }
+        }
+        let mut st = self.state.lock();
+        while matches!(*st, Baton::Running) {
+            self.cv.wait(&mut st);
+        }
+        match &*st {
+            Baton::DonePanic(msg) => Err(msg.clone()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Process side: hand the baton back to the scheduler and block until
+    /// resumed again.
+    pub(crate) fn park(&self) {
+        let mut st = self.state.lock();
+        *st = Baton::Parked;
+        self.cv.notify_all();
+        while matches!(*st, Baton::Parked) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Process side: block until the scheduler first resumes us. The state
+    /// starts out `Parked`, so this is just the waiting half of [`park`].
+    pub(crate) fn wait_first_resume(&self) {
+        let mut st = self.state.lock();
+        while matches!(*st, Baton::Parked) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Process side: terminal hand-back.
+    pub(crate) fn finish(&self, outcome: Result<(), String>) {
+        let mut st = self.state.lock();
+        *st = match outcome {
+            Ok(()) => Baton::DoneOk,
+            Err(msg) => Baton::DonePanic(msg),
+        };
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        matches!(*self.state.lock(), Baton::DoneOk | Baton::DonePanic(_))
+    }
+}
+
+/// The context handle passed to every simulated process closure.
+///
+/// All blocking primitives (`sleep`, `park`, [`crate::Signal::wait`]) are
+/// methods here or take a `&Proc`, which statically prevents code running on
+/// the scheduler (timer callbacks) from blocking.
+pub struct Proc {
+    pub(crate) handle: SimHandle,
+    pub(crate) id: ProcId,
+    pub(crate) name: String,
+    pub(crate) killed: Arc<AtomicBool>,
+    pub(crate) gate: Arc<Gate>,
+}
+
+impl Proc {
+    /// This process's id.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// This process's name (as given to `spawn`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.handle.now()
+    }
+
+    /// A cloneable handle to the simulation usable from anywhere (including
+    /// timer callbacks); it can schedule and wake but never block.
+    #[inline]
+    pub fn handle(&self) -> &SimHandle {
+        &self.handle
+    }
+
+    /// Yield without a scheduled wake-up: some other process, signal or
+    /// timer must call [`SimHandle::wake`] for this process, or the
+    /// simulation will report a deadlock.
+    ///
+    /// May return spuriously (e.g. a stale wake from an earlier sleep), so
+    /// callers must re-check their predicate in a loop.
+    pub fn park(&self) {
+        self.gate.park();
+        self.check_killed();
+    }
+
+    /// Advance this process's local activity by `dt` of virtual time.
+    ///
+    /// Robust to spurious wakes: re-parks until the deadline has truly been
+    /// reached.
+    pub fn sleep(&self, dt: Time) {
+        let deadline = self.now().saturating_add(dt);
+        self.handle.schedule_wake(deadline, self.id);
+        loop {
+            self.gate.park();
+            self.check_killed();
+            if self.now() >= deadline {
+                return;
+            }
+        }
+    }
+
+    /// True once [`SimHandle::kill`] has been called on this process. User
+    /// code rarely needs this; the kill unwind happens automatically at the
+    /// next yield point.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+
+    fn check_killed(&self) {
+        if self.is_killed() {
+            install_quiet_kill_hook();
+            KILL_UNWINDING.with(|f| f.set(true));
+            std::panic::panic_any(KillSignal);
+        }
+    }
+}
+
+thread_local! {
+    static KILL_UNWINDING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Kill unwinds are implemented with `panic_any(KillSignal)`; without this
+/// hook every kill would print a spurious "thread panicked" line. The hook
+/// installs once per program and suppresses output only for threads that are
+/// mid-kill, delegating everything else to the previous hook.
+fn install_quiet_kill_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if KILL_UNWINDING.with(|f| f.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc").field("id", &self.id).field("name", &self.name).finish()
+    }
+}

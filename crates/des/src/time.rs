@@ -1,0 +1,116 @@
+//! Virtual time: `u64` nanoseconds since simulation start, plus unit helpers.
+//!
+//! All durations and instants in the simulation share this representation;
+//! there is deliberately no separate `Duration` type because protocol code
+//! constantly mixes instants and spans and the simulation never deals with
+//! negative time.
+
+/// A virtual instant or span, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// Nanoseconds per microsecond.
+pub const NANOS_PER_US: Time = 1_000;
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MS: Time = 1_000_000;
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: Time = 1_000_000_000;
+
+/// `n` microseconds as a [`Time`].
+#[inline]
+pub const fn us(n: u64) -> Time {
+    n * NANOS_PER_US
+}
+
+/// `n` milliseconds as a [`Time`].
+#[inline]
+pub const fn ms(n: u64) -> Time {
+    n * NANOS_PER_MS
+}
+
+/// `n` seconds as a [`Time`].
+#[inline]
+pub const fn secs(n: u64) -> Time {
+    n * NANOS_PER_SEC
+}
+
+/// A fractional number of seconds as a [`Time`], rounded to the nearest
+/// nanosecond. Panics on negative or non-finite input.
+#[inline]
+pub fn secs_f64(s: f64) -> Time {
+    assert!(s.is_finite() && s >= 0.0, "secs_f64 needs finite s >= 0, got {s}");
+    (s * NANOS_PER_SEC as f64).round() as Time
+}
+
+/// A [`Time`] as fractional seconds (for reporting).
+#[inline]
+pub fn as_secs_f64(t: Time) -> f64 {
+    t as f64 / NANOS_PER_SEC as f64
+}
+
+/// A [`Time`] as fractional milliseconds (for reporting).
+#[inline]
+pub fn as_millis_f64(t: Time) -> f64 {
+    t as f64 / NANOS_PER_MS as f64
+}
+
+/// Pretty-print a time span with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt(t: Time) -> String {
+    if t < NANOS_PER_US {
+        format!("{t}ns")
+    } else if t < NANOS_PER_MS {
+        format!("{:.2}us", t as f64 / NANOS_PER_US as f64)
+    } else if t < NANOS_PER_SEC {
+        format!("{:.2}ms", as_millis_f64(t))
+    } else {
+        format!("{:.3}s", as_secs_f64(t))
+    }
+}
+
+/// The time needed to move `bytes` at `bytes_per_sec`, rounded up to a whole
+/// nanosecond so that a transfer never completes "for free".
+#[inline]
+pub fn transfer_time(bytes: u64, bytes_per_sec: f64) -> Time {
+    assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+    let secs = bytes as f64 / bytes_per_sec;
+    (secs * NANOS_PER_SEC as f64).ceil() as Time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_helpers_compose() {
+        assert_eq!(us(1), 1_000);
+        assert_eq!(ms(1), 1_000 * us(1));
+        assert_eq!(secs(1), 1_000 * ms(1));
+    }
+
+    #[test]
+    fn secs_f64_round_trips() {
+        let t = secs_f64(1.25);
+        assert_eq!(t, 1_250_000_000);
+        assert!((as_secs_f64(t) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn secs_f64_rejects_negative() {
+        secs_f64(-1.0);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 byte at 3 B/s = 333333333.33..ns -> 333333334
+        assert_eq!(transfer_time(1, 3.0), 333_333_334);
+        assert_eq!(transfer_time(0, 100.0), 0);
+    }
+
+    #[test]
+    fn fmt_picks_adaptive_units() {
+        assert_eq!(fmt(12), "12ns");
+        assert_eq!(fmt(us(3)), "3.00us");
+        assert_eq!(fmt(ms(250)), "250.00ms");
+        assert_eq!(fmt(secs(2)), "2.000s");
+    }
+}

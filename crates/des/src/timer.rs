@@ -1,0 +1,33 @@
+//! Cancelable timer handles for scheduler callbacks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Handle returned by [`crate::SimHandle::call_at`] /
+/// [`crate::SimHandle::call_after`]. Dropping the handle does *not* cancel
+/// the callback; call [`TimerHandle::cancel`] explicitly.
+///
+/// Cancellation is how event-driven models with changing rates (the storage
+/// processor-sharing model, rendezvous transfer completions) invalidate
+/// stale completion events instead of trying to remove them from the heap.
+#[derive(Clone, Debug)]
+pub struct TimerHandle {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl TimerHandle {
+    pub(crate) fn new(cancelled: Arc<AtomicBool>) -> Self {
+        TimerHandle { cancelled }
+    }
+
+    /// Prevent the callback from firing. Idempotent; a timer that already
+    /// fired is unaffected.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `cancel` has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,83 @@
+//! An optional in-memory trace of simulation events.
+//!
+//! Disabled by default so the hot path pays only one relaxed atomic load.
+//! Tests (notably the recovery-line consistency property tests in
+//! `gbcr-core`) enable it to assert ordering properties of protocol events.
+
+use crate::time::Time;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was recorded.
+    pub time: Time,
+    /// Static category tag (e.g. `"net.send"`, `"ckpt.phase"`).
+    pub category: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// Append-only event log shared across the simulation.
+#[derive(Default)]
+pub struct TraceLog {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceLog {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn recording off (already-recorded events are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event; the message closure is only evaluated when tracing
+    /// is enabled.
+    #[inline]
+    pub fn record(&self, time: Time, category: &'static str, message: impl FnOnce() -> String) {
+        if self.is_enabled() {
+            self.events.lock().push(TraceEvent { time, category, message: message() });
+        }
+    }
+
+    /// Copy out all recorded events.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Copy out events in a category.
+    pub fn snapshot_category(&self, category: &str) -> Vec<TraceEvent> {
+        self.events.lock().iter().filter(|e| e.category == category).cloned().collect()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

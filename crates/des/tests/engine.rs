@@ -1,0 +1,313 @@
+//! Integration tests for the discrete-event engine: ordering, determinism,
+//! blocking primitives, timers, kill/failure injection, error reporting.
+
+use gbcr_des::{time, Sim, SimError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn empty_sim_finishes_at_time_zero() {
+    let mut sim = Sim::new(0);
+    assert_eq!(sim.run().unwrap(), 0);
+}
+
+#[test]
+fn single_process_advances_clock() {
+    let mut sim = Sim::new(0);
+    sim.spawn("p", |p| {
+        assert_eq!(p.now(), 0);
+        p.sleep(time::ms(5));
+        assert_eq!(p.now(), time::ms(5));
+        p.sleep(time::us(1));
+        assert_eq!(p.now(), time::ms(5) + time::us(1));
+    });
+    assert_eq!(sim.run().unwrap(), time::ms(5) + time::us(1));
+}
+
+#[test]
+fn events_fire_in_time_order_with_fifo_ties() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = Sim::new(0);
+    for i in 0..4 {
+        let log = log.clone();
+        // All four sleep to the same instant; ties must resolve in spawn
+        // (sequence) order.
+        sim.spawn(format!("p{i}"), move |p| {
+            p.sleep(time::ms(10));
+            log.lock().push(i);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn interleaving_is_deterministic_across_runs() {
+    fn run_once(seed: u64) -> Vec<(u64, usize)> {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new(seed);
+        for i in 0..8 {
+            let log = log.clone();
+            sim.spawn(format!("p{i}"), move |p| {
+                for step in 0..20 {
+                    let dt = p.handle().with_rng(|r| {
+                        use rand::Rng;
+                        r.gen_range(1..1000u64)
+                    });
+                    p.sleep(time::us(dt));
+                    log.lock().push((p.now(), i * 100 + step));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let v = log.lock().clone();
+        v
+    }
+    assert_eq!(run_once(7), run_once(7));
+    assert_ne!(run_once(7), run_once(8), "different seeds should differ");
+}
+
+#[test]
+fn signal_wakes_all_waiters_at_notify_time() {
+    let mut sim = Sim::new(0);
+    let sig = sim.signal("go");
+    let woken = Arc::new(AtomicU64::new(0));
+    for i in 0..3 {
+        let sig = sig.clone();
+        let woken = woken.clone();
+        sim.spawn(format!("waiter{i}"), move |p| {
+            let deadline_passed = || p.now() >= time::ms(50);
+            while !deadline_passed() {
+                sig.wait(p);
+            }
+            woken.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let sig2 = sig.clone();
+    sim.spawn("notifier", move |p| {
+        p.sleep(time::ms(50));
+        sig2.notify_all(p);
+    });
+    assert_eq!(sim.run().unwrap(), time::ms(50));
+    assert_eq!(woken.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn signal_wait_survives_spurious_wakes() {
+    let mut sim = Sim::new(0);
+    let sig = sim.signal("cond");
+    let flag = Arc::new(AtomicU64::new(0));
+    let (f1, s1) = (flag.clone(), sig.clone());
+    let waiter = sim.spawn("waiter", move |p| {
+        while f1.load(Ordering::Relaxed) == 0 {
+            s1.wait(p);
+        }
+        assert_eq!(p.now(), time::ms(20));
+    });
+    let (f2, s2) = (flag, sig);
+    sim.spawn("poker", move |p| {
+        p.sleep(time::ms(10));
+        // Spurious wake: waiter's predicate is still false.
+        p.handle().wake(waiter);
+        p.sleep(time::ms(10));
+        f2.store(1, Ordering::Relaxed);
+        s2.notify_all(p);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn deadlock_is_reported_with_names() {
+    let mut sim = Sim::new(0);
+    let sig = sim.signal("never");
+    sim.spawn("stuck-one", move |p| {
+        loop {
+            sig.wait(p);
+        }
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { at, blocked }) => {
+            assert_eq!(at, 0);
+            assert_eq!(blocked, vec!["stuck-one".to_string()]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn process_panic_is_propagated() {
+    let mut sim = Sim::new(0);
+    sim.spawn("bad", |p| {
+        p.sleep(time::ms(1));
+        panic!("boom at {}", p.now());
+    });
+    match sim.run() {
+        Err(SimError::ProcessPanicked { name, message }) => {
+            assert_eq!(name, "bad");
+            assert!(message.contains("boom"), "got: {message}");
+        }
+        other => panic!("expected panic error, got {other:?}"),
+    }
+}
+
+#[test]
+fn timers_fire_and_cancel() {
+    let mut sim = Sim::new(0);
+    let fired = Arc::new(AtomicU64::new(0));
+    let h = sim.handle();
+    let f1 = fired.clone();
+    h.call_at(time::ms(3), move |hh| {
+        assert_eq!(hh.now(), time::ms(3));
+        f1.fetch_add(1, Ordering::Relaxed);
+    });
+    let f2 = fired.clone();
+    let cancelable = h.call_at(time::ms(5), move |_| {
+        f2.fetch_add(100, Ordering::Relaxed);
+    });
+    cancelable.cancel();
+    assert!(cancelable.is_cancelled());
+    sim.run().unwrap();
+    assert_eq!(fired.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn nested_spawn_and_timer_chains() {
+    let mut sim = Sim::new(0);
+    let total = Arc::new(AtomicU64::new(0));
+    let t = total.clone();
+    sim.spawn("parent", move |p| {
+        p.sleep(time::ms(1));
+        let t2 = t.clone();
+        p.handle().spawn("child", move |c| {
+            c.sleep(time::ms(2));
+            t2.fetch_add(c.now(), Ordering::Relaxed);
+        });
+        p.sleep(time::ms(10));
+        t.fetch_add(p.now(), Ordering::Relaxed);
+    });
+    sim.run().unwrap();
+    // child finishes at 3ms, parent at 11ms
+    assert_eq!(total.load(Ordering::Relaxed), time::ms(3) + time::ms(11));
+}
+
+#[test]
+fn kill_unwinds_at_next_yield() {
+    let mut sim = Sim::new(0);
+    let progressed = Arc::new(AtomicU64::new(0));
+    let pr = progressed.clone();
+    let victim = sim.spawn("victim", move |p| {
+        for _ in 0..100 {
+            p.sleep(time::ms(10));
+            pr.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    let h = sim.handle();
+    sim.spawn("killer", move |p| {
+        p.sleep(time::ms(35));
+        h.kill(victim);
+    });
+    let end = sim.run().unwrap();
+    // victim completed sleeps at 10,20,30 then died at its 40ms wake (or at
+    // the kill wake at 35ms).
+    assert_eq!(progressed.load(Ordering::Relaxed), 3);
+    assert!(end <= time::ms(40));
+    assert!(sim.handle().is_done(victim));
+}
+
+#[test]
+fn kill_before_first_run_never_executes_body() {
+    let mut sim = Sim::new(0);
+    let ran = Arc::new(AtomicU64::new(0));
+    let r = ran.clone();
+    let h = sim.handle();
+    // Spawn a process and kill it before the scheduler ever runs it: the
+    // kill event precedes... actually the wake is queued first, so kill it
+    // from another process scheduled earlier.
+    let target = sim.spawn("target", move |_p| {
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    h.kill(target);
+    // The initial wake is already queued before the kill, so the body would
+    // run unless the spawn wrapper checks the kill flag first.
+    sim.run().unwrap();
+    assert_eq!(ran.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn run_until_stops_at_horizon() {
+    let mut sim = Sim::new(0);
+    sim.spawn("long", |p| p.sleep(time::secs(100)));
+    match sim.run_until(time::secs(1)) {
+        Err(SimError::HorizonReached { at }) => assert_eq!(at, time::secs(1)),
+        other => panic!("expected horizon, got {other:?}"),
+    }
+    // Dropping the sim must cleanly unwind the still-parked process.
+}
+
+#[test]
+fn trace_log_records_when_enabled() {
+    let mut sim = Sim::new(0);
+    let h = sim.handle();
+    sim.spawn("p", move |p| {
+        p.handle().trace_event("test", || "before enable".into());
+        p.sleep(time::ms(1));
+        p.handle().trace().enable();
+        p.handle().trace_event("test", || "after enable".into());
+    });
+    sim.run().unwrap();
+    let events = h.trace().snapshot();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].message, "after enable");
+    assert_eq!(events[0].time, time::ms(1));
+    assert_eq!(h.trace().snapshot_category("test").len(), 1);
+    assert_eq!(h.trace().snapshot_category("other").len(), 0);
+}
+
+#[test]
+fn many_processes_scale() {
+    // 256 processes ping-ponging sleeps: exercises the baton protocol and
+    // queue under load.
+    let mut sim = Sim::new(0);
+    let counter = Arc::new(AtomicU64::new(0));
+    for i in 0..256 {
+        let c = counter.clone();
+        sim.spawn(format!("p{i}"), move |p| {
+            for _ in 0..10 {
+                p.sleep(time::us(i + 1));
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 2560);
+}
+
+#[test]
+fn wake_is_not_lost_when_scheduled_before_park() {
+    // A wake scheduled for a process that has not yet parked (it is running)
+    // must still be delivered: the scheduler only dispatches when no process
+    // runs, so the wake stays queued until the process parks.
+    let mut sim = Sim::new(0);
+    let sig = sim.signal("s");
+    let done = Arc::new(AtomicU64::new(0));
+    let s1 = sig.clone();
+    let d = done.clone();
+    sim.spawn("a", move |p| {
+        // Busy "compute" then wait; notifier notifies while we compute.
+        let flag = Arc::new(AtomicU64::new(0));
+        p.sleep(time::ms(5));
+        while p.now() < time::ms(20) {
+            s1.wait(p);
+        }
+        let _ = flag;
+        d.store(p.now(), Ordering::Relaxed);
+    });
+    let s2 = sig;
+    sim.spawn("b", move |p| {
+        p.sleep(time::ms(20));
+        s2.notify_all(p);
+    });
+    sim.run().unwrap();
+    assert_eq!(done.load(Ordering::Relaxed), time::ms(20));
+}

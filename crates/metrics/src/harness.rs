@@ -1,0 +1,142 @@
+//! Effective-delay measurement harness.
+
+use gbcr_core::{run_job, CkptSchedule, CoordinatorCfg, JobSpec, RunReport};
+use gbcr_des::{time, SimResult, Time};
+
+/// One checkpoint's worth of §5 metrics.
+#[derive(Debug, Clone)]
+pub struct DelayMeasurement {
+    /// Issuance time of the checkpoint request.
+    pub issued_at: Time,
+    /// Completion time of the bare (no-checkpoint) run.
+    pub baseline_completion: Time,
+    /// Completion time of the checkpointed run.
+    pub ckpt_completion: Time,
+    /// Mean per-rank Individual Checkpoint Time.
+    pub individual: Time,
+    /// Max per-rank Individual Checkpoint Time.
+    pub individual_max: Time,
+    /// Min per-rank Individual Checkpoint Time.
+    pub individual_min: Time,
+    /// Total Checkpoint Time (request → all images durable).
+    pub total: Time,
+    /// Number of checkpoint groups used.
+    pub groups: usize,
+    /// The full checkpointed-run report (for deeper digging).
+    pub report: RunReport,
+}
+
+impl DelayMeasurement {
+    /// The Effective Checkpoint Delay: completion-time increase caused by
+    /// the checkpoint.
+    pub fn effective(&self) -> Time {
+        self.ckpt_completion.saturating_sub(self.baseline_completion)
+    }
+
+    /// Effective delay in seconds (for printing).
+    pub fn effective_secs(&self) -> f64 {
+        time::as_secs_f64(self.effective())
+    }
+
+    /// Individual (mean) in seconds.
+    pub fn individual_secs(&self) -> f64 {
+        time::as_secs_f64(self.individual)
+    }
+
+    /// Total in seconds.
+    pub fn total_secs(&self) -> f64 {
+        time::as_secs_f64(self.total)
+    }
+}
+
+/// Run `spec` bare and with one checkpoint from `cfg` (which must schedule
+/// exactly one epoch), returning the three metrics.
+pub fn measure_with(spec: &JobSpec, cfg: CoordinatorCfg) -> SimResult<DelayMeasurement> {
+    assert_eq!(cfg.schedule.at.len(), 1, "measure_with expects exactly one checkpoint");
+    let issued_at = cfg.schedule.at[0];
+    let baseline = run_job(spec, None)?;
+    let ck = run_job(spec, Some(cfg))?;
+    let ep = ck
+        .epochs
+        .first()
+        .unwrap_or_else(|| panic!("checkpoint at {} never ran (job too short?)", time::fmt(issued_at)));
+    Ok(DelayMeasurement {
+        issued_at,
+        baseline_completion: baseline.completion,
+        ckpt_completion: ck.completion,
+        individual: ep.mean_individual(),
+        individual_max: ep.max_individual(),
+        individual_min: ep.individuals.iter().map(|(_, t)| *t).min().unwrap_or(0),
+        total: ep.total_time(),
+        groups: ep.plan.group_count(),
+        report: ck.clone(),
+    })
+}
+
+/// Convenience wrapper: one checkpoint at `at` with `cfg_base`'s other
+/// fields.
+pub fn measure(
+    spec: &JobSpec,
+    mut cfg_base: CoordinatorCfg,
+    at: Time,
+) -> SimResult<DelayMeasurement> {
+    cfg_base.schedule = CkptSchedule::once(at);
+    measure_with(spec, cfg_base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbcr_core::{CkptMode, Formation};
+    use gbcr_storage::MB;
+    use gbcr_workloads::MicroBench;
+
+    #[test]
+    fn sandwich_inequality_holds() {
+        let mb = MicroBench {
+            n: 8,
+            comm_group_size: 4,
+            footprint: 90 * MB,
+            steps: 120,
+            step_compute: gbcr_des::time::ms(250),
+            ..Default::default()
+        };
+        let cfg = CoordinatorCfg {
+            job: "micro".into(),
+            mode: CkptMode::Buffering,
+            formation: Formation::Static { group_size: 4 },
+            schedule: CkptSchedule::none(),
+            incremental: false,
+        };
+        let m = measure(&mb.job(), cfg, gbcr_des::time::secs(5)).unwrap();
+        assert_eq!(m.groups, 2);
+        let eff = m.effective();
+        assert!(
+            eff + gbcr_des::time::ms(500) >= m.individual_min,
+            "effective {} below individual {}",
+            time::fmt(eff),
+            time::fmt(m.individual_min)
+        );
+        assert!(
+            eff <= m.total + gbcr_des::time::secs(1),
+            "effective {} above total {}",
+            time::fmt(eff),
+            time::fmt(m.total)
+        );
+        assert!(m.individual_max >= m.individual && m.individual >= m.individual_min);
+    }
+
+    #[test]
+    #[should_panic(expected = "never ran")]
+    fn checkpoint_after_completion_panics() {
+        let mb = MicroBench { n: 4, comm_group_size: 2, steps: 4, ..Default::default() };
+        let cfg = CoordinatorCfg {
+            job: "micro".into(),
+            mode: CkptMode::Buffering,
+            formation: Formation::Static { group_size: 2 },
+            schedule: CkptSchedule::none(),
+            incremental: false,
+        };
+        let _ = measure(&mb.job(), cfg, gbcr_des::time::secs(9999));
+    }
+}

@@ -1,0 +1,30 @@
+//! # gbcr-metrics — the paper's §5 metrics and the experiment harness
+//!
+//! Three metrics characterize the time overhead of checkpointing a
+//! parallel application (paper §5):
+//!
+//! * **Individual Checkpoint Time** — the downtime each process observes
+//!   while taking its own checkpoint. For regular coordinated
+//!   checkpointing this is ≈ `footprint × N / B` (Eq. 2a); for group-based
+//!   checkpointing it is ≈ `footprint × group_size / B` (Eq. 3a).
+//! * **Total Checkpoint Time** — from checkpoint request to the last
+//!   process finishing; ≈ `groups × Individual` for group-based (Eq. 3b).
+//! * **Effective Checkpoint Delay** — the increase in the application's
+//!   completion time caused by taking one checkpoint; the end goal, and
+//!   always sandwiched `Individual ≤ Effective ≤ Total` (Eq. 3c).
+//!
+//! [`measure`] runs a workload twice — once bare, once with a checkpoint —
+//! and extracts all three. [`series`]/[`Table`] format the sweeps the
+//! benches print for each of the paper's figures.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+mod harness;
+mod table;
+pub mod timeline;
+
+pub use advisor::{placement_window, young_interval, Advice, AdvisorInputs};
+pub use harness::{measure, measure_with, DelayMeasurement};
+pub use table::{format_series, Table};
+pub use timeline::render_epoch;

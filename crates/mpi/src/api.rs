@@ -1,0 +1,487 @@
+//! The user-facing MPI facade.
+
+use crate::comm::Comm;
+use crate::engine::{DeferStats, MpiCrState, Rt, TrafficStats};
+use crate::hook::{CrHook, CtrlWire, OobMsg};
+use crate::types::{BoundarySnapshot, Msg, Rank, Request, Tag, MAX_USER_TAG};
+use gbcr_des::{Proc, Time};
+use gbcr_net::NodeId;
+use std::sync::Arc;
+
+/// One rank's MPI library handle. All blocking calls take the owning
+/// simulated process's [`Proc`]; calling them from any other process is a
+/// programming error (the runtime is single-threaded per rank, like a
+/// funneled MPI).
+#[derive(Clone)]
+pub struct Mpi {
+    rt: Arc<Rt>,
+}
+
+impl Mpi {
+    pub(crate) fn from_rt(rt: Arc<Rt>) -> Self {
+        Mpi { rt }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rt.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> u32 {
+        self.rt.cfg().n
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking send (completes when the user buffer is reusable: eager →
+    /// immediately after the copy; rendezvous → when the data has left).
+    pub fn send(&self, p: &Proc, dst: Rank, tag: Tag, msg: Msg) {
+        assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        let req = self.rt.isend(p, dst, tag, msg);
+        self.rt.wait(p, req);
+    }
+
+    /// Nonblocking send.
+    pub fn isend(&self, p: &Proc, dst: Rank, tag: Tag, msg: Msg) -> Request {
+        assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        self.rt.isend(p, dst, tag, msg)
+    }
+
+    /// Blocking receive. `src = None` receives from any source.
+    pub fn recv(&self, p: &Proc, src: Option<Rank>, tag: Tag) -> Msg {
+        assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        let req = self.rt.irecv(p, src, tag);
+        self.rt.wait(p, req).expect("recv request yields a message")
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv(&self, p: &Proc, src: Option<Rank>, tag: Tag) -> Request {
+        assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        self.rt.irecv(p, src, tag)
+    }
+
+    /// Block until `req` completes; receives yield `Some(msg)`.
+    pub fn wait(&self, p: &Proc, req: Request) -> Option<Msg> {
+        self.rt.wait(p, req)
+    }
+
+    /// Poll `req`; `Some(..)` if it completed (receives carry the message).
+    pub fn test(&self, p: &Proc, req: Request) -> Option<Option<Msg>> {
+        self.rt.test(p, req)
+    }
+
+    /// Complete a set of requests in any order.
+    pub fn wait_all(&self, p: &Proc, reqs: impl IntoIterator<Item = Request>) {
+        for r in reqs {
+            self.rt.wait(p, r);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Computation
+    // ------------------------------------------------------------------
+
+    /// Perform `dt` of local computation (see the progress-engine rules in
+    /// [`crate`] docs: data-plane traffic does not interrupt compute; OOB
+    /// does; passive coordination slices at the helper-thread interval).
+    pub fn compute(&self, p: &Proc, dt: Time) {
+        self.rt.compute(p, dt);
+    }
+
+    /// Run the progress engine once without blocking (an `MPI_Iprobe`-ish
+    /// library entry).
+    pub fn poke(&self, p: &Proc) {
+        self.rt.progress(p);
+    }
+
+    /// Park until anything arrives on either the data or the out-of-band
+    /// plane (may wake spuriously). Service loops pair this with
+    /// [`Mpi::poke`] and their own exit predicate.
+    pub fn wait_any_event(&self, p: &Proc) {
+        self.rt.wait_event(p);
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Barrier over `comm` (dissemination algorithm: ⌈log₂ n⌉ rounds).
+    pub fn barrier(&self, p: &Proc, comm: &Comm) {
+        let n = comm.size();
+        if n <= 1 {
+            return;
+        }
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        let mut k = 1usize;
+        while k < n {
+            let to = comm.member((me + k) % n);
+            let from = comm.member((me + n - (k % n)) % n);
+            let sreq = self.rt.isend(p, to, tag, Msg::empty());
+            let rreq = self.rt.irecv(p, Some(from), tag);
+            self.rt.wait(p, rreq);
+            self.rt.wait(p, sreq);
+            k <<= 1;
+        }
+    }
+
+    /// Broadcast from `root` (communicator index) over a binomial tree.
+    /// The root passes `Some(msg)`; everyone receives the message.
+    pub fn bcast(&self, p: &Proc, comm: &Comm, root: usize, msg: Option<Msg>) -> Msg {
+        let n = comm.size();
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        assert!(root < n, "bcast root out of range");
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        let rel = (me + n - root) % n;
+        let mut have = if rel == 0 {
+            Some(msg.expect("bcast root must supply the message"))
+        } else {
+            None
+        };
+        // Receive from the parent: the highest set bit of `rel`.
+        if rel != 0 {
+            let parent_rel = rel & (rel - 1); // clear lowest set bit? no:
+            // For a binomial bcast we receive from rel - 2^floor(log2(rel)).
+            let _ = parent_rel;
+            let top = 1usize << (usize::BITS - 1 - rel.leading_zeros());
+            let parent = (rel - top + root) % n;
+            let m = {
+                let req = self.rt.irecv(p, Some(comm.member(parent)), tag);
+                self.rt.wait(p, req).expect("bcast recv")
+            };
+            have = Some(m);
+        }
+        let m = have.expect("message present");
+        // Forward to children: rel + 2^k for each k with 2^k > rel's top bit.
+        let start = if rel == 0 {
+            1usize
+        } else {
+            (1usize << (usize::BITS - 1 - rel.leading_zeros())) << 1
+        };
+        let mut k = start;
+        let mut pending = Vec::new();
+        while rel + k < n {
+            let child = (rel + k + root) % n;
+            pending.push(self.rt.isend(p, comm.member(child), tag, m.clone()));
+            k <<= 1;
+        }
+        for r in pending {
+            self.rt.wait(p, r);
+        }
+        m
+    }
+
+    /// Ring allgather: returns every member's contribution, indexed by
+    /// communicator index. `n − 1` steps of neighbor traffic, like real
+    /// MPI ring allgathers (MotifMiner's exchange pattern).
+    pub fn allgather(&self, p: &Proc, comm: &Comm, mine: Msg) -> Vec<Msg> {
+        let n = comm.size();
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        let mut blocks: Vec<Option<Msg>> = vec![None; n];
+        blocks[me] = Some(mine.clone());
+        if n == 1 {
+            return blocks.into_iter().map(|b| b.expect("filled")).collect();
+        }
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        let right = comm.member((me + 1) % n);
+        let left = comm.member((me + n - 1) % n);
+        let mut cur = mine;
+        for step in 1..n {
+            let sreq = self.rt.isend(p, right, tag, cur);
+            let rreq = self.rt.irecv(p, Some(left), tag);
+            let got = self.rt.wait(p, rreq).expect("allgather recv");
+            self.rt.wait(p, sreq);
+            let idx = (me + n - step) % n;
+            blocks[idx] = Some(got.clone());
+            cur = got;
+        }
+        blocks.into_iter().map(|b| b.expect("filled")).collect()
+    }
+
+    /// Allreduce (sum) of one `f64` via allgather (fine at these scales).
+    pub fn allreduce_sum(&self, p: &Proc, comm: &Comm, x: f64) -> f64 {
+        self.allgather(p, comm, Msg::f64(x)).iter().map(Msg::as_f64).sum()
+    }
+
+    /// Allreduce (max) of one `f64`.
+    pub fn allreduce_max(&self, p: &Proc, comm: &Comm, x: f64) -> f64 {
+        self.allgather(p, comm, Msg::f64(x))
+            .iter()
+            .map(Msg::as_f64)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Combined send+receive with one partner each (deadlock-free even
+    /// when every member shifts along a ring).
+    pub fn sendrecv(
+        &self,
+        p: &Proc,
+        dst: Rank,
+        stag: Tag,
+        msg: Msg,
+        src: Option<Rank>,
+        rtag: Tag,
+    ) -> Msg {
+        assert!(stag <= MAX_USER_TAG && rtag <= MAX_USER_TAG);
+        let sreq = self.rt.isend(p, dst, stag, msg);
+        let rreq = self.rt.irecv(p, src, rtag);
+        let got = self.rt.wait(p, rreq).expect("sendrecv recv");
+        self.rt.wait(p, sreq);
+        got
+    }
+
+    /// Gather every member's contribution at `root` (communicator index).
+    /// Returns `Some(blocks)` in communicator order at the root, `None`
+    /// elsewhere. Linear algorithm (roots at these scales are fine).
+    pub fn gather(&self, p: &Proc, comm: &Comm, root: usize, mine: Msg) -> Option<Vec<Msg>> {
+        let n = comm.size();
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        assert!(root < n, "gather root out of range");
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        if me == root {
+            let mut blocks: Vec<Option<Msg>> = vec![None; n];
+            blocks[me] = Some(mine);
+            for _ in 0..n - 1 {
+                // Receive from each member; sources identify the slot.
+                let req = self.rt.irecv(p, None, tag);
+                let msg = self.rt.wait(p, req).expect("gather recv");
+                // Source rank rides in the first 4 payload bytes.
+                let idx = u32::from_le_bytes(
+                    msg.data[..4].try_into().expect("gather header"),
+                ) as usize;
+                let body = Msg { data: msg.data.slice(4..), size: msg.size };
+                assert!(blocks[idx].is_none(), "duplicate gather contribution");
+                blocks[idx] = Some(body);
+            }
+            Some(blocks.into_iter().map(|b| b.expect("filled")).collect())
+        } else {
+            let mut data = Vec::with_capacity(4 + mine.data.len());
+            data.extend_from_slice(&(me as u32).to_le_bytes());
+            data.extend_from_slice(&mine.data);
+            let wire = Msg { data: data.into(), size: mine.size.max(4) };
+            let req = self.rt.isend(p, comm.member(root), tag, wire);
+            self.rt.wait(p, req);
+            None
+        }
+    }
+
+    /// Scatter one block per member from `root`. The root passes
+    /// `Some(blocks)` in communicator order; every member receives its
+    /// block.
+    pub fn scatter(
+        &self,
+        p: &Proc,
+        comm: &Comm,
+        root: usize,
+        blocks: Option<Vec<Msg>>,
+    ) -> Msg {
+        let n = comm.size();
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        assert!(root < n, "scatter root out of range");
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        if me == root {
+            let blocks = blocks.expect("scatter root must supply blocks");
+            assert_eq!(blocks.len(), n, "one block per member");
+            let mut pending = Vec::new();
+            let mut mine = None;
+            for (i, b) in blocks.into_iter().enumerate() {
+                if i == me {
+                    mine = Some(b);
+                } else {
+                    pending.push(self.rt.isend(p, comm.member(i), tag, b));
+                }
+            }
+            for r in pending {
+                self.rt.wait(p, r);
+            }
+            mine.expect("own block present")
+        } else {
+            let req = self.rt.irecv(p, Some(comm.member(root)), tag);
+            self.rt.wait(p, req).expect("scatter recv")
+        }
+    }
+
+    /// Reduce (sum of `f64`) at `root` (communicator index). Returns
+    /// `Some(sum)` at the root, `None` elsewhere.
+    pub fn reduce_sum(&self, p: &Proc, comm: &Comm, root: usize, x: f64) -> Option<f64> {
+        self.gather(p, comm, root, Msg::f64(x))
+            .map(|blocks| blocks.iter().map(Msg::as_f64).sum())
+    }
+
+    /// Personalized all-to-all: `blocks[i]` goes to communicator member
+    /// `i`; returns the blocks received, indexed by source member.
+    /// Pairwise-exchange algorithm (n−1 balanced rounds).
+    pub fn alltoall(&self, p: &Proc, comm: &Comm, blocks: Vec<Msg>) -> Vec<Msg> {
+        let n = comm.size();
+        let me = comm.index_of(self.rank()).expect("caller not in communicator");
+        assert_eq!(blocks.len(), n, "one block per member");
+        let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
+        let mut out: Vec<Option<Msg>> = vec![None; n];
+        for (i, b) in blocks.into_iter().enumerate() {
+            if i == me {
+                out[me] = Some(b);
+                continue;
+            }
+            // Stash for the round in which we exchange with member i.
+            out[i] = Some(b); // temporarily hold our outgoing block
+        }
+        // Shifted rounds: in round r, send to (me + r) and receive from
+        // (me − r) — deadlock-free with nonblocking sends and balanced
+        // link usage.
+        let mut received: Vec<Option<Msg>> = vec![None; n];
+        received[me] = out[me].take();
+        for r in 1..n {
+            let to = (me + r) % n;
+            let from = (me + n - r) % n;
+            let outgoing = out[to].take().expect("block staged");
+            let sreq = self.rt.isend(p, comm.member(to), tag, outgoing);
+            let rreq = self.rt.irecv(p, Some(comm.member(from)), tag);
+            let got = self.rt.wait(p, rreq).expect("alltoall recv");
+            self.rt.wait(p, sreq);
+            received[from] = Some(got);
+        }
+        received.into_iter().map(|b| b.expect("filled")).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint-layer surface (not part of the application API)
+    // ------------------------------------------------------------------
+
+    /// Register the checkpoint/restart hook for this rank.
+    pub fn set_hook(&self, hook: Arc<dyn CrHook>) {
+        self.rt.set_hook(hook);
+    }
+
+    /// Enter/leave passive coordination (activates the helper-thread
+    /// progress slicing during compute).
+    pub fn set_passive(&self, passive: bool) {
+        self.rt.set_passive(passive);
+    }
+
+    /// Whether this rank is in passive coordination.
+    pub fn is_passive(&self) -> bool {
+        self.rt.is_passive()
+    }
+
+    /// Send an in-band control message (never gated).
+    pub fn ctrl_send(&self, p: &Proc, peer: Rank, cw: CtrlWire) {
+        self.rt.ctrl_send(p, peer, cw);
+    }
+
+    /// Consume the next in-band control message matching `pred`.
+    pub fn ctrl_recv_match(
+        &self,
+        p: &Proc,
+        pred: impl FnMut(Rank, &CtrlWire) -> bool,
+    ) -> (Rank, CtrlWire) {
+        self.rt.ctrl_recv_match(p, pred)
+    }
+
+    /// Send an out-of-band message to `node`.
+    pub fn oob_send(&self, p: &Proc, node: NodeId, msg: OobMsg) {
+        self.rt.oob_send(p, node, msg);
+    }
+
+    /// Consume the next out-of-band message matching `pred`.
+    pub fn oob_recv_match(
+        &self,
+        p: &Proc,
+        pred: impl FnMut(NodeId, &OobMsg) -> bool,
+    ) -> (NodeId, OobMsg) {
+        self.rt.oob_recv_match(p, pred)
+    }
+
+    /// Retry deferred sends after a gate change.
+    pub fn release_deferred(&self, p: &Proc) {
+        self.rt.release_deferred(p);
+    }
+
+    /// Whether deferred traffic to `peer` is queued.
+    pub fn has_deferred_to(&self, peer: Rank) -> bool {
+        self.rt.has_deferred_to(peer)
+    }
+
+    /// Number of deferred operations queued on this rank.
+    pub fn deferred_len(&self) -> usize {
+        self.rt.deferred_len()
+    }
+
+    /// Message/request buffering counters.
+    pub fn defer_stats(&self) -> DeferStats {
+        self.rt.defer_stats()
+    }
+
+    /// Per-peer sent-traffic counters (dynamic group formation input).
+    pub fn traffic(&self) -> TrafficStats {
+        self.rt.traffic()
+    }
+
+    /// Cumulative user-payload bytes received from `peer` (channel-state
+    /// accounting for the Chandy-Lamport comparator).
+    pub fn recv_bytes_from(&self, peer: Rank) -> u64 {
+        self.rt.recv_bytes_from(peer)
+    }
+
+    /// Peers with an established data-plane connection, sorted.
+    pub fn connected_peers(&self) -> Vec<Rank> {
+        self.rt.connected_peers()
+    }
+
+    /// Snapshot the checkpointable slice of this rank's library state.
+    /// `boundary_seqs` comes from [`Mpi::send_seqs`] captured at the
+    /// application's last registered state boundary.
+    pub fn export_cr_state(
+        &self,
+        boundary_seqs: &[(Rank, u64)],
+        boundary_coll_seqs: &[(u32, u32)],
+    ) -> MpiCrState {
+        self.rt.export_cr_state(boundary_seqs, boundary_coll_seqs)
+    }
+
+    /// Capture a restartable boundary: returns the per-destination send
+    /// sequence counters plus the per-communicator collective sequence
+    /// counters, and clears the receive replay log. Call exactly when
+    /// registering application state (the checkpoint client does).
+    pub fn boundary_snapshot(&self) -> BoundarySnapshot {
+        self.rt.boundary_snapshot()
+    }
+
+    /// Re-inject saved library state at restart (before the app body runs).
+    pub fn import_cr_state(&self, p: &Proc, state: MpiCrState) {
+        self.rt.import_cr_state(p, state);
+    }
+
+    /// Enable/disable the message-logging ablation mode on this rank.
+    pub fn set_log_mode(&self, on: bool) {
+        self.rt.set_log_mode(on);
+    }
+
+    /// User bytes copied into message logs so far (ablation metric).
+    pub fn logged_bytes(&self) -> u64 {
+        self.rt.logged_bytes()
+    }
+
+    /// Whether the data-plane connection to `peer` is active.
+    pub fn conn_is_active(&self, peer: Rank) -> bool {
+        self.rt.ep.is_connected(NodeId(peer))
+    }
+
+    /// Establish the data-plane connection to `peer` (initiator pays).
+    pub fn conn_connect(&self, p: &Proc, peer: Rank) {
+        self.rt.ep.connect(p, NodeId(peer));
+    }
+
+    /// Flush (wait for in-flight both ways) and tear down the connection to
+    /// `peer`. Caller must have stopped traffic in both directions.
+    pub fn conn_teardown(&self, p: &Proc, peer: Rank) {
+        self.rt.ep.teardown(p, NodeId(peer));
+    }
+
+    /// Wait until the channel to `peer` is empty in both directions.
+    pub fn conn_wait_drained(&self, p: &Proc, peer: Rank) {
+        self.rt.ep.wait_drained(p, NodeId(peer));
+    }
+}

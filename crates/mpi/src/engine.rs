@@ -1,0 +1,884 @@
+//! The per-rank runtime: protocol state machine, matching, deferral, and
+//! the progress engine.
+//!
+//! Every `Rt` is owned by exactly one simulated process (its rank's
+//! thread); the hook callbacks and all blocking helpers run on that same
+//! thread, so the internal mutex is uncontended and never held across a
+//! park point.
+
+use crate::config::MpiConfig;
+use crate::hook::{CrHook, CtrlWire, OobMsg};
+use crate::types::{BoundarySnapshot, Msg, Rank, Request, Tag};
+use crate::world::WorldShared;
+use gbcr_des::{Proc, Time};
+use gbcr_net::{Endpoint, NodeId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Fixed per-message header bytes charged on the wire.
+pub(crate) const WIRE_HEADER: u64 = 64;
+
+/// Data-plane wire messages (the simulated MVAPICH2 packet types).
+#[derive(Debug, Clone)]
+pub(crate) enum WireMsg {
+    /// Small message, payload travels immediately (copied to a comm buffer).
+    Eager { tag: Tag, useq: u64, msg: Msg },
+    /// Rendezvous request-to-send for a large message.
+    Rts { tag: Tag, size: u64, sreq: u64, useq: u64 },
+    /// Receiver grants the rendezvous; sender may start the RDMA transfer.
+    Cts { sreq: u64, rreq: u64 },
+    /// The rendezvous bulk data (zero-copy RDMA write in the real system).
+    Data { rreq: u64, msg: Msg },
+    /// Checkpoint-protocol control message riding in-band.
+    Ctrl(CtrlWire),
+}
+
+impl WireMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            WireMsg::Eager { msg, .. } => WIRE_HEADER + msg.size,
+            WireMsg::Data { msg, .. } => WIRE_HEADER + msg.size,
+            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::Ctrl(_) => WIRE_HEADER,
+        }
+    }
+}
+
+/// How a deferred operation is being held back (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferClass {
+    /// *Message buffering*: the payload was already copied into a
+    /// communication buffer (eager path); the buffered bytes are real.
+    Message,
+    /// *Request buffering*: the operation is held as an incomplete request
+    /// (rendezvous RTS/CTS/data, or an uncopied small send); no payload is
+    /// duplicated.
+    Request,
+}
+
+/// Counters for the buffering machinery (feeds the §4.3 ablation bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeferStats {
+    /// Operations deferred under message buffering.
+    pub msg_buffered: u64,
+    /// Payload bytes held under message buffering.
+    pub msg_buffered_bytes: u64,
+    /// Operations deferred under request buffering.
+    pub req_buffered: u64,
+    /// User-payload bytes whose transfer was postponed by request buffering
+    /// (bytes *not* copied — the saving vs. message logging).
+    pub req_buffered_bytes: u64,
+    /// Deferred operations later released to the network.
+    pub released: u64,
+    /// High-water mark of the deferred queue length.
+    pub max_queue: usize,
+    /// Replay duplicates suppressed by the receive watermark (restart runs
+    /// only; always 0 in failure-free operation).
+    pub dups_dropped: u64,
+}
+
+/// Per-peer user-plane traffic counters (input to dynamic group formation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// `(peer, messages, payload bytes)` for every peer this rank has sent
+    /// user messages to, sorted by peer rank.
+    pub per_peer: Vec<(Rank, u64, u64)>,
+}
+
+/// The checkpointable slice of a rank's MPI-library state (what BLCR
+/// captures from the process image in the real system): delivered-but-
+/// unconsumed receive data plus eager messages held in the deferral queues
+/// (*message buffers*). Rendezvous bookkeeping is deliberately excluded —
+/// an incomplete rendezvous means the application-level send/receive had
+/// not completed, so deterministic replay reissues it (see DESIGN.md §3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MpiCrState {
+    /// `(src, tag, msg)` receive data present in the library at freeze
+    /// time, in matchable order.
+    pub inbound: Vec<(Rank, Tag, Msg)>,
+    /// `(dst, tag, msg, useq)` eager messages sitting in the message
+    /// buffers whose send precedes the application's registered state
+    /// boundary (later ones are re-executed by the application itself).
+    pub deferred_eager: Vec<(Rank, Tag, Msg, u64)>,
+    /// Per-destination next send sequence number **as of the application's
+    /// registered state boundary**, so replayed sends reuse their original
+    /// sequence numbers.
+    pub send_seqs: Vec<(Rank, u64)>,
+    /// Per-source receive watermark at freeze: everything below it was
+    /// delivered pre-freeze and must be suppressed if replayed.
+    pub recv_watermarks: Vec<(Rank, u64)>,
+    /// Per-communicator collective sequence counters **at the boundary**,
+    /// so replayed collectives reuse their original tags.
+    pub coll_seqs: Vec<(u32, u32)>,
+}
+
+struct PostedRecv {
+    id: u64,
+    src: Option<Rank>,
+    tag: Tag,
+}
+
+enum Unexpected {
+    Eager { src: Rank, tag: Tag, msg: Msg },
+    Rts { src: Rank, tag: Tag, sreq: u64, useq: u64 },
+}
+
+struct PendingSend {
+    dst: Rank,
+    msg: Option<Msg>,
+}
+
+struct Deferred {
+    dst: Rank,
+    wire: WireMsg,
+    /// Send-request id to complete when this actually reaches the wire.
+    on_sent: Option<u64>,
+}
+
+pub(crate) struct RtState {
+    posted: Vec<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+    /// Rendezvous sends awaiting CTS, by send-request id.
+    rdv_sends: HashMap<u64, PendingSend>,
+    /// Rendezvous receives awaiting data, recv-request id keyed.
+    done_recv: HashMap<u64, (Rank, Tag, Msg)>,
+    /// `(tag, useq)` of rendezvous receives whose CTS went out, so the
+    /// eventual DATA completion carries full metadata and bumps the
+    /// watermark.
+    rdv_recv_tags: HashMap<u64, (Tag, u64)>,
+    /// Per-destination next user-message sequence number.
+    next_useq: HashMap<Rank, u64>,
+    /// Per-source: lowest sequence number that would be *new* (everything
+    /// below was delivered before the last checkpoint freeze).
+    recv_watermark: HashMap<Rank, u64>,
+    /// Rendezvous sink ids: CTS was sent for a stale replayed RTS; the
+    /// arriving DATA is discarded.
+    sink_rreqs: HashSet<u64>,
+    /// Receive data claimed by the application since its last registered
+    /// state boundary. Replay after restart re-executes those receives, so
+    /// their data must ride in the image (piecewise-deterministic replay).
+    /// Cleared at every boundary snapshot.
+    replay_log: Vec<(Rank, Tag, Msg)>,
+    done_send: HashSet<u64>,
+    deferred: VecDeque<Deferred>,
+    ctrl_in: VecDeque<(Rank, CtrlWire)>,
+    oob_in: VecDeque<(NodeId, OobMsg)>,
+    next_req: u64,
+    coll_seq: HashMap<u32, u32>,
+    passive: bool,
+    dispatching: bool,
+    log_mode: bool,
+    logged_bytes: u64,
+    hook: Option<Arc<dyn CrHook>>,
+    traffic: HashMap<Rank, (u64, u64)>,
+    /// Per-source received user-message `(count, bytes)` — consumed by the
+    /// Chandy-Lamport channel-state logging accounting.
+    recv_traffic: HashMap<Rank, (u64, u64)>,
+    defer_stats: DeferStats,
+}
+
+pub(crate) struct Rt {
+    pub(crate) world: Arc<WorldShared>,
+    pub(crate) rank: Rank,
+    pub(crate) ep: Endpoint<WireMsg>,
+    pub(crate) oob_ep: Endpoint<OobMsg>,
+    pub(crate) st: Mutex<RtState>,
+}
+
+impl Rt {
+    pub(crate) fn new(world: Arc<WorldShared>, rank: Rank) -> Self {
+        let ep = world.data.endpoint(NodeId(rank));
+        let oob_ep = world.oob.endpoint(NodeId(rank));
+        Rt {
+            world,
+            rank,
+            ep,
+            oob_ep,
+            st: Mutex::new(RtState {
+                posted: Vec::new(),
+                unexpected: VecDeque::new(),
+                rdv_sends: HashMap::new(),
+                done_recv: HashMap::new(),
+                rdv_recv_tags: HashMap::new(),
+                next_useq: HashMap::new(),
+                recv_watermark: HashMap::new(),
+                sink_rreqs: HashSet::new(),
+                replay_log: Vec::new(),
+                done_send: HashSet::new(),
+                deferred: VecDeque::new(),
+                ctrl_in: VecDeque::new(),
+                oob_in: VecDeque::new(),
+                next_req: 0,
+                coll_seq: HashMap::new(),
+                passive: false,
+                dispatching: false,
+                log_mode: false,
+                logged_bytes: 0,
+                hook: None,
+                traffic: HashMap::new(),
+                recv_traffic: HashMap::new(),
+                defer_stats: DeferStats::default(),
+            }),
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> &MpiConfig {
+        &self.world.cfg
+    }
+
+    fn alloc_req(&self) -> u64 {
+        let mut st = self.st.lock();
+        let id = st.next_req;
+        st.next_req += 1;
+        id
+    }
+
+    pub(crate) fn next_coll_seq(&self, comm_id: u32) -> u32 {
+        let mut st = self.st.lock();
+        let c = st.coll_seq.entry(comm_id).or_insert(0);
+        let v = *c;
+        *c = c.wrapping_add(1);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Send path
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send. Eager messages complete immediately (buffer
+    /// copied); rendezvous sends complete when the data leaves the NIC.
+    pub(crate) fn isend(&self, p: &Proc, dst: Rank, tag: Tag, msg: Msg) -> Request {
+        assert!(dst < self.cfg().n, "isend to rank {dst} out of range");
+        assert_ne!(dst, self.rank, "self-sends are not supported; use local state");
+        let id = self.alloc_req();
+        let useq = {
+            let mut st = self.st.lock();
+            let t = st.traffic.entry(dst).or_insert((0, 0));
+            t.0 += 1;
+            t.1 += msg.size;
+            let c = st.next_useq.entry(dst).or_insert(0);
+            let u = *c;
+            *c += 1;
+            u
+        };
+        let log_mode = self.st.lock().log_mode;
+        if log_mode {
+            // Message-logging ablation (paper §2.1/§7): every outgoing
+            // message is fully copied and logged, and zero-copy rendezvous
+            // cannot be used. Charge the copy+log memcpy time and ship the
+            // payload eagerly regardless of size.
+            let copy_time =
+                gbcr_des::time::transfer_time(msg.size, self.cfg().logging_copy_bw);
+            p.sleep(copy_time);
+            {
+                let mut st = self.st.lock();
+                st.logged_bytes += msg.size;
+                st.done_send.insert(id);
+            }
+            self.enqueue_send(p, dst, WireMsg::Eager { tag, useq, msg }, None);
+            return Request(id);
+        }
+        if msg.size <= self.cfg().eager_threshold {
+            // Eager: the payload is copied into a comm buffer, so the user
+            // buffer is immediately reusable regardless of deferral (this
+            // is precisely what makes *message buffering* possible).
+            self.st.lock().done_send.insert(id);
+            self.enqueue_send(p, dst, WireMsg::Eager { tag, useq, msg }, None);
+        } else {
+            self.st.lock().rdv_sends.insert(id, PendingSend { dst, msg: Some(msg.clone()) });
+            self.enqueue_send(
+                p,
+                dst,
+                WireMsg::Rts { tag, size: msg.size, sreq: id, useq },
+                None,
+            );
+        }
+        Request(id)
+    }
+
+    /// Route a wire message to the network, or defer it if the hook's gate
+    /// is closed for `dst` (or earlier deferred traffic to `dst` exists —
+    /// FIFO per destination is part of MPI's non-overtaking guarantee).
+    fn enqueue_send(&self, p: &Proc, dst: Rank, wire: WireMsg, on_sent: Option<u64>) {
+        let (allowed, has_earlier) = {
+            let st = self.st.lock();
+            let gate = st.hook.as_ref().is_none_or(|h| h.user_send_allowed(dst));
+            (gate, st.deferred.iter().any(|d| d.dst == dst))
+        };
+        if allowed && !has_earlier {
+            self.raw_send(p, dst, wire, on_sent);
+        } else {
+            let mut st = self.st.lock();
+            let ds = &mut st.defer_stats;
+            match wire {
+                WireMsg::Eager { ref msg, .. } => {
+                    ds.msg_buffered += 1;
+                    ds.msg_buffered_bytes += msg.size;
+                }
+                WireMsg::Rts { size, .. } => {
+                    ds.req_buffered += 1;
+                    ds.req_buffered_bytes += size;
+                }
+                WireMsg::Cts { .. } => ds.req_buffered += 1,
+                WireMsg::Data { ref msg, .. } => {
+                    ds.req_buffered += 1;
+                    ds.req_buffered_bytes += msg.size;
+                }
+                WireMsg::Ctrl(_) => unreachable!("ctrl messages are never gated"),
+            }
+            st.deferred.push_back(Deferred { dst, wire, on_sent });
+            let len = st.deferred.len();
+            let ds = &mut st.defer_stats;
+            ds.max_queue = ds.max_queue.max(len);
+        }
+    }
+
+    /// Put a wire message on the fabric, (re)connecting on demand.
+    /// Must be called without the state lock held: connecting parks.
+    fn raw_send(&self, p: &Proc, dst: Rank, wire: WireMsg, on_sent: Option<u64>) {
+        let peer = NodeId(dst);
+        if !self.ep.is_connected(peer) {
+            self.ep.connect(p, peer);
+        }
+        let size = wire.wire_size();
+        self.ep.send(peer, wire, size);
+        if let Some(id) = on_sent {
+            self.st.lock().done_send.insert(id);
+        }
+    }
+
+    /// Retry deferred operations whose destination gate has re-opened,
+    /// preserving per-destination FIFO order. Called by the checkpoint
+    /// controller after every gate change.
+    pub(crate) fn release_deferred(&self, p: &Proc) {
+        loop {
+            // Pop one releasable operation per pass (the head for some
+            // destination whose gate is open), keeping order.
+            let next = {
+                let mut st = self.st.lock();
+                let hook = st.hook.clone();
+                let gate = |dst: Rank| hook.as_ref().is_none_or(|h| h.user_send_allowed(dst));
+                let mut blocked_dsts: HashSet<Rank> = HashSet::new();
+                let mut pick = None;
+                for (i, d) in st.deferred.iter().enumerate() {
+                    if blocked_dsts.contains(&d.dst) {
+                        continue;
+                    }
+                    if gate(d.dst) {
+                        pick = Some(i);
+                        break;
+                    }
+                    blocked_dsts.insert(d.dst);
+                }
+                match pick {
+                    Some(i) => {
+                        let d = st.deferred.remove(i).expect("index valid");
+                        st.defer_stats.released += 1;
+                        Some(d)
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some(d) => self.raw_send(p, d.dst, d.wire, d.on_sent),
+                None => return,
+            }
+        }
+    }
+
+    /// Whether any deferred operation targets `peer`.
+    pub(crate) fn has_deferred_to(&self, peer: Rank) -> bool {
+        self.st.lock().deferred.iter().any(|d| d.dst == peer)
+    }
+
+    /// Total deferred operations currently queued.
+    pub(crate) fn deferred_len(&self) -> usize {
+        self.st.lock().deferred.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Nonblocking receive post.
+    pub(crate) fn irecv(&self, p: &Proc, src: Option<Rank>, tag: Tag) -> Request {
+        let id = self.alloc_req();
+        // Try to satisfy from the unexpected queue first (arrival order).
+        let action = {
+            let mut st = self.st.lock();
+            let pos = st.unexpected.iter().position(|u| match u {
+                Unexpected::Eager { src: s, tag: t, .. }
+                | Unexpected::Rts { src: s, tag: t, .. } => {
+                    *t == tag && src.is_none_or(|want| want == *s)
+                }
+            });
+            match pos {
+                Some(i) => match st.unexpected.remove(i).expect("index valid") {
+                    Unexpected::Eager { src: s, tag: t, msg } => {
+                        st.done_recv.insert(id, (s, t, msg));
+                        None
+                    }
+                    Unexpected::Rts { src: s, tag: t, sreq, useq } => {
+                        st.rdv_recv_tags.insert(id, (t, useq));
+                        Some((s, sreq))
+                    }
+                },
+                None => {
+                    st.posted.push(PostedRecv { id, src, tag });
+                    None
+                }
+            }
+        };
+        if let Some((s, sreq)) = action {
+            // Grant the rendezvous: CTS back to the sender (gated).
+            self.enqueue_send(p, s, WireMsg::Cts { sreq, rreq: id }, None);
+        }
+        Request(id)
+    }
+
+    /// Block until `req` completes. Returns the message for receives,
+    /// `None` for sends.
+    pub(crate) fn wait(&self, p: &Proc, req: Request) -> Option<Msg> {
+        loop {
+            self.progress(p);
+            {
+                let mut st = self.st.lock();
+                if let Some((src, tag, m)) = st.done_recv.remove(&req.0) {
+                    st.replay_log.push((src, tag, m.clone()));
+                    return Some(m);
+                }
+                if st.done_send.remove(&req.0) {
+                    return None;
+                }
+            }
+            self.wait_event(p);
+        }
+    }
+
+    /// Nonblocking completion check. Returns the result if complete.
+    pub(crate) fn test(&self, p: &Proc, req: Request) -> Option<Option<Msg>> {
+        self.progress(p);
+        let mut st = self.st.lock();
+        if let Some((src, tag, m)) = st.done_recv.remove(&req.0) {
+            st.replay_log.push((src, tag, m.clone()));
+            return Some(Some(m));
+        }
+        if st.done_send.remove(&req.0) {
+            return Some(None);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Progress engine
+    // ------------------------------------------------------------------
+
+    /// Drain both fabrics, run protocol handling, then dispatch unsolicited
+    /// control traffic to the hook (unless a dispatch is already running on
+    /// this rank — protocol code consumes follow-up messages explicitly).
+    pub(crate) fn progress(&self, p: &Proc) {
+        loop {
+            let mut any = false;
+            while let Some((from, wire)) = self.ep.try_recv() {
+                any = true;
+                self.handle_wire(p, from.0, wire);
+            }
+            while let Some((from, msg)) = self.oob_ep.try_recv() {
+                any = true;
+                self.st.lock().oob_in.push_back((from, msg));
+            }
+            // Hook dispatch: one unsolicited message at a time.
+            let dispatch = {
+                let mut st = self.st.lock();
+                if st.dispatching || st.hook.is_none() {
+                    None
+                } else if let Some((from, cw)) = st.ctrl_in.pop_front() {
+                    st.dispatching = true;
+                    Some(DispatchItem::Ctrl(from, cw))
+                } else if let Some((from, om)) = st.oob_in.pop_front() {
+                    st.dispatching = true;
+                    Some(DispatchItem::Oob(from, om))
+                } else {
+                    None
+                }
+            };
+            if let Some(item) = dispatch {
+                let hook = self.st.lock().hook.clone().expect("hook present");
+                let mpi = crate::api::Mpi::from_rt(self.self_arc());
+                match item {
+                    DispatchItem::Ctrl(from, cw) => hook.on_ctrl(p, &mpi, from, cw),
+                    DispatchItem::Oob(from, om) => hook.on_oob(p, &mpi, from, om),
+                }
+                self.st.lock().dispatching = false;
+                any = true;
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    fn handle_wire(&self, p: &Proc, from: Rank, wire: WireMsg) {
+        match wire {
+            WireMsg::Eager { tag, useq, msg } => {
+                let mut st = self.st.lock();
+                let wm = st.recv_watermark.entry(from).or_insert(0);
+                if useq < *wm {
+                    // A replayed duplicate of a message delivered before the
+                    // checkpoint this run restarted from.
+                    st.defer_stats.dups_dropped += 1;
+                    return;
+                }
+                *wm = useq + 1;
+                let rt = st.recv_traffic.entry(from).or_insert((0, 0));
+                rt.0 += 1;
+                rt.1 += msg.size;
+                match Self::match_posted(&mut st.posted, from, tag) {
+                    Some(id) => {
+                        st.done_recv.insert(id, (from, tag, msg));
+                    }
+                    None => st.unexpected.push_back(Unexpected::Eager { src: from, tag, msg }),
+                }
+            }
+            WireMsg::Rts { tag, size, sreq, useq } => {
+                let matched = {
+                    let mut st = self.st.lock();
+                    let wm = *st.recv_watermark.entry(from).or_insert(0);
+                    if useq < wm {
+                        // Stale replayed rendezvous: the data was already
+                        // consumed before the restored checkpoint. Complete
+                        // the sender by granting a sink CTS and discarding
+                        // the data on arrival.
+                        st.defer_stats.dups_dropped += 1;
+                        drop(st);
+                        let sink = self.alloc_req();
+                        self.st.lock().sink_rreqs.insert(sink);
+                        self.enqueue_send(p, from, WireMsg::Cts { sreq, rreq: sink }, None);
+                        return;
+                    }
+                    match Self::match_posted(&mut st.posted, from, tag) {
+                        Some(id) => {
+                            st.rdv_recv_tags.insert(id, (tag, useq));
+                            Some(id)
+                        }
+                        None => {
+                            let _ = size;
+                            st.unexpected.push_back(Unexpected::Rts { src: from, tag, sreq, useq });
+                            None
+                        }
+                    }
+                };
+                if let Some(rreq) = matched {
+                    self.enqueue_send(p, from, WireMsg::Cts { sreq, rreq }, None);
+                }
+            }
+            WireMsg::Cts { sreq, rreq } => {
+                let pending = self.st.lock().rdv_sends.remove(&sreq);
+                let pending = pending.unwrap_or_else(|| {
+                    panic!("rank {}: CTS for unknown send request {sreq}", self.rank)
+                });
+                let msg = pending.msg.expect("pending send has payload");
+                debug_assert_eq!(pending.dst, from);
+                self.enqueue_send(p, from, WireMsg::Data { rreq, msg }, Some(sreq));
+            }
+            WireMsg::Data { rreq, msg } => {
+                let mut st = self.st.lock();
+                if st.sink_rreqs.remove(&rreq) {
+                    return; // discarded duplicate rendezvous payload
+                }
+                let (tag, useq) =
+                    st.rdv_recv_tags.remove(&rreq).expect("DATA for unknown rendezvous recv");
+                let wm = st.recv_watermark.entry(from).or_insert(0);
+                *wm = (*wm).max(useq + 1);
+                let rt = st.recv_traffic.entry(from).or_insert((0, 0));
+                rt.0 += 1;
+                rt.1 += msg.size;
+                st.done_recv.insert(rreq, (from, tag, msg));
+            }
+            WireMsg::Ctrl(cw) => {
+                self.st.lock().ctrl_in.push_back((from, cw));
+            }
+        }
+    }
+
+    /// First posted receive matching `(from, tag)`, removed from the list.
+    fn match_posted(posted: &mut Vec<PostedRecv>, from: Rank, tag: Tag) -> Option<u64> {
+        let idx = posted
+            .iter()
+            .position(|r| r.tag == tag && r.src.is_none_or(|want| want == from))?;
+        Some(posted.remove(idx).id)
+    }
+
+    /// Park until anything arrives on either plane (or a stale wake fires).
+    /// Registrations are withdrawn on return so that later deliveries can
+    /// never wake this rank outside a genuine wait (OS-bypass fidelity).
+    pub(crate) fn wait_event(&self, p: &Proc) {
+        if self.ep.pending() > 0 || self.oob_ep.pending() > 0 {
+            return;
+        }
+        self.ep.register_waiter(p.id());
+        self.oob_ep.register_waiter(p.id());
+        p.park();
+        self.ep.unregister_waiter(p.id());
+        self.oob_ep.unregister_waiter(p.id());
+    }
+
+    // ------------------------------------------------------------------
+    // Compute with bounded-progress slicing
+    // ------------------------------------------------------------------
+
+    /// Perform `dt` of local computation. Data-plane arrivals do **not**
+    /// interrupt computation (OS-bypass); out-of-band messages do (socket +
+    /// listener thread). In passive coordination mode with the helper
+    /// thread enabled, the progress engine additionally runs every
+    /// `progress_interval` (paper §4.4). Time spent coordinating extends
+    /// the compute deadline: coordination steals the CPU, it does not do
+    /// the application's work.
+    pub(crate) fn compute(&self, p: &Proc, dt: Time) {
+        let mut deadline = p.now().saturating_add(dt);
+        loop {
+            let t0 = p.now();
+            self.progress(p);
+            deadline += p.now() - t0;
+            let now = p.now();
+            if now >= deadline {
+                return;
+            }
+            if self.oob_ep.pending() > 0 {
+                continue;
+            }
+            let slice_end = {
+                let st = self.st.lock();
+                if st.passive && self.cfg().helper_thread {
+                    (now + self.cfg().progress_interval).min(deadline)
+                } else {
+                    deadline
+                }
+            };
+            self.oob_ep.register_waiter(p.id());
+            p.handle().schedule_wake(slice_end, p.id());
+            p.park();
+            self.oob_ep.unregister_waiter(p.id());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane (used by the checkpoint layer)
+    // ------------------------------------------------------------------
+
+    /// Send an in-band control message to a peer rank. Never gated, but
+    /// requires (and will establish) an active data-plane connection.
+    pub(crate) fn ctrl_send(&self, p: &Proc, peer: Rank, cw: CtrlWire) {
+        self.raw_send(p, peer, WireMsg::Ctrl(cw), None);
+    }
+
+    /// Send an out-of-band message to an arbitrary node (a rank's OOB
+    /// endpoint or the coordinator).
+    pub(crate) fn oob_send(&self, p: &Proc, node: NodeId, msg: OobMsg) {
+        if !self.oob_ep.is_connected(node) {
+            self.oob_ep.connect(p, node);
+        }
+        let size = msg.wire_size();
+        self.oob_ep.send(node, msg, size);
+    }
+
+    /// Block until an in-band control message matching `pred` is available
+    /// and consume it. Non-matching messages stay queued in order.
+    pub(crate) fn ctrl_recv_match(
+        &self,
+        p: &Proc,
+        mut pred: impl FnMut(Rank, &CtrlWire) -> bool,
+    ) -> (Rank, CtrlWire) {
+        loop {
+            self.progress(p);
+            {
+                let mut st = self.st.lock();
+                if let Some(i) = st.ctrl_in.iter().position(|(r, c)| pred(*r, c)) {
+                    return st.ctrl_in.remove(i).expect("index valid");
+                }
+            }
+            self.wait_event(p);
+        }
+    }
+
+    /// Blocking consume of an out-of-band message matching `pred`.
+    pub(crate) fn oob_recv_match(
+        &self,
+        p: &Proc,
+        mut pred: impl FnMut(NodeId, &OobMsg) -> bool,
+    ) -> (NodeId, OobMsg) {
+        loop {
+            self.progress(p);
+            {
+                let mut st = self.st.lock();
+                if let Some(i) = st.oob_in.iter().position(|(n, m)| pred(*n, m)) {
+                    return st.oob_in.remove(i).expect("index valid");
+                }
+            }
+            self.wait_event(p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint-support accessors
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_hook(&self, hook: Arc<dyn CrHook>) {
+        self.st.lock().hook = Some(hook);
+    }
+
+    pub(crate) fn set_passive(&self, passive: bool) {
+        self.st.lock().passive = passive;
+    }
+
+    pub(crate) fn is_passive(&self) -> bool {
+        self.st.lock().passive
+    }
+
+    /// Cumulative user bytes received from `peer` (Chandy-Lamport channel
+    /// accounting).
+    pub(crate) fn recv_bytes_from(&self, peer: Rank) -> u64 {
+        self.st.lock().recv_traffic.get(&peer).map_or(0, |(_, b)| *b)
+    }
+
+    pub(crate) fn traffic(&self) -> TrafficStats {
+        let st = self.st.lock();
+        let mut per_peer: Vec<(Rank, u64, u64)> =
+            st.traffic.iter().map(|(r, (m, b))| (*r, *m, *b)).collect();
+        per_peer.sort_by_key(|e| e.0);
+        TrafficStats { per_peer }
+    }
+
+    pub(crate) fn defer_stats(&self) -> DeferStats {
+        self.st.lock().defer_stats
+    }
+
+    /// Peers with an `Active` data-plane connection, sorted.
+    pub(crate) fn connected_peers(&self) -> Vec<Rank> {
+        (0..self.cfg().n)
+            .filter(|&r| r != self.rank && self.ep.is_connected(NodeId(r)))
+            .collect()
+    }
+
+    /// Snapshot the per-destination send sequence counters **at an
+    /// application state boundary** (so replayed sends reuse their original
+    /// sequence numbers) and clear the receive replay log (everything
+    /// consumed before this boundary is committed in the registered state).
+    pub(crate) fn boundary_snapshot(&self) -> BoundarySnapshot {
+        let mut st = self.st.lock();
+        st.replay_log.clear();
+        let mut v: Vec<(Rank, u64)> = st.next_useq.iter().map(|(r, s)| (*r, *s)).collect();
+        v.sort_by_key(|e| e.0);
+        let mut c: Vec<(u32, u32)> = st.coll_seq.iter().map(|(k, s)| (*k, *s)).collect();
+        c.sort_by_key(|e| e.0);
+        (v, c)
+    }
+
+    /// Snapshot the checkpointable library state (non-destructive; the
+    /// process keeps running in the failure-free case). `boundary_seqs` is
+    /// the send-sequence snapshot taken at the application's registered
+    /// state boundary: deferred eager sends at or beyond it are *not*
+    /// exported (the application re-executes them on replay).
+    pub(crate) fn export_cr_state(
+        &self,
+        boundary_seqs: &[(Rank, u64)],
+        boundary_coll_seqs: &[(u32, u32)],
+    ) -> MpiCrState {
+        let st = self.st.lock();
+        let boundary = |dst: Rank| -> u64 {
+            boundary_seqs
+                .iter()
+                .find(|(r, _)| *r == dst)
+                .map_or(0, |(_, s)| *s)
+        };
+        let mut inbound: Vec<(Rank, Tag, Msg)> = Vec::new();
+        // Receives the application already claimed since its boundary come
+        // first (replay will re-execute them), then completed-but-unclaimed
+        // receives (matched before anything still sitting unexpected with
+        // the same src/tag) in request-allocation order, then unexpected.
+        inbound.extend(st.replay_log.iter().cloned());
+        let mut done: Vec<(&u64, &(Rank, Tag, Msg))> = st.done_recv.iter().collect();
+        done.sort_by_key(|(id, _)| **id);
+        inbound.extend(done.into_iter().map(|(_, e)| e.clone()));
+        inbound.extend(st.unexpected.iter().filter_map(|u| match u {
+            Unexpected::Eager { src, tag, msg } => Some((*src, *tag, msg.clone())),
+            Unexpected::Rts { .. } => None, // replay reissues the rendezvous
+        }));
+        let deferred_eager = st
+            .deferred
+            .iter()
+            .filter_map(|d| match &d.wire {
+                WireMsg::Eager { tag, useq, msg } if *useq < boundary(d.dst) => {
+                    Some((d.dst, *tag, msg.clone(), *useq))
+                }
+                _ => None, // incomplete or post-boundary: replayed by the app
+            })
+            .collect();
+        let mut recv_watermarks: Vec<(Rank, u64)> =
+            st.recv_watermark.iter().map(|(r, s)| (*r, *s)).collect();
+        recv_watermarks.sort_by_key(|e| e.0);
+        MpiCrState {
+            inbound,
+            deferred_eager,
+            send_seqs: boundary_seqs.to_vec(),
+            recv_watermarks,
+            coll_seqs: boundary_coll_seqs.to_vec(),
+        }
+    }
+
+    /// Re-inject saved library state into a fresh runtime at restart, before
+    /// the application body runs: sequence counters and watermarks are
+    /// restored, inbound data becomes unexpected messages, and buffered
+    /// eager messages are put back on the wire with their original sequence
+    /// numbers (gates are open in a fresh world).
+    pub(crate) fn import_cr_state(&self, p: &Proc, state: MpiCrState) {
+        {
+            let mut st = self.st.lock();
+            assert!(
+                st.posted.is_empty() && st.unexpected.is_empty(),
+                "import_cr_state must run before any MPI activity"
+            );
+            for (r, seq) in &state.send_seqs {
+                st.next_useq.insert(*r, *seq);
+            }
+            for (r, wm) in &state.recv_watermarks {
+                st.recv_watermark.insert(*r, *wm);
+            }
+            for (c, seq) in &state.coll_seqs {
+                st.coll_seq.insert(*c, *seq);
+            }
+            for (src, tag, msg) in state.inbound {
+                st.unexpected.push_back(Unexpected::Eager { src, tag, msg });
+            }
+        }
+        for (dst, tag, msg, useq) in state.deferred_eager {
+            self.enqueue_send(p, dst, WireMsg::Eager { tag, useq, msg }, None);
+        }
+    }
+
+    /// Enable/disable the message-logging ablation mode.
+    pub(crate) fn set_log_mode(&self, on: bool) {
+        self.st.lock().log_mode = on;
+    }
+
+    /// Total user bytes copied into message logs so far.
+    pub(crate) fn logged_bytes(&self) -> u64 {
+        self.st.lock().logged_bytes
+    }
+
+    // Back-reference so progress() can build an `Mpi` facade for hook
+    // dispatch. Set once by `World::attach`.
+    pub(crate) fn self_arc(&self) -> Arc<Rt> {
+        self.world
+            .rts
+            .lock()
+            .get(&self.rank)
+            .expect("runtime registered in world")
+            .clone()
+    }
+}
+
+enum DispatchItem {
+    Ctrl(Rank, CtrlWire),
+    Oob(NodeId, OobMsg),
+}

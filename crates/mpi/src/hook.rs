@@ -1,0 +1,87 @@
+//! The interposition surface used by the checkpoint layer.
+
+use crate::api::Mpi;
+use crate::types::Rank;
+use bytes::Bytes;
+use gbcr_des::Proc;
+use gbcr_net::NodeId;
+
+/// A small fixed-shape control message carried **in-band** on the data
+/// fabric (like MVAPICH2's internal packet types). Used for peer-to-peer
+/// checkpoint coordination that must travel the same channel as user data
+/// (flush markers, connection-manager requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrlWire {
+    /// Protocol-defined discriminator.
+    pub kind: u32,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
+
+/// An **out-of-band** control message (PMI/mpirun socket mesh). The OOB
+/// plane stays up while data-plane connections are torn down, which is what
+/// makes global coordination possible in the middle of a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OobMsg {
+    /// Protocol-defined discriminator.
+    pub kind: u32,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Optional bulk payload (e.g. a serialized group schedule).
+    pub data: Bytes,
+}
+
+impl OobMsg {
+    /// Shorthand for a payload-free message.
+    pub fn new(kind: u32, a: u64, b: u64) -> Self {
+        OobMsg { kind, a, b, data: Bytes::new() }
+    }
+
+    /// Wire size charged on the OOB fabric.
+    pub fn wire_size(&self) -> u64 {
+        64 + self.data.len() as u64
+    }
+}
+
+/// Hook implemented by the checkpoint/restart controller and registered on
+/// each rank's runtime with [`Mpi::set_hook`].
+///
+/// All methods run **on the owning rank's simulated thread**, inside the
+/// progress engine — exactly like MVAPICH2's C/R controller code. They may
+/// block (coordinate, write images); user execution on that rank is paused
+/// meanwhile, which is the blocking coordinated-checkpointing semantics.
+///
+/// While a hook callback is being dispatched, further unsolicited dispatch
+/// is suppressed; protocol code consumes subsequent control messages
+/// explicitly via [`Mpi::ctrl_recv_match`] / [`Mpi::oob_recv_match`].
+pub trait CrHook: Send + Sync {
+    /// Gate for user-plane traffic (eager data, RTS, CTS, RDMA data) from
+    /// this rank to `peer`. Returning `false` defers the message via
+    /// message/request buffering until [`Mpi::release_deferred`] is called
+    /// after a later gate change. Must be fast and non-blocking.
+    fn user_send_allowed(&self, peer: Rank) -> bool {
+        let _ = peer;
+        true
+    }
+
+    /// An unsolicited out-of-band message arrived (e.g. a checkpoint
+    /// request from the global coordinator).
+    fn on_oob(&self, p: &Proc, mpi: &Mpi, from: NodeId, msg: OobMsg) {
+        let _ = (p, mpi, from, msg);
+    }
+
+    /// An unsolicited in-band control message arrived (e.g. a flush request
+    /// from a checkpointing peer).
+    fn on_ctrl(&self, p: &Proc, mpi: &Mpi, from: Rank, msg: CtrlWire) {
+        let _ = (p, mpi, from, msg);
+    }
+}
+
+/// A hook that gates nothing and ignores everything (the default).
+pub struct NoopHook;
+
+impl CrHook for NoopHook {}

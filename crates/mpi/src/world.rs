@@ -1,0 +1,141 @@
+//! The MPI world: fabrics, communicator registry, rank attachment.
+
+use crate::api::Mpi;
+use crate::comm::Comm;
+use crate::config::MpiConfig;
+use crate::engine::{Rt, WireMsg};
+use crate::hook::OobMsg;
+use crate::types::Rank;
+use gbcr_des::SimHandle;
+use gbcr_net::{Endpoint, Fabric, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Out-of-band node id of the global checkpoint coordinator (the `mpirun`
+/// console in MVAPICH2 terms).
+pub const COORDINATOR_NODE: NodeId = NodeId(u32::MAX);
+
+pub(crate) struct WorldShared {
+    pub(crate) handle: SimHandle,
+    pub(crate) cfg: MpiConfig,
+    pub(crate) data: Fabric<WireMsg>,
+    pub(crate) oob: Fabric<OobMsg>,
+    pub(crate) comms: Mutex<Vec<Arc<Vec<Rank>>>>,
+    pub(crate) rts: Mutex<HashMap<Rank, Arc<Rt>>>,
+}
+
+/// An MPI job of `cfg.n` ranks sharing a data fabric and an out-of-band
+/// fabric. Clone freely.
+///
+/// ```
+/// use gbcr_des::Sim;
+/// use gbcr_mpi::{MpiConfig, Msg, World};
+///
+/// let mut sim = Sim::new(0);
+/// let world = World::new(sim.handle(), MpiConfig::new(4));
+/// for r in 0..4 {
+///     let mpi = world.attach(r);
+///     let comm = world.world_comm();
+///     sim.spawn(format!("rank{r}"), move |p| {
+///         let sum = mpi.allreduce_sum(p, &comm, f64::from(mpi.rank()));
+///         assert_eq!(sum, 6.0); // 0+1+2+3
+///     });
+/// }
+/// sim.run().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct World {
+    pub(crate) shared: Arc<WorldShared>,
+}
+
+impl World {
+    /// Create a world attached to a simulation.
+    pub fn new(handle: SimHandle, cfg: MpiConfig) -> Self {
+        assert!(cfg.n >= 1, "world needs at least one rank");
+        let data = Fabric::new(handle.clone(), cfg.net.clone());
+        let oob = Fabric::new(handle.clone(), cfg.oob.clone());
+        World {
+            shared: Arc::new(WorldShared {
+                handle,
+                cfg,
+                data,
+                oob,
+                comms: Mutex::new(Vec::new()),
+                rts: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.shared.cfg.n
+    }
+
+    /// The world's configuration.
+    pub fn config(&self) -> &MpiConfig {
+        &self.shared.cfg
+    }
+
+    /// The simulation handle this world lives in.
+    pub fn handle(&self) -> &SimHandle {
+        &self.shared.handle
+    }
+
+    /// Create this rank's runtime. Call exactly once per rank, from (or
+    /// before) the rank's own simulated process.
+    pub fn attach(&self, rank: Rank) -> Mpi {
+        assert!(rank < self.shared.cfg.n, "rank {rank} out of range");
+        let rt = Arc::new(Rt::new(self.shared.clone(), rank));
+        let prev = self.shared.rts.lock().insert(rank, rt.clone());
+        assert!(prev.is_none(), "rank {rank} attached twice");
+        Mpi::from_rt(rt)
+    }
+
+    /// Look up an already-attached rank's runtime facade (used by the
+    /// restart machinery and tests).
+    pub fn attached(&self, rank: Rank) -> Option<Mpi> {
+        self.shared.rts.lock().get(&rank).cloned().map(Mpi::from_rt)
+    }
+
+    /// Intern a communicator over `members` (must be non-empty, unique,
+    /// in-range). Every rank calling with the same member list receives a
+    /// communicator with the same id — mirroring collectively-created MPI
+    /// communicators.
+    pub fn comm(&self, members: Vec<Rank>) -> Comm {
+        assert!(!members.is_empty(), "empty communicator");
+        for &m in &members {
+            assert!(m < self.shared.cfg.n, "member {m} out of range");
+        }
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate communicator member");
+        let mut comms = self.shared.comms.lock();
+        let id = match comms.iter().position(|c| ***c == members) {
+            Some(i) => i,
+            None => {
+                comms.push(Arc::new(members.clone()));
+                comms.len() - 1
+            }
+        };
+        assert!(id < 256, "communicator id space exhausted");
+        Comm::new(id as u32, comms[id].clone())
+    }
+
+    /// The communicator over all ranks.
+    pub fn world_comm(&self) -> Comm {
+        self.comm((0..self.shared.cfg.n).collect())
+    }
+
+    /// Raw out-of-band endpoint for a non-rank participant (the global
+    /// coordinator).
+    pub fn oob_endpoint(&self, node: NodeId) -> Endpoint<OobMsg> {
+        self.shared.oob.endpoint(node)
+    }
+
+    /// Data-fabric statistics (messages, bytes, connects, teardowns).
+    pub fn net_stats(&self) -> gbcr_net::NetStats {
+        self.shared.data.stats()
+    }
+}

@@ -1,0 +1,171 @@
+//! The extended collective set: sendrecv, gather, scatter, reduce,
+//! alltoall — against sequential oracles, on world and sub-communicators.
+
+use bytes::Bytes;
+use gbcr_des::Sim;
+use gbcr_mpi::{Msg, MpiConfig, World};
+
+#[test]
+fn sendrecv_ring_shift() {
+    let n = 6u32;
+    let mut sim = Sim::new(0);
+    let world = World::new(sim.handle(), MpiConfig::new(n));
+    for r in 0..n {
+        let m = world.attach(r);
+        sim.spawn(format!("r{r}"), move |p| {
+            let right = (m.rank() + 1) % m.size();
+            let left = (m.rank() + m.size() - 1) % m.size();
+            let got = m.sendrecv(p, right, 5, Msg::u64(u64::from(m.rank())), Some(left), 5);
+            assert_eq!(got.as_u64(), u64::from(left));
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn gather_collects_at_every_root() {
+    for n in [2u32, 3, 5, 8] {
+        for root in 0..n as usize {
+            let mut sim = Sim::new(0);
+            let world = World::new(sim.handle(), MpiConfig::new(n));
+            for r in 0..n {
+                let m = world.attach(r);
+                let comm = world.world_comm();
+                sim.spawn(format!("r{r}"), move |p| {
+                    let res = m.gather(p, &comm, root, Msg::u64(u64::from(m.rank()) * 3));
+                    if comm.index_of(m.rank()) == Some(root) {
+                        let vals: Vec<u64> =
+                            res.expect("root gets blocks").iter().map(Msg::as_u64).collect();
+                        let want: Vec<u64> = (0..u64::from(n)).map(|i| i * 3).collect();
+                        assert_eq!(vals, want, "n={n} root={root}");
+                    } else {
+                        assert!(res.is_none());
+                    }
+                });
+            }
+            sim.run().unwrap();
+        }
+    }
+}
+
+#[test]
+fn gather_preserves_simulated_sizes() {
+    let n = 4u32;
+    let mut sim = Sim::new(0);
+    let world = World::new(sim.handle(), MpiConfig::new(n));
+    for r in 0..n {
+        let m = world.attach(r);
+        let comm = world.world_comm();
+        sim.spawn(format!("r{r}"), move |p| {
+            let mine = Msg::with_size(Bytes::from(vec![r as u8; 8]), 5_000_000);
+            let res = m.gather(p, &comm, 0, mine);
+            if m.rank() == 0 {
+                for (i, b) in res.unwrap().iter().enumerate() {
+                    assert!(b.size >= 5_000_000, "block {i} lost its size");
+                    assert_eq!(b.data, Bytes::from(vec![i as u8; 8]));
+                }
+            }
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn scatter_distributes_blocks() {
+    for n in [2u32, 4, 7] {
+        let mut sim = Sim::new(0);
+        let world = World::new(sim.handle(), MpiConfig::new(n));
+        for r in 0..n {
+            let m = world.attach(r);
+            let comm = world.world_comm();
+            sim.spawn(format!("r{r}"), move |p| {
+                let blocks = (m.rank() == 1).then(|| {
+                    (0..u64::from(n)).map(|i| Msg::u64(i * i)).collect::<Vec<_>>()
+                });
+                let mine = m.scatter(p, &comm, 1, blocks);
+                let me = u64::from(m.rank());
+                assert_eq!(mine.as_u64(), me * me, "n={n} rank={me}");
+            });
+        }
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn reduce_sum_matches_oracle() {
+    let n = 8u32;
+    let mut sim = Sim::new(0);
+    let world = World::new(sim.handle(), MpiConfig::new(n));
+    for r in 0..n {
+        let m = world.attach(r);
+        let comm = world.world_comm();
+        sim.spawn(format!("r{r}"), move |p| {
+            let res = m.reduce_sum(p, &comm, 3, f64::from(m.rank()) + 0.5);
+            if comm.index_of(m.rank()) == Some(3) {
+                let want: f64 = (0..8).map(|i| f64::from(i) + 0.5).sum();
+                assert!((res.unwrap() - want).abs() < 1e-9);
+            } else {
+                assert!(res.is_none());
+            }
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn alltoall_personalized_exchange() {
+    for n in [2u32, 3, 6, 8] {
+        let mut sim = Sim::new(0);
+        let world = World::new(sim.handle(), MpiConfig::new(n));
+        for r in 0..n {
+            let m = world.attach(r);
+            let comm = world.world_comm();
+            sim.spawn(format!("r{r}"), move |p| {
+                // blocks[i] = 1000·me + i
+                let blocks: Vec<Msg> = (0..u64::from(n))
+                    .map(|i| Msg::u64(1000 * u64::from(m.rank()) + i))
+                    .collect();
+                let got = m.alltoall(p, &comm, blocks);
+                for (i, b) in got.iter().enumerate() {
+                    // block from member i addressed to me
+                    assert_eq!(
+                        b.as_u64(),
+                        1000 * i as u64 + u64::from(m.rank()),
+                        "n={n} rank={} from={i}",
+                        m.rank()
+                    );
+                }
+            });
+        }
+        sim.run().unwrap();
+    }
+}
+
+#[test]
+fn extended_collectives_work_on_subcommunicators() {
+    let n = 8u32;
+    let mut sim = Sim::new(0);
+    let world = World::new(sim.handle(), MpiConfig::new(n));
+    for r in 0..n {
+        let m = world.attach(r);
+        let members: Vec<u32> = if r % 2 == 0 { vec![0, 2, 4, 6] } else { vec![1, 3, 5, 7] };
+        let comm = world.comm(members);
+        sim.spawn(format!("r{r}"), move |p| {
+            let me = comm.index_of(m.rank()).unwrap();
+            // reduce on odd/even comms concurrently
+            let res = m.reduce_sum(p, &comm, 0, f64::from(m.rank()));
+            if me == 0 {
+                let want: f64 = comm.members().iter().map(|&x| f64::from(x)).sum();
+                assert!((res.unwrap() - want).abs() < 1e-9);
+            }
+            // alltoall inside the subcomm
+            let blocks: Vec<Msg> =
+                (0..4).map(|i| Msg::u64(u64::from(m.rank()) * 10 + i)).collect();
+            let got = m.alltoall(p, &comm, blocks);
+            for (i, b) in got.iter().enumerate() {
+                assert_eq!(b.as_u64(), u64::from(comm.member(i)) * 10 + me as u64);
+            }
+        });
+    }
+    sim.run().unwrap();
+}

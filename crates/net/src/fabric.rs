@@ -1,0 +1,463 @@
+//! The fabric: endpoints, connections, and the transfer engine.
+
+use crate::config::NetConfig;
+use crate::stats::NetStats;
+use gbcr_des::{Proc, ProcId, SimHandle, Time};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Identifier of a network endpoint (for MPI, equal to the global rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Life-cycle state of one connection (queue pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// No connection exists (initial, or after teardown).
+    Disconnected,
+    /// One side is performing the out-of-band parameter exchange.
+    Connecting,
+    /// Fully established; sends are permitted.
+    Active,
+    /// Being flushed and torn down; no new sends, in-flight may still land.
+    Draining,
+}
+
+struct ConnInner {
+    state: ConnState,
+    /// In-flight message counts per direction; index 0 is low→high rank.
+    in_flight: [usize; 2],
+    /// Link serialization horizon per direction (FIFO per direction).
+    busy_until: [Time; 2],
+    /// Processes parked waiting for a state change or a drain.
+    waiters: Vec<ProcId>,
+}
+
+impl ConnInner {
+    fn new() -> Self {
+        ConnInner {
+            state: ConnState::Disconnected,
+            in_flight: [0, 0],
+            busy_until: [0, 0],
+            waiters: Vec::new(),
+        }
+    }
+}
+
+struct EpState<M> {
+    queue: VecDeque<(NodeId, M)>,
+    waiters: Vec<ProcId>,
+}
+
+type ConnMap = HashMap<(NodeId, NodeId), Arc<Mutex<ConnInner>>>;
+
+struct Inner<M> {
+    handle: SimHandle,
+    cfg: NetConfig,
+    eps: Mutex<HashMap<NodeId, Arc<Mutex<EpState<M>>>>>,
+    conns: Mutex<ConnMap>,
+    stats: Mutex<NetStats>,
+}
+
+/// The simulated interconnect. Clone freely; all clones are the same fabric.
+///
+/// ```
+/// use gbcr_des::Sim;
+/// use gbcr_net::{Fabric, NetConfig, NodeId};
+///
+/// let mut sim = Sim::new(0);
+/// let fabric: Fabric<&'static str> = Fabric::new(sim.handle(), NetConfig::infiniband_ddr());
+/// let f = fabric.clone();
+/// sim.spawn("a", move |p| {
+///     let ep = f.endpoint(NodeId(0));
+///     ep.connect(p, NodeId(1)); // initiator pays the out-of-band setup
+///     ep.send(NodeId(1), "hello", 64);
+///     ep.teardown(p, NodeId(1)); // waits for the channel to drain
+/// });
+/// let f = fabric.clone();
+/// sim.spawn("b", move |p| {
+///     let ep = f.endpoint(NodeId(1));
+///     assert_eq!(ep.recv_wait(p).1, "hello");
+/// });
+/// sim.run().unwrap();
+/// assert_eq!(fabric.stats().teardowns, 1);
+/// ```
+pub struct Fabric<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric { inner: self.inner.clone() }
+    }
+}
+
+fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Direction index within a connection keyed `(low, high)`.
+fn dir(from: NodeId, to: NodeId) -> usize {
+    usize::from(from > to)
+}
+
+impl<M: Send + 'static> Fabric<M> {
+    /// Create a fabric bound to a simulation.
+    pub fn new(handle: SimHandle, cfg: NetConfig) -> Self {
+        Fabric {
+            inner: Arc::new(Inner {
+                handle,
+                cfg,
+                eps: Mutex::new(HashMap::new()),
+                conns: Mutex::new(HashMap::new()),
+                stats: Mutex::new(NetStats::default()),
+            }),
+        }
+    }
+
+    /// The fabric's timing configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.inner.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NetStats {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Obtain (creating if necessary) the endpoint for `node`.
+    pub fn endpoint(&self, node: NodeId) -> Endpoint<M> {
+        let mut eps = self.inner.eps.lock();
+        eps.entry(node).or_insert_with(|| {
+            Arc::new(Mutex::new(EpState { queue: VecDeque::new(), waiters: Vec::new() }))
+        });
+        Endpoint { fabric: self.clone(), node }
+    }
+
+    /// Connection state between two nodes.
+    pub fn conn_state(&self, a: NodeId, b: NodeId) -> ConnState {
+        self.inner
+            .conns
+            .lock()
+            .get(&key(a, b))
+            .map_or(ConnState::Disconnected, |c| c.lock().state)
+    }
+
+    fn conn(&self, a: NodeId, b: NodeId) -> Arc<Mutex<ConnInner>> {
+        self.inner
+            .conns
+            .lock()
+            .entry(key(a, b))
+            .or_insert_with(|| Arc::new(Mutex::new(ConnInner::new())))
+            .clone()
+    }
+
+    fn ep(&self, node: NodeId) -> Arc<Mutex<EpState<M>>> {
+        self.inner
+            .eps
+            .lock()
+            .entry(node)
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(EpState { queue: VecDeque::new(), waiters: Vec::new() }))
+            })
+            .clone()
+    }
+
+    fn wake_all(&self, waiters: &mut Vec<ProcId>) {
+        for w in waiters.drain(..) {
+            self.inner.handle.wake(w);
+        }
+    }
+}
+
+/// One node's attachment to the fabric. All blocking operations take the
+/// calling [`Proc`].
+pub struct Endpoint<M> {
+    fabric: Fabric<M>,
+    node: NodeId,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint { fabric: self.fabric.clone(), node: self.node }
+    }
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The fabric this endpoint belongs to.
+    pub fn fabric(&self) -> &Fabric<M> {
+        &self.fabric
+    }
+
+    /// Establish (or re-establish) the connection to `peer`, blocking the
+    /// caller for the out-of-band setup cost. Idempotent: returns
+    /// immediately if already active; if another process is mid-setup or
+    /// mid-teardown, waits for it and retries.
+    pub fn connect(&self, p: &Proc, peer: NodeId) {
+        assert_ne!(self.node, peer, "cannot connect to self");
+        let conn = self.fabric.conn(self.node, peer);
+        loop {
+            {
+                let mut c = conn.lock();
+                match c.state {
+                    ConnState::Active => return,
+                    ConnState::Connecting | ConnState::Draining => {
+                        c.waiters.push(p.id());
+                    }
+                    ConnState::Disconnected => {
+                        c.state = ConnState::Connecting;
+                        drop(c);
+                        p.sleep(self.fabric.inner.cfg.conn_setup_time);
+                        let mut c = conn.lock();
+                        debug_assert_eq!(c.state, ConnState::Connecting);
+                        c.state = ConnState::Active;
+                        self.fabric.inner.stats.lock().connects += 1;
+                        let mut ws = std::mem::take(&mut c.waiters);
+                        drop(c);
+                        self.fabric.wake_all(&mut ws);
+                        self.fabric.inner.handle.trace_event("net.connect", || {
+                            format!("{} <-> {}", self.node, peer)
+                        });
+                        return;
+                    }
+                }
+            }
+            p.park();
+        }
+    }
+
+    /// Whether the connection to `peer` is currently `Active`.
+    pub fn is_connected(&self, peer: NodeId) -> bool {
+        self.fabric.conn_state(self.node, peer) == ConnState::Active
+    }
+
+    /// Flush and tear down the connection to `peer`: waits until both
+    /// directions are drained, then charges the teardown cost. Idempotent
+    /// on already-disconnected connections. The caller is responsible for
+    /// having stopped new sends on both sides (the checkpoint protocols in
+    /// `gbcr-core` guarantee this).
+    pub fn teardown(&self, p: &Proc, peer: NodeId) {
+        let conn = self.fabric.conn(self.node, peer);
+        loop {
+            {
+                let mut c = conn.lock();
+                match c.state {
+                    ConnState::Disconnected => return,
+                    ConnState::Active => {
+                        c.state = ConnState::Draining;
+                        break;
+                    }
+                    // The peer (e.g. another member of the same checkpoint
+                    // group) is already tearing this connection down: wait
+                    // for it to finish and return.
+                    ConnState::Draining => c.waiters.push(p.id()),
+                    ConnState::Connecting => panic!(
+                        "teardown {}<->{} raced with connection setup",
+                        self.node, peer
+                    ),
+                }
+            }
+            p.park();
+        }
+        // Wait for both directions to drain.
+        loop {
+            {
+                let mut c = conn.lock();
+                if c.in_flight == [0, 0] {
+                    drop(c);
+                    break;
+                }
+                c.waiters.push(p.id());
+            }
+            p.park();
+        }
+        p.sleep(self.fabric.inner.cfg.conn_teardown_time);
+        let mut c = conn.lock();
+        debug_assert_eq!(c.state, ConnState::Draining);
+        c.state = ConnState::Disconnected;
+        self.fabric.inner.stats.lock().teardowns += 1;
+        let mut ws = std::mem::take(&mut c.waiters);
+        drop(c);
+        self.fabric.wake_all(&mut ws);
+        self.fabric.inner.handle.trace_event("net.teardown", || {
+            format!("{} <-> {}", self.node, peer)
+        });
+    }
+
+    /// Send `msg` to `peer`, charging `wire_size` bytes on the link. Never
+    /// blocks: delivery is scheduled (FIFO per direction, serialized by link
+    /// bandwidth, plus wire latency). Panics if the connection is not
+    /// active — higher layers must buffer instead of sending during
+    /// checkpoint coordination; reaching this panic means the consistency
+    /// protocol is broken.
+    pub fn send(&self, peer: NodeId, msg: M, wire_size: u64) {
+        assert_ne!(self.node, peer, "no self-send at the fabric level");
+        let inner = &self.fabric.inner;
+        let now = inner.handle.now();
+        let conn = self.fabric.conn(self.node, peer);
+        let arrival = {
+            let mut c = conn.lock();
+            assert_eq!(
+                c.state,
+                ConnState::Active,
+                "send {} -> {} on non-active connection",
+                self.node,
+                peer
+            );
+            let d = dir(self.node, peer);
+            let start = c.busy_until[d].max(now) + inner.cfg.per_message_overhead;
+            let done_serializing = start + inner.cfg.serialize_time(wire_size);
+            c.busy_until[d] = done_serializing;
+            c.in_flight[d] += 1;
+            done_serializing + inner.cfg.latency
+        };
+        let fabric = self.fabric.clone();
+        let from = self.node;
+        inner.handle.call_at(arrival, move |h| {
+            fabric.deliver(h, from, peer, msg, wire_size);
+        });
+    }
+
+    /// Pop the next delivered message, if any.
+    pub fn try_recv(&self) -> Option<(NodeId, M)> {
+        self.fabric.ep(self.node).lock().queue.pop_front()
+    }
+
+    /// Block until a message is available, then pop it.
+    pub fn recv_wait(&self, p: &Proc) -> (NodeId, M) {
+        let ep = self.fabric.ep(self.node);
+        loop {
+            {
+                let mut e = ep.lock();
+                if let Some(m) = e.queue.pop_front() {
+                    return m;
+                }
+                e.waiters.push(p.id());
+            }
+            p.park();
+        }
+    }
+
+    /// Block until a message is available **or** the deadline passes;
+    /// returns `None` on timeout. Used by progress engines that must also
+    /// meet timer obligations.
+    pub fn recv_timeout(&self, p: &Proc, deadline: Time) -> Option<(NodeId, M)> {
+        let ep = self.fabric.ep(self.node);
+        loop {
+            {
+                let mut e = ep.lock();
+                if let Some(m) = e.queue.pop_front() {
+                    return Some(m);
+                }
+                if p.now() >= deadline {
+                    return None;
+                }
+                e.waiters.push(p.id());
+            }
+            p.handle().schedule_wake(deadline, p.id());
+            p.park();
+        }
+    }
+
+    /// Register the calling process to be woken on the next delivery to
+    /// this endpoint, without consuming anything. Used to park on several
+    /// endpoints at once (e.g. an MPI rank waiting on both its data-plane
+    /// and out-of-band endpoints). The registration is one-shot and may
+    /// produce spurious wakes; pair with a predicate loop.
+    pub fn register_waiter(&self, pid: ProcId) {
+        let ep = self.fabric.ep(self.node);
+        let mut e = ep.lock();
+        if !e.waiters.contains(&pid) {
+            e.waiters.push(pid);
+        }
+    }
+
+    /// Remove a previously registered waiter that was not consumed by a
+    /// delivery (e.g. the wait ended via a timer). Keeping the lists clean
+    /// matters for fidelity: a stale registration would let a data-plane
+    /// delivery wake a *computing* rank, which OS-bypass hardware never
+    /// does.
+    pub fn unregister_waiter(&self, pid: ProcId) {
+        self.fabric.ep(self.node).lock().waiters.retain(|&w| w != pid);
+    }
+
+    /// Number of delivered-but-unconsumed messages.
+    pub fn pending(&self) -> usize {
+        self.fabric.ep(self.node).lock().queue.len()
+    }
+
+    /// In-flight message counts on the connection to `peer`:
+    /// `(outbound, inbound)`.
+    pub fn in_flight(&self, peer: NodeId) -> (usize, usize) {
+        let conn = self.fabric.conn(self.node, peer);
+        let c = conn.lock();
+        let d = dir(self.node, peer);
+        (c.in_flight[d], c.in_flight[1 - d])
+    }
+
+    /// Block until both directions of the connection to `peer` are drained.
+    /// Only meaningful once both sides have stopped sending.
+    pub fn wait_drained(&self, p: &Proc, peer: NodeId) {
+        let conn = self.fabric.conn(self.node, peer);
+        loop {
+            {
+                let mut c = conn.lock();
+                if c.in_flight == [0, 0] {
+                    return;
+                }
+                c.waiters.push(p.id());
+            }
+            p.park();
+        }
+    }
+}
+
+impl<M: Send + 'static> Fabric<M> {
+    fn deliver(&self, h: &SimHandle, from: NodeId, to: NodeId, msg: M, wire_size: u64) {
+        {
+            let conn = self.conn(from, to);
+            let mut c = conn.lock();
+            debug_assert!(
+                matches!(c.state, ConnState::Active | ConnState::Draining),
+                "delivery on {:?} connection {from}->{to}",
+                c.state
+            );
+            let d = dir(from, to);
+            c.in_flight[d] -= 1;
+            if c.in_flight == [0, 0] {
+                let mut ws = std::mem::take(&mut c.waiters);
+                drop(c);
+                self.wake_all(&mut ws);
+            }
+        }
+        {
+            let ep = self.ep(to);
+            let mut e = ep.lock();
+            e.queue.push_back((from, msg));
+            let mut ws = std::mem::take(&mut e.waiters);
+            drop(e);
+            self.wake_all(&mut ws);
+        }
+        let mut stats = self.inner.stats.lock();
+        stats.messages += 1;
+        stats.bytes += wire_size;
+        drop(stats);
+        h.trace_event("net.deliver", || format!("{from} -> {to} ({wire_size}B)"));
+    }
+}

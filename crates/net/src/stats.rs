@@ -1,0 +1,14 @@
+//! Fabric-wide counters.
+
+/// Counters accumulated over the lifetime of a [`crate::Fabric`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Wire bytes delivered (sum of `wire_size`).
+    pub bytes: u64,
+    /// Successful connection establishments (including re-establishments).
+    pub connects: u64,
+    /// Connection teardowns.
+    pub teardowns: u64,
+}

@@ -1,0 +1,51 @@
+//! The storage namespace: named objects with a real payload and a virtual
+//! size.
+
+use bytes::Bytes;
+
+/// An object stored on the central storage system (a checkpoint image).
+///
+/// Only `payload` occupies host memory; `virtual_size` is the number of
+/// bytes the transfer engine charges time for, i.e. the simulated process's
+/// memory footprint. `virtual_size >= payload.len()` always holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// Real content (serialized application state for restart).
+    pub payload: Bytes,
+    /// Simulated on-disk size in bytes.
+    pub virtual_size: u64,
+}
+
+impl StoredObject {
+    /// Build an object, padding `virtual_size` up to the payload length if
+    /// the caller passed something smaller.
+    pub fn new(payload: Bytes, virtual_size: u64) -> Self {
+        let virtual_size = virtual_size.max(payload.len() as u64);
+        StoredObject { payload, virtual_size }
+    }
+
+    /// An object with no real content, only simulated bulk (pure footprint).
+    pub fn bulk(virtual_size: u64) -> Self {
+        StoredObject { payload: Bytes::new(), virtual_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_size_is_clamped_to_payload() {
+        let o = StoredObject::new(Bytes::from(vec![0u8; 100]), 10);
+        assert_eq!(o.virtual_size, 100);
+        let o = StoredObject::new(Bytes::from(vec![0u8; 100]), 1000);
+        assert_eq!(o.virtual_size, 1000);
+    }
+
+    #[test]
+    fn bulk_has_empty_payload() {
+        let o = StoredObject::bulk(1 << 30);
+        assert!(o.payload.is_empty());
+        assert_eq!(o.virtual_size, 1 << 30);
+    }
+}

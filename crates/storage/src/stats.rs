@@ -1,0 +1,106 @@
+//! Transfer accounting for experiments (Figure 1 and checkpoint-time
+//! breakdowns).
+
+use crate::model::StreamKind;
+use gbcr_des::{time, Time};
+
+/// One completed transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Client identifier supplied by the caller (usually an MPI rank).
+    pub client: u32,
+    /// Read or write.
+    pub kind: StreamKind,
+    /// Simulated bytes moved.
+    pub bytes: u64,
+    /// When the stream entered the server (after per-op latency).
+    pub start: Time,
+    /// When the last byte was transferred.
+    pub end: Time,
+}
+
+impl TransferRecord {
+    /// Mean bandwidth over the stream's lifetime, bytes/s.
+    pub fn mean_bandwidth(&self) -> f64 {
+        if self.end <= self.start {
+            return 0.0;
+        }
+        self.bytes as f64 / time::as_secs_f64(self.end - self.start)
+    }
+}
+
+/// Aggregated view over all completed transfers.
+#[derive(Debug, Clone, Default)]
+pub struct StorageStats {
+    /// All completed transfers in completion order.
+    pub records: Vec<TransferRecord>,
+}
+
+impl StorageStats {
+    /// Total bytes across all completed transfers.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Mean per-client bandwidth (bytes/s), i.e. the average of each
+    /// record's own mean bandwidth — the quantity plotted per client in
+    /// Figure 1.
+    pub fn mean_client_bandwidth(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(TransferRecord::mean_bandwidth).sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// Aggregate throughput: total bytes divided by the wall-span from the
+    /// first start to the last end — the "Aggregated Throughput" series in
+    /// Figure 1.
+    pub fn aggregate_throughput(&self) -> f64 {
+        let Some(first) = self.records.iter().map(|r| r.start).min() else {
+            return 0.0;
+        };
+        let last = self.records.iter().map(|r| r.end).max().unwrap();
+        if last <= first {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / time::as_secs_f64(last - first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(client: u32, bytes: u64, start: Time, end: Time) -> TransferRecord {
+        TransferRecord { client, kind: StreamKind::Write, bytes, start, end }
+    }
+
+    #[test]
+    fn mean_bandwidth_per_record() {
+        let r = rec(0, 100_000_000, 0, time::secs(1));
+        assert!((r.mean_bandwidth() - 1e8).abs() < 1.0);
+        let degenerate = rec(0, 5, time::secs(1), time::secs(1));
+        assert_eq!(degenerate.mean_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_uses_global_span() {
+        let stats = StorageStats {
+            records: vec![
+                rec(0, 50, 0, time::secs(1)),
+                rec(1, 50, 0, time::secs(2)),
+            ],
+        };
+        assert_eq!(stats.total_bytes(), 100);
+        assert!((stats.aggregate_throughput() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = StorageStats::default();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.mean_client_bandwidth(), 0.0);
+        assert_eq!(s.aggregate_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # gbcr-workloads — the paper's evaluation programs, simulated
+//!
+//! Four workloads drive the paper's figures, plus a random-traffic
+//! generator used by the property tests:
+//!
+//! * [`MicroBench`] (§6.1, Figure 3): 32 ranks partitioned into
+//!   *communication groups* that continuously exchange blocking messages
+//!   within the group — the knob that interacts with the checkpoint group
+//!   size.
+//! * [`PlacementBench`] (§6.1, Figure 4): communication groups of eight
+//!   plus a global `MPI_Barrier` every minute; sweeping the checkpoint
+//!   issuance time against the synchronization line.
+//! * [`HplWorkload`] (§6.2, Figures 5–6): a block-LU factorization on a
+//!   P×Q process grid with panel broadcasts along process rows — the
+//!   effective communication group is the row (Q = 4 in the paper's 8×4
+//!   run). Carries a real (small) matrix so factorization results can be
+//!   checksummed across checkpoint/restart runs, while wire/compute costs
+//!   are scaled to the paper's problem size.
+//! * [`MotifMinerWorkload`] (§6.3, Figure 7): iterative frequent-subgraph
+//!   mining over a synthetic molecular graph with an `MPI_Allgather` after
+//!   every iteration — global communication, but compute-dominated.
+//!
+//! Every workload registers its iteration state with the
+//! [`gbcr_core::CkptClient`] each step, making all of them restartable;
+//! tests verify checkpoint/restart result equivalence for each.
+
+#![warn(missing_docs)]
+
+pub mod hpl;
+pub mod micro;
+pub mod motifminer;
+pub mod random;
+
+pub use hpl::HplWorkload;
+pub use micro::{GroupLayout, MicroBench, PlacementBench};
+pub use motifminer::MotifMinerWorkload;
+pub use random::RandomTraffic;

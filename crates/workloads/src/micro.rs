@@ -1,0 +1,266 @@
+//! The paper's micro-benchmarks (§6.1).
+
+use gbcr_blcr::codec::{Checkpointable, Decoder, Encoder};
+use gbcr_blcr::CodecError;
+use gbcr_core::{JobSpec, RankCtx};
+use gbcr_des::{time, Time};
+use gbcr_mpi::Msg;
+use gbcr_storage::MB;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StepState {
+    step: u64,
+}
+
+impl Checkpointable for StepState {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u64(self.step);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(StepState { step: dec.get_u64()? })
+    }
+}
+
+/// How communication-group members are chosen from the global ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupLayout {
+    /// Consecutive ranks (`{0..g}, {g..2g}, …`) — aligned with static
+    /// checkpoint-group formation.
+    #[default]
+    Blocked,
+    /// Strided ranks (`{0, n/g, 2n/g, …}`) — deliberately misaligned with
+    /// rank-order formation; only dynamic formation discovers these groups
+    /// (used by the group-formation ablation).
+    Strided,
+}
+
+/// §6.1 micro-benchmark: "MPI processes communicate only within a
+/// communication group using blocking MPI calls continuously, effectively
+/// synchronizing themselves in groups."
+///
+/// Each step is `step_compute` of work followed by a blocking ring exchange
+/// inside the communication group (`comm_group_size == 1` is the
+/// embarrassingly-parallel case). The memory footprint is the paper's
+/// 180 MB per process.
+#[derive(Debug, Clone)]
+pub struct MicroBench {
+    /// Number of ranks (paper: 32).
+    pub n: u32,
+    /// Communication group size; 1 = embarrassingly parallel.
+    pub comm_group_size: u32,
+    /// Per-process memory footprint in bytes (paper: 180 MB).
+    pub footprint: u64,
+    /// Compute time per step.
+    pub step_compute: Time,
+    /// Number of steps (choose so the run outlives the checkpoint).
+    pub steps: u64,
+    /// Exchanged message size per step.
+    pub msg_size: u64,
+    /// Blocked (default) or strided communication-group membership.
+    pub layout: GroupLayout,
+}
+
+impl Default for MicroBench {
+    fn default() -> Self {
+        MicroBench {
+            n: 32,
+            comm_group_size: 8,
+            footprint: 180 * MB,
+            step_compute: time::ms(200),
+            steps: 600,
+            msg_size: 64 * 1024,
+            layout: GroupLayout::Blocked,
+        }
+    }
+}
+
+impl MicroBench {
+    /// Expected baseline duration (no checkpoint): steps × compute, plus
+    /// negligible communication.
+    pub fn approx_duration(&self) -> Time {
+        self.steps * self.step_compute
+    }
+
+    /// Build the runnable job.
+    pub fn job(&self) -> JobSpec {
+        let cfg = self.clone();
+        assert!(cfg.comm_group_size >= 1 && cfg.n.is_multiple_of(cfg.comm_group_size));
+        let body = Arc::new(move |ctx: RankCtx<'_>| {
+            let RankCtx { p, mpi, world, client, restored } = ctx;
+            client.set_footprint(cfg.footprint);
+            let mut st = match restored {
+                Some(b) => StepState::from_bytes(b).expect("valid micro state"),
+                None => StepState { step: 0 },
+            };
+            let g = cfg.comm_group_size;
+            let members: Vec<u32> = match cfg.layout {
+                GroupLayout::Blocked => {
+                    let base = (mpi.rank() / g) * g;
+                    (base..base + g).collect()
+                }
+                GroupLayout::Strided => {
+                    let stride = cfg.n / g;
+                    let base = mpi.rank() % stride;
+                    (0..g).map(|i| base + i * stride).collect()
+                }
+            };
+            let comm = world.comm(members);
+            let idx = comm.index_of(mpi.rank()).expect("member of own comm group");
+            let right = comm.member((idx + 1) % comm.size());
+            let left = comm.member((idx + comm.size() - 1) % comm.size());
+            while st.step < cfg.steps {
+                client.set_state(st.to_bytes());
+                client.mark_dirty(cfg.footprint / 64);
+                mpi.compute(p, cfg.step_compute);
+                if g > 1 {
+                    let tag = (st.step % 100_000) as u32;
+                    let s = mpi.isend(p, right, tag, Msg::bulk(cfg.msg_size));
+                    let _ = mpi.recv(p, Some(left), tag);
+                    mpi.wait(p, s);
+                }
+                st.step += 1;
+            }
+        });
+        JobSpec::new("micro", self.n, body)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PlacementState {
+    step: u64,
+}
+
+impl Checkpointable for PlacementState {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u64(self.step);
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(PlacementState { step: dec.get_u64()? })
+    }
+}
+
+/// §6.1 placement micro-benchmark (Figure 4): communication groups of
+/// eight with a **global** `MPI_Barrier` at a fixed interval, so that the
+/// distance between checkpoint issuance and the synchronization line can
+/// be swept.
+#[derive(Debug, Clone)]
+pub struct PlacementBench {
+    /// Number of ranks (paper: 32).
+    pub n: u32,
+    /// Communication group size (paper: 8).
+    pub comm_group_size: u32,
+    /// Per-process footprint (paper: 180 MB).
+    pub footprint: u64,
+    /// Compute per step.
+    pub step_compute: Time,
+    /// Steps between global barriers (`barrier_interval =
+    /// steps_per_period × step_compute`; paper: one minute).
+    pub steps_per_period: u64,
+    /// Number of barrier periods to run.
+    pub periods: u64,
+}
+
+impl Default for PlacementBench {
+    fn default() -> Self {
+        PlacementBench {
+            n: 32,
+            comm_group_size: 8,
+            footprint: 180 * MB,
+            step_compute: time::ms(250),
+            steps_per_period: 240, // 240 × 250 ms = 60 s
+            periods: 4,
+        }
+    }
+}
+
+impl PlacementBench {
+    /// The barrier interval this configuration produces.
+    pub fn barrier_interval(&self) -> Time {
+        self.steps_per_period * self.step_compute
+    }
+
+    /// Expected baseline duration.
+    pub fn approx_duration(&self) -> Time {
+        self.periods * self.barrier_interval()
+    }
+
+    /// Build the runnable job.
+    pub fn job(&self) -> JobSpec {
+        let cfg = self.clone();
+        assert!(cfg.n.is_multiple_of(cfg.comm_group_size));
+        let body = Arc::new(move |ctx: RankCtx<'_>| {
+            let RankCtx { p, mpi, world, client, restored } = ctx;
+            client.set_footprint(cfg.footprint);
+            let mut st = match restored {
+                Some(b) => PlacementState::from_bytes(b).expect("valid placement state"),
+                None => PlacementState { step: 0 },
+            };
+            let g = cfg.comm_group_size;
+            let base = (mpi.rank() / g) * g;
+            let comm = world.comm((base..base + g).collect());
+            let all = world.world_comm();
+            let idx = comm.index_of(mpi.rank()).expect("member");
+            let right = comm.member((idx + 1) % comm.size());
+            let left = comm.member((idx + comm.size() - 1) % comm.size());
+            let total = cfg.steps_per_period * cfg.periods;
+            while st.step < total {
+                client.set_state(st.to_bytes());
+                mpi.compute(p, cfg.step_compute);
+                let tag = (st.step % 100_000) as u32;
+                let s = mpi.isend(p, right, tag, Msg::bulk(32 * 1024));
+                let _ = mpi.recv(p, Some(left), tag);
+                mpi.wait(p, s);
+                st.step += 1;
+                // The global synchronization line (paper: every minute).
+                if st.step % cfg.steps_per_period == 0 {
+                    mpi.barrier(p, &all);
+                }
+            }
+        });
+        JobSpec::new("placement", self.n, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbcr_core::run_job;
+
+    #[test]
+    fn micro_baseline_duration_matches_model() {
+        let mb = MicroBench { n: 8, comm_group_size: 4, steps: 50, ..Default::default() };
+        let report = run_job(&mb.job(), None).unwrap();
+        let expect = time::as_secs_f64(mb.approx_duration());
+        let got = time::as_secs_f64(report.completion);
+        assert!((got - expect).abs() / expect < 0.05, "got {got}, expect ~{expect}");
+    }
+
+    #[test]
+    fn micro_embarrassingly_parallel_has_no_traffic() {
+        let mb = MicroBench { n: 4, comm_group_size: 1, steps: 20, ..Default::default() };
+        let report = run_job(&mb.job(), None).unwrap();
+        assert_eq!(report.net_stats.messages, 0);
+    }
+
+    #[test]
+    fn placement_barrier_period_shapes_run() {
+        let pb = PlacementBench {
+            n: 8,
+            comm_group_size: 4,
+            steps_per_period: 20,
+            periods: 2,
+            ..Default::default()
+        };
+        let report = run_job(&pb.job(), None).unwrap();
+        let expect = time::as_secs_f64(pb.approx_duration());
+        let got = time::as_secs_f64(report.completion);
+        assert!((got - expect).abs() / expect < 0.05, "got {got}, expect ~{expect}");
+    }
+
+    #[test]
+    fn micro_state_round_trips() {
+        let s = StepState { step: 77 };
+        assert_eq!(StepState::from_bytes(s.to_bytes()).unwrap(), s);
+    }
+}

@@ -1,0 +1,292 @@
+//! A MotifMiner-like parallel data-mining workload (§6.3, Figure 7).
+//!
+//! MotifMiner mines structural motifs in biomolecular datasets; its
+//! parallel algorithm is iterative with an `MPI_Allgather` exchanging
+//! candidates after each iteration — global communication, but each
+//! iteration carries "a relatively large chunk of computation", which is
+//! why group-based checkpointing still helps (§6.3).
+//!
+//! A real (tiny) frequent-subpath miner runs inside the timing shell: a
+//! deterministic synthetic molecule graph is partitioned across ranks,
+//! each rank extends its local candidate paths and counts support, and the
+//! allgather merges global support counts — so results are checkable and
+//! restart equivalence is meaningful.
+
+use gbcr_blcr::codec::{Checkpointable, Decoder, Encoder};
+use gbcr_blcr::CodecError;
+use gbcr_core::{JobSpec, RankCtx};
+use gbcr_des::{time, Time};
+use gbcr_mpi::Msg;
+use gbcr_storage::MB;
+use std::sync::Arc;
+
+/// Configuration of the MotifMiner-like run.
+#[derive(Debug, Clone)]
+pub struct MotifMinerWorkload {
+    /// Number of ranks (paper: 32).
+    pub n: u32,
+    /// Mining iterations (path-length levels).
+    pub iterations: u32,
+    /// Base compute time per iteration per rank.
+    pub iter_compute: Time,
+    /// Per-process memory footprint in bytes.
+    pub footprint: u64,
+    /// Simulated bytes each rank contributes to the allgather.
+    pub exchange_bytes: u64,
+    /// Number of atoms in the synthetic molecule graph.
+    pub atoms: u32,
+    /// Deterministic per-rank compute imbalance amplitude (fraction).
+    pub imbalance: f64,
+}
+
+impl Default for MotifMinerWorkload {
+    fn default() -> Self {
+        // Long per-iteration compute chunks: the lysozyme query is heavily
+        // computation-bound, and the compute-chunk-to-epoch ratio is what
+        // produces the paper's up-to-70 % reduction at the 30 s point.
+        MotifMinerWorkload {
+            n: 32,
+            iterations: 4,
+            iter_compute: time::secs(115),
+            footprint: 520 * MB,
+            exchange_bytes: 4 * MB,
+            atoms: 64,
+            imbalance: 0.15,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MinerState {
+    iter: u32,
+    /// Support counts of the surviving candidate paths, keyed by a path
+    /// signature hash (sorted for determinism).
+    support: Vec<(u64, u64)>,
+}
+
+impl Checkpointable for MinerState {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u32(self.iter);
+        enc.put_u64(self.support.len() as u64);
+        for &(sig, count) in &self.support {
+            enc.put_u64(sig);
+            enc.put_u64(count);
+        }
+    }
+    fn restore(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let iter = dec.get_u32()?;
+        let n = dec.get_u64()? as usize;
+        let mut support = Vec::with_capacity(n);
+        for _ in 0..n {
+            support.push((dec.get_u64()?, dec.get_u64()?));
+        }
+        Ok(MinerState { iter, support })
+    }
+}
+
+/// Deterministic synthetic molecule: atom labels and a sparse bond list.
+fn bonds(atoms: u32) -> Vec<(u32, u32)> {
+    let mut b = Vec::new();
+    for i in 0..atoms {
+        b.push((i, (i + 1) % atoms)); // backbone ring
+        if i % 3 == 0 && i + 5 < atoms {
+            b.push((i, i + 5)); // cross-links
+        }
+    }
+    b
+}
+
+fn atom_label(i: u32) -> u64 {
+    u64::from(i % 5) // five element types
+}
+
+/// One level of local mining on this rank's shard: extend each frequent
+/// path signature by the bonds whose lower endpoint hashes into the shard,
+/// producing `(signature, count)` pairs.
+fn mine_level(rank: u32, n: u32, atoms: u32, prev: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &(a, b) in &bonds(atoms) {
+        if a % n != rank {
+            continue; // not this rank's shard
+        }
+        let edge_sig = atom_label(a)
+            .wrapping_mul(31)
+            .wrapping_add(atom_label(b))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for &(sig, count) in prev {
+            let ext = sig.rotate_left(7) ^ edge_sig;
+            match out.binary_search_by_key(&ext, |e| e.0) {
+                Ok(i) => out[i].1 += count,
+                Err(i) => out.insert(i, (ext, count.max(1))),
+            }
+        }
+    }
+    out
+}
+
+/// Merge globally gathered candidate lists, keeping signatures whose total
+/// support clears the (low) threshold — bounded so state stays small.
+fn merge_and_prune(all: &[Vec<(u64, u64)>]) -> Vec<(u64, u64)> {
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for shard in all {
+        for &(sig, count) in shard {
+            match merged.binary_search_by_key(&sig, |e| e.0) {
+                Ok(i) => merged[i].1 += count,
+                Err(i) => merged.insert(i, (sig, count)),
+            }
+        }
+    }
+    merged.retain(|&(_, c)| c >= 2);
+    merged.truncate(256);
+    merged
+}
+
+impl MotifMinerWorkload {
+    /// Rough baseline duration (compute-dominated).
+    pub fn approx_duration(&self) -> Time {
+        u64::from(self.iterations) * self.iter_compute
+    }
+
+    /// Compute time for `(rank, iter)` with deterministic imbalance.
+    pub fn compute_at(&self, rank: u32, iter: u32) -> Time {
+        let h = (u64::from(rank) << 32 | u64::from(iter))
+            .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let frac = (h >> 40) as f64 / (1u64 << 24) as f64; // [0, 1)
+        let scale = 1.0 + self.imbalance * (frac - 0.5);
+        (self.iter_compute as f64 * scale) as Time
+    }
+
+    /// Build the runnable job. If `digest_out` is supplied, each rank adds
+    /// a digest of the final global support table into it.
+    pub fn job(&self, digest_out: Option<Arc<parking_lot::Mutex<u64>>>) -> JobSpec {
+        let cfg = self.clone();
+        let body = Arc::new(move |ctx: RankCtx<'_>| {
+            let RankCtx { p, mpi, world, client, restored } = ctx;
+            client.set_footprint(cfg.footprint);
+            let all = world.world_comm();
+            let mut st = match restored {
+                Some(b) => MinerState::from_bytes(b).expect("valid miner state"),
+                None => MinerState { iter: 0, support: vec![(0x1234_5678, 1)] },
+            };
+            while st.iter < cfg.iterations {
+                client.set_state(st.to_bytes());
+                // Candidate tables and working buffers churn a small slice
+                // of the footprint each level (incremental-ckpt dirty set).
+                client.mark_dirty(cfg.footprint / 12);
+                // The big local chunk of computation (imbalanced).
+                mpi.compute(p, cfg.compute_at(mpi.rank(), st.iter));
+                let local = mine_level(mpi.rank(), cfg.n, cfg.atoms, &st.support);
+                // Global candidate exchange after each iteration.
+                let payload = {
+                    let mut e = Encoder::new();
+                    e.put_u64(local.len() as u64);
+                    for &(s, c) in &local {
+                        e.put_u64(s);
+                        e.put_u64(c);
+                    }
+                    Msg::with_size(e.finish(), cfg.exchange_bytes)
+                };
+                let gathered = mpi.allgather(p, &all, payload);
+                let shards: Vec<Vec<(u64, u64)>> = gathered
+                    .into_iter()
+                    .map(|m| {
+                        let mut d = Decoder::new(m.data);
+                        let n = d.get_u64().expect("len") as usize;
+                        (0..n)
+                            .map(|_| (d.get_u64().unwrap(), d.get_u64().unwrap()))
+                            .collect()
+                    })
+                    .collect();
+                st.support = merge_and_prune(&shards);
+                st.iter += 1;
+            }
+            if let Some(out) = &digest_out {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for &(sig, count) in &st.support {
+                    h ^= sig.wrapping_mul(3).wrapping_add(count);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                let mut g = out.lock();
+                *g = g.wrapping_add(h);
+            }
+        });
+        JobSpec::new("motifminer", self.n, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbcr_core::run_job;
+    use parking_lot::Mutex;
+
+    fn small() -> MotifMinerWorkload {
+        MotifMinerWorkload {
+            n: 8,
+            iterations: 6,
+            iter_compute: time::ms(300),
+            footprint: 20 * MB,
+            exchange_bytes: 256 * 1024,
+            atoms: 32,
+            imbalance: 0.2,
+        }
+    }
+
+    #[test]
+    fn mining_is_deterministic_and_converges() {
+        let w = small();
+        let d1 = Arc::new(Mutex::new(0u64));
+        run_job(&w.job(Some(d1.clone())), None).unwrap();
+        let d2 = Arc::new(Mutex::new(0u64));
+        run_job(&w.job(Some(d2.clone())), None).unwrap();
+        let (a, b) = (*d1.lock(), *d2.lock());
+        assert_eq!(a, b, "mining result must be deterministic");
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn all_ranks_agree_on_global_support() {
+        // Every rank ends with the same merged table, so the digest sum is
+        // n × (single digest): check divisibility by running twice with
+        // different n.
+        let w = small();
+        let d = Arc::new(Mutex::new(0u64));
+        run_job(&w.job(Some(d.clone())), None).unwrap();
+        let total = *d.lock();
+        // Per-rank digests are identical; recover one by dividing.
+        assert_eq!(total % u64::from(w.n), 0, "ranks disagreed on the final table");
+    }
+
+    #[test]
+    fn imbalance_varies_compute_but_stays_bounded() {
+        let w = MotifMinerWorkload::default();
+        let base = w.iter_compute as f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for r in 0..w.n {
+            for it in 0..w.iterations {
+                let c = w.compute_at(r, it) as f64;
+                min = min.min(c);
+                max = max.max(c);
+            }
+        }
+        assert!(max <= base * (1.0 + w.imbalance / 2.0) + 1.0);
+        assert!(min >= base * (1.0 - w.imbalance / 2.0) - 1.0);
+        assert!(max > min, "imbalance should actually vary");
+    }
+
+    #[test]
+    fn miner_state_round_trips() {
+        let st = MinerState { iter: 4, support: vec![(9, 2), (11, 5)] };
+        assert_eq!(MinerState::from_bytes(st.to_bytes()).unwrap(), st);
+    }
+
+    #[test]
+    fn duration_model_matches_run() {
+        let w = small();
+        let report = run_job(&w.job(None), None).unwrap();
+        let expect = time::as_secs_f64(w.approx_duration());
+        let got = time::as_secs_f64(report.completion);
+        assert!((got - expect).abs() / expect < 0.15, "got {got}, expect ~{expect}");
+    }
+}

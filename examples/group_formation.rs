@@ -1,0 +1,57 @@
+//! Group formation (§4.1): static versus dynamic checkpoint groups.
+//!
+//! When the application's communication groups are rank-contiguous, static
+//! formation is already optimal. When they are strided across ranks,
+//! static rank-order groups split every communication group — dynamic
+//! formation measures the traffic, takes the transitive closure of the
+//! frequent edges, and recovers the true groups.
+//!
+//! Run with: `cargo run --release --example group_formation`
+
+use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_des::time;
+use gbcr_workloads::{GroupLayout, MicroBench};
+
+fn run_one(layout: GroupLayout, formation: Formation, label: &str) {
+    let mb = MicroBench { comm_group_size: 4, layout, ..Default::default() };
+    let spec = mb.job();
+    let base = run_job(&spec, None).expect("baseline");
+    let cfg = CoordinatorCfg {
+        job: "micro".into(),
+        mode: CkptMode::Buffering,
+        formation,
+        schedule: CkptSchedule::once(time::secs(30)),
+        incremental: false,
+    };
+    let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
+    let ep = &ck.epochs[0];
+    println!(
+        "  {label}: effective delay {:6.1} s  ({} groups; first group = {:?})",
+        time::as_secs_f64(ck.completion - base.completion),
+        ep.plan.group_count(),
+        ep.plan.members(0),
+    );
+}
+
+fn main() {
+    let static4 = Formation::Static { group_size: 4 };
+    let dynamic = Formation::Dynamic {
+        frequent_fraction: 0.2,
+        fallback_group_size: 4,
+        max_group_size: 8,
+    };
+
+    println!("blocked comm groups {{0-3}}, {{4-7}}, … (static formation already aligned):");
+    run_one(GroupLayout::Blocked, static4.clone(), "static g=4 ");
+    run_one(GroupLayout::Blocked, dynamic.clone(), "dynamic    ");
+
+    println!("\nstrided comm groups {{0,8,16,24}}, {{1,9,17,25}}, … (static splits every group):");
+    run_one(GroupLayout::Strided, static4, "static g=4 ");
+    run_one(GroupLayout::Strided, dynamic, "dynamic    ");
+
+    println!(
+        "\ndynamic formation pays a small traffic-query round but recovers the \
+         communication closure, matching static where static is right and \
+         beating it where it is wrong (paper §4.1)."
+    );
+}

@@ -1,0 +1,54 @@
+//! HPL under checkpointing: compare regular coordinated checkpointing
+//! against group-based checkpointing on the paper's 8×4 grid, and verify
+//! that the factorization result is bit-identical in all three runs.
+//!
+//! Run with: `cargo run --release --example hpl_checkpoint`
+
+use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_des::time;
+use gbcr_workloads::{hpl, HplWorkload};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn cfg(group_size: u32) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: "hpl".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size },
+        schedule: CkptSchedule::once(time::secs(50)),
+        incremental: false,
+    }
+}
+
+fn main() {
+    let w = HplWorkload::default();
+    let oracle = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
+    println!(
+        "HPL-like run: {}×{} grid, {} panels, {} MB base footprint",
+        w.grid_rows,
+        w.grid_cols,
+        w.panels,
+        w.base_footprint / 1_000_000
+    );
+
+    let digest = Arc::new(Mutex::new(0u64));
+    let base = run_job(&w.job(Some(digest.clone())), None).expect("baseline");
+    assert_eq!(*digest.lock(), oracle, "baseline result");
+    println!("baseline: {:.1} s (digest matches sequential oracle)", time::as_secs_f64(base.completion));
+
+    for (label, g) in [("regular  All(32)", 32u32), ("group-based g=4  ", 4)] {
+        let digest = Arc::new(Mutex::new(0u64));
+        let ck = run_job(&w.job(Some(digest.clone())), Some(cfg(g))).expect("ckpt run");
+        assert_eq!(*digest.lock(), oracle, "checkpointed result for g={g}");
+        let ep = &ck.epochs[0];
+        let eff = time::as_secs_f64(ck.completion - base.completion);
+        println!(
+            "{label}: effective delay {:6.1} s | individual {:5.1} s | total {:5.1} s | result ok",
+            eff,
+            time::as_secs_f64(ep.mean_individual()),
+            time::as_secs_f64(ep.total_time()),
+        );
+    }
+    println!("\ngroup-based checkpointing cut the effective delay while every run \
+              factored the matrix identically.");
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration and property tests live in `tests/tests/`; this
+//! crate intentionally exports nothing.

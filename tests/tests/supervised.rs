@@ -1,0 +1,64 @@
+//! Supervised execution: multiple injected cluster failures, automatic
+//! restart from the newest surviving checkpoint each time, final result
+//! identical to a failure-free run.
+
+use gbcr_core::{
+    run_job, run_supervised, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+};
+use gbcr_des::time;
+use gbcr_workloads::RandomTraffic;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn cfg(at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: "random-traffic".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: 4 },
+        schedule: CkptSchedule { at },
+        incremental: false,
+    }
+}
+
+#[test]
+fn survives_two_cluster_failures_and_finishes_exactly() {
+    let w = RandomTraffic { steps: 220, ..Default::default() };
+    let truth = Arc::new(Mutex::new(Vec::new()));
+    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    let mut want = truth.lock().clone();
+    want.sort();
+
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let report = run_supervised(
+        &w.job(Some(results.clone())),
+        cfg(vec![time::secs(1), time::secs(3), time::secs(5)]),
+        // Crash twice: once after epoch 0 completed (~3 s), once in the
+        // restored attempt after its own first epochs.
+        &[time::ms(3500), time::ms(4800)],
+    )
+    .unwrap();
+
+    assert_eq!(report.failures_survived(), 2);
+    assert_eq!(report.attempts.len(), 3);
+    assert!(report.attempts[0].crashed_at.is_some());
+    assert_eq!(report.attempts[0].restored_from, None);
+    assert!(report.attempts[1].restored_from.is_some());
+    assert!(report.attempts.last().unwrap().finished);
+
+    // Only the final attempt's ranks push results (earlier attempts died
+    // before their bodies completed).
+    let mut got = results.lock().clone();
+    got.sort();
+    assert_eq!(got, want, "supervised recovery diverged from the truth");
+}
+
+#[test]
+#[should_panic(expected = "nothing to restart from")]
+fn crash_before_any_checkpoint_is_fatal() {
+    let w = RandomTraffic { steps: 220, ..Default::default() };
+    let _ = run_supervised(
+        &w.job(None),
+        cfg(vec![time::secs(3)]),
+        &[time::ms(500)], // long before epoch 0 completes
+    );
+}
