@@ -13,11 +13,27 @@
 //!   application's communication groups are not rank-contiguous.
 
 use crate::static_cfg;
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RunReport};
 use gbcr_des::{time, Time};
-use gbcr_metrics::Table;
+use gbcr_metrics::{run_sweep, GroupReports, SweepGroup, Table};
 use gbcr_storage::MB;
 use gbcr_workloads::{GroupLayout, MicroBench, MotifMinerWorkload};
+
+/// Run one spec with several configs through the parallel harness,
+/// returning the baseline plus the per-config reports. All ablations fan
+/// their runs out this way.
+fn sweep_one(spec: &JobSpec, cfgs: Vec<CoordinatorCfg>, threads: Option<usize>) -> GroupReports {
+    let group = SweepGroup::new(spec.clone(), cfgs);
+    run_sweep(std::slice::from_ref(&group), threads)
+        .expect("ablation runs")
+        .pop()
+        .expect("one group in, one out")
+}
+
+/// Effective delay of a checkpointed run against its baseline, seconds.
+fn eff_secs(baseline: &RunReport, ck: &RunReport) -> f64 {
+    time::as_secs_f64(ck.completion.saturating_sub(baseline.completion))
+}
 
 /// Result of the helper-thread ablation.
 #[derive(Debug, Clone, Copy)]
@@ -33,19 +49,25 @@ pub struct ProgressAblation {
 /// arrive only at their next library call, stretching every group's
 /// pre-checkpoint coordination.
 pub fn progress_ablation() -> ProgressAblation {
-    let measure = |helper: bool| -> f64 {
-        let w = MotifMinerWorkload::default();
-        let mut spec = w.job(None);
-        spec.mpi.helper_thread = helper;
-        let base = run_job(&spec, None).expect("baseline");
-        // t = 130 s: the first allgather (≈115 s) has established the ring
-        // connections and every rank is deep in iteration 1's compute, so
-        // the members' FLUSH rounds depend on passive peers' progress.
-        let ck = run_job(&spec, Some(static_cfg("motifminer", 4, time::secs(130))))
-            .expect("ckpt run");
-        time::as_secs_f64(ck.completion.saturating_sub(base.completion))
-    };
-    ProgressAblation { with_helper: measure(true), without_helper: measure(false) }
+    progress_ablation_threaded(None)
+}
+
+/// [`progress_ablation`] with explicit worker-thread control.
+pub fn progress_ablation_threaded(threads: Option<usize>) -> ProgressAblation {
+    // t = 130 s: the first allgather (≈115 s) has established the ring
+    // connections and every rank is deep in iteration 1's compute, so the
+    // members' FLUSH rounds depend on passive peers' progress.
+    let groups: Vec<SweepGroup> = [true, false]
+        .iter()
+        .map(|&helper| {
+            let mut spec = MotifMinerWorkload::default().job(None);
+            spec.mpi.helper_thread = helper;
+            SweepGroup::new(spec, vec![static_cfg("motifminer", 4, time::secs(130))])
+        })
+        .collect();
+    let reports = run_sweep(&groups, threads).expect("ablation runs");
+    let eff = |gr: &GroupReports| eff_secs(&gr.baseline, &gr.runs[0]);
+    ProgressAblation { with_helper: eff(&reports[0]), without_helper: eff(&reports[1]) }
 }
 
 /// Render the §4.4 ablation.
@@ -83,14 +105,18 @@ impl BufferingAblation {
 /// §4.3: run a group-based checkpoint over mixed eager/rendezvous traffic
 /// and account where the deferred bytes went.
 pub fn buffering_ablation() -> BufferingAblation {
+    buffering_ablation_threaded(None)
+}
+
+/// [`buffering_ablation`] with explicit worker-thread control.
+pub fn buffering_ablation_threaded(threads: Option<usize>) -> BufferingAblation {
     // Issue the checkpoint at a point where ranks reach their next panel's
     // cross-group communication inside the epoch, so traffic actually
     // defers (at t=50 s the whole epoch fits inside panel 0's update and
     // nothing needs buffering — which is itself the paper's best case).
     let w = gbcr_workloads::HplWorkload::default();
-    let ck = run_job(&w.job(None), Some(static_cfg("hpl", 4, time::secs(100))))
-        .expect("ckpt run");
-    let d = ck.defer_stats;
+    let gr = sweep_one(&w.job(None), vec![static_cfg("hpl", 4, time::secs(100))], threads);
+    let d = &gr.runs[0].defer_stats;
     BufferingAblation {
         msg_ops: d.msg_buffered,
         msg_bytes: d.msg_buffered_bytes,
@@ -141,30 +167,29 @@ pub struct LoggingAblation {
 /// micro-benchmark. Logging lets everything flow (no deferral stalls) but
 /// copies every message and forfeits zero-copy rendezvous.
 pub fn logging_ablation() -> LoggingAblation {
+    logging_ablation_threaded(None)
+}
+
+/// [`logging_ablation`] with explicit worker-thread control.
+pub fn logging_ablation_threaded(threads: Option<usize>) -> LoggingAblation {
     let mb = MicroBench {
         msg_size: 2 * MB, // rendezvous-sized: logging forfeits zero-copy
         step_compute: time::ms(50),
         ..Default::default()
     };
-    let spec = mb.job();
-    let base = run_job(&spec, None).expect("baseline");
-    let eff = |mode: CkptMode| -> (f64, u64) {
-        let cfg = CoordinatorCfg {
-            job: "micro".into(),
-            mode,
-            formation: Formation::Static { group_size: 8 },
-            schedule: CkptSchedule::once(time::secs(10)),
-            incremental: false,
-        };
-        let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
-        (
-            time::as_secs_f64(ck.completion.saturating_sub(base.completion)),
-            ck.logged_bytes,
-        )
+    let cfg = |mode: CkptMode| CoordinatorCfg {
+        job: "micro".into(),
+        mode,
+        formation: Formation::Static { group_size: 8 },
+        schedule: CkptSchedule::once(time::secs(10)),
+        incremental: false,
     };
-    let (buffering_effective, _) = eff(CkptMode::Buffering);
-    let (logging_effective, logged_bytes) = eff(CkptMode::Logging);
-    LoggingAblation { buffering_effective, logging_effective, logged_bytes }
+    let gr = sweep_one(&mb.job(), vec![cfg(CkptMode::Buffering), cfg(CkptMode::Logging)], threads);
+    LoggingAblation {
+        buffering_effective: eff_secs(&gr.baseline, &gr.runs[0]),
+        logging_effective: eff_secs(&gr.baseline, &gr.runs[1]),
+        logged_bytes: gr.runs[1].logged_bytes,
+    }
 }
 
 /// Render the logging ablation.
@@ -206,31 +231,36 @@ pub struct ChandyLamportAblation {
 /// once (same total time as regular = long vulnerability window) and logs
 /// channel state; group-based keeps the total sliced and logs nothing.
 pub fn chandy_lamport_ablation() -> ChandyLamportAblation {
+    chandy_lamport_ablation_threaded(None)
+}
+
+/// [`chandy_lamport_ablation`] with explicit worker-thread control.
+pub fn chandy_lamport_ablation_threaded(threads: Option<usize>) -> ChandyLamportAblation {
     let mb = MicroBench::default();
-    let spec = mb.job();
-    let base = run_job(&spec, None).expect("baseline");
-    let run = |mode: CkptMode, g: u32| {
-        let cfg = CoordinatorCfg {
-            job: "micro".into(),
-            mode,
-            formation: Formation::Static { group_size: g },
-            schedule: CkptSchedule::once(time::secs(30)),
-            incremental: false,
-        };
-        run_job(&spec, Some(cfg)).expect("ckpt run")
+    let cfg = |mode: CkptMode, g: u32| CoordinatorCfg {
+        job: "micro".into(),
+        mode,
+        formation: Formation::Static { group_size: g },
+        schedule: CkptSchedule::once(time::secs(30)),
+        incremental: false,
     };
-    let cl = run(CkptMode::ChandyLamport, 32);
-    let grouped = run(CkptMode::Buffering, 4);
-    let regular = run(CkptMode::Buffering, 32);
-    let eff =
-        |r: &gbcr_core::RunReport| time::as_secs_f64(r.completion.saturating_sub(base.completion));
+    let gr = sweep_one(
+        &mb.job(),
+        vec![
+            cfg(CkptMode::ChandyLamport, 32),
+            cfg(CkptMode::Buffering, 4),
+            cfg(CkptMode::Buffering, 32),
+        ],
+        threads,
+    );
+    let (cl, grouped, regular) = (&gr.runs[0], &gr.runs[1], &gr.runs[2]);
     ChandyLamportAblation {
-        cl_effective: eff(&cl),
+        cl_effective: eff_secs(&gr.baseline, cl),
         cl_total: time::as_secs_f64(cl.epochs[0].total_time()),
         cl_logged: cl.channel_logged_bytes,
-        grouped_effective: eff(&grouped),
+        grouped_effective: eff_secs(&gr.baseline, grouped),
         grouped_total: time::as_secs_f64(grouped.epochs[0].total_time()),
-        regular_effective: eff(&regular),
+        regular_effective: eff_secs(&gr.baseline, regular),
     }
 }
 
@@ -284,26 +314,26 @@ pub struct IncrementalAblation {
 /// trailing update dirties nearly the whole footprint between epochs, so
 /// incremental buys little there — both behaviors are real.)
 pub fn incremental_ablation() -> IncrementalAblation {
+    incremental_ablation_threaded(None)
+}
+
+/// [`incremental_ablation`] with explicit worker-thread control.
+pub fn incremental_ablation_threaded(threads: Option<usize>) -> IncrementalAblation {
     let w = MotifMinerWorkload::default();
-    let spec = w.job(None);
-    let base = run_job(&spec, None).expect("baseline");
-    let run = |incremental: bool| {
-        let cfg = CoordinatorCfg {
-            job: "motifminer".into(),
-            mode: CkptMode::Buffering,
-            formation: Formation::Static { group_size: 4 },
-            schedule: CkptSchedule { at: vec![time::secs(30), time::secs(150)] },
-            incremental,
-        };
-        run_job(&spec, Some(cfg)).expect("ckpt run")
+    let cfg = |incremental: bool| CoordinatorCfg {
+        job: "motifminer".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: 4 },
+        schedule: CkptSchedule { at: vec![time::secs(30), time::secs(150)] },
+        incremental,
     };
-    let full = run(false);
-    let inc = run(true);
+    let gr = sweep_one(&w.job(None), vec![cfg(false), cfg(true)], threads);
+    let (full, inc) = (&gr.runs[0], &gr.runs[1]);
     IncrementalAblation {
         full_total: time::as_secs_f64(full.epochs[1].total_time()),
         incremental_total: time::as_secs_f64(inc.epochs[1].total_time()),
-        full_effective: time::as_secs_f64(full.completion.saturating_sub(base.completion)),
-        incremental_effective: time::as_secs_f64(inc.completion.saturating_sub(base.completion)),
+        full_effective: eff_secs(&gr.baseline, full),
+        incremental_effective: eff_secs(&gr.baseline, inc),
     }
 }
 
@@ -337,15 +367,18 @@ pub struct FormationAblation {
 /// defeat rank-order static formation; dynamic formation recovers the true
 /// groups from measured traffic.
 pub fn formation_ablation() -> FormationAblation {
+    formation_ablation_threaded(None)
+}
+
+/// [`formation_ablation`] with explicit worker-thread control.
+pub fn formation_ablation_threaded(threads: Option<usize>) -> FormationAblation {
     let mb = MicroBench {
         comm_group_size: 4,
         layout: GroupLayout::Strided,
         ..Default::default()
     };
     let spec: JobSpec = mb.job();
-    let base = run_job(&spec, None).expect("baseline");
     let at: Time = time::secs(30);
-    let stat = run_job(&spec, Some(static_cfg("micro", 4, at))).expect("static run");
     let dyn_cfg = CoordinatorCfg {
         job: "micro".into(),
         mode: CkptMode::Buffering,
@@ -357,10 +390,11 @@ pub fn formation_ablation() -> FormationAblation {
         schedule: CkptSchedule::once(at),
         incremental: false,
     };
-    let dynr = run_job(&spec, Some(dyn_cfg)).expect("dynamic run");
+    let gr = sweep_one(&spec, vec![static_cfg("micro", 4, at), dyn_cfg], threads);
+    let (stat, dynr) = (&gr.runs[0], &gr.runs[1]);
     FormationAblation {
-        static_effective: time::as_secs_f64(stat.completion.saturating_sub(base.completion)),
-        dynamic_effective: time::as_secs_f64(dynr.completion.saturating_sub(base.completion)),
+        static_effective: eff_secs(&gr.baseline, stat),
+        dynamic_effective: eff_secs(&gr.baseline, dynr),
         dynamic_groups: dynr.epochs[0].plan.group_count(),
     }
 }

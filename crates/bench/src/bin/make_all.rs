@@ -1,52 +1,257 @@
 //! Regenerate every figure and ablation in one pass (the EXPERIMENTS.md
 //! source of truth). Prints everything to stdout; redirect to a file.
+//!
+//! All drivers fan their simulation cells over the parallel harness
+//! (`gbcr_metrics::run_sweep`). Flags:
+//!
+//! * `--threads N` — worker pool size (default: `GBCR_THREADS` env, then
+//!   all available cores).
+//! * `--smoke` — tiny sweeps only (used by `scripts/tier1.sh`).
+//! * `--serial-check` — rerun everything on one worker and verify the
+//!   rendered tables are byte-identical, recording the speedup.
+//! * `--json [PATH]` — write a machine-readable run record (per-figure
+//!   wall ms, thread count, simulated-event total) to PATH (default
+//!   `BENCH_harness.json`).
+
+use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, GROUP_SIZES};
+use std::time::Instant;
+
+struct Args {
+    threads: Option<usize>,
+    smoke: bool,
+    serial_check: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out =
+        Args { threads: None, smoke: false, serial_check: false, json: None };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number");
+                    std::process::exit(2);
+                });
+                out.threads = Some(n);
+            }
+            "--smoke" => out.smoke = true,
+            "--serial-check" => out.serial_check = true,
+            "--json" => {
+                out.json = Some(match it.peek() {
+                    Some(v) if !v.starts_with('-') => it.next().unwrap(),
+                    _ => "BENCH_harness.json".to_owned(),
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: make_all [--threads N] [--smoke] [--serial-check] [--json [PATH]]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+type Renderer = Box<dyn Fn(Option<usize>) -> String>;
+
+/// Every section of the report: name plus a renderer taking the worker
+/// count. Each renderer is deterministic, so its output must not depend
+/// on `threads`.
+fn sections(smoke: bool) -> Vec<(&'static str, Renderer)> {
+    let mut s: Vec<(&'static str, Renderer)> = Vec::new();
+    s.push(("fig1", Box::new(|_| fig1::table(&fig1::run()).render())));
+    if smoke {
+        s.push((
+            "fig3",
+            Box::new(|t| fig3::table(&fig3::run_threaded(8, &[4], &[8, 4], t)).render()),
+        ));
+        s.push((
+            "fig4",
+            Box::new(|t| fig4::table(&fig4::run_threaded(&[15, 55], t)).render()),
+        ));
+        s.push((
+            "fig5",
+            Box::new(|t| fig5::table(&fig5::run_threaded(&[50, 150], &[32, 4], t)).render()),
+        ));
+        s.push((
+            "fig7",
+            Box::new(|t| fig7::table(&fig7::run_threaded(&[30], &[32, 4], t)).render()),
+        ));
+        return s;
+    }
+    s.push((
+        "fig3",
+        Box::new(|t| {
+            fig3::table(&fig3::run_threaded(32, &fig3::COMM_SIZES, &GROUP_SIZES, t)).render()
+        }),
+    ));
+    s.push((
+        "fig4",
+        Box::new(|t| fig4::table(&fig4::run_threaded(&fig4::POINTS, t)).render()),
+    ));
+    s.push((
+        "fig5+6",
+        Box::new(|t| {
+            let sw = fig5::run_threaded(&fig5::POINTS, &GROUP_SIZES, t);
+            let mut out = fig5::table(&sw).render();
+            out.push('\n');
+            out.push_str(
+                &fig5::summary_table(
+                    &sw,
+                    "Figure 6 — HPL Effective Checkpoint Delay per group size (avg with min/max)",
+                )
+                .render(),
+            );
+            out
+        }),
+    ));
+    s.push((
+        "fig7",
+        Box::new(|t| {
+            let sw = fig7::run_threaded(&fig7::POINTS, &GROUP_SIZES, t);
+            let mut out = fig7::table(&sw).render();
+            out.push('\n');
+            out.push_str(
+                &fig5::summary_table(
+                    &sw,
+                    "Figure 7 summary — MotifMiner average effective delay per group size",
+                )
+                .render(),
+            );
+            out
+        }),
+    ));
+    s.push((
+        "ablation-progress",
+        Box::new(|t| ablations::progress_table(&ablations::progress_ablation_threaded(t)).render()),
+    ));
+    s.push((
+        "ablation-buffering",
+        Box::new(|t| {
+            ablations::buffering_table(&ablations::buffering_ablation_threaded(t)).render()
+        }),
+    ));
+    s.push((
+        "ablation-logging",
+        Box::new(|t| ablations::logging_table(&ablations::logging_ablation_threaded(t)).render()),
+    ));
+    s.push((
+        "ablation-formation",
+        Box::new(|t| {
+            ablations::formation_table(&ablations::formation_ablation_threaded(t)).render()
+        }),
+    ));
+    s.push((
+        "comparator-chandy-lamport",
+        Box::new(|t| {
+            ablations::chandy_lamport_table(&ablations::chandy_lamport_ablation_threaded(t))
+                .render()
+        }),
+    ));
+    s.push((
+        "extension-incremental",
+        Box::new(|t| {
+            ablations::incremental_table(&ablations::incremental_ablation_threaded(t)).render()
+        }),
+    ));
+    s
+}
+
+/// Run every section on `threads` workers; returns the rendered sections
+/// and per-section wall milliseconds.
+fn render_all(
+    secs: &[(&'static str, Renderer)],
+    threads: Option<usize>,
+) -> (Vec<String>, Vec<f64>) {
+    let mut outputs = Vec::with_capacity(secs.len());
+    let mut walls = Vec::with_capacity(secs.len());
+    for (_, render) in secs {
+        let t0 = Instant::now();
+        outputs.push(render(threads));
+        walls.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (outputs, walls)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 fn main() {
-    println!("=== gbcr: full evaluation reproduction ===\n");
-    let t0 = std::time::Instant::now();
+    let args = parse_args();
+    let threads = gbcr_metrics::resolve_threads(args.threads);
+    let secs = sections(args.smoke);
 
-    let rows = gbcr_bench::fig1::run();
-    println!("{}", gbcr_bench::fig1::table(&rows).render());
-
-    let fig3 = gbcr_bench::fig3::run();
-    println!("{}", gbcr_bench::fig3::table(&fig3).render());
-
-    let fig4 = gbcr_bench::fig4::run();
-    println!("{}", gbcr_bench::fig4::table(&fig4).render());
-
-    let fig5 = gbcr_bench::fig5::run();
-    println!("{}", gbcr_bench::fig5::table(&fig5).render());
-    println!(
-        "{}",
-        gbcr_bench::fig5::summary_table(
-            &fig5,
-            "Figure 6 — HPL Effective Checkpoint Delay per group size (avg with min/max)"
-        )
-        .render()
+    println!("=== gbcr: full evaluation reproduction ({threads} worker threads) ===\n");
+    let events0 = gbcr_des::total_events_processed();
+    let t0 = Instant::now();
+    let (outputs, walls) = render_all(&secs, Some(threads));
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    let total_events = gbcr_des::total_events_processed() - events0;
+    for out in &outputs {
+        println!("{out}");
+    }
+    eprintln!(
+        "total wall time: {parallel_secs:.2}s on {threads} threads \
+         ({total_events} simulated events)"
     );
 
-    let fig7 = gbcr_bench::fig7::run();
-    println!("{}", gbcr_bench::fig7::table(&fig7).render());
-    println!(
-        "{}",
-        gbcr_bench::fig5::summary_table(
-            &fig7,
-            "Figure 7 summary — MotifMiner average effective delay per group size"
-        )
-        .render()
-    );
+    let mut serial = None;
+    if args.serial_check {
+        eprintln!("serial check: rerunning everything on 1 worker...");
+        let t1 = Instant::now();
+        let (serial_outputs, _) = render_all(&secs, Some(1));
+        let serial_secs = t1.elapsed().as_secs_f64();
+        let identical = serial_outputs == outputs;
+        if identical {
+            eprintln!(
+                "serial check: tables byte-identical; {serial_secs:.2}s serial vs \
+                 {parallel_secs:.2}s on {threads} threads ({:.2}x)",
+                serial_secs / parallel_secs
+            );
+        } else {
+            for (i, (name, _)) in secs.iter().enumerate() {
+                if serial_outputs[i] != outputs[i] {
+                    eprintln!(
+                        "serial check FAILED: section {name} differs between 1 and \
+                         {threads} threads"
+                    );
+                }
+            }
+        }
+        serial = Some((serial_secs, identical));
+        if !identical {
+            std::process::exit(1);
+        }
+    }
 
-    let p = gbcr_bench::ablations::progress_ablation();
-    println!("{}", gbcr_bench::ablations::progress_table(&p).render());
-    let b = gbcr_bench::ablations::buffering_ablation();
-    println!("{}", gbcr_bench::ablations::buffering_table(&b).render());
-    let l = gbcr_bench::ablations::logging_ablation();
-    println!("{}", gbcr_bench::ablations::logging_table(&l).render());
-    let f = gbcr_bench::ablations::formation_ablation();
-    println!("{}", gbcr_bench::ablations::formation_table(&f).render());
-    let cl = gbcr_bench::ablations::chandy_lamport_ablation();
-    println!("{}", gbcr_bench::ablations::chandy_lamport_table(&cl).render());
-    let inc = gbcr_bench::ablations::incremental_ablation();
-    println!("{}", gbcr_bench::ablations::incremental_table(&inc).render());
-
-    eprintln!("total wall time: {:?}", t0.elapsed());
+    if let Some(path) = &args.json {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut j = String::from("{\n");
+        j.push_str(&format!("  \"threads\": {threads},\n"));
+        j.push_str(&format!("  \"host_cores\": {cores},\n"));
+        j.push_str(&format!("  \"smoke\": {},\n", args.smoke));
+        j.push_str(&format!("  \"total_wall_ms\": {:.1},\n", parallel_secs * 1e3));
+        j.push_str(&format!("  \"total_events\": {total_events},\n"));
+        if let Some((serial_secs, identical)) = serial {
+            j.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", serial_secs * 1e3));
+            j.push_str(&format!("  \"speedup\": {:.2},\n", serial_secs / parallel_secs));
+            j.push_str(&format!("  \"tables_identical\": {identical},\n"));
+        }
+        j.push_str("  \"figures\": [\n");
+        for (i, ((name, _), wall)) in secs.iter().zip(&walls).enumerate() {
+            let comma = if i + 1 == secs.len() { "" } else { "," };
+            j.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {wall:.1}}}{comma}\n",
+                json_escape(name)
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        std::fs::write(path, &j).expect("write json record");
+        eprintln!("wrote {path}");
+    }
 }

@@ -5,41 +5,49 @@
 //! linearly with the rank count, while group-based delay tracks the
 //! (constant) per-group write time as long as computation can overlap.
 //! Also prints the Thunderbird-scale estimate from §3.1.
+//!
+//! All runs (one baseline plus two checkpointed per job size) fan out
+//! through the parallel harness; `GBCR_THREADS` caps the worker pool.
 
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::time;
-use gbcr_metrics::Table;
+use gbcr_metrics::{run_sweep, SweepGroup, Table};
 use gbcr_storage::{StorageConfig, GB, MB};
 use gbcr_workloads::MicroBench;
 
 fn main() {
+    let sizes = [16u32, 32, 64, 128];
+    let cfg = |g: u32| CoordinatorCfg {
+        job: "micro".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: g },
+        schedule: CkptSchedule::once(time::secs(30)),
+        incremental: false,
+    };
+    let groups: Vec<SweepGroup> = sizes
+        .iter()
+        .map(|&n| {
+            let mb = MicroBench {
+                n,
+                comm_group_size: 8,
+                steps: 360,
+                step_compute: time::ms(500),
+                ..Default::default()
+            };
+            SweepGroup::new(mb.job(), vec![cfg(n), cfg(8)])
+        })
+        .collect();
+    let reports = run_sweep(&groups, None).expect("scale study runs");
+
     let mut t = Table::new(
         "Scale study — effective delay (s) vs job size (180 MB/proc, 140 MB/s storage)",
         &["ranks", "regular All(n)", "group-based g=8", "reduction"],
     );
-    for n in [16u32, 32, 64, 128] {
-        let mb = MicroBench {
-            n,
-            comm_group_size: 8,
-            steps: 360,
-            step_compute: time::ms(500),
-            ..Default::default()
+    for (&n, gr) in sizes.iter().zip(&reports) {
+        let eff = |i: usize| {
+            time::as_secs_f64(gr.runs[i].completion.saturating_sub(gr.baseline.completion))
         };
-        let spec = mb.job();
-        let base = run_job(&spec, None).expect("baseline");
-        let eff = |g: u32| {
-            let cfg = CoordinatorCfg {
-                job: "micro".into(),
-                mode: CkptMode::Buffering,
-                formation: Formation::Static { group_size: g },
-                schedule: CkptSchedule::once(time::secs(30)),
-                incremental: false,
-            };
-            let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
-            time::as_secs_f64(ck.completion.saturating_sub(base.completion))
-        };
-        let all = eff(n);
-        let grouped = eff(8);
+        let (all, grouped) = (eff(0), eff(1));
         t.row(&[
             n.to_string(),
             format!("{all:.1}"),

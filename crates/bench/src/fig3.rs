@@ -2,7 +2,7 @@
 //! several communication group sizes (§6.1 micro-benchmark; 32 ranks,
 //! 180 MB/process).
 
-use crate::{size_label, sweep, Sweep, GROUP_SIZES};
+use crate::{size_label, sweep_many, Sweep, GROUP_SIZES};
 use gbcr_des::time;
 use gbcr_metrics::Table;
 use gbcr_workloads::MicroBench;
@@ -24,14 +24,25 @@ pub fn bench(comm: u32, n: u32) -> MicroBench {
 }
 
 /// Run the figure. `n` is the world size (paper: 32); `comm_sizes` and
-/// `ckpt_sizes` default to the paper's choices via [`run`].
+/// `ckpt_sizes` default to the paper's choices via [`run`]. All
+/// `comm_sizes × ckpt_sizes` runs (plus one baseline per comm size) go
+/// through the parallel harness as one fan-out.
 pub fn run_with(n: u32, comm_sizes: &[u32], ckpt_sizes: &[u32]) -> Fig3 {
+    run_threaded(n, comm_sizes, ckpt_sizes, None)
+}
+
+/// [`run_with`] with explicit worker-thread control.
+pub fn run_threaded(
+    n: u32,
+    comm_sizes: &[u32],
+    ckpt_sizes: &[u32],
+    threads: Option<usize>,
+) -> Fig3 {
     let at = [time::secs(30)];
-    let by_comm = comm_sizes
-        .iter()
-        .map(|&c| (c, sweep(&bench(c, n).job(), "micro", &at, ckpt_sizes)))
-        .collect();
-    Fig3 { by_comm }
+    let workloads: Vec<_> =
+        comm_sizes.iter().map(|&c| (bench(c, n).job(), "micro")).collect();
+    let sweeps = sweep_many(&workloads, &at, ckpt_sizes, threads);
+    Fig3 { by_comm: comm_sizes.iter().copied().zip(sweeps).collect() }
 }
 
 /// The paper's full Figure 3.

@@ -3,7 +3,7 @@
 //! synchronization line (§6.1; comm group = ckpt group = 8, global
 //! barrier every minute).
 
-use crate::{static_cfg, sweep, Sweep};
+use crate::{static_cfg, sweep_on, Sweep};
 use gbcr_des::time;
 use gbcr_metrics::Table;
 use gbcr_workloads::PlacementBench;
@@ -19,9 +19,14 @@ pub fn run() -> Sweep {
 
 /// Run with custom issuance points (seconds).
 pub fn run_with(points_secs: &[u64]) -> Sweep {
+    run_threaded(points_secs, None)
+}
+
+/// [`run_with`] with explicit worker-thread control.
+pub fn run_threaded(points_secs: &[u64], threads: Option<usize>) -> Sweep {
     let pb = PlacementBench::default();
     let points: Vec<_> = points_secs.iter().map(|&s| time::secs(s)).collect();
-    sweep(&pb.job(), "placement", &points, &[8])
+    sweep_on(&pb.job(), "placement", &points, &[8], threads)
 }
 
 /// Render the three series of the figure.

@@ -2,7 +2,7 @@
 //! points for each checkpoint group size (Fig. 5), and its
 //! average/min/max summary per group size (Fig. 6).
 
-use crate::{size_label, sweep, Sweep, GROUP_SIZES};
+use crate::{size_label, sweep_on, Sweep, GROUP_SIZES};
 use gbcr_des::time;
 use gbcr_metrics::Table;
 use gbcr_workloads::HplWorkload;
@@ -18,9 +18,14 @@ pub fn run() -> Sweep {
 
 /// Run with custom points/sizes (used by tests and criterion).
 pub fn run_with(points_secs: &[u64], sizes: &[u32]) -> Sweep {
+    run_threaded(points_secs, sizes, None)
+}
+
+/// [`run_with`] with explicit worker-thread control.
+pub fn run_threaded(points_secs: &[u64], sizes: &[u32], threads: Option<usize>) -> Sweep {
     let w = HplWorkload::default();
     let points: Vec<_> = points_secs.iter().map(|&s| time::secs(s)).collect();
-    sweep(&w.job(None), "hpl", &points, sizes)
+    sweep_on(&w.job(None), "hpl", &points, sizes, threads)
 }
 
 /// Figure 5: the full per-point matrix.

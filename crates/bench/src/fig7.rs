@@ -1,7 +1,7 @@
 //! Figure 7: MotifMiner Effective Checkpoint Delay at four issuance points
 //! for each checkpoint group size (§6.3).
 
-use crate::{size_label, sweep, Sweep, GROUP_SIZES};
+use crate::{size_label, sweep_on, Sweep, GROUP_SIZES};
 use gbcr_des::time;
 use gbcr_metrics::Table;
 use gbcr_workloads::MotifMinerWorkload;
@@ -16,9 +16,14 @@ pub fn run() -> Sweep {
 
 /// Run with custom points/sizes.
 pub fn run_with(points_secs: &[u64], sizes: &[u32]) -> Sweep {
+    run_threaded(points_secs, sizes, None)
+}
+
+/// [`run_with`] with explicit worker-thread control.
+pub fn run_threaded(points_secs: &[u64], sizes: &[u32], threads: Option<usize>) -> Sweep {
     let w = MotifMinerWorkload::default();
     let points: Vec<_> = points_secs.iter().map(|&s| time::secs(s)).collect();
-    sweep(&w.job(None), "motifminer", &points, sizes)
+    sweep_on(&w.job(None), "motifminer", &points, sizes, threads)
 }
 
 /// Render the per-point matrix.

@@ -21,6 +21,7 @@ pub mod paper;
 
 use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::Time;
+use gbcr_metrics::{run_sweep, GroupReports, SweepGroup};
 
 /// Checkpoint group sizes swept in Figures 3, 5, 6, 7 (`32` = the regular
 /// coordinated baseline, "All").
@@ -114,20 +115,26 @@ impl Sweep {
     }
 }
 
-/// Run a sweep: one baseline run plus one checkpointed run per
-/// (point, size) pair. `job` must match the spec's image namespace.
-pub fn sweep(
-    spec: &gbcr_core::JobSpec,
-    job: &str,
-    points: &[Time],
-    sizes: &[u32],
-) -> Sweep {
-    let baseline = gbcr_core::run_job(spec, None).expect("baseline run");
+/// The coordinator configs of a `points × sizes` sweep, in cell order.
+fn sweep_cfgs(job: &str, points: &[Time], sizes: &[u32]) -> Vec<CoordinatorCfg> {
+    let mut cfgs = Vec::with_capacity(points.len() * sizes.len());
+    for &at in points {
+        for &g in sizes {
+            cfgs.push(static_cfg(job, g, at));
+        }
+    }
+    cfgs
+}
+
+/// Turn one group's reports back into the `points × sizes` cell matrix,
+/// preserving the exact serial cell order.
+fn sweep_from_reports(n: u32, points: &[Time], sizes: &[u32], gr: GroupReports) -> Sweep {
+    let baseline = gr.baseline;
+    let mut runs = gr.runs.into_iter();
     let mut cells = Vec::with_capacity(points.len() * sizes.len());
     for &at in points {
         for &g in sizes {
-            let ck = gbcr_core::run_job(spec, Some(static_cfg(job, g, at)))
-                .expect("checkpointed run");
+            let ck = runs.next().expect("one checkpointed run per cell");
             let ep = ck.epochs.first().unwrap_or_else(|| {
                 panic!("checkpoint at {} never ran", gbcr_des::time::fmt(at))
             });
@@ -146,5 +153,51 @@ pub fn sweep(
             });
         }
     }
-    Sweep { n: spec.mpi.n, baseline_secs: gbcr_des::time::as_secs_f64(baseline.completion), cells }
+    Sweep { n, baseline_secs: gbcr_des::time::as_secs_f64(baseline.completion), cells }
+}
+
+/// Run several sweeps — one per `(spec, job)` workload — through the
+/// parallel harness in a single fan-out: every baseline and checkpointed
+/// run across all workloads becomes one pool task.
+pub fn sweep_many(
+    workloads: &[(gbcr_core::JobSpec, &str)],
+    points: &[Time],
+    sizes: &[u32],
+    threads: Option<usize>,
+) -> Vec<Sweep> {
+    let groups: Vec<SweepGroup> = workloads
+        .iter()
+        .map(|(spec, job)| SweepGroup::new(spec.clone(), sweep_cfgs(job, points, sizes)))
+        .collect();
+    let reports = run_sweep(&groups, threads).expect("sweep runs");
+    workloads
+        .iter()
+        .zip(reports)
+        .map(|((spec, _), gr)| sweep_from_reports(spec.mpi.n, points, sizes, gr))
+        .collect()
+}
+
+/// Run a sweep with explicit thread control: one baseline run plus one
+/// checkpointed run per (point, size) pair, fanned over the
+/// [`run_sweep`] worker pool. `job` must match the spec's image
+/// namespace.
+pub fn sweep_on(
+    spec: &gbcr_core::JobSpec,
+    job: &str,
+    points: &[Time],
+    sizes: &[u32],
+    threads: Option<usize>,
+) -> Sweep {
+    sweep_many(&[(spec.clone(), job)], points, sizes, threads).pop().expect("one sweep")
+}
+
+/// Run a sweep with the default thread resolution (`GBCR_THREADS` or all
+/// available cores).
+pub fn sweep(
+    spec: &gbcr_core::JobSpec,
+    job: &str,
+    points: &[Time],
+    sizes: &[u32],
+) -> Sweep {
+    sweep_on(spec, job, points, sizes, None)
 }

@@ -1,10 +1,26 @@
 //! The event queue and scheduler loop.
+//!
+//! The queue is split in two for speed. Producers (processes, callbacks,
+//! anything holding a [`SimHandle`]) push into a small mutex-protected
+//! *injector* vector — an amortized-allocation-free append. The scheduler
+//! owns the actual priority heap privately (no lock), and at the top of
+//! each dispatch round swaps the injector's vector for an empty one and
+//! bulk-loads it into the heap. Sequence numbers are allocated globally at
+//! push time, so an event sitting in the injector is always ordered after
+//! every event already in the heap and the split preserves the exact
+//! `(time, seq)` total order of a single shared heap.
+//!
+//! Events with the same timestamp are dispatched as one batch: the
+//! scheduler pops the entire equal-time run of the heap before returning
+//! to the injector. Any event pushed *during* the batch carries a larger
+//! sequence number than everything already popped, so batching cannot
+//! reorder same-time events either.
 
 use crate::error::{SimError, SimResult};
 use crate::process::{Gate, KillSignal, Proc, ProcId};
 use crate::signal::Signal;
 use crate::time::Time;
-use crate::timer::TimerHandle;
+use crate::timer::{TimerHandle, TimerTable};
 use crate::trace::TraceLog;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -16,12 +32,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Events dispatched across every simulation in this process, ever.
+/// Flushed once per [`Sim::run`]/[`Sim::run_until`] call, not per event.
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total events dispatched by all simulations in this process so far.
+/// Monotonic; used by the benchmark harness to report aggregate engine
+/// work alongside wall-clock numbers.
+pub fn total_events_processed() -> u64 {
+    TOTAL_EVENTS.load(Ordering::Relaxed)
+}
+
 /// A callback executed on the scheduler thread. Must not block.
 type Callback = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
 
 enum EventKind {
     Wake(ProcId),
-    Call { cancelled: Arc<AtomicBool>, f: Callback },
+    Call { slot: u32, gen: u64, f: Callback },
 }
 
 struct QueuedEvent {
@@ -47,8 +74,39 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// Producer side of the event queue: an append-only vector the scheduler
+/// periodically swaps out. Two vectors ping-pong between the injector and
+/// the scheduler's drain buffer, so steady-state pushes reuse capacity and
+/// never allocate. The `nonempty` flag lets the scheduler skip the lock
+/// entirely on empty rounds.
+#[derive(Default)]
+struct Injector {
+    nonempty: AtomicBool,
+    pending: Mutex<Vec<QueuedEvent>>,
+}
+
+impl Injector {
+    fn push(&self, ev: QueuedEvent) {
+        let mut v = self.pending.lock();
+        v.push(ev);
+        self.nonempty.store(true, Ordering::Release);
+    }
+
+    /// Swap the pending batch into `into` (which must be empty); clears
+    /// the nonempty flag. Lock-free when nothing is pending.
+    fn drain_into(&self, into: &mut Vec<QueuedEvent>) {
+        debug_assert!(into.is_empty());
+        if !self.nonempty.load(Ordering::Acquire) {
+            return;
+        }
+        let mut v = self.pending.lock();
+        std::mem::swap(&mut *v, into);
+        self.nonempty.store(false, Ordering::Release);
+    }
+}
+
 struct ProcSlot {
-    name: String,
+    name: Arc<str>,
     gate: Arc<Gate>,
     killed: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
@@ -57,7 +115,8 @@ struct ProcSlot {
 pub(crate) struct Inner {
     now: AtomicU64,
     seq: AtomicU64,
-    queue: Mutex<BinaryHeap<Reverse<QueuedEvent>>>,
+    injector: Injector,
+    timers: Arc<TimerTable>,
     procs: Mutex<Vec<ProcSlot>>,
     rng: Mutex<SmallRng>,
     trace: TraceLog,
@@ -82,7 +141,7 @@ impl SimHandle {
 
     fn push(&self, time: Time, kind: EventKind) {
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        self.inner.queue.lock().push(Reverse(QueuedEvent { time, seq, kind }));
+        self.inner.injector.push(QueuedEvent { time, seq, kind });
     }
 
     /// Schedule a wake-up for `pid` at absolute time `at` (clamped to now).
@@ -104,12 +163,9 @@ impl SimHandle {
         at: Time,
         f: impl FnOnce(&SimHandle) + Send + 'static,
     ) -> TimerHandle {
-        let cancelled = Arc::new(AtomicBool::new(false));
-        self.push(
-            at.max(self.now()),
-            EventKind::Call { cancelled: cancelled.clone(), f: Box::new(f) },
-        );
-        TimerHandle::new(cancelled)
+        let (slot, gen) = self.inner.timers.arm();
+        self.push(at.max(self.now()), EventKind::Call { slot, gen, f: Box::new(f) });
+        TimerHandle::new(self.inner.timers.clone(), slot, gen)
     }
 
     /// Run `f` on the scheduler thread after `dt` of virtual time.
@@ -124,10 +180,9 @@ impl SimHandle {
     /// Mark `pid` killed and wake it so the kill unwinds at its next yield
     /// point. Used for failure injection. No-op on finished processes.
     pub fn kill(&self, pid: ProcId) {
-        let procs = self.inner.procs.lock();
-        let slot = &procs[pid.index()];
-        slot.killed.store(true, Ordering::Relaxed);
-        drop(procs);
+        // Single lock acquisition; the wake goes through the injector and
+        // touches no per-process state.
+        self.inner.procs.lock()[pid.index()].killed.store(true, Ordering::Relaxed);
         self.wake(pid);
     }
 
@@ -180,6 +235,7 @@ fn spawn_impl(
     name: String,
     f: impl FnOnce(&Proc) + Send + 'static,
 ) -> ProcId {
+    let name: Arc<str> = name.into();
     let mut procs = handle.inner.procs.lock();
     let id = ProcId(u32::try_from(procs.len()).expect("too many processes"));
     let gate = Gate::new();
@@ -192,9 +248,8 @@ fn spawn_impl(
         gate: gate.clone(),
     };
     let thread_gate = gate.clone();
-    let thread_name = name.clone();
     let join = std::thread::Builder::new()
-        .name(format!("sim-{thread_name}"))
+        .name(format!("sim-{name}"))
         .spawn(move || {
             thread_gate.wait_first_resume();
             if proc_ctx.is_killed() {
@@ -222,6 +277,17 @@ fn spawn_impl(
 /// [`run`](Sim::run) it to completion.
 pub struct Sim {
     handle: SimHandle,
+    /// The scheduler-private priority heap; fed from the injector.
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    /// Spare vector ping-ponged with the injector's pending vector.
+    drain_buf: Vec<QueuedEvent>,
+    /// Cache of process gates indexed by `ProcId`, refreshed from
+    /// `Inner::procs` only when a wake references a process spawned since
+    /// the last refresh. Keeps the wake hot path free of locks and
+    /// `Arc` clones.
+    gates: Vec<Arc<Gate>>,
+    /// Events dispatched by this simulation across all `run*` calls.
+    events: u64,
 }
 
 impl Sim {
@@ -231,12 +297,19 @@ impl Sim {
         let inner = Arc::new(Inner {
             now: AtomicU64::new(0),
             seq: AtomicU64::new(0),
-            queue: Mutex::new(BinaryHeap::new()),
+            injector: Injector::default(),
+            timers: TimerTable::new(),
             procs: Mutex::new(Vec::new()),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             trace: TraceLog::new(),
         });
-        Sim { handle: SimHandle { inner } }
+        Sim {
+            handle: SimHandle { inner },
+            heap: BinaryHeap::new(),
+            drain_buf: Vec::new(),
+            gates: Vec::new(),
+            events: 0,
+        }
     }
 
     /// A cloneable handle onto this simulation.
@@ -270,51 +343,85 @@ impl Sim {
         self.run_inner(horizon)
     }
 
+    /// Events this simulation has dispatched so far (all `run*` calls).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// The cached gate for `pid`, extending the cache from the shared
+    /// process table on a miss (i.e. once per spawn, not once per wake).
+    fn gate(&mut self, pid: ProcId) -> &Gate {
+        if pid.index() >= self.gates.len() {
+            let procs = self.handle.inner.procs.lock();
+            self.gates.extend(procs[self.gates.len()..].iter().map(|s| s.gate.clone()));
+        }
+        &self.gates[pid.index()]
+    }
+
     fn run_inner(&mut self, horizon: Time) -> SimResult<Time> {
-        let inner = &self.handle.inner;
-        loop {
-            let ev = {
-                let mut q = inner.queue.lock();
-                match q.peek() {
-                    Some(Reverse(e)) if e.time > horizon => {
-                        return Err(SimError::HorizonReached { at: horizon });
-                    }
-                    Some(_) => q.pop().map(|Reverse(e)| e),
-                    None => None,
+        let mut dispatched: u64 = 0;
+        let inner = Arc::clone(&self.handle.inner);
+        let result = 'outer: loop {
+            // Bulk-load everything pushed since the last round.
+            inner.injector.drain_into(&mut self.drain_buf);
+            for ev in self.drain_buf.drain(..) {
+                self.heap.push(Reverse(ev));
+            }
+            let batch_time = match self.heap.peek() {
+                Some(Reverse(e)) if e.time > horizon => {
+                    break 'outer Err(SimError::HorizonReached { at: horizon });
+                }
+                Some(Reverse(e)) => e.time,
+                None => {
+                    let now = self.handle.now();
+                    let blocked: Vec<String> = inner
+                        .procs
+                        .lock()
+                        .iter()
+                        .filter(|p| !p.gate.is_done())
+                        .map(|p| p.name.to_string())
+                        .collect();
+                    break 'outer if blocked.is_empty() {
+                        Ok(now)
+                    } else {
+                        Err(SimError::Deadlock { at: now, blocked })
+                    };
                 }
             };
-            let Some(ev) = ev else {
-                let now = self.handle.now();
-                let blocked: Vec<String> = inner
-                    .procs
-                    .lock()
-                    .iter()
-                    .filter(|p| !p.gate.is_done())
-                    .map(|p| p.name.clone())
-                    .collect();
-                return if blocked.is_empty() {
-                    Ok(now)
-                } else {
-                    Err(SimError::Deadlock { at: now, blocked })
+            debug_assert!(batch_time >= self.handle.now(), "time went backwards");
+            inner.now.store(batch_time, Ordering::Relaxed);
+            // Dispatch the entire same-timestamp batch without returning to
+            // the injector: anything pushed mid-batch has a larger sequence
+            // number than every event popped here, so it sorts after them.
+            loop {
+                let ev = match self.heap.peek() {
+                    Some(Reverse(e)) if e.time == batch_time => {
+                        self.heap.pop().expect("peeked event").0
+                    }
+                    _ => break,
                 };
-            };
-            debug_assert!(ev.time >= self.handle.now(), "time went backwards");
-            inner.now.store(ev.time, Ordering::Relaxed);
-            match ev.kind {
-                EventKind::Wake(pid) => {
-                    let gate = inner.procs.lock()[pid.index()].gate.clone();
-                    if let Err(message) = gate.resume() {
-                        let name = inner.procs.lock()[pid.index()].name.clone();
-                        return Err(SimError::ProcessPanicked { name, message });
+                dispatched += 1;
+                match ev.kind {
+                    EventKind::Wake(pid) => {
+                        if let Err(message) = self.gate(pid).resume() {
+                            let name =
+                                self.handle.inner.procs.lock()[pid.index()].name.to_string();
+                            break 'outer Err(SimError::ProcessPanicked { name, message });
+                        }
                     }
-                }
-                EventKind::Call { cancelled, f } => {
-                    if !cancelled.load(Ordering::Relaxed) {
-                        f(&self.handle);
+                    EventKind::Call { slot, gen, f } => {
+                        // `retire` wins only if the timer was not cancelled
+                        // (and no stale generation reuses the slot).
+                        if self.handle.inner.timers.retire(slot, gen) {
+                            f(&self.handle);
+                        }
                     }
                 }
             }
-        }
+        };
+        self.events += dispatched;
+        TOTAL_EVENTS.fetch_add(dispatched, Ordering::Relaxed);
+        result
     }
 
     /// Number of processes ever spawned.

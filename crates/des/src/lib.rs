@@ -54,7 +54,7 @@ pub mod time;
 mod timer;
 mod trace;
 
-pub use engine::{Sim, SimHandle};
+pub use engine::{total_events_processed, Sim, SimHandle};
 pub use error::{SimError, SimResult};
 pub use process::{Proc, ProcId};
 pub use signal::Signal;

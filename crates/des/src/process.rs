@@ -64,19 +64,21 @@ impl Gate {
     /// handed back. Returns the terminal panic message if the process died
     /// panicking during this slice. Stale wakes on finished processes are
     /// no-ops.
+    ///
+    /// A single lock acquisition covers the whole handoff: the condvar wait
+    /// releases the mutex atomically, so the process thread (blocked on the
+    /// same condvar) acquires it, observes `Running`, and runs — there is no
+    /// unlock/relock gap between publishing `Running` and starting to wait.
     pub(crate) fn resume(&self) -> Result<(), String> {
-        {
-            let mut st = self.state.lock();
-            match *st {
-                Baton::Parked => {
-                    *st = Baton::Running;
-                    self.cv.notify_all();
-                }
-                Baton::DoneOk | Baton::DonePanic(_) => return Ok(()),
-                Baton::Running => unreachable!("scheduler resumed a running process"),
-            }
-        }
         let mut st = self.state.lock();
+        match *st {
+            Baton::Parked => {
+                *st = Baton::Running;
+                self.cv.notify_all();
+            }
+            Baton::DoneOk | Baton::DonePanic(_) => return Ok(()),
+            Baton::Running => unreachable!("scheduler resumed a running process"),
+        }
         while matches!(*st, Baton::Running) {
             self.cv.wait(&mut st);
         }
@@ -129,7 +131,7 @@ impl Gate {
 pub struct Proc {
     pub(crate) handle: SimHandle,
     pub(crate) id: ProcId,
-    pub(crate) name: String,
+    pub(crate) name: Arc<str>,
     pub(crate) killed: Arc<AtomicBool>,
     pub(crate) gate: Arc<Gate>,
 }

@@ -1,7 +1,114 @@
-//! Effective-delay measurement harness.
+//! Effective-delay measurement harness and the parallel sweep runner.
+//!
+//! Every figure in the paper's evaluation is a sweep of independent
+//! `(JobSpec, CoordinatorCfg)` simulations plus one bare baseline run per
+//! spec. [`run_sweep`] fans those cells over a scoped worker pool: each
+//! cell is a self-contained deterministic [`Sim`](gbcr_des::Sim), so the
+//! results are bit-for-bit identical whatever the thread count — only the
+//! wall-clock time changes. Results are assembled in cell-index order, so
+//! output ordering (and which error is reported first) is deterministic
+//! too.
 
 use gbcr_core::{run_job, CkptSchedule, CoordinatorCfg, JobSpec, RunReport};
 use gbcr_des::{time, SimResult, Time};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// One workload spec plus every coordinator configuration to run on it.
+///
+/// [`run_sweep`] runs the spec bare exactly once per group (the shared
+/// baseline is deduplicated across the group's cells) and once per config.
+#[derive(Clone)]
+pub struct SweepGroup {
+    /// The workload to simulate.
+    pub spec: JobSpec,
+    /// The checkpoint configurations to measure on it, in output order.
+    pub cfgs: Vec<CoordinatorCfg>,
+}
+
+impl SweepGroup {
+    /// Convenience constructor.
+    pub fn new(spec: JobSpec, cfgs: Vec<CoordinatorCfg>) -> Self {
+        SweepGroup { spec, cfgs }
+    }
+}
+
+/// All reports produced for one [`SweepGroup`], in the group's cfg order.
+#[derive(Debug, Clone)]
+pub struct GroupReports {
+    /// The bare (no-checkpoint) run of the group's spec.
+    pub baseline: RunReport,
+    /// One checkpointed run per config, aligned with [`SweepGroup::cfgs`].
+    pub runs: Vec<RunReport>,
+}
+
+/// Resolve the worker count for [`run_sweep`]: an explicit argument wins,
+/// then the `GBCR_THREADS` environment variable, then the machine's
+/// available parallelism. Never less than 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| std::env::var("GBCR_THREADS").ok().and_then(|s| s.trim().parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Run every cell of `groups` — one baseline per group plus one run per
+/// config — over a pool of `threads` workers (resolved via
+/// [`resolve_threads`] when `None`).
+///
+/// Each cell is an independent deterministic simulation, so the returned
+/// reports are identical to a serial run; with more than one worker only
+/// the wall-clock time changes. On error, the first failing cell in task
+/// order is reported, regardless of which worker hit it first.
+pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec<GroupReports>> {
+    // Flatten to (group, cfg-or-baseline) tasks: index order is output order.
+    let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        tasks.push((g, None));
+        for c in 0..group.cfgs.len() {
+            tasks.push((g, Some(c)));
+        }
+    }
+    let run_task = |&(g, c): &(usize, Option<usize>)| -> SimResult<RunReport> {
+        let group = &groups[g];
+        run_job(&group.spec, c.map(|i| group.cfgs[i].clone()))
+    };
+
+    let workers = resolve_threads(threads).min(tasks.len().max(1));
+    let results: Vec<SimResult<RunReport>> = if workers <= 1 {
+        tasks.iter().map(run_task).collect()
+    } else {
+        let slots: Vec<OnceLock<SimResult<RunReport>>> =
+            tasks.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let _ = slots[i].set(run_task(task));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every dispensed task stored a result"))
+            .collect()
+    };
+
+    // Reassemble in task order; `?` surfaces the first error deterministically.
+    let mut results = results.into_iter();
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        let baseline = results.next().expect("task list covers every group")?;
+        let mut runs = Vec::with_capacity(group.cfgs.len());
+        for _ in &group.cfgs {
+            runs.push(results.next().expect("task list covers every cfg")?);
+        }
+        out.push(GroupReports { baseline, runs });
+    }
+    Ok(out)
+}
 
 /// One checkpoint's worth of §5 metrics.
 #[derive(Debug, Clone)]
@@ -49,18 +156,16 @@ impl DelayMeasurement {
     }
 }
 
-/// Run `spec` bare and with one checkpoint from `cfg` (which must schedule
-/// exactly one epoch), returning the three metrics.
-pub fn measure_with(spec: &JobSpec, cfg: CoordinatorCfg) -> SimResult<DelayMeasurement> {
-    assert_eq!(cfg.schedule.at.len(), 1, "measure_with expects exactly one checkpoint");
-    let issued_at = cfg.schedule.at[0];
-    let baseline = run_job(spec, None)?;
-    let ck = run_job(spec, Some(cfg))?;
+/// Extract the §5 metrics from a matched (baseline, checkpointed) report
+/// pair whose config scheduled one checkpoint at `issued_at`.
+///
+/// Panics if the checkpoint never ran (issued after job completion).
+pub fn delay_from_reports(issued_at: Time, baseline: &RunReport, ck: &RunReport) -> DelayMeasurement {
     let ep = ck
         .epochs
         .first()
         .unwrap_or_else(|| panic!("checkpoint at {} never ran (job too short?)", time::fmt(issued_at)));
-    Ok(DelayMeasurement {
+    DelayMeasurement {
         issued_at,
         baseline_completion: baseline.completion,
         ckpt_completion: ck.completion,
@@ -70,7 +175,17 @@ pub fn measure_with(spec: &JobSpec, cfg: CoordinatorCfg) -> SimResult<DelayMeasu
         total: ep.total_time(),
         groups: ep.plan.group_count(),
         report: ck.clone(),
-    })
+    }
+}
+
+/// Run `spec` bare and with one checkpoint from `cfg` (which must schedule
+/// exactly one epoch), returning the three metrics.
+pub fn measure_with(spec: &JobSpec, cfg: CoordinatorCfg) -> SimResult<DelayMeasurement> {
+    assert_eq!(cfg.schedule.at.len(), 1, "measure_with expects exactly one checkpoint");
+    let issued_at = cfg.schedule.at[0];
+    let group = SweepGroup::new(spec.clone(), vec![cfg]);
+    let gr = run_sweep(std::slice::from_ref(&group), None)?.pop().expect("one group in, one out");
+    Ok(delay_from_reports(issued_at, &gr.baseline, &gr.runs[0]))
 }
 
 /// Convenience wrapper: one checkpoint at `at` with `cfg_base`'s other
@@ -138,5 +253,52 @@ mod tests {
             incremental: false,
         };
         let _ = measure(&mb.job(), cfg, gbcr_des::time::secs(9999));
+    }
+
+    /// The same sweep must produce byte-identical reports on 1 worker and
+    /// on many; run_sweep's parallelism can only change wall time.
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let specs = [
+            MicroBench { n: 8, comm_group_size: 4, steps: 40, ..Default::default() },
+            MicroBench { n: 4, comm_group_size: 2, steps: 40, ..Default::default() },
+        ];
+        let groups: Vec<SweepGroup> = specs
+            .iter()
+            .map(|mb| {
+                let cfgs = [4u32, 2]
+                    .iter()
+                    .map(|&g| CoordinatorCfg {
+                        job: "micro".into(),
+                        mode: CkptMode::Buffering,
+                        formation: Formation::Static { group_size: g },
+                        schedule: CkptSchedule::once(gbcr_des::time::secs(5)),
+                        incremental: false,
+                    })
+                    .collect();
+                SweepGroup::new(mb.job(), cfgs)
+            })
+            .collect();
+        let serial = run_sweep(&groups, Some(1)).unwrap();
+        let parallel = run_sweep(&groups, Some(4)).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.baseline.completion, p.baseline.completion);
+            assert_eq!(s.runs.len(), p.runs.len());
+            for (sr, pr) in s.runs.iter().zip(&p.runs) {
+                assert_eq!(sr.completion, pr.completion);
+                assert_eq!(sr.epochs.len(), pr.epochs.len());
+                for (se, pe) in sr.epochs.iter().zip(&pr.epochs) {
+                    assert_eq!(se.individuals, pe.individuals);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "zero clamps to one worker");
+        assert!(resolve_threads(None) >= 1);
     }
 }

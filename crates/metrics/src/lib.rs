@@ -14,8 +14,10 @@
 //!   always sandwiched `Individual ≤ Effective ≤ Total` (Eq. 3c).
 //!
 //! [`measure`] runs a workload twice — once bare, once with a checkpoint —
-//! and extracts all three. [`series`]/[`Table`] format the sweeps the
-//! benches print for each of the paper's figures.
+//! and extracts all three. [`run_sweep`] fans whole sweeps of independent
+//! `(spec, cfg)` cells over a worker pool with deterministic, cell-ordered
+//! results. [`series`]/[`Table`] format the sweeps the benches print for
+//! each of the paper's figures.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,9 @@ mod table;
 pub mod timeline;
 
 pub use advisor::{placement_window, young_interval, Advice, AdvisorInputs};
-pub use harness::{measure, measure_with, DelayMeasurement};
+pub use harness::{
+    delay_from_reports, measure, measure_with, resolve_threads, run_sweep, DelayMeasurement,
+    GroupReports, SweepGroup,
+};
 pub use table::{format_series, Table};
 pub use timeline::render_epoch;

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the repo must build, pass the whole test suite, and
+# regenerate a smoke-sized evaluation with the parallel harness agreeing
+# with a serial run byte-for-byte.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test --release --workspace -q
+cargo run --release -p gbcr-bench --bin make_all -- \
+  --smoke --serial-check --json target/BENCH_smoke.json > target/make_all_smoke.out
+echo "tier1: OK"

@@ -1,0 +1,181 @@
+//! In-workspace shim with the `criterion` API surface this workspace
+//! uses: [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups with `sample_size`/`throughput`, and
+//! `Bencher::iter`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of third-party APIs it consumes. The shim times
+//! each routine with `std::time::Instant` and prints a one-line summary —
+//! no warm-up, outlier analysis, or HTML reports. Under `cargo test`
+//! (which executes `harness = false` bench binaries) each routine runs
+//! once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How work per iteration is expressed in the summary line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    samples: u32,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / self.samples);
+    }
+}
+
+/// Top-level benchmark driver (a very small subset of the real one).
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Criterion {
+    /// In test mode each routine runs once; in bench mode a few times.
+    fn new(samples: u32) -> Self {
+        Criterion { samples }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        run_one(name, self.samples, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.samples,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = self.samples.min(n.max(1) as u32);
+        self
+    }
+
+    /// Record work-per-iteration for the summary line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher<'_>),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.samples, self.throughput, f);
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, samples: u32, throughput: Option<Throughput>, f: F)
+where
+    F: FnOnce(&mut Bencher<'_>),
+{
+    let mut result = None;
+    let mut b = Bencher { samples, result: &mut result };
+    f(&mut b);
+    match result {
+        Some(mean) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                    format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                    format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench {name:<48} {mean:>12.2?}/iter ({samples} samples){rate}");
+        }
+        None => println!("bench {name:<48} (no iter call)"),
+    }
+}
+
+/// Shim for `criterion::criterion_group!`: defines a function running the
+/// listed benchmarks in order. Only the plain `(name, targets...)` form
+/// is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Shim for `criterion::criterion_main!`: generates `main`. Bench
+/// binaries here have `harness = false`; `cargo bench` invokes them with
+/// a `--bench` argument (full sampling), while `cargo test` invokes them
+/// bare — there each routine runs once as a fast smoke pass.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let bench_mode = ::std::env::args().any(|a| a == "--bench")
+                && ::std::env::var_os("GBCR_BENCH_SMOKE").is_none();
+            let samples = if bench_mode { 10 } else { 1 };
+            let mut c = $crate::Criterion::__new(samples);
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Macro plumbing for [`criterion_main!`]; not part of the public API.
+    #[doc(hidden)]
+    pub fn __new(samples: u32) -> Self {
+        Criterion::new(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_groups_run() {
+        let mut c = Criterion::__new(3);
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("inner", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+}
