@@ -21,9 +21,15 @@ use gbcr_workloads::{GroupLayout, MicroBench, MotifMinerWorkload};
 
 /// Run one spec with several configs through the parallel harness,
 /// returning the baseline plus the per-config reports. All ablations fan
-/// their runs out this way.
-fn sweep_one(spec: &JobSpec, cfgs: Vec<CoordinatorCfg>, threads: Option<usize>) -> GroupReports {
-    let group = SweepGroup::new(spec.clone(), cfgs);
+/// their runs out this way. `label` keys the cells in the cost registry
+/// (ablation-unique, so persisted costs seed the LPT dispatch correctly).
+fn sweep_one(
+    spec: &JobSpec,
+    cfgs: Vec<CoordinatorCfg>,
+    threads: Option<usize>,
+    label: &str,
+) -> GroupReports {
+    let group = SweepGroup::labeled(spec.clone(), cfgs, label);
     run_sweep(std::slice::from_ref(&group), threads)
         .expect("ablation runs")
         .pop()
@@ -62,7 +68,11 @@ pub fn progress_ablation_threaded(threads: Option<usize>) -> ProgressAblation {
         .map(|&helper| {
             let mut spec = MotifMinerWorkload::default().job(None);
             spec.mpi.helper_thread = helper;
-            SweepGroup::new(spec, vec![static_cfg("motifminer", 4, time::secs(130))])
+            SweepGroup::labeled(
+                spec,
+                vec![static_cfg("motifminer", 4, time::secs(130))],
+                format!("ab-progress/helper{}", u32::from(helper)),
+            )
         })
         .collect();
     let reports = run_sweep(&groups, threads).expect("ablation runs");
@@ -115,7 +125,12 @@ pub fn buffering_ablation_threaded(threads: Option<usize>) -> BufferingAblation 
     // defers (at t=50 s the whole epoch fits inside panel 0's update and
     // nothing needs buffering — which is itself the paper's best case).
     let w = gbcr_workloads::HplWorkload::default();
-    let gr = sweep_one(&w.job(None), vec![static_cfg("hpl", 4, time::secs(100))], threads);
+    let gr = sweep_one(
+        &w.job(None),
+        vec![static_cfg("hpl", 4, time::secs(100))],
+        threads,
+        "ab-buffering",
+    );
     let d = &gr.runs[0].defer_stats;
     BufferingAblation {
         msg_ops: d.msg_buffered,
@@ -184,7 +199,12 @@ pub fn logging_ablation_threaded(threads: Option<usize>) -> LoggingAblation {
         schedule: CkptSchedule::once(time::secs(10)),
         incremental: false,
     };
-    let gr = sweep_one(&mb.job(), vec![cfg(CkptMode::Buffering), cfg(CkptMode::Logging)], threads);
+    let gr = sweep_one(
+        &mb.job(),
+        vec![cfg(CkptMode::Buffering), cfg(CkptMode::Logging)],
+        threads,
+        "ab-logging",
+    );
     LoggingAblation {
         buffering_effective: eff_secs(&gr.baseline, &gr.runs[0]),
         logging_effective: eff_secs(&gr.baseline, &gr.runs[1]),
@@ -252,6 +272,7 @@ pub fn chandy_lamport_ablation_threaded(threads: Option<usize>) -> ChandyLamport
             cfg(CkptMode::Buffering, 32),
         ],
         threads,
+        "ab-chandy-lamport",
     );
     let (cl, grouped, regular) = (&gr.runs[0], &gr.runs[1], &gr.runs[2]);
     ChandyLamportAblation {
@@ -327,7 +348,7 @@ pub fn incremental_ablation_threaded(threads: Option<usize>) -> IncrementalAblat
         schedule: CkptSchedule { at: vec![time::secs(30), time::secs(150)] },
         incremental,
     };
-    let gr = sweep_one(&w.job(None), vec![cfg(false), cfg(true)], threads);
+    let gr = sweep_one(&w.job(None), vec![cfg(false), cfg(true)], threads, "ab-incremental");
     let (full, inc) = (&gr.runs[0], &gr.runs[1]);
     IncrementalAblation {
         full_total: time::as_secs_f64(full.epochs[1].total_time()),
@@ -390,7 +411,7 @@ pub fn formation_ablation_threaded(threads: Option<usize>) -> FormationAblation 
         schedule: CkptSchedule::once(at),
         incremental: false,
     };
-    let gr = sweep_one(&spec, vec![static_cfg("micro", 4, at), dyn_cfg], threads);
+    let gr = sweep_one(&spec, vec![static_cfg("micro", 4, at), dyn_cfg], threads, "ab-formation");
     let (stat, dynr) = (&gr.runs[0], &gr.runs[1]);
     FormationAblation {
         static_effective: eff_secs(&gr.baseline, stat),

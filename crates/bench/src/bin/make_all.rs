@@ -2,16 +2,21 @@
 //! source of truth). Prints everything to stdout; redirect to a file.
 //!
 //! All drivers fan their simulation cells over the parallel harness
-//! (`gbcr_metrics::run_sweep`). Flags:
+//! (`gbcr_metrics::run_sweep`), which dispatches cells longest-first
+//! using per-cell costs seeded from the previous run's `--json` record
+//! (first run: unknown cells go first and get measured). Flags:
 //!
 //! * `--threads N` — worker pool size (default: `GBCR_THREADS` env, then
-//!   all available cores).
+//!   all available cores). Requests above the core count run but are
+//!   flagged as oversubscribed — the measured speedup is then meaningless.
 //! * `--smoke` — tiny sweeps only (used by `scripts/tier1.sh`).
 //! * `--serial-check` — rerun everything on one worker and verify the
-//!   rendered tables are byte-identical, recording the speedup.
+//!   rendered tables are byte-identical, recording the speedup; then
+//!   rerun once more in legacy *polled* progress mode and verify the
+//!   tables again (demand-driven wake elision must not change any output).
 //! * `--json [PATH]` — write a machine-readable run record (per-figure
-//!   wall ms, thread count, simulated-event total) to PATH (default
-//!   `BENCH_harness.json`).
+//!   wall ms, thread count, simulated-event totals, elided wakes,
+//!   per-cell costs) to PATH (default `BENCH_harness.json`).
 
 use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, GROUP_SIZES};
 use std::time::Instant;
@@ -181,26 +186,72 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Seed the sweep cost registry from a previous run's `--json` record, so
+/// the first sweep of this run already dispatches longest-first. Tolerant
+/// hand parser over the `"cells"` array this binary itself writes; any
+/// malformed entry is skipped (worst case: that cell is scheduled as
+/// unknown). Returns the number of cells seeded.
+fn seed_costs_from(path: &str) -> usize {
+    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let Some(cells_at) = text.find("\"cells\"") else { return 0 };
+    let mut seeded = 0;
+    let field = |obj: &str, name: &str| -> Option<String> {
+        let at = obj.find(&format!("\"{name}\""))?;
+        let rest = &obj[at..];
+        let colon = rest.find(':')?;
+        let val = rest[colon + 1..].trim_start();
+        let end = val.find([',', '}']).unwrap_or(val.len());
+        Some(val[..end].trim().to_owned())
+    };
+    for obj in text[cells_at..].split('{').skip(1) {
+        let Some(end) = obj.find('}') else { continue };
+        let obj = &obj[..end];
+        let key = field(obj, "key").map(|v| v.trim_matches('"').to_owned());
+        let wall = field(obj, "wall_ms").and_then(|v| v.parse::<f64>().ok());
+        let events = field(obj, "events").and_then(|v| v.parse::<u64>().ok());
+        if let (Some(key), Some(wall), Some(events)) = (key, wall, events) {
+            gbcr_metrics::seed_cell_cost(&key, wall, events);
+            seeded += 1;
+        }
+    }
+    seeded
+}
+
 fn main() {
     let args = parse_args();
     let threads = gbcr_metrics::resolve_threads(args.threads);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let oversubscribed = threads > cores;
+    if oversubscribed {
+        eprintln!(
+            "warning: {threads} workers requested on a {cores}-core host — \
+             oversubscribed; wall times and speedup will not reflect real parallelism"
+        );
+    }
+    let seeded = args.json.as_deref().map_or(0, seed_costs_from);
+    if seeded > 0 {
+        eprintln!("seeded {seeded} cell costs from previous run (LPT dispatch)");
+    }
     let secs = sections(args.smoke);
 
     println!("=== gbcr: full evaluation reproduction ({threads} worker threads) ===\n");
     let events0 = gbcr_des::total_events_processed();
+    let elided0 = gbcr_des::total_wakes_elided();
     let t0 = Instant::now();
     let (outputs, walls) = render_all(&secs, Some(threads));
     let parallel_secs = t0.elapsed().as_secs_f64();
     let total_events = gbcr_des::total_events_processed() - events0;
+    let total_elided = gbcr_des::total_wakes_elided() - elided0;
     for out in &outputs {
         println!("{out}");
     }
     eprintln!(
         "total wall time: {parallel_secs:.2}s on {threads} threads \
-         ({total_events} simulated events)"
+         ({total_events} simulated events, {total_elided} progress wakes elided)"
     );
 
     let mut serial = None;
+    let mut polled: Option<(bool, u64)> = None;
     if args.serial_check {
         eprintln!("serial check: rerunning everything on 1 worker...");
         let t1 = Instant::now();
@@ -224,23 +275,55 @@ fn main() {
             }
         }
         serial = Some((serial_secs, identical));
-        if !identical {
+
+        eprintln!("polled check: rerunning everything in polled progress mode...");
+        gbcr_mpi::set_polled_progress_default(true);
+        let pe0 = gbcr_des::total_events_processed();
+        let (polled_outputs, _) = render_all(&secs, Some(threads));
+        let polled_events = gbcr_des::total_events_processed() - pe0;
+        gbcr_mpi::set_polled_progress_default(false);
+        let polled_identical = polled_outputs == outputs;
+        if polled_identical {
+            eprintln!(
+                "polled check: tables byte-identical; {polled_events} events polled \
+                 vs {total_events} demand-driven ({:.1}% fewer)",
+                100.0 * (1.0 - total_events as f64 / polled_events as f64)
+            );
+        } else {
+            for (i, (name, _)) in secs.iter().enumerate() {
+                if polled_outputs[i] != outputs[i] {
+                    eprintln!(
+                        "polled check FAILED: section {name} differs between polled \
+                         and demand-driven progress"
+                    );
+                }
+            }
+        }
+        polled = Some((polled_identical, polled_events));
+        if !identical || !polled_identical {
             std::process::exit(1);
         }
     }
 
     if let Some(path) = &args.json {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let mut j = String::from("{\n");
         j.push_str(&format!("  \"threads\": {threads},\n"));
         j.push_str(&format!("  \"host_cores\": {cores},\n"));
+        j.push_str(&format!("  \"oversubscribed\": {oversubscribed},\n"));
         j.push_str(&format!("  \"smoke\": {},\n", args.smoke));
         j.push_str(&format!("  \"total_wall_ms\": {:.1},\n", parallel_secs * 1e3));
         j.push_str(&format!("  \"total_events\": {total_events},\n"));
-        if let Some((serial_secs, identical)) = serial {
+        j.push_str(&format!("  \"total_elided_wakes\": {total_elided},\n"));
+        j.push_str(&format!("  \"lpt_seeded_cells\": {seeded},\n"));
+        if let Some((serial_secs, serial_identical)) = serial {
+            let (polled_identical, polled_events) = polled.expect("polled pass ran");
             j.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", serial_secs * 1e3));
             j.push_str(&format!("  \"speedup\": {:.2},\n", serial_secs / parallel_secs));
-            j.push_str(&format!("  \"tables_identical\": {identical},\n"));
+            j.push_str(&format!("  \"polled_total_events\": {polled_events},\n"));
+            j.push_str(&format!(
+                "  \"tables_identical\": {},\n",
+                serial_identical && polled_identical
+            ));
         }
         j.push_str("  \"figures\": [\n");
         for (i, ((name, _), wall)) in secs.iter().zip(&walls).enumerate() {
@@ -248,6 +331,22 @@ fn main() {
             j.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {wall:.1}}}{comma}\n",
                 json_escape(name)
+            ));
+        }
+        j.push_str("  ],\n");
+        // Per-cell costs: next run seeds its LPT dispatch from these.
+        // Recorded from the *last* run of each cell in this process (the
+        // serial/polled reruns overwrite — same cells, same costs modulo
+        // noise, so dispatch quality is unaffected).
+        j.push_str("  \"cells\": [\n");
+        let cells = gbcr_metrics::cell_costs_snapshot();
+        for (i, (key, c)) in cells.iter().enumerate() {
+            let comma = if i + 1 == cells.len() { "" } else { "," };
+            j.push_str(&format!(
+                "    {{\"key\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}}}{comma}\n",
+                json_escape(key),
+                c.wall_ms,
+                c.events
             ));
         }
         j.push_str("  ]\n}\n");

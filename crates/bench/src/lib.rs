@@ -77,6 +77,12 @@ pub struct Sweep {
     pub baseline_secs: f64,
     /// Measured cells, in `points × sizes` order.
     pub cells: Vec<Cell>,
+    /// Simulated events dispatched across the baseline and every cell
+    /// (simulator cost, not a model output).
+    pub events: u64,
+    /// Progress wakes elided by demand-driven compute slicing, summed the
+    /// same way (always 0 in polled mode).
+    pub elided_wakes: u64,
 }
 
 impl Sweep {
@@ -130,11 +136,15 @@ fn sweep_cfgs(job: &str, points: &[Time], sizes: &[u32]) -> Vec<CoordinatorCfg> 
 /// preserving the exact serial cell order.
 fn sweep_from_reports(n: u32, points: &[Time], sizes: &[u32], gr: GroupReports) -> Sweep {
     let baseline = gr.baseline;
+    let mut events = baseline.events;
+    let mut elided_wakes = baseline.elided_wakes;
     let mut runs = gr.runs.into_iter();
     let mut cells = Vec::with_capacity(points.len() * sizes.len());
     for &at in points {
         for &g in sizes {
             let ck = runs.next().expect("one checkpointed run per cell");
+            events += ck.events;
+            elided_wakes += ck.elided_wakes;
             let ep = ck.epochs.first().unwrap_or_else(|| {
                 panic!("checkpoint at {} never ran", gbcr_des::time::fmt(at))
             });
@@ -153,7 +163,13 @@ fn sweep_from_reports(n: u32, points: &[Time], sizes: &[u32], gr: GroupReports) 
             });
         }
     }
-    Sweep { n, baseline_secs: gbcr_des::time::as_secs_f64(baseline.completion), cells }
+    Sweep {
+        n,
+        baseline_secs: gbcr_des::time::as_secs_f64(baseline.completion),
+        cells,
+        events,
+        elided_wakes,
+    }
 }
 
 /// Run several sweeps — one per `(spec, job)` workload — through the
@@ -167,7 +183,25 @@ pub fn sweep_many(
 ) -> Vec<Sweep> {
     let groups: Vec<SweepGroup> = workloads
         .iter()
-        .map(|(spec, job)| SweepGroup::new(spec.clone(), sweep_cfgs(job, points, sizes)))
+        .enumerate()
+        .map(|(i, (spec, job))| {
+            // Cost-registry label: enough shape information (world size,
+            // issuance grid, size grid, workload index) that a cell's key
+            // is stable across runs but distinct between the different
+            // figure sweeps that reuse the same job name.
+            let pts: Vec<String> = points
+                .iter()
+                .map(|&t| format!("{:.0}", gbcr_des::time::as_secs_f64(t)))
+                .collect();
+            let gs: Vec<String> = sizes.iter().map(|s| s.to_string()).collect();
+            let label = format!(
+                "{job}/n{}/w{i}/at{}/g{}",
+                spec.mpi.n,
+                pts.join("-"),
+                gs.join("-")
+            );
+            SweepGroup::labeled(spec.clone(), sweep_cfgs(job, points, sizes), label)
+        })
         .collect();
     let reports = run_sweep(&groups, threads).expect("sweep runs");
     workloads

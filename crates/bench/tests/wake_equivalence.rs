@@ -1,0 +1,44 @@
+//! Demand-driven vs polled progress equivalence (DESIGN.md §3.1).
+//!
+//! The demand-driven wake elision must be *observationally invisible*:
+//! every figure table is byte-identical to the polled baseline, while the
+//! simulator dispatches strictly fewer events. This runs the fig3/fig4
+//! smoke cells both ways (the same cells `make_all --smoke` renders).
+//!
+//! Lives in its own integration-test binary because it flips the
+//! process-wide polled default — nothing else may construct an
+//! `MpiConfig` while that is set.
+
+use gbcr_bench::{fig3, fig4};
+
+fn smoke_cells() -> (String, u64, u64) {
+    let f3 = fig3::run_threaded(8, &[4], &[8, 4], Some(2));
+    let s4 = fig4::run_threaded(&[15, 55], Some(2));
+    let tables = format!("{}\n{}", fig3::table(&f3).render(), fig4::table(&s4).render());
+    let events =
+        f3.by_comm.iter().map(|(_, s)| s.events).sum::<u64>() + s4.events;
+    let elided =
+        f3.by_comm.iter().map(|(_, s)| s.elided_wakes).sum::<u64>() + s4.elided_wakes;
+    (tables, events, elided)
+}
+
+#[test]
+fn demand_driven_wakes_match_polled_tables_with_fewer_events() {
+    assert!(!gbcr_mpi::polled_progress_default(), "demand-driven is the default");
+    let (demand_tables, demand_events, demand_elided) = smoke_cells();
+
+    gbcr_mpi::set_polled_progress_default(true);
+    let (polled_tables, polled_events, polled_elided) = smoke_cells();
+    gbcr_mpi::set_polled_progress_default(false);
+
+    assert_eq!(
+        demand_tables, polled_tables,
+        "wake elision changed a figure table — it must be observationally invisible"
+    );
+    assert!(
+        demand_events < polled_events,
+        "demand mode must dispatch strictly fewer events ({demand_events} vs {polled_events})"
+    );
+    assert!(demand_elided > 0, "smoke cells cross passive slices, some wakes must elide");
+    assert_eq!(polled_elided, 0, "polled mode never elides");
+}

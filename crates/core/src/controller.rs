@@ -191,7 +191,10 @@ impl Controller {
             st.epoch = Some(EpochState { epoch: msg.a, plan, status });
         }
         // Passive coordination (helper thread) active for the whole epoch;
-        // in Logging mode turn on the copy+log path instead of any gating.
+        // this also installs the rank's demand-driven compute wake on the
+        // data-plane endpoint, so sliced compute only wakes at slice
+        // boundaries the fabric actually delivers into. In Logging mode
+        // turn on the copy+log path instead of any gating.
         mpi.set_passive(true);
         if self.mode == CkptMode::Logging {
             mpi.set_log_mode(true);
@@ -333,6 +336,8 @@ impl Controller {
             }
             st.cl = None;
         }
+        // Epoch over: leaving passive mode uninstalls the delivery hook, so
+        // data-plane arrivals go back to never waking a computing rank.
         mpi.set_passive(false);
         if self.mode == CkptMode::Logging {
             mpi.set_log_mode(false);

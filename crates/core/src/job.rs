@@ -85,6 +85,11 @@ pub struct RunReport {
     pub channel_logged_bytes: u64,
     /// The checkpoint images left on storage (for restarts).
     pub images: Vec<(String, StoredObject)>,
+    /// Simulated events the run dispatched (simulator cost, not a model
+    /// output — feeds the bench harness's per-cell cost accounting).
+    pub events: u64,
+    /// Progress wakes elided by demand-driven compute slicing.
+    pub elided_wakes: u64,
 }
 
 impl RunReport {
@@ -234,6 +239,8 @@ fn run_job_full(
     }
 
     let sim_end = sim.run()?;
+    let events = sim.events_processed();
+    let elided_wakes = sim.wakes_elided();
     let completion = body_ends.lock().iter().copied().max().unwrap_or(sim_end);
     let rank_records = controllers.lock().iter().flat_map(|c| c.records()).collect();
     let channel_logged_bytes: u64 =
@@ -266,5 +273,7 @@ fn run_job_full(
         logged_bytes,
         channel_logged_bytes,
         images: storage.export_objects(),
+        events,
+        elided_wakes,
     })
 }

@@ -36,6 +36,11 @@ use std::thread::JoinHandle;
 /// Flushed once per [`Sim::run`]/[`Sim::run_until`] call, not per event.
 static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+/// Progress wakes elided across every simulation in this process, ever
+/// (see [`crate::DemandWake`]): slice boundaries a polled progress engine
+/// would have woken at that the demand-driven engine never scheduled.
+static TOTAL_ELIDED: AtomicU64 = AtomicU64::new(0);
+
 /// Total events dispatched by all simulations in this process so far.
 /// Monotonic; used by the benchmark harness to report aggregate engine
 /// work alongside wall-clock numbers.
@@ -43,11 +48,20 @@ pub fn total_events_processed() -> u64 {
     TOTAL_EVENTS.load(Ordering::Relaxed)
 }
 
+/// Total progress wakes elided by all simulations in this process so far
+/// (the demand-driven counterpart of [`total_events_processed`]).
+pub fn total_wakes_elided() -> u64 {
+    TOTAL_ELIDED.load(Ordering::Relaxed)
+}
+
 /// A callback executed on the scheduler thread. Must not block.
 type Callback = Box<dyn FnOnce(&SimHandle) + Send + 'static>;
 
 enum EventKind {
     Wake(ProcId),
+    /// A wake that can be invalidated before it fires (same slab-slot
+    /// generation check as `Call`, but with no boxed callback).
+    CancellableWake { slot: u32, gen: u64, pid: ProcId },
     Call { slot: u32, gen: u64, f: Callback },
 }
 
@@ -120,6 +134,8 @@ pub(crate) struct Inner {
     procs: Mutex<Vec<ProcSlot>>,
     rng: Mutex<SmallRng>,
     trace: TraceLog,
+    /// Progress wakes elided in this simulation (see [`SimHandle::note_elided_wakes`]).
+    elided: AtomicU64,
 }
 
 /// A cloneable, `Send + Sync` handle onto a running simulation.
@@ -149,10 +165,29 @@ impl SimHandle {
         self.push(at.max(self.now()), EventKind::Wake(pid));
     }
 
+    /// Like [`schedule_wake`](SimHandle::schedule_wake), but returns a
+    /// handle that can cancel the wake before it fires. A cancelled wake
+    /// still pops from the queue but resumes nobody. This is the primitive
+    /// under sliced `compute()`: a slice timer superseded by an earlier
+    /// resume is cancelled instead of firing stale.
+    pub fn schedule_wake_cancellable(&self, at: Time, pid: ProcId) -> TimerHandle {
+        let (slot, gen) = self.inner.timers.arm();
+        self.push(at.max(self.now()), EventKind::CancellableWake { slot, gen, pid });
+        TimerHandle::new(self.inner.timers.clone(), slot, gen)
+    }
+
     /// Wake `pid` at the current virtual time (after already-queued events
     /// at this instant).
     pub fn wake(&self, pid: ProcId) {
         self.schedule_wake(self.now(), pid);
+    }
+
+    /// Credit `n` elided progress wakes (slice boundaries a polled engine
+    /// would have dispatched that the demand-driven engine never
+    /// scheduled) to this simulation and the process-wide total.
+    pub fn note_elided_wakes(&self, n: u64) {
+        self.inner.elided.fetch_add(n, Ordering::Relaxed);
+        TOTAL_ELIDED.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Run `f` on the scheduler thread at absolute time `at`. Returns a
@@ -302,6 +337,7 @@ impl Sim {
             procs: Mutex::new(Vec::new()),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             trace: TraceLog::new(),
+            elided: AtomicU64::new(0),
         });
         Sim {
             handle: SimHandle { inner },
@@ -346,6 +382,12 @@ impl Sim {
     /// Events this simulation has dispatched so far (all `run*` calls).
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Progress wakes this simulation elided so far (demand-driven compute
+    /// slicing; see [`crate::DemandWake`]).
+    pub fn wakes_elided(&self) -> u64 {
+        self.handle.inner.elided.load(Ordering::Relaxed)
     }
 
     /// The cached gate for `pid`, extending the cache from the shared
@@ -407,6 +449,17 @@ impl Sim {
                             let name =
                                 self.handle.inner.procs.lock()[pid.index()].name.to_string();
                             break 'outer Err(SimError::ProcessPanicked { name, message });
+                        }
+                    }
+                    EventKind::CancellableWake { slot, gen, pid } => {
+                        // `retire` wins only if nobody cancelled the wake.
+                        if self.handle.inner.timers.retire(slot, gen) {
+                            if let Err(message) = self.gate(pid).resume() {
+                                let name = self.handle.inner.procs.lock()[pid.index()]
+                                    .name
+                                    .to_string();
+                                break 'outer Err(SimError::ProcessPanicked { name, message });
+                            }
                         }
                     }
                     EventKind::Call { slot, gen, f } => {

@@ -53,11 +53,13 @@ mod signal;
 pub mod time;
 mod timer;
 mod trace;
+mod wake;
 
-pub use engine::{total_events_processed, Sim, SimHandle};
+pub use engine::{total_events_processed, total_wakes_elided, Sim, SimHandle};
 pub use error::{SimError, SimResult};
 pub use process::{Proc, ProcId};
 pub use signal::Signal;
 pub use time::Time;
 pub use timer::TimerHandle;
 pub use trace::{TraceEvent, TraceLog};
+pub use wake::DemandWake;

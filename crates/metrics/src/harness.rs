@@ -24,12 +24,23 @@ pub struct SweepGroup {
     pub spec: JobSpec,
     /// The checkpoint configurations to measure on it, in output order.
     pub cfgs: Vec<CoordinatorCfg>,
+    /// Stable key prefix for the per-cell cost registry (see
+    /// [`crate::record_cell_cost`]). Defaults to the spec's job name; the
+    /// bench drivers set a sweep-unique label so costs persisted in
+    /// `BENCH_harness.json` match up across runs.
+    pub label: String,
 }
 
 impl SweepGroup {
-    /// Convenience constructor.
+    /// Convenience constructor; the cost label defaults to the job name.
     pub fn new(spec: JobSpec, cfgs: Vec<CoordinatorCfg>) -> Self {
-        SweepGroup { spec, cfgs }
+        let label = spec.name.clone();
+        SweepGroup { spec, cfgs, label }
+    }
+
+    /// Constructor with an explicit cost-registry label.
+    pub fn labeled(spec: JobSpec, cfgs: Vec<CoordinatorCfg>, label: impl Into<String>) -> Self {
+        SweepGroup { spec, cfgs, label: label.into() }
     }
 }
 
@@ -60,6 +71,14 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
 /// reports are identical to a serial run; with more than one worker only
 /// the wall-clock time changes. On error, the first failing cell in task
 /// order is reported, regardless of which worker hit it first.
+///
+/// Dispatch is **cost-aware**: cells with a known cost (recorded by a
+/// previous run, possibly seeded from `BENCH_harness.json`) are handed to
+/// workers longest-first (LPT), and unknown cells before all known ones,
+/// so a long-pole cell can never be the last thing started. Results are
+/// still assembled in cell-index order, so the output — values, ordering,
+/// and which error surfaces first — is byte-identical whatever the
+/// dispatch order or worker count.
 pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec<GroupReports>> {
     // Flatten to (group, cfg-or-baseline) tasks: index order is output order.
     let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
@@ -69,14 +88,40 @@ pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec
             tasks.push((g, Some(c)));
         }
     }
-    let run_task = |&(g, c): &(usize, Option<usize>)| -> SimResult<RunReport> {
-        let group = &groups[g];
-        run_job(&group.spec, c.map(|i| group.cfgs[i].clone()))
+    let key_of = |&(g, c): &(usize, Option<usize>)| -> String {
+        match c {
+            None => format!("{}/base", groups[g].label),
+            Some(i) => format!("{}/c{i}", groups[g].label),
+        }
     };
+    let keys: Vec<String> = tasks.iter().map(key_of).collect();
+    let run_task = |i: usize| -> SimResult<RunReport> {
+        let (g, c) = tasks[i];
+        let group = &groups[g];
+        let t0 = std::time::Instant::now();
+        let out = run_job(&group.spec, c.map(|j| group.cfgs[j].clone()));
+        if let Ok(report) = &out {
+            crate::cost::record_cell_cost(
+                &keys[i],
+                t0.elapsed().as_secs_f64() * 1e3,
+                report.events,
+            );
+        }
+        out
+    };
+
+    // LPT dispatch order: unknown cells first (they might be the long
+    // pole), then known cells by descending expected wall time; ties (and
+    // the serial path) fall back to task order.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        let cost = |i: usize| crate::cost::cell_cost(&keys[i]).map_or(f64::INFINITY, |c| c.wall_ms);
+        cost(b).partial_cmp(&cost(a)).expect("costs are never NaN").then(a.cmp(&b))
+    });
 
     let workers = resolve_threads(threads).min(tasks.len().max(1));
     let results: Vec<SimResult<RunReport>> = if workers <= 1 {
-        tasks.iter().map(run_task).collect()
+        (0..tasks.len()).map(run_task).collect()
     } else {
         let slots: Vec<OnceLock<SimResult<RunReport>>> =
             tasks.iter().map(|_| OnceLock::new()).collect();
@@ -84,9 +129,9 @@ pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = tasks.get(i) else { break };
-                    let _ = slots[i].set(run_task(task));
+                    let d = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(d) else { break };
+                    let _ = slots[i].set(run_task(i));
                 });
             }
         });

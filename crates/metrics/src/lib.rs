@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+mod cost;
 mod harness;
 mod table;
 pub mod timeline;
 
 pub use advisor::{placement_window, young_interval, Advice, AdvisorInputs};
+pub use cost::{cell_cost, cell_costs_snapshot, record_cell_cost, seed_cell_cost, CellCost};
 pub use harness::{
     delay_from_reports, measure, measure_with, resolve_threads, run_sweep, DelayMeasurement,
     GroupReports, SweepGroup,

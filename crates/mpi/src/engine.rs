@@ -10,7 +10,7 @@ use crate::config::MpiConfig;
 use crate::hook::{CrHook, CtrlWire, OobMsg};
 use crate::types::{BoundarySnapshot, Msg, Rank, Request, Tag};
 use crate::world::WorldShared;
-use gbcr_des::{Proc, Time};
+use gbcr_des::{DemandWake, Proc, Time, TimerHandle};
 use gbcr_net::{Endpoint, NodeId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -182,6 +182,9 @@ pub(crate) struct Rt {
     pub(crate) rank: Rank,
     pub(crate) ep: Endpoint<WireMsg>,
     pub(crate) oob_ep: Endpoint<OobMsg>,
+    /// Demand-driven progress wake shared with the data-plane endpoint
+    /// while this rank is under passive coordination (see `compute`).
+    pub(crate) demand: DemandWake,
     pub(crate) st: Mutex<RtState>,
 }
 
@@ -189,11 +192,13 @@ impl Rt {
     pub(crate) fn new(world: Arc<WorldShared>, rank: Rank) -> Self {
         let ep = world.data.endpoint(NodeId(rank));
         let oob_ep = world.oob.endpoint(NodeId(rank));
+        let demand = DemandWake::new(world.handle.clone());
         Rt {
             world,
             rank,
             ep,
             oob_ep,
+            demand,
             st: Mutex::new(RtState {
                 posted: Vec::new(),
                 unexpected: VecDeque::new(),
@@ -476,7 +481,10 @@ impl Rt {
     /// Drain both fabrics, run protocol handling, then dispatch unsolicited
     /// control traffic to the hook (unless a dispatch is already running on
     /// this rank — protocol code consumes follow-up messages explicitly).
-    pub(crate) fn progress(&self, p: &Proc) {
+    /// Returns whether anything was handled at all — `compute` uses this to
+    /// anchor its slice lattice at the last instant progress did work.
+    pub(crate) fn progress(&self, p: &Proc) -> bool {
+        let mut worked = false;
         loop {
             let mut any = false;
             while let Some((from, wire)) = self.ep.try_recv() {
@@ -513,8 +521,9 @@ impl Rt {
                 any = true;
             }
             if !any {
-                return;
+                return worked;
             }
+            worked = true;
         }
     }
 
@@ -630,35 +639,73 @@ impl Rt {
     /// Perform `dt` of local computation. Data-plane arrivals do **not**
     /// interrupt computation (OS-bypass); out-of-band messages do (socket +
     /// listener thread). In passive coordination mode with the helper
-    /// thread enabled, the progress engine additionally runs every
-    /// `progress_interval` (paper §4.4). Time spent coordinating extends
-    /// the compute deadline: coordination steals the CPU, it does not do
-    /// the application's work.
+    /// thread enabled, the progress engine additionally runs on every
+    /// crossed slice boundary `anchor + k·progress_interval` (paper §4.4;
+    /// the anchor is the last instant progress did work). Time spent
+    /// coordinating extends the compute deadline: coordination steals the
+    /// CPU, it does not do the application's work.
+    ///
+    /// Two slicing strategies share this loop (DESIGN.md §3.1):
+    ///
+    /// * **polled** (`cfg.polled_progress`): one cancellable timer wake per
+    ///   boundary, scheduled at park time, regardless of traffic.
+    /// * **demand-driven** (default): no boundary wake is pre-scheduled;
+    ///   instead [`DemandWake`] is armed across the park, and a fabric
+    ///   delivery schedules the wake at the *next* boundary after it.
+    ///   Boundaries with no traffic are elided — observably identical
+    ///   timing, far fewer events.
+    ///
+    /// In both modes the pending wake (boundary or deadline) is cancelled
+    /// and rescheduled on resume, so no stale wake chains survive an
+    /// out-of-band interruption.
     pub(crate) fn compute(&self, p: &Proc, dt: Time) {
         let mut deadline = p.now().saturating_add(dt);
+        let mut anchor = p.now();
+        let polled = self.cfg().polled_progress;
+        let interval = self.cfg().progress_interval;
+        let mut wake: Option<(Time, TimerHandle)> = None;
         loop {
             let t0 = p.now();
-            self.progress(p);
-            deadline += p.now() - t0;
+            let did = self.progress(p);
             let now = p.now();
+            deadline += now - t0;
+            if did {
+                anchor = now;
+            }
             if now >= deadline {
-                return;
+                break;
             }
             if self.oob_ep.pending() > 0 {
                 continue;
             }
-            let slice_end = {
+            let sliced = {
                 let st = self.st.lock();
-                if st.passive && self.cfg().helper_thread {
-                    (now + self.cfg().progress_interval).min(deadline)
-                } else {
-                    deadline
-                }
+                st.passive && self.cfg().helper_thread
             };
             self.oob_ep.register_waiter(p.id());
-            p.handle().schedule_wake(slice_end, p.id());
+            let target = if sliced && polled {
+                next_boundary(anchor, interval, now).min(deadline)
+            } else {
+                deadline
+            };
+            match &wake {
+                Some((t, _)) if *t == target => {}
+                _ => {
+                    if let Some((_, h)) = wake.take() {
+                        h.cancel();
+                    }
+                    wake = Some((target, p.handle().schedule_wake_cancellable(target, p.id())));
+                }
+            }
+            if sliced && !polled {
+                self.demand.arm(p.id(), anchor, interval, deadline);
+            }
             p.park();
+            self.demand.disarm();
             self.oob_ep.unregister_waiter(p.id());
+        }
+        if let Some((_, h)) = wake.take() {
+            h.cancel();
         }
     }
 
@@ -727,8 +774,18 @@ impl Rt {
         self.st.lock().hook = Some(hook);
     }
 
+    /// Enter/leave passive coordination. Entry installs this rank's
+    /// [`DemandWake`] as the data-plane delivery hook so sliced `compute`
+    /// can run demand-driven; exit removes it (and drops any leftover
+    /// arming) so deliveries outside passive mode never touch compute.
     pub(crate) fn set_passive(&self, passive: bool) {
         self.st.lock().passive = passive;
+        if passive {
+            self.ep.set_compute_hook(self.demand.clone());
+        } else {
+            self.ep.clear_compute_hook();
+            self.demand.disarm();
+        }
     }
 
     pub(crate) fn is_passive(&self) -> bool {
@@ -881,4 +938,15 @@ impl Rt {
 enum DispatchItem {
     Ctrl(Rank, CtrlWire),
     Oob(NodeId, OobMsg),
+}
+
+/// Smallest lattice point `anchor + k·interval` strictly after `now`
+/// (`k ≥ 1`). With `interval == 0` slicing is meaningless; callers get
+/// `Time::MAX` so the deadline clamp wins.
+fn next_boundary(anchor: Time, interval: Time, now: Time) -> Time {
+    if interval == 0 {
+        return Time::MAX;
+    }
+    debug_assert!(anchor <= now);
+    anchor + interval * ((now - anchor) / interval + 1)
 }

@@ -2,7 +2,7 @@
 
 use crate::config::NetConfig;
 use crate::stats::NetStats;
-use gbcr_des::{Proc, ProcId, SimHandle, Time};
+use gbcr_des::{DemandWake, Proc, ProcId, SimHandle, Time, TimerHandle};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -54,6 +54,11 @@ impl ConnInner {
 struct EpState<M> {
     queue: VecDeque<(NodeId, M)>,
     waiters: Vec<ProcId>,
+    /// Demand-driven compute wake: poked on every delivery so a rank in
+    /// sliced `compute()` runs progress at the next slice boundary instead
+    /// of polling (see [`gbcr_des::DemandWake`]). Installed only while the
+    /// owning rank is under passive coordination.
+    hook: Option<DemandWake>,
 }
 
 type ConnMap = HashMap<(NodeId, NodeId), Arc<Mutex<ConnInner>>>;
@@ -140,7 +145,11 @@ impl<M: Send + 'static> Fabric<M> {
     pub fn endpoint(&self, node: NodeId) -> Endpoint<M> {
         let mut eps = self.inner.eps.lock();
         eps.entry(node).or_insert_with(|| {
-            Arc::new(Mutex::new(EpState { queue: VecDeque::new(), waiters: Vec::new() }))
+            Arc::new(Mutex::new(EpState {
+                queue: VecDeque::new(),
+                waiters: Vec::new(),
+                hook: None,
+            }))
         });
         Endpoint { fabric: self.clone(), node }
     }
@@ -169,7 +178,11 @@ impl<M: Send + 'static> Fabric<M> {
             .lock()
             .entry(node)
             .or_insert_with(|| {
-                Arc::new(Mutex::new(EpState { queue: VecDeque::new(), waiters: Vec::new() }))
+                Arc::new(Mutex::new(EpState {
+                    queue: VecDeque::new(),
+                    waiters: Vec::new(),
+                    hook: None,
+                }))
             })
             .clone()
     }
@@ -356,23 +369,37 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Block until a message is available **or** the deadline passes;
     /// returns `None` on timeout. Used by progress engines that must also
-    /// meet timer obligations.
+    /// meet timer obligations. On every exit path the deadline timer is
+    /// cancelled and the waiter registration removed — a timed-out waiter
+    /// must never linger on the endpoint's list, or a later delivery would
+    /// wake a rank that went back to computing (OS-bypass hardware never
+    /// interrupts the host CPU that way).
     pub fn recv_timeout(&self, p: &Proc, deadline: Time) -> Option<(NodeId, M)> {
         let ep = self.fabric.ep(self.node);
-        loop {
+        let mut timer: Option<TimerHandle> = None;
+        let out = loop {
             {
                 let mut e = ep.lock();
                 if let Some(m) = e.queue.pop_front() {
-                    return Some(m);
+                    break Some(m);
                 }
                 if p.now() >= deadline {
-                    return None;
+                    break None;
                 }
-                e.waiters.push(p.id());
+                if !e.waiters.contains(&p.id()) {
+                    e.waiters.push(p.id());
+                }
             }
-            p.handle().schedule_wake(deadline, p.id());
+            if timer.is_none() {
+                timer = Some(p.handle().schedule_wake_cancellable(deadline, p.id()));
+            }
             p.park();
+        };
+        if let Some(t) = timer {
+            t.cancel();
         }
+        ep.lock().waiters.retain(|&w| w != p.id());
+        out
     }
 
     /// Register the calling process to be woken on the next delivery to
@@ -395,6 +422,19 @@ impl<M: Send + 'static> Endpoint<M> {
     /// does.
     pub fn unregister_waiter(&self, pid: ProcId) {
         self.fabric.ep(self.node).lock().waiters.retain(|&w| w != pid);
+    }
+
+    /// Install a demand-driven compute wake: every delivery to this
+    /// endpoint pokes `hook` (see [`gbcr_des::DemandWake`]). Replaces any
+    /// previous hook. Installed on passive-coordination entry by the MPI
+    /// runtime; the hook itself only acts while its owner is parked.
+    pub fn set_compute_hook(&self, hook: DemandWake) {
+        self.fabric.ep(self.node).lock().hook = Some(hook);
+    }
+
+    /// Remove the demand-driven compute wake (passive-coordination exit).
+    pub fn clear_compute_hook(&self) {
+        self.fabric.ep(self.node).lock().hook = None;
     }
 
     /// Number of delivered-but-unconsumed messages.
@@ -451,8 +491,12 @@ impl<M: Send + 'static> Fabric<M> {
             let mut e = ep.lock();
             e.queue.push_back((from, msg));
             let mut ws = std::mem::take(&mut e.waiters);
+            let hook = e.hook.clone();
             drop(e);
             self.wake_all(&mut ws);
+            if let Some(h) = hook {
+                h.poke();
+            }
         }
         let mut stats = self.inner.stats.lock();
         stats.messages += 1;

@@ -245,3 +245,40 @@ fn stats_count_messages_and_bytes() {
     assert_eq!(s.messages, 5);
     assert_eq!(s.bytes, 500);
 }
+
+/// A waiter whose `recv_timeout` ended via the deadline timer must be
+/// deregistered on the way out: a later delivery to the endpoint must not
+/// wake the (by then computing-forever) rank. A stale registration would
+/// have delivered a spurious wake here — OS-bypass hardware never
+/// interrupts the host CPU like that.
+#[test]
+fn timer_expired_waiter_gets_no_spurious_delivery_wake() {
+    let mut sim = Sim::new(0);
+    let fabric: Fabric<u32> = Fabric::new(sim.handle(), test_cfg());
+    let woken = Arc::new(Mutex::new(false));
+    let f = fabric.clone();
+    let w = woken.clone();
+    sim.spawn("rx", move |p| {
+        let ep = f.endpoint(B);
+        assert!(ep.recv_timeout(p, time::ms(5)).is_none());
+        // "Computing": parked with no registration anywhere. The delivery
+        // at ~10 ms must not resume this process.
+        p.park();
+        *w.lock() = true;
+    });
+    let f = fabric.clone();
+    sim.spawn("tx", move |p| {
+        let ep = f.endpoint(A);
+        p.sleep(time::ms(10));
+        ep.connect(p, B);
+        ep.send(B, 7, 8);
+    });
+    let err = sim.run().unwrap_err();
+    assert!(
+        matches!(&err, gbcr_des::SimError::Deadlock { blocked, .. }
+            if blocked == &vec!["rx".to_string()]),
+        "rx must stay parked forever, got {err}"
+    );
+    assert!(!*woken.lock(), "delivery woke a rank whose wait had timed out");
+    assert_eq!(fabric.endpoint(B).pending(), 1, "message stays queued");
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the repo must build, pass the whole test suite, and
 # regenerate a smoke-sized evaluation with the parallel harness agreeing
-# with a serial run byte-for-byte.
+# with a serial run byte-for-byte. `--serial-check` also reruns the smoke
+# sweep in legacy polled-progress mode and fails unless demand-driven wake
+# elision leaves every table byte-identical, so sweep determinism is gated
+# on 1-vs-N workers AND polled-vs-demand on every PR (ci.yml runs this).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
