@@ -1,0 +1,43 @@
+//! Regenerate Figure 8: availability under stochastic node failures,
+//! checkpoint interval × MTBF, vs the Young/Daly closed forms.
+//!
+//! `--smoke` runs the seeded 4-rank kill/restart cell `scripts/tier1.sh`
+//! gates on and prints only its golden `attempts=` line. `--threads N`
+//! controls the worker pool (the tables must not depend on it).
+
+use gbcr_bench::fig8;
+
+fn main() {
+    let mut threads = None;
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number");
+                    std::process::exit(2);
+                }));
+            }
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown flag {other}\nusage: fig8 [--threads N] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        let (attempts, failures) = fig8::smoke();
+        println!("fig8 smoke: attempts={attempts} failures={failures}");
+        return;
+    }
+    let sw =
+        fig8::run_threaded(8, &fig8::INTERVALS_MS, &fig8::NODE_MTBFS_S, fig8::REPLICAS, threads);
+    print!("{}", fig8::table(&sw).render());
+    print!("\n{}", fig8::lost_work_table(&sw).render());
+    print!("\n{}", fig8::optimal_table(&sw).render());
+    println!(
+        "\nbare completion {:.2}s; δ(one checkpoint) {:.2}s; fault seed {:#x}",
+        sw.useful_secs, sw.delta_secs, sw.seed
+    );
+}

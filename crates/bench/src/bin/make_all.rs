@@ -18,19 +18,20 @@
 //!   wall ms, thread count, simulated-event totals, elided wakes,
 //!   per-cell costs) to PATH (default `BENCH_harness.json`).
 
-use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, GROUP_SIZES};
+use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, GROUP_SIZES};
 use std::time::Instant;
 
 struct Args {
     threads: Option<usize>,
     smoke: bool,
     serial_check: bool,
+    faults: bool,
     json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut out =
-        Args { threads: None, smoke: false, serial_check: false, json: None };
+        Args { threads: None, smoke: false, serial_check: false, faults: false, json: None };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -43,6 +44,7 @@ fn parse_args() -> Args {
             }
             "--smoke" => out.smoke = true,
             "--serial-check" => out.serial_check = true,
+            "--faults" => out.faults = true,
             "--json" => {
                 out.json = Some(match it.peek() {
                     Some(v) if !v.starts_with('-') => it.next().unwrap(),
@@ -52,7 +54,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: make_all [--threads N] [--smoke] [--serial-check] [--json [PATH]]"
+                    "usage: make_all [--threads N] [--smoke] [--serial-check] [--faults] \
+                     [--json [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -250,6 +253,31 @@ fn main() {
          ({total_events} simulated events, {total_elided} progress wakes elided)"
     );
 
+    // The fault sweep is opt-in (`--faults`): it exercises the gbcr-faults
+    // injector, so keeping it out of the default run preserves the
+    // injector-disabled guarantee that every table above is byte-identical
+    // to the recorded bench_results.txt.
+    let mut faults: Option<(gbcr_bench::fig8::FaultSweep, f64)> = None;
+    if args.faults {
+        let t0 = Instant::now();
+        let sw = if args.smoke {
+            fig8::run_threaded(4, &[1_000, 2_000], &[60], 2, Some(threads))
+        } else {
+            fig8::run_threaded(
+                8,
+                &fig8::INTERVALS_MS,
+                &fig8::NODE_MTBFS_S,
+                fig8::REPLICAS,
+                Some(threads),
+            )
+        };
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{}", fig8::table(&sw).render());
+        println!("{}", fig8::lost_work_table(&sw).render());
+        println!("{}", fig8::optimal_table(&sw).render());
+        faults = Some((sw, wall_ms));
+    }
+
     let mut serial = None;
     let mut polled: Option<(bool, u64)> = None;
     if args.serial_check {
@@ -324,6 +352,10 @@ fn main() {
                 "  \"tables_identical\": {},\n",
                 serial_identical && polled_identical
             ));
+        }
+        if let Some((sw, wall_ms)) = &faults {
+            j.push_str(&format!("  \"faults_wall_ms\": {wall_ms:.1},\n"));
+            j.push_str(&format!("  \"faults\": {},\n", fig8::json_block(sw)));
         }
         j.push_str("  \"figures\": [\n");
         for (i, ((name, _), wall)) in secs.iter().zip(&walls).enumerate() {

@@ -1,0 +1,399 @@
+//! Figure 8 (extension): availability under a stochastic fail-stop
+//! process, sweeping checkpoint interval × per-node MTBF and comparing the
+//! empirically best interval against the Young and Daly closed forms.
+//!
+//! Every cell is one [`gbcr_core::run_supervised_faulty`] run: per-node
+//! exponential failure clocks kill a rank, the launcher aborts the
+//! survivors after the detection latency, and the supervisor restarts from
+//! the last complete epoch with backoff until the job finishes. All
+//! randomness comes from `gbcr-faults` streams keyed by the cell seed, so
+//! the whole sweep is byte-reproducible across runs and worker counts.
+
+use gbcr_core::{
+    run_job, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    SupervisePolicy,
+};
+use gbcr_des::{time, SimError, Time};
+use gbcr_faults::{rng::mix64, StochasticFaults};
+use gbcr_metrics::{
+    daly_interval, measure, run_cells, AdvisorInputs, FaultAccounting, Table,
+};
+use gbcr_workloads::RandomTraffic;
+
+/// Seed every cell's fault streams are derived from.
+pub const SEED: u64 = 0xF1_68;
+
+/// Checkpoint intervals swept (milliseconds).
+pub const INTERVALS_MS: [u64; 4] = [1_000, 2_000, 4_000, 8_000];
+
+/// Per-node MTBFs swept (seconds). Cluster MTBF is `mtbf / n`.
+pub const NODE_MTBFS_S: [u64; 3] = [30, 120, 480];
+
+/// Replicated supervised runs per cell; replica seeds are shared across
+/// interval rows (common random numbers), so columns compare like with
+/// like and single-draw variance is averaged out.
+pub const REPLICAS: usize = 5;
+
+/// One measured cell of the interval × MTBF sweep.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// Checkpoint interval, seconds.
+    pub interval_secs: f64,
+    /// Per-node MTBF, seconds.
+    pub node_mtbf_secs: f64,
+    /// Aggregate accounting over the replicas that finished (mean wall,
+    /// summed failures/attempts); `None` when every replica exhausted its
+    /// retry budget.
+    pub acct: Option<FaultAccounting>,
+    /// Replicas run for this cell.
+    pub replicas: usize,
+    /// Replicas that gave up ([`gbcr_des::SimError::RetriesExhausted`]).
+    pub gave_up: usize,
+    /// Mean restart backoff across finishing replicas, seconds.
+    pub backoff_secs: f64,
+}
+
+impl FaultCell {
+    /// Mean attempts per finishing replica.
+    pub fn mean_attempts(&self) -> f64 {
+        match &self.acct {
+            Some(a) => a.attempts as f64 / (self.replicas - self.gave_up) as f64,
+            None => 0.0,
+        }
+    }
+}
+
+/// The full fault sweep for one workload.
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// World size.
+    pub n: u32,
+    /// Base seed of the fault streams.
+    pub seed: u64,
+    /// Failure-free bare completion (the "useful" seconds of every cell).
+    pub useful_secs: f64,
+    /// Measured Effective Checkpoint Delay of one checkpoint, seconds (the
+    /// δ fed to Young/Daly).
+    pub delta_secs: f64,
+    /// Swept intervals, seconds.
+    pub intervals: Vec<f64>,
+    /// Swept per-node MTBFs, seconds.
+    pub mtbfs: Vec<f64>,
+    /// Cells in `intervals × mtbfs` row-major order.
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultSweep {
+    /// The cell at (interval index, MTBF index).
+    pub fn cell(&self, ii: usize, mi: usize) -> &FaultCell {
+        &self.cells[ii * self.mtbfs.len() + mi]
+    }
+
+    /// The swept interval with the highest availability for one MTBF
+    /// column (ties break toward the shorter interval).
+    pub fn best_interval(&self, mi: usize) -> f64 {
+        let mut best = (f64::NEG_INFINITY, 0.0);
+        for ii in 0..self.intervals.len() {
+            let c = self.cell(ii, mi);
+            let a = c.acct.as_ref().map_or(f64::NEG_INFINITY, |a| a.availability);
+            if a > best.0 {
+                best = (a, c.interval_secs);
+            }
+        }
+        best.1
+    }
+}
+
+fn spec_for(n: u32) -> (gbcr_core::JobSpec, &'static str) {
+    // Long enough (~12 s bare) that the supervisor's restart backoff does
+    // not dominate the availability signal.
+    let w = RandomTraffic { n, steps: 400, ..RandomTraffic::default() };
+    (w.job(None), "random-traffic")
+}
+
+fn cfg_for(job: &str, n: u32, at: Vec<Time>) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: job.into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: (n / 2).max(1) },
+        schedule: CkptSchedule { at },
+        incremental: false,
+    }
+}
+
+/// Periodic issuance points: `interval, 2·interval, …` strictly inside the
+/// bare run (a point past completion would never fire).
+fn periodic(interval: Time, horizon: Time) -> Vec<Time> {
+    let mut at = Vec::new();
+    let mut t = interval;
+    while t < horizon {
+        at.push(t);
+        t += interval;
+    }
+    at
+}
+
+/// Run the full sweep.
+pub fn run() -> FaultSweep {
+    run_threaded(8, &INTERVALS_MS, &NODE_MTBFS_S, REPLICAS, None)
+}
+
+/// Run with an explicit grid, replica count and worker-thread control.
+/// Every `(cell, replica)` run fans out over the [`run_cells`] pool; seeds
+/// depend only on the grid values, so results are identical on 1 or N
+/// workers.
+pub fn run_threaded(
+    n: u32,
+    intervals_ms: &[u64],
+    node_mtbfs_s: &[u64],
+    replicas: usize,
+    threads: Option<usize>,
+) -> FaultSweep {
+    assert!(replicas > 0);
+    let (spec, job) = spec_for(n);
+    let useful = run_job(&spec, None).expect("bare run").completion;
+    // δ for the closed forms: one checkpoint issued mid-run.
+    let delta = measure(&spec, cfg_for(job, n, Vec::new()), useful / 2)
+        .expect("delay measurement")
+        .effective_secs();
+
+    let grid: Vec<(u64, u64)> = intervals_ms
+        .iter()
+        .flat_map(|&i| node_mtbfs_s.iter().map(move |&m| (i, m)))
+        .collect();
+    let runs = run_cells(grid.len() * replicas, threads, |k| {
+        let (ims, mtbf_s) = grid[k / replicas];
+        let rep = (k % replicas) as u64;
+        let interval = time::ms(ims);
+        // Common random numbers per (MTBF, replica): the seed ignores the
+        // interval, so every interval row faces the *same* failure
+        // processes and "best swept interval" compares like with like.
+        let faults = StochasticFaults::kills(
+            SEED ^ mix64(mtbf_s) ^ mix64(rep + 1),
+            time::secs(mtbf_s),
+        );
+        let cfg = cfg_for(job, n, periodic(interval, useful));
+        let policy = SupervisePolicy::default();
+        match run_supervised_faulty(&spec, cfg, &faults, &policy) {
+            Ok(report) => Some(report),
+            Err(SimError::RetriesExhausted { .. }) => None,
+            Err(e) => panic!("fault sweep cell ({ims} ms, {mtbf_s} s) failed: {e}"),
+        }
+    });
+
+    let cells = grid
+        .iter()
+        .enumerate()
+        .map(|(c, &(ims, mtbf_s))| {
+            let reps = &runs[c * replicas..(c + 1) * replicas];
+            let finished: Vec<_> = reps.iter().flatten().collect();
+            let gave_up = replicas - finished.len();
+            let acct = (!finished.is_empty()).then(|| {
+                let mean_wall = finished
+                    .iter()
+                    .map(|r| time::as_secs_f64(r.total_wall))
+                    .sum::<f64>()
+                    / finished.len() as f64;
+                FaultAccounting::from_run(
+                    mean_wall,
+                    time::as_secs_f64(useful),
+                    n,
+                    finished.iter().map(|r| r.failures_survived()).sum(),
+                    finished.iter().map(|r| r.attempts.len()).sum(),
+                )
+            });
+            let backoff_secs = if finished.is_empty() {
+                0.0
+            } else {
+                finished
+                    .iter()
+                    .map(|r| time::as_secs_f64(r.total_backoff))
+                    .sum::<f64>()
+                    / finished.len() as f64
+            };
+            FaultCell {
+                interval_secs: time::as_secs_f64(time::ms(ims)),
+                node_mtbf_secs: mtbf_s as f64,
+                acct,
+                replicas,
+                gave_up,
+                backoff_secs,
+            }
+        })
+        .collect();
+
+    FaultSweep {
+        n,
+        seed: SEED,
+        useful_secs: time::as_secs_f64(useful),
+        delta_secs: delta,
+        intervals: intervals_ms.iter().map(|&i| i as f64 / 1e3).collect(),
+        mtbfs: node_mtbfs_s.iter().map(|&m| m as f64).collect(),
+        cells,
+    }
+}
+
+/// Availability matrix: `avail% (attempts)` per (interval × MTBF) cell.
+pub fn table(sw: &FaultSweep) -> Table {
+    let mut header: Vec<String> = vec!["interval (s)".into()];
+    header.extend(sw.mtbfs.iter().map(|m| format!("MTBF/node {m:.0}s")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 8 — availability under node failures, n={} (avail % / mean attempts)",
+            sw.n
+        ),
+        &header_refs,
+    );
+    for (ii, &iv) in sw.intervals.iter().enumerate() {
+        let mut row = vec![format!("{iv:.1}")];
+        for mi in 0..sw.mtbfs.len() {
+            let c = sw.cell(ii, mi);
+            row.push(match &c.acct {
+                Some(a) if c.gave_up > 0 => format!(
+                    "{:.1} / {:.1} ({} gave up)",
+                    a.availability * 100.0,
+                    c.mean_attempts(),
+                    c.gave_up
+                ),
+                Some(a) => {
+                    format!("{:.1} / {:.1}", a.availability * 100.0, c.mean_attempts())
+                }
+                None => "gave up".into(),
+            });
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Lost-work matrix (node-seconds burned on overhead + recomputation +
+/// restarts).
+pub fn lost_work_table(sw: &FaultSweep) -> Table {
+    let mut header: Vec<String> = vec!["interval (s)".into()];
+    header.extend(sw.mtbfs.iter().map(|m| format!("MTBF/node {m:.0}s")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("Figure 8 — lost work, n={} (node-seconds)", sw.n),
+        &header_refs,
+    );
+    for (ii, &iv) in sw.intervals.iter().enumerate() {
+        let mut row = vec![format!("{iv:.1}")];
+        for mi in 0..sw.mtbfs.len() {
+            let c = sw.cell(ii, mi);
+            row.push(match &c.acct {
+                Some(a) => format!("{:.1}", a.lost_work),
+                None => "gave up".into(),
+            });
+        }
+        t.row(&row);
+    }
+    t
+}
+
+/// Per-MTBF closed-form comparison: Young and Daly `T_opt` from the
+/// measured δ against the best swept interval.
+pub fn optimal_table(sw: &FaultSweep) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 8 — optimal interval vs closed forms (δ = {:.2}s measured)",
+            sw.delta_secs
+        ),
+        &[
+            "MTBF/node (s)",
+            "cluster MTBF (s)",
+            "Young T_opt (s)",
+            "Daly T_opt (s)",
+            "best swept (s)",
+        ],
+    );
+    for (mi, &m) in sw.mtbfs.iter().enumerate() {
+        let cluster = m / f64::from(sw.n);
+        let inputs = AdvisorInputs {
+            effective_delay: sw.delta_secs,
+            mtbf: cluster,
+            restart_read: 0.0,
+        };
+        t.row(&[
+            format!("{m:.0}"),
+            format!("{cluster:.1}"),
+            format!("{:.2}", gbcr_metrics::young_interval(inputs).interval),
+            format!("{:.2}", daly_interval(inputs).interval),
+            format!("{:.1}", sw.best_interval(mi)),
+        ]);
+    }
+    t
+}
+
+/// The `"faults"` JSON block `make_all --faults` embeds in its run record.
+pub fn json_block(sw: &FaultSweep) -> String {
+    let mut j = String::from("{\n");
+    j.push_str(&format!("    \"n\": {},\n", sw.n));
+    j.push_str(&format!("    \"seed\": {},\n", sw.seed));
+    j.push_str(&format!("    \"useful_s\": {:.3},\n", sw.useful_secs));
+    j.push_str(&format!("    \"delta_s\": {:.3},\n", sw.delta_secs));
+    j.push_str("    \"cells\": [\n");
+    for (i, c) in sw.cells.iter().enumerate() {
+        let comma = if i + 1 == sw.cells.len() { "" } else { "," };
+        match &c.acct {
+            Some(a) => j.push_str(&format!(
+                "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
+                 \"availability\": {:.4}, \"lost_work_node_s\": {:.1}, \
+                 \"goodput\": {:.2}, \"failures\": {}, \"attempts\": {}, \
+                 \"replicas\": {}, \"gave_up\": {}, \"backoff_s\": {:.1}}}{comma}\n",
+                c.interval_secs,
+                c.node_mtbf_secs,
+                a.availability,
+                a.lost_work,
+                a.goodput,
+                a.failures,
+                a.attempts,
+                c.replicas,
+                c.gave_up,
+                c.backoff_secs,
+            )),
+            None => j.push_str(&format!(
+                "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
+                 \"replicas\": {}, \"gave_up\": {}}}{comma}\n",
+                c.interval_secs, c.node_mtbf_secs, c.replicas, c.gave_up,
+            )),
+        }
+    }
+    j.push_str("    ]\n  }");
+    j
+}
+
+/// The seeded 4-rank kill/restart smoke run `scripts/tier1.sh` gates on:
+/// returns `(attempts, failures)` so the golden line stays greppable.
+pub fn smoke() -> (usize, usize) {
+    let sw = run_threaded(4, &[1_000], &[40], 1, Some(2));
+    let a = sw.cells[0].acct.as_ref().expect("smoke cell finishes");
+    (a.attempts, a.failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_thread_invariant_and_replays_exactly() {
+        let a = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(1));
+        let b = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(4));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(table(&a).render(), table(&b).render());
+    }
+
+    #[test]
+    fn short_mtbf_burns_more_work_than_long_mtbf() {
+        let sw = run_threaded(4, &[1_000], &[30, 480], 3, Some(2));
+        let short = sw.cell(0, 0).acct.as_ref().expect("short-MTBF cell finishes");
+        let long = sw.cell(0, 1).acct.as_ref().expect("long-MTBF cell finishes");
+        assert!(
+            short.availability <= long.availability,
+            "30s-MTBF availability {} above 480s-MTBF {}",
+            short.availability,
+            long.availability
+        );
+        assert!(short.attempts >= long.attempts);
+    }
+}

@@ -107,6 +107,7 @@ impl Coordinator {
             let mut body = CoordBody {
                 ep: world.oob_endpoint(COORDINATOR_NODE),
                 n: world.size(),
+                world,
                 cfg,
                 stash: VecDeque::new(),
                 finished: HashSet::new(),
@@ -130,12 +131,25 @@ impl Coordinator {
 struct CoordBody {
     ep: Endpoint<OobMsg>,
     n: u32,
+    world: World,
     cfg: CoordinatorCfg,
     stash: VecDeque<(NodeId, OobMsg)>,
     finished: HashSet<Rank>,
 }
 
 impl CoordBody {
+    /// Send an OOB message to `r`, black-holing it if r's node has failed:
+    /// the RC send to a dead HCA completes in error and the message is
+    /// lost — the coordinator only learns of the death when the failure
+    /// detector aborts the job.
+    fn send_to(&self, r: Rank, msg: OobMsg, size: u64) {
+        if self.world.is_failed(r) {
+            self.world.note_dropped_send();
+            return;
+        }
+        self.ep.send(NodeId(r), msg, size);
+    }
+
     fn run(&mut self, p: &Proc, out: &Arc<Mutex<Vec<EpochReport>>>) {
         // Connect to every rank's OOB endpoint up front (job launch cost).
         for r in 0..self.n {
@@ -160,7 +174,7 @@ impl CoordBody {
             self.sort_message(from, msg);
         }
         for r in 0..self.n {
-            self.ep.send(NodeId(r), OobMsg::new(proto::SHUTDOWN, 0, 0), 64);
+            self.send_to(r, OobMsg::new(proto::SHUTDOWN, 0, 0), 64);
         }
     }
 
@@ -174,7 +188,7 @@ impl CoordBody {
             let msg =
                 OobMsg { kind: proto::EPOCH_BEGIN, a: epoch, b: 0, data: plan_bytes.clone() };
             let size = msg.wire_size();
-            self.ep.send(NodeId(r), msg, size);
+            self.send_to(r, msg, size);
         }
         self.collect(p, proto::EPOCH_BEGIN_ACK, epoch, self.n);
         self.broadcast(proto::CL_SNAPSHOT, epoch, 0);
@@ -214,7 +228,7 @@ impl CoordBody {
         let mut all_ranks_done_at = started_at;
         for r in 0..self.n {
             self.wait_until(p, requested_at + u64::from(r) * stagger);
-            self.ep.send(NodeId(r), OobMsg::new(proto::UNCOORD_GO, epoch, 0), 64);
+            self.send_to(r, OobMsg::new(proto::UNCOORD_GO, epoch, 0), 64);
         }
         for _ in 0..self.n {
             let (from, msg) =
@@ -257,7 +271,7 @@ impl CoordBody {
             let msg =
                 OobMsg { kind: proto::EPOCH_BEGIN, a: epoch, b: 0, data: plan_bytes.clone() };
             let size = msg.wire_size();
-            self.ep.send(NodeId(r), msg, size);
+            self.send_to(r, msg, size);
         }
         self.collect(p, proto::EPOCH_BEGIN_ACK, epoch, self.n);
 
@@ -270,7 +284,7 @@ impl CoordBody {
             self.broadcast(proto::GROUP_START, epoch, g as u64);
             self.collect(p, proto::GROUP_START_ACK, epoch, self.n);
             for &m in members {
-                self.ep.send(NodeId(m), OobMsg::new(proto::GROUP_GO, epoch, g as u64), 64);
+                self.send_to(m, OobMsg::new(proto::GROUP_GO, epoch, g as u64), 64);
             }
             for _ in members {
                 let (from, msg) =
@@ -302,7 +316,7 @@ impl CoordBody {
 
     fn broadcast(&mut self, kind: u32, a: u64, b: u64) {
         for r in 0..self.n {
-            self.ep.send(NodeId(r), OobMsg::new(kind, a, b), 64);
+            self.send_to(r, OobMsg::new(kind, a, b), 64);
         }
     }
 

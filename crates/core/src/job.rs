@@ -5,11 +5,13 @@ use crate::controller::{CkptMode, Controller, RankCkptRecord};
 use crate::coordinator::{Coordinator, CoordinatorCfg, EpochReport};
 use crate::proto;
 use bytes::Bytes;
-use gbcr_blcr::{LocalCheckpointer, LocalCrConfig};
-use gbcr_des::{Proc, Sim, SimResult, Time};
+use gbcr_blcr::{LocalCheckpointer, LocalCrConfig, ProcessImage};
+use gbcr_des::{Proc, ProcId, Sim, SimHandle, SimResult, Time};
+use gbcr_faults::{FaultConfig, FaultPlan, FaultSink};
 use gbcr_mpi::{DeferStats, Mpi, MpiConfig, OobMsg, World, COORDINATOR_NODE};
-use gbcr_storage::{Storage, StorageConfig, StorageStats, StoredObject};
+use gbcr_storage::{Storage, StorageConfig, StorageStats, StoredObject, WriteFault};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Everything a rank's body closure gets to work with.
@@ -90,6 +92,14 @@ pub struct RunReport {
     pub events: u64,
     /// Progress wakes elided by demand-driven compute slicing.
     pub elided_wakes: u64,
+    /// Ranks killed by fault injection during this run, in kill order
+    /// (empty for fault-free and whole-cluster-crash runs).
+    pub killed_ranks: Vec<u32>,
+    /// How many ranks' application bodies ran to completion (`n` iff the
+    /// job finished).
+    pub finished_ranks: u32,
+    /// Messages black-holed because their destination's node had failed.
+    pub sends_to_failed: u64,
 }
 
 impl RunReport {
@@ -101,13 +111,31 @@ impl RunReport {
             .map(|e| e.individuals.clone())
             .unwrap_or_default()
     }
+
+    /// The newest epoch whose full image set — one image per rank in
+    /// `0..n`, named under `job` — survives in [`RunReport::images`]: the
+    /// restart point a supervisor would pick. `None` when no epoch is
+    /// complete (the crash preceded the first checkpoint, or every
+    /// completed epoch lost an image to a torn write).
+    pub fn last_complete_epoch(&self, job: &str, n: u32) -> Option<u64> {
+        let names: HashSet<&str> = self.images.iter().map(|(k, _)| k.as_str()).collect();
+        self.epochs
+            .iter()
+            .filter(|e| {
+                (0..n).all(|r| {
+                    names.contains(ProcessImage::object_name(job, e.epoch, r).as_str())
+                })
+            })
+            .map(|e| e.epoch)
+            .max()
+    }
 }
 
 /// Run `spec` to completion with an optional checkpoint configuration.
 /// `None` runs the same harness with an empty schedule, so baseline and
 /// checkpointed runs differ only by the checkpoints themselves.
 pub fn run_job(spec: &JobSpec, ckpt: Option<CoordinatorCfg>) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None)
+    run_job_full(spec, ckpt, None, None, None)
 }
 
 /// Run `spec` but power-fail the whole cluster at `crash_at`: every rank
@@ -122,7 +150,37 @@ pub fn run_job_with_crash(
     ckpt: Option<CoordinatorCfg>,
     crash_at: Time,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, Some(crash_at))
+    run_job_full(spec, ckpt, None, Some(crash_at), None)
+}
+
+/// Run `spec` under an injected fault configuration (see `gbcr-faults`):
+/// timed node kills, link flaps and storage stalls from `faults.plan`, plus
+/// the torn-image-write policy. A node kill tears the victim's connections
+/// down, black-holes messages addressed to it, and aborts the surviving
+/// ranks after `faults.detect_latency` — the fail-stop model with launcher
+/// detection. Inspect `finished_ranks == n` on the report to tell a
+/// completed run from an aborted one, and feed
+/// [`RunReport::last_complete_epoch`] + [`crate::restart_job`] (or just
+/// [`crate::run_supervised_faulty`]) to recover.
+pub fn run_job_faulted(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    faults: &FaultConfig,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, None, None, Some(faults))
+}
+
+/// [`crate::restart_job`] under an injected fault configuration: restore
+/// from `restart`'s images, then run with `faults` armed — one attempt of
+/// the [`crate::run_supervised_faulty`] loop, exposed for callers driving
+/// the recovery loop themselves.
+pub fn restart_job_faulted(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    restart: crate::restart::RestartSpec,
+    faults: &FaultConfig,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, Some(restart), None, Some(faults))
 }
 
 pub(crate) fn run_job_inner(
@@ -130,7 +188,7 @@ pub(crate) fn run_job_inner(
     ckpt: Option<CoordinatorCfg>,
     preload: Option<crate::restart::RestartSpec>,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, None)
+    run_job_full(spec, ckpt, preload, None, None)
 }
 
 pub(crate) fn run_job_inner_with_crash(
@@ -139,7 +197,95 @@ pub(crate) fn run_job_inner_with_crash(
     preload: Option<crate::restart::RestartSpec>,
     crash_at: Option<Time>,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, crash_at)
+    run_job_full(spec, ckpt, preload, crash_at, None)
+}
+
+pub(crate) fn run_job_inner_faulted(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    preload: Option<crate::restart::RestartSpec>,
+    faults: &FaultConfig,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, preload, None, Some(faults))
+}
+
+/// Carries node kills, cluster kills, link flaps and storage stalls from
+/// the injector into the running simulation. Owns everything the fault
+/// model needs: process ids (to kill), the world (to tear connections and
+/// black-hole sends), the storage device (to derate), and the completion
+/// tracker (a kill drawn past job completion is a non-event).
+struct JobFaultSink {
+    world: World,
+    storage: Storage,
+    rank_pids: Vec<ProcId>,
+    coord_pid: ProcId,
+    body_ends: Arc<Mutex<Vec<Time>>>,
+    n: u32,
+    detect_latency: Time,
+    killed: Mutex<Vec<u32>>,
+}
+
+impl JobFaultSink {
+    fn job_over(&self) -> bool {
+        self.body_ends.lock().len() == self.n as usize
+    }
+}
+
+impl FaultSink for JobFaultSink {
+    fn node_kill(&self, h: &SimHandle, rank: u32) {
+        // The job outlived this failure draw, or the victim is already
+        // dead: nothing to do. Without the first check a post-completion
+        // kill would extend `sim_end` and abort a finished run.
+        if self.job_over() || self.killed.lock().contains(&rank) {
+            return;
+        }
+        h.trace_event("fault.node_kill", || format!("rank {rank}"));
+        h.kill(self.rank_pids[rank as usize]);
+        self.world.mark_failed(rank);
+        self.killed.lock().push(rank);
+        // The launcher notices the dead node after the detector latency
+        // and aborts the surviving job (mpirun's fail-stop cleanup).
+        let survivors: Vec<ProcId> = self
+            .rank_pids
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| r != rank as usize)
+            .map(|(_, &pid)| pid)
+            .collect();
+        let coord = self.coord_pid;
+        h.call_after(self.detect_latency, move |h| {
+            h.trace_event("fault.abort", || format!("rank {rank} down: job aborted"));
+            for pid in survivors {
+                h.kill(pid);
+            }
+            h.kill(coord);
+        });
+    }
+
+    fn cluster_kill(&self, h: &SimHandle) {
+        // Kill order (ranks, then coordinator, then the trace line) is
+        // identical to the historical `run_job_with_crash` closure so that
+        // legacy crash runs stay byte-for-byte reproducible.
+        for &pid in &self.rank_pids {
+            h.kill(pid);
+        }
+        h.kill(self.coord_pid);
+        h.trace_event("crash", || "cluster power failure".into());
+    }
+
+    fn link_flap(&self, h: &SimHandle, a: u32, b: u32) {
+        if self.job_over() || self.world.is_failed(a) || self.world.is_failed(b) {
+            return;
+        }
+        h.trace_event("fault.link_flap", || format!("rank {a} <-> rank {b}"));
+        self.world.flap_link(a, b);
+    }
+
+    fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time) {
+        self.storage.set_derate(factor);
+        let storage = self.storage.clone();
+        h.call_at(until, move |_| storage.set_derate(1.0));
+    }
 }
 
 fn run_job_full(
@@ -147,6 +293,7 @@ fn run_job_full(
     ckpt: Option<CoordinatorCfg>,
     preload: Option<crate::restart::RestartSpec>,
     crash_at: Option<Time>,
+    faults: Option<&FaultConfig>,
 ) -> SimResult<RunReport> {
     let mut sim = Sim::new(spec.seed);
     let storage = Storage::new(sim.handle(), spec.storage.clone());
@@ -227,15 +374,36 @@ fn run_job_full(
         rank_pids.push(pid);
     }
 
-    if let Some(t) = crash_at {
-        let coord_pid = coordinator.proc_id();
-        sim.handle().call_at(t, move |h| {
-            for &pid in &rank_pids {
-                h.kill(pid);
-            }
-            h.kill(coord_pid);
-            h.trace_event("crash", || "cluster power failure".into());
+    // Legacy whole-cluster crashes are expressed as a one-event fault plan
+    // so both paths share the sink (and stay byte-identical: one `call_at`,
+    // same kill order).
+    assert!(
+        crash_at.is_none() || faults.is_none(),
+        "crash_at and faults are mutually exclusive"
+    );
+    let fault_cfg: Option<FaultConfig> = match crash_at {
+        Some(t) => Some(FaultConfig { plan: FaultPlan::cluster_at(t), ..FaultConfig::none() }),
+        None => faults.filter(|f| !f.is_noop()).cloned(),
+    };
+    let mut sink: Option<Arc<JobFaultSink>> = None;
+    if let Some(f) = &fault_cfg {
+        if let Some(torn) = f.torn.filter(|t| t.prob > 0.0) {
+            storage.set_write_fault_hook(Some(Arc::new(move |_client, name: &str| {
+                torn.tears(name).then_some(WriteFault::Torn)
+            })));
+        }
+        let s = Arc::new(JobFaultSink {
+            world: world.clone(),
+            storage: storage.clone(),
+            rank_pids,
+            coord_pid: coordinator.proc_id(),
+            body_ends: body_ends.clone(),
+            n,
+            detect_latency: f.detect_latency,
+            killed: Mutex::new(Vec::new()),
         });
+        gbcr_faults::install(&sim.handle(), &f.plan, s.clone());
+        sink = Some(s);
     }
 
     let sim_end = sim.run()?;
@@ -262,6 +430,7 @@ fn run_job_full(
         }
         (agg, logged)
     };
+    let finished_ranks = body_ends.lock().len() as u32;
     Ok(RunReport {
         completion,
         sim_end,
@@ -275,5 +444,8 @@ fn run_job_full(
         images: storage.export_objects(),
         events,
         elided_wakes,
+        killed_ranks: sink.map(|s| s.killed.lock().clone()).unwrap_or_default(),
+        finished_ranks,
+        sends_to_failed: world.dropped_sends(),
     })
 }

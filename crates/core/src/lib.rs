@@ -63,6 +63,10 @@ pub use client::CkptClient;
 pub use controller::{CkptMode, Controller, RankCkptRecord};
 pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport};
 pub use group::{Formation, GroupPlan};
-pub use job::{run_job, run_job_with_crash, JobSpec, RankCtx, RunReport};
+pub use job::{
+    restart_job_faulted, run_job, run_job_faulted, run_job_with_crash, JobSpec, RankCtx, RunReport,
+};
 pub use restart::{extract_images, restart_job, RestartSpec};
-pub use supervise::{run_supervised, Attempt, SupervisedReport};
+pub use supervise::{
+    run_supervised, run_supervised_faulty, Attempt, SupervisePolicy, SupervisedReport,
+};

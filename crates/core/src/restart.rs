@@ -3,7 +3,7 @@
 use crate::coordinator::CoordinatorCfg;
 use crate::job::{run_job_inner, JobSpec, RunReport};
 use gbcr_blcr::ProcessImage;
-use gbcr_des::SimResult;
+use gbcr_des::{SimError, SimResult};
 use gbcr_storage::StoredObject;
 
 /// Which epoch to restart from, and the images to restart with (normally
@@ -20,14 +20,16 @@ pub struct RestartSpec {
 }
 
 /// Pull the image set for `(job, epoch, n)` out of a previous run's stored
-/// objects. Panics if the epoch is incomplete — restarting from a partial
-/// global checkpoint is never valid.
+/// objects. Fails with [`SimError::NoRestartPoint`] if the epoch is
+/// incomplete (e.g. an image was lost to a torn write) — restarting from a
+/// partial global checkpoint is never valid, but callers can degrade to an
+/// older epoch or a cold restart instead of dying.
 pub fn extract_images(
     report: &RunReport,
     job: &str,
     epoch: u64,
     n: u32,
-) -> Vec<(String, StoredObject)> {
+) -> SimResult<Vec<(String, StoredObject)>> {
     let mut out = Vec::with_capacity(n as usize);
     for r in 0..n {
         let name = ProcessImage::object_name(job, epoch, r);
@@ -35,12 +37,15 @@ pub fn extract_images(
             .images
             .iter()
             .find(|(k, _)| *k == name)
-            .unwrap_or_else(|| panic!("epoch {epoch} incomplete: missing image '{name}'"))
+            .ok_or_else(|| SimError::NoRestartPoint {
+                job: job.to_owned(),
+                detail: format!("epoch {epoch} incomplete: missing image '{name}'"),
+            })?
             .1
             .clone();
         out.push((name, obj));
     }
-    out
+    Ok(out)
 }
 
 /// Build a fresh simulation, preload the images, and rerun the job with

@@ -1,22 +1,31 @@
 //! Supervised execution: run a job under a checkpoint schedule, survive
-//! injected whole-cluster failures by restarting from the last complete
-//! global checkpoint, and repeat until the job finishes.
+//! injected failures by restarting from the last complete global
+//! checkpoint, and repeat until the job finishes or the retry budget runs
+//! out.
 //!
 //! This is the operational loop the paper's framework exists to enable
 //! (and what the job-pause service of its reference [23] automates): the
 //! checkpointing system turns a fatal failure into a bounded amount of
-//! recomputation.
+//! recomputation. Two drivers share the machinery:
+//!
+//! * [`run_supervised`] — deterministic whole-cluster crashes at caller
+//!   chosen times (the original harness, kept for the crash-recovery
+//!   experiments);
+//! * [`run_supervised_faulty`] — a stochastic fail-stop process from
+//!   `gbcr-faults`: per-node exponential failure clocks pick a victim each
+//!   attempt, the survivors are aborted after the detection latency, and
+//!   the [`SupervisePolicy`] decides restart/backoff/give-up.
 
 use crate::coordinator::CoordinatorCfg;
-use crate::job::{run_job_inner, run_job_with_crash, JobSpec, RunReport};
+use crate::job::{run_job_inner, run_job_inner_faulted, JobSpec, RunReport};
 use crate::restart::RestartSpec;
-use gbcr_blcr::ProcessImage;
-use gbcr_des::{SimResult, Time};
+use gbcr_des::{time, SimError, SimResult, Time};
+use gbcr_faults::{rng::mix64, FaultConfig, StochasticFaults, TornWrites};
 
 /// One attempt within a supervised run.
 #[derive(Debug, Clone)]
 pub struct Attempt {
-    /// Crash time injected into this attempt, if any.
+    /// Crash/kill time injected into this attempt, if any.
     pub crashed_at: Option<Time>,
     /// Epoch the attempt started from (`None` = from scratch).
     pub restored_from: Option<u64>,
@@ -24,15 +33,27 @@ pub struct Attempt {
     pub epochs_completed: usize,
     /// Whether the application finished in this attempt.
     pub finished: bool,
+    /// Ranks killed by fault injection during the attempt (empty for
+    /// whole-cluster crashes and clean finishes).
+    pub killed_ranks: Vec<u32>,
+    /// Wall-clock this attempt contributed: `completion` when it finished,
+    /// `sim_end` (kill + detection + teardown) when it crashed.
+    pub wall: Time,
 }
 
-/// Outcome of [`run_supervised`].
+/// Outcome of [`run_supervised`] / [`run_supervised_faulty`].
 #[derive(Debug, Clone)]
 pub struct SupervisedReport {
     /// Every attempt, in order; the last one finished.
     pub attempts: Vec<Attempt>,
     /// The report of the final (successful) attempt.
     pub final_report: RunReport,
+    /// Total wall-clock across all attempts, including restart backoff —
+    /// the denominator of availability.
+    pub total_wall: Time,
+    /// Restart backoff inserted between attempts (included in
+    /// `total_wall`).
+    pub total_backoff: Time,
 }
 
 impl SupervisedReport {
@@ -42,71 +63,190 @@ impl SupervisedReport {
     }
 }
 
+/// How [`run_supervised_faulty`] reacts to failures.
+#[derive(Debug, Clone)]
+pub struct SupervisePolicy {
+    /// Give up (with [`SimError::RetriesExhausted`]) after this many
+    /// attempts without a finish.
+    pub max_attempts: usize,
+    /// Wall-clock delay before the first restart (node replacement,
+    /// re-queue). Grows by `backoff_factor` per consecutive failure.
+    pub base_backoff: Time,
+    /// Multiplier applied to the backoff after every failed attempt.
+    pub backoff_factor: f64,
+    /// Ceiling on the per-restart backoff.
+    pub max_backoff: Time,
+    /// When no complete epoch survives, restart from scratch instead of
+    /// failing with [`SimError::NoRestartPoint`].
+    pub cold_restart: bool,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            max_attempts: 32,
+            base_backoff: time::secs(5),
+            backoff_factor: 2.0,
+            max_backoff: time::secs(60),
+            cold_restart: true,
+        }
+    }
+}
+
+/// Shared epilogue of a failed attempt: record it, pick the restart point
+/// (or cold-restart / give up per policy), and advance the backoff.
+struct FailureLoop {
+    job: String,
+    n: u32,
+    policy: SupervisePolicy,
+    attempts: Vec<Attempt>,
+    restore: Option<RestartSpec>,
+    total_wall: Time,
+    total_backoff: Time,
+    next_backoff: Time,
+}
+
+impl FailureLoop {
+    fn new(job: String, n: u32, policy: SupervisePolicy) -> Self {
+        let next_backoff = policy.base_backoff;
+        FailureLoop {
+            job,
+            n,
+            policy,
+            attempts: Vec::new(),
+            restore: None,
+            total_wall: 0,
+            total_backoff: 0,
+            next_backoff,
+        }
+    }
+
+    fn after_failure(&mut self, report: &RunReport, crashed_at: Time) -> SimResult<()> {
+        self.total_wall += report.sim_end;
+        self.attempts.push(Attempt {
+            crashed_at: Some(crashed_at),
+            restored_from: self.restore.as_ref().map(|r| r.epoch),
+            epochs_completed: report.epochs.len(),
+            finished: false,
+            killed_ranks: report.killed_ranks.clone(),
+            wall: report.sim_end,
+        });
+        match report.last_complete_epoch(&self.job, self.n) {
+            Some(epoch) => {
+                let images = crate::restart::extract_images(report, &self.job, epoch, self.n)?;
+                self.restore = Some(RestartSpec { job: self.job.clone(), epoch, images });
+            }
+            // No epoch completed during *this* attempt, but an earlier one
+            // produced a restart point: keep it — recovery never regresses
+            // to a cold restart once any checkpoint is durable.
+            None if self.restore.is_some() => {}
+            None if self.policy.cold_restart => self.restore = None,
+            None => {
+                return Err(SimError::NoRestartPoint {
+                    job: self.job.clone(),
+                    detail: format!(
+                        "attempt {}: crash at {} preceded the first complete checkpoint",
+                        self.attempts.len() - 1,
+                        time::fmt(crashed_at)
+                    ),
+                });
+            }
+        }
+        self.total_backoff += self.next_backoff;
+        self.total_wall += self.next_backoff;
+        self.next_backoff = ((self.next_backoff as f64 * self.policy.backoff_factor) as Time)
+            .min(self.policy.max_backoff);
+        Ok(())
+    }
+
+    fn finish(mut self, report: RunReport) -> SupervisedReport {
+        self.total_wall += report.completion;
+        self.attempts.push(Attempt {
+            crashed_at: None,
+            restored_from: self.restore.as_ref().map(|r| r.epoch),
+            epochs_completed: report.epochs.len(),
+            finished: true,
+            killed_ranks: Vec::new(),
+            wall: report.completion,
+        });
+        SupervisedReport {
+            attempts: self.attempts,
+            final_report: report,
+            total_wall: self.total_wall,
+            total_backoff: self.total_backoff,
+        }
+    }
+}
+
 /// Run `spec` under `ckpt`, injecting a whole-cluster failure at each time
 /// in `crash_at` (one per attempt, applied in order). After each crash the
 /// job restarts from the most recent complete epoch (carrying images
 /// forward across attempts); the final attempt runs to completion.
 ///
-/// Panics if a crash happens before the first epoch ever completes (there
-/// is nothing to restart from — exactly the exposure window the paper's
-/// Total Checkpoint Time measures).
+/// Fails with [`SimError::NoRestartPoint`] if a crash happens before the
+/// first epoch ever completes (there is nothing to restart from — exactly
+/// the exposure window the paper's Total Checkpoint Time measures). No
+/// backoff is inserted between attempts, matching the original harness.
 pub fn run_supervised(
     spec: &JobSpec,
     ckpt: CoordinatorCfg,
     crash_at: &[Time],
 ) -> SimResult<SupervisedReport> {
-    let n = spec.mpi.n;
-    let job = ckpt.job.clone();
-    let mut attempts = Vec::new();
-    let mut restore: Option<RestartSpec> = None;
-
-    for (i, &t) in crash_at.iter().enumerate() {
-        let report = match restore.clone() {
-            None => run_job_with_crash(spec, Some(ckpt.clone()), t)?,
-            Some(r) => {
-                // Crash this attempt too: reuse the crash-capable path by
-                // preloading the restart images.
-                crate::job::run_job_inner_with_crash(spec, Some(ckpt.clone()), Some(r), Some(t))?
-            }
-        };
-        let last = report
-            .epochs
-            .iter()
-            .filter(|e| {
-                // Only epochs whose image set fully survived count.
-                (0..n).all(|r| {
-                    report
-                        .images
-                        .iter()
-                        .any(|(name, _)| *name == ProcessImage::object_name(&job, e.epoch, r))
-                })
-            })
-            .map(|e| e.epoch)
-            .max();
-        let Some(epoch) = last else {
-            panic!(
-                "attempt {i}: crash at {} preceded the first complete checkpoint — \
-                 nothing to restart from",
-                gbcr_des::time::fmt(t)
-            );
-        };
-        attempts.push(Attempt {
-            crashed_at: Some(t),
-            restored_from: restore.as_ref().map(|r| r.epoch),
-            epochs_completed: report.epochs.len(),
-            finished: false,
-        });
-        let images = crate::restart::extract_images(&report, &job, epoch, n);
-        restore = Some(RestartSpec { job: job.clone(), epoch, images });
+    let policy = SupervisePolicy {
+        base_backoff: 0,
+        max_backoff: 0,
+        cold_restart: false,
+        ..SupervisePolicy::default()
+    };
+    let mut lp = FailureLoop::new(ckpt.job.clone(), spec.mpi.n, policy);
+    for &t in crash_at {
+        let report = crate::job::run_job_inner_with_crash(
+            spec,
+            Some(ckpt.clone()),
+            lp.restore.clone(),
+            Some(t),
+        )?;
+        lp.after_failure(&report, t)?;
     }
-
     // Final attempt: no crash.
-    let final_report = run_job_inner(spec, Some(ckpt), restore.clone())?;
-    attempts.push(Attempt {
-        crashed_at: None,
-        restored_from: restore.as_ref().map(|r| r.epoch),
-        epochs_completed: final_report.epochs.len(),
-        finished: true,
-    });
-    Ok(SupervisedReport { attempts, final_report })
+    let final_report = run_job_inner(spec, Some(ckpt), lp.restore.clone())?;
+    Ok(lp.finish(final_report))
+}
+
+/// Run `spec` under `ckpt` against a stochastic fail-stop process: each
+/// attempt draws its own fault plan from `faults` (per-node exponential
+/// kill clocks, optional link flaps and torn image writes), restarts from
+/// the last complete epoch per `policy` until the job finishes, and gives
+/// up with [`SimError::RetriesExhausted`] once `policy.max_attempts` is
+/// spent.
+///
+/// Fully deterministic in `(spec.seed, faults.seed)`: two calls with
+/// identical inputs produce byte-identical reports.
+pub fn run_supervised_faulty(
+    spec: &JobSpec,
+    ckpt: CoordinatorCfg,
+    faults: &StochasticFaults,
+    policy: &SupervisePolicy,
+) -> SimResult<SupervisedReport> {
+    let n = spec.mpi.n;
+    let mut lp = FailureLoop::new(ckpt.job.clone(), n, policy.clone());
+    for attempt in 0..policy.max_attempts {
+        let (plan, (kill_at, _victim)) = faults.attempt_plan(attempt as u64, n);
+        let torn = (faults.torn_write_prob > 0.0).then(|| TornWrites {
+            // Mix the attempt in so a retried epoch is not doomed to tear
+            // the same image forever.
+            seed: faults.seed ^ mix64(attempt as u64 + 1),
+            prob: faults.torn_write_prob,
+        });
+        let cfg = FaultConfig { plan, detect_latency: faults.detect_latency, torn };
+        let report =
+            run_job_inner_faulted(spec, Some(ckpt.clone()), lp.restore.clone(), &cfg)?;
+        if report.finished_ranks == n {
+            // The kill draw landed past completion: the job beat the
+            // failure process this attempt.
+            return Ok(lp.finish(report));
+        }
+        lp.after_failure(&report, kill_at)?;
+    }
+    Err(SimError::RetriesExhausted { attempts: policy.max_attempts })
 }

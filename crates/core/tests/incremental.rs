@@ -117,7 +117,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
 
     // Restart from the incremental epoch 1.
     let (spec3, results3) = job(200);
-    let images = extract_images(&report, "inc", 1, 8);
+    let images = extract_images(&report, "inc", 1, 8).unwrap();
     let inc_restart = restart_job(
         &spec3,
         None,
@@ -133,7 +133,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
     let report_full =
         run_job(&spec4, Some(cfg(false, vec![time::secs(3), time::secs(10)]))).unwrap();
     let (spec5, results5) = job(200);
-    let images_full = extract_images(&report_full, "inc", 1, 8);
+    let images_full = extract_images(&report_full, "inc", 1, 8).unwrap();
     let full_restart = restart_job(
         &spec5,
         None,

@@ -109,7 +109,7 @@ fn restart_reproduces_uninterrupted_results_group_based() {
     // "Crash" and restart from the epoch: replay must converge to the
     // same answers.
     let (spec3, results3) = ring_job(200);
-    let images = extract_images(&report, "ring", 0, 8);
+    let images = extract_images(&report, "ring", 0, 8).unwrap();
     let restarted =
         restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images }).unwrap();
     assert_eq!(sorted(&results3), want, "restarted run diverged");
@@ -126,7 +126,7 @@ fn restart_reproduces_results_regular_protocol() {
     let report = run_job(&spec2, Some(ckpt(8, 2))).unwrap();
 
     let (spec3, results3) = ring_job(120);
-    let images = extract_images(&report, "ring", 0, 8);
+    let images = extract_images(&report, "ring", 0, 8).unwrap();
     restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images }).unwrap();
     assert_eq!(sorted(&results3), want);
 }
@@ -150,7 +150,7 @@ fn restart_from_each_of_two_epochs() {
 
     for epoch in 0..2u64 {
         let (spec3, results3) = ring_job(200);
-        let images = extract_images(&report, "ring", epoch, 8);
+        let images = extract_images(&report, "ring", epoch, 8).unwrap();
         restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch, images }).unwrap();
         assert_eq!(sorted(&results3), want, "restart from epoch {epoch} diverged");
     }
@@ -164,7 +164,7 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
 
     let (spec2, _r) = ring_job(260);
     let report1 = run_job(&spec2, Some(ckpt(4, 2))).unwrap();
-    let images1 = extract_images(&report1, "ring", 0, 8);
+    let images1 = extract_images(&report1, "ring", 0, 8).unwrap();
 
     // Restart, checkpoint the restarted run under a new job name, restart
     // again from that second-generation image set.
@@ -181,16 +181,23 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
     assert_eq!(report2.epochs.len(), 1);
 
     let (spec4, results4) = ring_job(260);
-    let images2 = extract_images(&report2, "ring-gen2", 0, 8);
+    let images2 = extract_images(&report2, "ring-gen2", 0, 8).unwrap();
     restart_job(&spec4, None, RestartSpec { job: "ring-gen2".into(), epoch: 0, images: images2 }).unwrap();
     assert_eq!(sorted(&results4), want, "second-generation restart diverged");
 }
 
 #[test]
-#[should_panic(expected = "incomplete")]
 fn restart_from_incomplete_epoch_is_rejected() {
     let (spec, _r) = ring_job(80);
     let report = run_job(&spec, Some(ckpt(4, 1))).unwrap();
-    // Ask for an epoch that never ran.
-    let _ = extract_images(&report, "ring", 7, 8);
+    // Ask for an epoch that never ran: a typed error, not a panic, so
+    // callers (the supervisor) can degrade to an older epoch.
+    let err = extract_images(&report, "ring", 7, 8).unwrap_err();
+    match err {
+        gbcr_des::SimError::NoRestartPoint { job, detail } => {
+            assert_eq!(job, "ring");
+            assert!(detail.contains("epoch 7 incomplete"), "got: {detail}");
+        }
+        other => panic!("expected NoRestartPoint, got {other:?}"),
+    }
 }

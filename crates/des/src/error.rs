@@ -31,6 +31,23 @@ pub enum SimError {
         /// The horizon that was reached.
         at: Time,
     },
+    /// A recovery path needed a complete checkpoint epoch that does not
+    /// exist — e.g. a crash preceded the first completed checkpoint, or a
+    /// specific image of the requested epoch is missing (torn or never
+    /// written). Callers can degrade (restart from scratch, pick an older
+    /// epoch) instead of dying.
+    NoRestartPoint {
+        /// The checkpoint job namespace that was searched.
+        job: String,
+        /// Human-readable description of what exactly was missing.
+        detail: String,
+    },
+    /// A supervised run gave up: the bounded retry budget was exhausted
+    /// without the job ever completing.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +64,12 @@ impl fmt::Display for SimError {
             }
             SimError::HorizonReached { at } => {
                 write!(f, "simulation horizon reached at t={}", crate::time::fmt(*at))
+            }
+            SimError::NoRestartPoint { job, detail } => {
+                write!(f, "no restart point for job '{job}': {detail}")
+            }
+            SimError::RetriesExhausted { attempts } => {
+                write!(f, "supervised run gave up after {attempts} attempts")
             }
         }
     }

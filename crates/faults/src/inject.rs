@@ -1,0 +1,150 @@
+//! The injector: arms a [`FaultPlan`] onto a simulation.
+
+use crate::plan::{FaultKind, FaultPlan};
+use crate::rng::name_decision;
+use gbcr_des::{SimHandle, Time};
+use std::sync::Arc;
+
+/// How the harness layer carries faults out. Implemented by `gbcr-core`,
+/// which owns the process ids, the MPI world, and the storage device; this
+/// crate only decides *what* happens *when*.
+pub trait FaultSink: Send + Sync {
+    /// A single node (rank) dies at the current virtual time.
+    fn node_kill(&self, h: &SimHandle, rank: u32);
+    /// The whole cluster power-fails at the current virtual time.
+    fn cluster_kill(&self, h: &SimHandle);
+    /// The data-plane link between two ranks is forced down.
+    fn link_flap(&self, h: &SimHandle, a: u32, b: u32);
+    /// Storage bandwidth is derated by `factor` until `until`.
+    fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time);
+}
+
+/// Per-image torn-write policy: each image write whose seeded
+/// [`name_decision`] fires runs full-length but never becomes visible on
+/// storage, leaving its epoch incomplete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TornWrites {
+    /// Decision seed (mix the attempt number in so a retried epoch is not
+    /// doomed to tear forever).
+    pub seed: u64,
+    /// Per-write tear probability.
+    pub prob: f64,
+}
+
+impl TornWrites {
+    /// Whether the image write under `name` tears.
+    pub fn tears(&self, name: &str) -> bool {
+        name_decision(self.seed, name, self.prob)
+    }
+}
+
+/// Everything a single faulted run needs: the timed plan plus the
+/// policy-style faults consulted at the point of use.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Timed fault events.
+    pub plan: FaultPlan,
+    /// Failure-detector latency applied by the sink after a node kill.
+    pub detect_latency: Time,
+    /// Torn-image-write policy (`None` disables).
+    pub torn: Option<TornWrites>,
+}
+
+impl FaultConfig {
+    /// A config that injects nothing.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Whether this config can ever perturb a run.
+    pub fn is_noop(&self) -> bool {
+        self.plan.is_empty() && self.torn.map_or(true, |t| t.prob <= 0.0)
+    }
+}
+
+/// Arm every event of `plan` onto the simulation, delivering through
+/// `sink`. Returns the number of events armed. Events at the same time
+/// fire in plan order (the DES dispatches equal-time events in push
+/// order), so installation itself is deterministic.
+pub fn install(h: &SimHandle, plan: &FaultPlan, sink: Arc<dyn FaultSink>) -> usize {
+    for ev in &plan.events {
+        let sink = sink.clone();
+        let kind = ev.kind;
+        h.call_at(ev.at, move |h| match kind {
+            FaultKind::NodeKill { rank } => sink.node_kill(h, rank),
+            FaultKind::ClusterKill => sink.cluster_kill(h),
+            FaultKind::LinkFlap { a, b } => sink.link_flap(h, a, b),
+            FaultKind::StorageStall { factor, duration } => {
+                let until = h.now().saturating_add(duration);
+                sink.storage_stall(h, factor, until);
+            }
+        });
+    }
+    plan.events.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbcr_des::{time, Sim};
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Mutex<Vec<(Time, String)>>,
+    }
+
+    impl FaultSink for Recorder {
+        fn node_kill(&self, h: &SimHandle, rank: u32) {
+            self.log.lock().push((h.now(), format!("kill {rank}")));
+        }
+        fn cluster_kill(&self, h: &SimHandle) {
+            self.log.lock().push((h.now(), "cluster".into()));
+        }
+        fn link_flap(&self, h: &SimHandle, a: u32, b: u32) {
+            self.log.lock().push((h.now(), format!("flap {a}-{b}")));
+        }
+        fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time) {
+            self.log.lock().push((h.now(), format!("stall {factor} until {until}")));
+        }
+    }
+
+    #[test]
+    fn events_fire_at_their_times_in_order() {
+        let mut sim = Sim::new(0);
+        let mut plan = FaultPlan::none();
+        plan.push(time::ms(30), FaultKind::LinkFlap { a: 0, b: 1 });
+        plan.push(time::ms(10), FaultKind::NodeKill { rank: 2 });
+        plan.push(
+            time::ms(20),
+            FaultKind::StorageStall { factor: 0.5, duration: time::ms(5) },
+        );
+        let rec = Arc::new(Recorder::default());
+        assert_eq!(install(&sim.handle(), &plan, rec.clone()), 3);
+        sim.run().unwrap();
+        let log = rec.log.lock();
+        assert_eq!(
+            *log,
+            vec![
+                (time::ms(10), "kill 2".to_owned()),
+                (time::ms(20), format!("stall 0.5 until {}", time::ms(25))),
+                (time::ms(30), "flap 0-1".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn noop_configs_are_detected() {
+        assert!(FaultConfig::none().is_noop());
+        assert!(FaultConfig {
+            torn: Some(TornWrites { seed: 1, prob: 0.0 }),
+            ..FaultConfig::none()
+        }
+        .is_noop());
+        assert!(!FaultConfig {
+            plan: FaultPlan::cluster_at(time::secs(1)),
+            ..FaultConfig::none()
+        }
+        .is_noop());
+    }
+}

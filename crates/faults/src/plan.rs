@@ -1,0 +1,218 @@
+//! Fault plans: what goes wrong, and when.
+
+use crate::rng::{exp_secs, stream, Domain};
+use gbcr_des::{time, Time};
+use rand::Rng;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Kill a single rank's node. The harness is expected to abort the
+    /// surviving job after its detection latency and tear the victim's
+    /// connections down.
+    NodeKill {
+        /// The rank whose node dies.
+        rank: u32,
+    },
+    /// Power-fail the whole cluster (every rank and the coordinator).
+    ClusterKill,
+    /// Force the data-plane connection between two ranks down; it is
+    /// rebuilt through the normal teardown/re-setup path on next use.
+    LinkFlap {
+        /// One side of the link.
+        a: u32,
+        /// The other side.
+        b: u32,
+    },
+    /// Derate the central storage system's bandwidth by `factor` for
+    /// `duration` of virtual time (a degraded-RAID / busy-filesystem
+    /// window).
+    StorageStall {
+        /// Multiplier applied to the aggregate rate, in `(0, 1]`.
+        factor: f64,
+        /// How long the window lasts.
+        duration: Time,
+    },
+}
+
+/// A fault at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute virtual time of the fault.
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The events, in the order they were planned (the injector sorts no
+    /// further: same-time events fire in plan order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the injector arms nothing).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A whole-cluster power failure at `t`.
+    pub fn cluster_at(t: Time) -> Self {
+        FaultPlan { events: vec![FaultEvent { at: t, kind: FaultKind::ClusterKill }] }
+    }
+
+    /// A single-node kill at `t`.
+    pub fn node_kill_at(t: Time, rank: u32) -> Self {
+        FaultPlan { events: vec![FaultEvent { at: t, kind: FaultKind::NodeKill { rank } }] }
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, at: Time, kind: FaultKind) {
+        self.events.push(FaultEvent { at, kind });
+    }
+}
+
+/// Configuration of the stochastic fault process for a supervised run.
+///
+/// All randomness is drawn from [`crate::rng`] streams keyed by `seed` and
+/// the attempt number, never from the simulation's RNG, so fault schedules
+/// are byte-reproducible across runs and worker-thread counts.
+#[derive(Debug, Clone)]
+pub struct StochasticFaults {
+    /// Seed for every fault stream of this run.
+    pub seed: u64,
+    /// Per-node mean time between failures. With `n` nodes the cluster
+    /// MTBF is `node_mtbf / n` (independent exponentials).
+    pub node_mtbf: Time,
+    /// Failure-detector latency: the gap between a node dying and the
+    /// launcher aborting the surviving ranks.
+    pub detect_latency: Time,
+    /// Mean time between forced link flaps across the whole cluster
+    /// (`None` disables flaps).
+    pub link_flap_mtbf: Option<Time>,
+    /// Probability that any single checkpoint-image write is torn (runs
+    /// full-length but never becomes visible). `0.0` disables.
+    pub torn_write_prob: f64,
+}
+
+impl StochasticFaults {
+    /// A kill-only process with the given seed and per-node MTBF.
+    pub fn kills(seed: u64, node_mtbf: Time) -> Self {
+        StochasticFaults {
+            seed,
+            node_mtbf,
+            detect_latency: time::ms(500),
+            link_flap_mtbf: None,
+            torn_write_prob: 0.0,
+        }
+    }
+
+    /// The first node failure of attempt `attempt` on an `n`-node cluster:
+    /// `(offset into the attempt, victim rank)`. One independent
+    /// exponential per node; the earliest wins. Exponentials are
+    /// memoryless, so redrawing every attempt is statistically identical
+    /// to carrying per-node residual clocks across restarts (and the
+    /// victim's replacement node starts fresh anyway).
+    pub fn first_kill(&self, attempt: u64, n: u32) -> (Time, u32) {
+        let mtbf = time::as_secs_f64(self.node_mtbf);
+        let mut best = (f64::INFINITY, 0u32);
+        for node in 0..n {
+            let mut rng =
+                stream(self.seed, Domain::NodeFailure, attempt * u64::from(n) + u64::from(node));
+            let t = exp_secs(&mut rng, mtbf);
+            if t < best.0 {
+                best = (t, node);
+            }
+        }
+        (time::secs_f64(best.0), best.1)
+    }
+
+    /// The full fault plan for attempt `attempt`: the first node kill plus
+    /// any link flaps that land before it. Returns the plan and the kill
+    /// `(offset, victim)` so the supervisor knows what it armed.
+    pub fn attempt_plan(&self, attempt: u64, n: u32) -> (FaultPlan, (Time, u32)) {
+        let (kill_at, victim) = self.first_kill(attempt, n);
+        let mut plan = FaultPlan::none();
+        if let Some(flap_mtbf) = self.link_flap_mtbf {
+            let mean = time::as_secs_f64(flap_mtbf);
+            let mut rng = stream(self.seed, Domain::LinkFlap, attempt);
+            let mut t = exp_secs(&mut rng, mean);
+            while time::secs_f64(t) < kill_at {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n - 1);
+                let b = if b >= a { b + 1 } else { b };
+                plan.push(time::secs_f64(t), FaultKind::LinkFlap { a, b });
+                t += exp_secs(&mut rng, mean);
+            }
+        }
+        plan.push(kill_at, FaultKind::NodeKill { rank: victim });
+        (plan, (kill_at, victim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_plans_replay_exactly() {
+        let f = StochasticFaults {
+            link_flap_mtbf: Some(time::secs(2)),
+            ..StochasticFaults::kills(42, time::secs(30))
+        };
+        for attempt in 0..4 {
+            assert_eq!(f.attempt_plan(attempt, 8), f.attempt_plan(attempt, 8));
+        }
+    }
+
+    #[test]
+    fn kill_times_vary_per_attempt_and_seed() {
+        let f = StochasticFaults::kills(42, time::secs(30));
+        let g = StochasticFaults::kills(43, time::secs(30));
+        assert_ne!(f.first_kill(0, 8), f.first_kill(1, 8));
+        assert_ne!(f.first_kill(0, 8), g.first_kill(0, 8));
+    }
+
+    #[test]
+    fn cluster_min_scales_with_node_count() {
+        // min of n exponentials ~ Exp(mtbf/n): the 64-node cluster must
+        // fail much sooner on average than the 4-node one.
+        let f = StochasticFaults::kills(7, time::secs(1_000));
+        let avg = |n: u32| -> f64 {
+            (0..200)
+                .map(|a| time::as_secs_f64(f.first_kill(a, n).0))
+                .sum::<f64>()
+                / 200.0
+        };
+        let small = avg(4);
+        let big = avg(64);
+        assert!(big < small / 4.0, "64-node mean {big} vs 4-node mean {small}");
+    }
+
+    #[test]
+    fn flaps_never_land_after_the_kill_and_never_self_loop() {
+        let f = StochasticFaults {
+            link_flap_mtbf: Some(time::ms(200)),
+            ..StochasticFaults::kills(9, time::secs(60))
+        };
+        let (plan, (kill_at, _)) = f.attempt_plan(0, 8);
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::LinkFlap { a, b } => {
+                    assert!(ev.at < kill_at);
+                    assert_ne!(a, b);
+                    assert!(a < 8 && b < 8);
+                }
+                FaultKind::NodeKill { .. } => assert_eq!(ev.at, kill_at),
+                _ => panic!("unexpected event {ev:?}"),
+            }
+        }
+    }
+}

@@ -52,6 +52,28 @@ pub fn young_interval(inputs: AdvisorInputs) -> Advice {
     Advice { interval, overhead_fraction }
 }
 
+/// Daly's higher-order refinement of Young's interval (Daly 2006): for
+/// `δ < 2·MTBF`,
+/// `T_opt = sqrt(2δM)·[1 + (1/3)·sqrt(δ/2M) + (1/9)·(δ/2M)] − δ`,
+/// else `T_opt = MTBF`. Slightly shorter than Young's for short-MTBF
+/// regimes (it accounts for failures landing *during* checkpoints), and it
+/// degrades gracefully as the failure rate approaches the checkpoint cost
+/// — the regime the fault sweep explores.
+pub fn daly_interval(inputs: AdvisorInputs) -> Advice {
+    assert!(inputs.effective_delay > 0.0 && inputs.mtbf > 0.0);
+    let d = inputs.effective_delay;
+    let m = inputs.mtbf;
+    let interval = if d < 2.0 * m {
+        let x = (d / (2.0 * m)).sqrt();
+        (2.0 * d * m).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - d
+    } else {
+        m
+    };
+    let overhead_fraction =
+        d / interval + interval / (2.0 * m) + inputs.restart_read / m;
+    Advice { interval, overhead_fraction }
+}
+
 /// §6.1 placement advice: given a synchronization period, the best
 /// issuance offset within a period is right after the synchronization line
 /// (maximal distance for the early groups to overlap before everyone must
@@ -113,6 +135,31 @@ mod tests {
         });
         assert!(grouped.interval < all.interval);
         assert!(grouped.overhead_fraction < all.overhead_fraction);
+    }
+
+    #[test]
+    fn daly_tracks_young_in_the_long_mtbf_limit() {
+        let inputs = AdvisorInputs {
+            effective_delay: 50.0,
+            mtbf: 86_400.0,
+            restart_read: 120.0,
+        };
+        let y = young_interval(inputs);
+        let d = daly_interval(inputs);
+        // For δ ≪ MTBF the two agree to within a few percent, with Daly's
+        // correction always shaving the interval.
+        assert!(d.interval < y.interval);
+        assert!((d.interval - y.interval).abs() / y.interval < 0.05, "daly {} vs young {}", d.interval, y.interval);
+    }
+
+    #[test]
+    fn daly_saturates_at_mtbf_for_failure_dominated_regimes() {
+        let a = daly_interval(AdvisorInputs {
+            effective_delay: 100.0,
+            mtbf: 40.0, // δ ≥ 2·MTBF: checkpoint as often as failures land
+            restart_read: 0.0,
+        });
+        assert_eq!(a.interval, 40.0);
     }
 
     #[test]

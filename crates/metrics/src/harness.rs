@@ -63,6 +63,43 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
         .max(1)
 }
 
+/// Run `count` independent cells over a pool of `threads` workers
+/// (resolved via [`resolve_threads`] when `None`), assembling results in
+/// cell-index order.
+///
+/// The generic engine underneath [`run_sweep`], exposed for sweeps whose
+/// cells are not `(spec, cfg)` pairs — e.g. the fault sweep, where one
+/// cell is an entire supervised multi-attempt run. Each cell must be
+/// self-contained and deterministic in its index; then the output is
+/// byte-identical whatever the worker count.
+pub fn run_cells<T, F>(count: usize, threads: Option<usize>, run: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_threads(threads).min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let slots: Vec<OnceLock<T>> = (0..count).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let _ = slots[i].set(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every dispensed cell stored a result"))
+        .collect()
+}
+
 /// Run every cell of `groups` — one baseline per group plus one run per
 /// config — over a pool of `threads` workers (resolved via
 /// [`resolve_threads`] when `None`).

@@ -22,16 +22,18 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+mod availability;
 mod cost;
 mod harness;
 mod table;
 pub mod timeline;
 
-pub use advisor::{placement_window, young_interval, Advice, AdvisorInputs};
+pub use advisor::{daly_interval, placement_window, young_interval, Advice, AdvisorInputs};
+pub use availability::FaultAccounting;
 pub use cost::{cell_cost, cell_costs_snapshot, record_cell_cost, seed_cell_cost, CellCost};
 pub use harness::{
-    delay_from_reports, measure, measure_with, resolve_threads, run_sweep, DelayMeasurement,
-    GroupReports, SweepGroup,
+    delay_from_reports, measure, measure_with, resolve_threads, run_cells, run_sweep,
+    DelayMeasurement, GroupReports, SweepGroup,
 };
 pub use table::{format_series, Table};
 pub use timeline::render_epoch;

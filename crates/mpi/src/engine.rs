@@ -341,6 +341,19 @@ impl Rt {
     /// Put a wire message on the fabric, (re)connecting on demand.
     /// Must be called without the state lock held: connecting parks.
     fn raw_send(&self, p: &Proc, dst: Rank, wire: WireMsg, on_sent: Option<u64>) {
+        // Destination's node died (fault injection): black-hole the message
+        // instead of touching the torn-down connection. The send still
+        // "completes" locally — on real hardware the HCA accepts the work
+        // request and only an async error event later reports the QP broken.
+        if self.world.failed.lock().contains(&dst) {
+            self.world
+                .dropped_sends
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(id) = on_sent {
+                self.st.lock().done_send.insert(id);
+            }
+            return;
+        }
         let peer = NodeId(dst);
         if !self.ep.is_connected(peer) {
             self.ep.connect(p, peer);

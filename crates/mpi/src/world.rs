@@ -10,6 +10,7 @@ use gbcr_des::SimHandle;
 use gbcr_net::{Endpoint, Fabric, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Out-of-band node id of the global checkpoint coordinator (the `mpirun`
@@ -23,6 +24,11 @@ pub(crate) struct WorldShared {
     pub(crate) oob: Fabric<OobMsg>,
     pub(crate) comms: Mutex<Vec<Arc<Vec<Rank>>>>,
     pub(crate) rts: Mutex<HashMap<Rank, Arc<Rt>>>,
+    /// Ranks whose node has died (fault injection), sorted. Sends to these
+    /// ranks are black-holed by the engine until the job is torn down.
+    pub(crate) failed: Mutex<Vec<Rank>>,
+    /// Messages black-holed because their destination was failed.
+    pub(crate) dropped_sends: AtomicU64,
 }
 
 /// An MPI job of `cfg.n` ranks sharing a data fabric and an out-of-band
@@ -63,6 +69,8 @@ impl World {
                 oob,
                 comms: Mutex::new(Vec::new()),
                 rts: Mutex::new(HashMap::new()),
+                failed: Mutex::new(Vec::new()),
+                dropped_sends: AtomicU64::new(0),
             }),
         }
     }
@@ -137,5 +145,67 @@ impl World {
     /// Data-fabric statistics (messages, bytes, connects, teardowns).
     pub fn net_stats(&self) -> gbcr_net::NetStats {
         self.shared.data.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (driven by `gbcr-faults` through the core sink)
+    // ------------------------------------------------------------------
+
+    /// Record that `rank`'s node has died: its data-plane links to every
+    /// peer and its out-of-band links (peers + coordinator) are forcibly
+    /// torn down, and all future sends addressed to it are black-holed.
+    /// This is the "detection" half of the fail-stop model — survivors
+    /// observe broken connections and lost messages, never a half-alive
+    /// peer. Idempotent.
+    pub fn mark_failed(&self, rank: Rank) {
+        assert!(rank < self.shared.cfg.n, "rank {rank} out of range");
+        {
+            let mut f = self.shared.failed.lock();
+            if f.contains(&rank) {
+                return;
+            }
+            f.push(rank);
+            f.sort_unstable();
+        }
+        for peer in 0..self.shared.cfg.n {
+            if peer != rank {
+                self.shared.data.force_disconnect(NodeId(rank), NodeId(peer));
+                self.shared.oob.force_disconnect(NodeId(rank), NodeId(peer));
+            }
+        }
+        self.shared.oob.force_disconnect(NodeId(rank), COORDINATOR_NODE);
+        self.shared
+            .handle
+            .trace_event("mpi.node_failed", || format!("rank {rank}"));
+    }
+
+    /// Ranks marked failed so far, sorted.
+    pub fn failed_ranks(&self) -> Vec<Rank> {
+        self.shared.failed.lock().clone()
+    }
+
+    /// Whether `rank` has been marked failed.
+    pub fn is_failed(&self, rank: Rank) -> bool {
+        self.shared.failed.lock().contains(&rank)
+    }
+
+    /// Transiently flap the data-plane link between two live ranks: the
+    /// connection is forcibly dropped (in-flight traffic still lands) and
+    /// the next send across it pays connection setup again. Returns whether
+    /// a teardown was actually initiated.
+    pub fn flap_link(&self, a: Rank, b: Rank) -> bool {
+        assert!(a < self.shared.cfg.n && b < self.shared.cfg.n && a != b);
+        self.shared.data.force_disconnect(NodeId(a), NodeId(b))
+    }
+
+    /// Messages black-holed because their destination had failed.
+    pub fn dropped_sends(&self) -> u64 {
+        self.shared.dropped_sends.load(Ordering::Relaxed)
+    }
+
+    /// Record one message black-holed because its destination node failed
+    /// (used by senders outside the engine, e.g. the C/R coordinator).
+    pub fn note_dropped_send(&self) {
+        self.shared.dropped_sends.fetch_add(1, Ordering::Relaxed);
     }
 }

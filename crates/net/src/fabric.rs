@@ -38,6 +38,10 @@ struct ConnInner {
     busy_until: [Time; 2],
     /// Processes parked waiting for a state change or a drain.
     waiters: Vec<ProcId>,
+    /// A forced disconnect (fault injection) hit this connection while
+    /// messages were in flight: the delivery engine completes the
+    /// transition to `Disconnected` once both directions drain.
+    flap_pending: bool,
 }
 
 impl ConnInner {
@@ -47,6 +51,7 @@ impl ConnInner {
             in_flight: [0, 0],
             busy_until: [0, 0],
             waiters: Vec::new(),
+            flap_pending: false,
         }
     }
 }
@@ -190,6 +195,52 @@ impl<M: Send + 'static> Fabric<M> {
     fn wake_all(&self, waiters: &mut Vec<ProcId>) {
         for w in waiters.drain(..) {
             self.inner.handle.wake(w);
+        }
+    }
+
+    /// Forcibly take down the connection between `a` and `b` — the fault
+    /// injector's entry point for link flaps and dead-node teardowns. Unlike
+    /// [`Endpoint::teardown`] this never blocks (it runs from an event
+    /// callback, not a process) and charges no teardown cost: the cable was
+    /// yanked, nobody executed a disconnect protocol.
+    ///
+    /// An idle `Active` connection drops to `Disconnected` immediately; one
+    /// with traffic in flight moves to `Draining` with a flap marker and the
+    /// delivery engine completes the drop once both directions drain (the
+    /// wire already carries those bytes — they still land, matching how a
+    /// real HCA completes posted work before reporting the QP broken).
+    /// Connections that are `Disconnected`, mid-setup, or already being torn
+    /// down by a process are left alone. Returns whether a transition was
+    /// initiated; parked waiters are woken so they re-observe the state.
+    pub fn force_disconnect(&self, a: NodeId, b: NodeId) -> bool {
+        let Some(conn) = self.inner.conns.lock().get(&key(a, b)).cloned() else {
+            return false;
+        };
+        let mut c = conn.lock();
+        match c.state {
+            ConnState::Disconnected | ConnState::Connecting | ConnState::Draining => false,
+            ConnState::Active => {
+                if c.in_flight == [0, 0] {
+                    c.state = ConnState::Disconnected;
+                    let mut ws = std::mem::take(&mut c.waiters);
+                    drop(c);
+                    self.inner.stats.lock().forced_down += 1;
+                    self.wake_all(&mut ws);
+                    self.inner
+                        .handle
+                        .trace_event("net.flap", || format!("{a} <-> {b} (idle)"));
+                } else {
+                    c.state = ConnState::Draining;
+                    c.flap_pending = true;
+                    let mut ws = std::mem::take(&mut c.waiters);
+                    drop(c);
+                    self.wake_all(&mut ws);
+                    self.inner
+                        .handle
+                        .trace_event("net.flap", || format!("{a} <-> {b} (draining)"));
+                }
+                true
+            }
         }
     }
 }
@@ -481,8 +532,20 @@ impl<M: Send + 'static> Fabric<M> {
             let d = dir(from, to);
             c.in_flight[d] -= 1;
             if c.in_flight == [0, 0] {
+                // A forced disconnect hit this connection mid-transfer:
+                // finish the drop now that the wire is empty.
+                let flapped = c.flap_pending;
+                if flapped {
+                    debug_assert_eq!(c.state, ConnState::Draining);
+                    c.state = ConnState::Disconnected;
+                    c.flap_pending = false;
+                }
                 let mut ws = std::mem::take(&mut c.waiters);
                 drop(c);
+                if flapped {
+                    self.inner.stats.lock().forced_down += 1;
+                    h.trace_event("net.flap", || format!("{from} <-> {to} (drained)"));
+                }
                 self.wake_all(&mut ws);
             }
         }

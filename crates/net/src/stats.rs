@@ -11,4 +11,7 @@ pub struct NetStats {
     pub connects: u64,
     /// Connection teardowns.
     pub teardowns: u64,
+    /// Forced disconnects (fault injection): link flaps plus dead-node
+    /// connection teardowns, counted when the forced drain completes.
+    pub forced_down: u64,
 }

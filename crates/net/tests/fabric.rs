@@ -282,3 +282,95 @@ fn timer_expired_waiter_gets_no_spurious_delivery_wake() {
     assert!(!*woken.lock(), "delivery woke a rank whose wait had timed out");
     assert_eq!(fabric.endpoint(B).pending(), 1, "message stays queued");
 }
+
+/// A forced disconnect (link flap) on an idle connection drops it to
+/// `Disconnected` immediately; the next `put`-style user reconnects through
+/// the normal setup path and pays the setup cost again.
+#[test]
+fn force_disconnect_idle_drops_and_allows_reconnect() {
+    let mut sim = Sim::new(0);
+    let fabric: Fabric<u32> = Fabric::new(sim.handle(), test_cfg());
+    let f = fabric.clone();
+    sim.spawn("a", move |p| {
+        let ep = f.endpoint(A);
+        ep.connect(p, B);
+        ep.send(B, 1, 64);
+        // Park past the flap at 5 ms, then rebuild and send again.
+        p.sleep(time::ms(10));
+        assert!(!ep.is_connected(B), "flap must have torn the link down");
+        ep.connect(p, B);
+        ep.send(B, 2, 64);
+    });
+    let f = fabric.clone();
+    sim.spawn("b", move |p| {
+        let ep = f.endpoint(B);
+        assert_eq!(ep.recv_wait(p).1, 1);
+        assert_eq!(ep.recv_wait(p).1, 2);
+    });
+    let f = fabric.clone();
+    sim.handle().call_at(time::ms(5), move |_| {
+        assert!(f.force_disconnect(A, B));
+    });
+    sim.run().unwrap();
+    let s = fabric.stats();
+    assert_eq!(s.forced_down, 1);
+    assert_eq!(s.connects, 2, "reconnect after the flap pays setup again");
+    assert_eq!(s.messages, 2, "both sends land");
+}
+
+/// A flap with traffic in flight must let the posted bytes land (Draining),
+/// then complete the drop once the wire is empty — never losing a message
+/// that was already serialized onto the link.
+#[test]
+fn force_disconnect_with_in_flight_drains_first() {
+    let mut sim = Sim::new(0);
+    let fabric: Fabric<u32> = Fabric::new(sim.handle(), test_cfg());
+    let f = fabric.clone();
+    sim.spawn("a", move |p| {
+        let ep = f.endpoint(A);
+        ep.connect(p, B);
+        // ~1 ms of serialization per message at 1 GB/s.
+        for i in 0..3 {
+            ep.send(B, i, 1_000_000);
+        }
+    });
+    let f = fabric.clone();
+    sim.spawn("b", move |p| {
+        let ep = f.endpoint(B);
+        for want in 0..3 {
+            assert_eq!(ep.recv_wait(p).1, want);
+        }
+    });
+    // Fires mid-transfer: connection must drain before dropping.
+    let f = fabric.clone();
+    sim.handle().call_at(time::ms(1) + time::us(500), move |h| {
+        assert!(f.force_disconnect(A, B));
+        assert_eq!(f.conn_state(A, B), ConnState::Draining);
+        // Second flap on an already-draining connection is a no-op.
+        assert!(!f.force_disconnect(A, B));
+        let _ = h;
+    });
+    sim.run().unwrap();
+    assert_eq!(fabric.conn_state(A, B), ConnState::Disconnected);
+    let s = fabric.stats();
+    assert_eq!(s.messages, 3, "in-flight messages still land");
+    assert_eq!(s.forced_down, 1);
+}
+
+/// Flapping a connection that never existed, or one that is already down,
+/// initiates nothing.
+#[test]
+fn force_disconnect_noop_cases() {
+    let mut sim = Sim::new(0);
+    let fabric: Fabric<u32> = Fabric::new(sim.handle(), test_cfg());
+    assert!(!fabric.force_disconnect(A, B), "unknown connection");
+    let f = fabric.clone();
+    sim.spawn("a", move |p| {
+        let ep = f.endpoint(A);
+        ep.connect(p, B);
+        ep.teardown(p, B);
+        assert!(!ep.fabric().force_disconnect(A, B), "already disconnected");
+    });
+    sim.run().unwrap();
+    assert_eq!(fabric.stats().forced_down, 0);
+}

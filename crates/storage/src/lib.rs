@@ -32,7 +32,7 @@ mod object;
 mod stats;
 
 pub use config::StorageConfig;
-pub use model::{Storage, StreamId, StreamKind};
+pub use model::{Storage, StreamId, StreamKind, WriteFault, WriteFaultFn};
 pub use object::StoredObject;
 pub use stats::{StorageStats, TransferRecord};
 

@@ -31,6 +31,29 @@ pub enum StreamKind {
     Read,
 }
 
+/// A fault applied to one write, decided by the installed write-fault hook
+/// (see [`Storage::set_write_fault_hook`]). The writer itself never learns
+/// the difference — exactly like a crashed filesystem server: the client's
+/// syscalls return, the durability promise is what breaks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WriteFault {
+    /// The transfer moves `factor ×` the bytes through the shared server
+    /// (degraded path, e.g. a failed-over PVFS2 server pair), so it takes
+    /// `factor ×` as long under the same contention. Must be ≥ 1.
+    Slow(f64),
+    /// The transfer runs to completion and charges full time, but the
+    /// object is never published: a torn image that restart must treat as
+    /// missing.
+    Torn,
+    /// The write errors out immediately: no bytes move, nothing is
+    /// published.
+    Fail,
+}
+
+/// Decides, per write, whether a fault applies: `(client, object name)` →
+/// fault. Must be deterministic in its inputs for reproducible runs.
+pub type WriteFaultFn = Arc<dyn Fn(u32, &str) -> Option<WriteFault> + Send + Sync>;
+
 struct Stream {
     id: StreamId,
     client: u32,
@@ -51,6 +74,13 @@ struct State {
     objects: HashMap<String, StoredObject>,
     completed: HashMap<StreamId, TransferRecord>,
     stats: StorageStats,
+    /// Bandwidth derate applied on top of the configured rates (fault
+    /// injection: a storage brown-out). 1.0 = healthy; multiplying by 1.0
+    /// is IEEE-exact, so a healthy run is byte-identical to one built
+    /// before this field existed.
+    derate: f64,
+    /// Per-write fault decider (fault injection); `None` = healthy.
+    write_fault: Option<WriteFaultFn>,
 }
 
 /// The shared central storage system. Cheap to clone; all clones refer to
@@ -93,6 +123,8 @@ impl Storage {
                 objects: HashMap::new(),
                 completed: HashMap::new(),
                 stats: StorageStats::default(),
+                derate: 1.0,
+                write_fault: None,
             })),
         }
     }
@@ -201,14 +233,73 @@ impl Storage {
     }
 
     /// Start a write without blocking; pair with [`Storage::wait`].
+    ///
+    /// Consults the write-fault hook (if installed): a `Slow` write moves
+    /// proportionally more bytes through the shared server, a `Torn` write
+    /// charges full time but never publishes the object, a `Fail` write
+    /// completes instantly with nothing moved or published. The caller
+    /// cannot observe the difference between `Torn` and a healthy write —
+    /// that is the point.
     pub fn start_write(&self, p: &Proc, client: u32, name: &str, object: StoredObject) -> StreamId {
         p.sleep(self.cfg.per_op_latency);
-        self.add_stream(
-            client,
-            StreamKind::Write,
-            object.virtual_size,
-            Some((name.to_owned(), object)),
-        )
+        let fault = {
+            let st = self.state.lock();
+            st.write_fault.as_ref().and_then(|h| h(client, name))
+        };
+        match fault {
+            None => self.add_stream(
+                client,
+                StreamKind::Write,
+                object.virtual_size,
+                Some((name.to_owned(), object)),
+            ),
+            Some(WriteFault::Slow(factor)) => {
+                assert!(factor >= 1.0, "Slow factor must be >= 1, got {factor}");
+                self.state.lock().stats.slowed_writes += 1;
+                let bytes = (object.virtual_size as f64 * factor).ceil() as u64;
+                self.add_stream(client, StreamKind::Write, bytes, Some((name.to_owned(), object)))
+            }
+            Some(WriteFault::Torn) => {
+                self.state.lock().stats.torn_writes += 1;
+                self.handle
+                    .trace_event("storage.torn", || format!("client={client} name={name}"));
+                self.add_stream(client, StreamKind::Write, object.virtual_size, None)
+            }
+            Some(WriteFault::Fail) => {
+                self.state.lock().stats.failed_writes += 1;
+                self.handle
+                    .trace_event("storage.fail", || format!("client={client} name={name}"));
+                self.add_stream(client, StreamKind::Write, 0, None)
+            }
+        }
+    }
+
+    /// Install (or clear, with `None`) the per-write fault decider. Applies
+    /// to writes started after this call.
+    pub fn set_write_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        self.state.lock().write_fault = hook;
+    }
+
+    /// Change the bandwidth derate (fault injection: storage brown-out).
+    /// Active streams are settled at the old rate up to *now* before the
+    /// new rate takes effect — invariant 2 of the PS engine. `1.0` restores
+    /// full health.
+    pub fn set_derate(&self, derate: f64) {
+        assert!(
+            derate.is_finite() && derate > 0.0 && derate <= 1.0,
+            "derate must be in (0, 1], got {derate}"
+        );
+        let now = self.handle.now();
+        let mut st = self.state.lock();
+        self.settle(&mut st, now);
+        st.derate = derate;
+        self.reschedule(&mut st, now);
+        self.handle.trace_event("storage.derate", || format!("x{derate}"));
+    }
+
+    /// The current bandwidth derate (1.0 = healthy).
+    pub fn derate(&self) -> f64 {
+        self.state.lock().derate
     }
 
     /// Block until the given stream has completed, returning its record.
@@ -278,7 +369,7 @@ impl Storage {
         if k == 0 || dt == 0 {
             return;
         }
-        let rate = self.cfg.per_stream_rate(k);
+        let rate = self.cfg.per_stream_rate(k) * st.derate;
         let progress = rate * time::as_secs_f64(dt);
         for s in &mut st.streams {
             s.remaining -= progress;
@@ -337,7 +428,7 @@ impl Storage {
         if k == 0 {
             return;
         }
-        let rate = self.cfg.per_stream_rate(k);
+        let rate = self.cfg.per_stream_rate(k) * st.derate;
         let min_remaining =
             st.streams.iter().map(|s| s.remaining).fold(f64::INFINITY, f64::min);
         // ceil so the earliest stream is guaranteed <= 0.5 remaining when
@@ -499,6 +590,88 @@ mod tests {
             assert_eq!(rec.bytes, 100 * MB);
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn torn_write_charges_full_time_but_never_publishes() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: 0, ..StorageConfig::default() },
+        );
+        storage.set_write_fault_hook(Some(Arc::new(|_, name: &str| {
+            (name == "torn").then_some(WriteFault::Torn)
+        })));
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            write_blocking(&s, p, 0, "torn", 115 * MB);
+            // Torn write cost exactly what a healthy one would: 1s.
+            assert_eq!(time::as_secs_f64(p.now()), 1.0);
+            write_blocking(&s, p, 0, "good", 115 * MB);
+        });
+        sim.run().unwrap();
+        assert!(!storage.contains("torn"), "torn image must not be visible");
+        assert!(storage.contains("good"));
+        let stats = storage.stats();
+        assert_eq!(stats.torn_writes, 1);
+        assert_eq!(stats.records.len(), 2, "torn transfer is still accounted");
+    }
+
+    #[test]
+    fn failed_write_is_instant_and_publishes_nothing() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: 0, ..StorageConfig::default() },
+        );
+        storage.set_write_fault_hook(Some(Arc::new(|_, _: &str| Some(WriteFault::Fail))));
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            write_blocking(&s, p, 0, "img", 115 * MB);
+            assert_eq!(p.now(), 0, "failed write returns immediately");
+        });
+        sim.run().unwrap();
+        assert!(!storage.contains("img"));
+        assert_eq!(storage.stats().failed_writes, 1);
+    }
+
+    #[test]
+    fn slow_write_inflates_transfer_proportionally() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: 0, ..StorageConfig::default() },
+        );
+        storage.set_write_fault_hook(Some(Arc::new(|_, _: &str| Some(WriteFault::Slow(3.0)))));
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            write_blocking(&s, p, 0, "img", 115 * MB);
+            // 3× the bytes through the same 115 MB/s single-client rate.
+            assert!((time::as_secs_f64(p.now()) - 3.0).abs() < 1e-6);
+        });
+        sim.run().unwrap();
+        assert!(storage.contains("img"), "slow writes still publish");
+        assert_eq!(storage.stats().slowed_writes, 1);
+    }
+
+    #[test]
+    fn derate_settles_at_old_rate_then_applies() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: 0, ..StorageConfig::default() },
+        );
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            write_blocking(&s, p, 0, "img", 115 * MB);
+            // 0.5s at full rate (57.5 MB) + remaining 57.5 MB at half rate
+            // (1s) = 1.5s total.
+            assert!((time::as_secs_f64(p.now()) - 1.5).abs() < 1e-6);
+        });
+        let s = storage.clone();
+        sim.handle().call_at(time::ms(500), move |_| s.set_derate(0.5));
+        sim.run().unwrap();
+        assert_eq!(storage.derate(), 0.5);
     }
 
     #[test]

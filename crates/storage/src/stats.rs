@@ -34,6 +34,14 @@ impl TransferRecord {
 pub struct StorageStats {
     /// All completed transfers in completion order.
     pub records: Vec<TransferRecord>,
+    /// Writes that ran to completion but were never published (fault
+    /// injection: torn checkpoint images).
+    pub torn_writes: u64,
+    /// Writes that errored out immediately (fault injection).
+    pub failed_writes: u64,
+    /// Writes that moved inflated byte counts through a degraded server
+    /// (fault injection).
+    pub slowed_writes: u64,
 }
 
 impl StorageStats {
@@ -91,6 +99,7 @@ mod tests {
                 rec(0, 50, 0, time::secs(1)),
                 rec(1, 50, 0, time::secs(2)),
             ],
+            ..StorageStats::default()
         };
         assert_eq!(stats.total_bytes(), 100);
         assert!((stats.aggregate_throughput() - 50.0).abs() < 1e-9);

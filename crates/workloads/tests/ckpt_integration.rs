@@ -51,7 +51,7 @@ fn hpl_restart_mid_factorization_is_exact() {
     let want = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
 
     let report = run_job(&w.job(None), Some(cfg("hpl", 4, time::secs(2)))).unwrap();
-    let images = extract_images(&report, "hpl", 0, w.n());
+    let images = extract_images(&report, "hpl", 0, w.n()).unwrap();
 
     let sum = Arc::new(Mutex::new(0u64));
     restart_job(
@@ -68,7 +68,7 @@ fn hpl_restart_under_regular_protocol_is_exact() {
     let w = small_hpl();
     let want = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
     let report = run_job(&w.job(None), Some(cfg("hpl", 8, time::secs(2)))).unwrap();
-    let images = extract_images(&report, "hpl", 0, w.n());
+    let images = extract_images(&report, "hpl", 0, w.n()).unwrap();
     let sum = Arc::new(Mutex::new(0u64));
     restart_job(
         &w.job(Some(sum.clone())),
@@ -103,7 +103,7 @@ fn motifminer_checkpoint_and_restart_are_exact() {
         run_job(&w.job(Some(mid.clone())), Some(cfg("motifminer", 2, time::ms(900)))).unwrap();
     assert_eq!(*mid.lock(), want, "checkpointing perturbed the mining result");
 
-    let images = extract_images(&report, "motifminer", 0, w.n);
+    let images = extract_images(&report, "motifminer", 0, w.n).unwrap();
     let restarted = Arc::new(Mutex::new(0u64));
     restart_job(
         &w.job(Some(restarted.clone())),
@@ -137,7 +137,7 @@ fn random_traffic_restart_equivalence_across_patterns_and_group_sizes() {
             got.sort();
             assert_eq!(got, want, "seed={pattern_seed} g={group_size}: ckpt run diverged");
 
-            let images = extract_images(&report, "random-traffic", 0, w.n);
+            let images = extract_images(&report, "random-traffic", 0, w.n).unwrap();
             let re = Arc::new(Mutex::new(Vec::new()));
             restart_job(
                 &w.job(Some(re.clone())),

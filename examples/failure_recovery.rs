@@ -45,7 +45,7 @@ fn main() {
         time::as_secs_f64(report.epochs[1].requested_at),
     );
     let last_epoch = report.epochs.last().unwrap().epoch;
-    let images = extract_images(&report, "motifminer", last_epoch, w.n);
+    let images = extract_images(&report, "motifminer", last_epoch, w.n).unwrap();
     println!(
         "restarting all {} ranks from epoch {last_epoch} ({} durable images salvaged)",
         w.n,

@@ -12,4 +12,15 @@ cargo build --release --workspace
 cargo test --release --workspace -q
 cargo run --release -p gbcr-bench --bin make_all -- \
   --smoke --serial-check --json target/BENCH_smoke.json > target/make_all_smoke.out
+
+# Fault-injection smoke: a seeded 4-rank run under stochastic node kills
+# must detect the failures, restart from checkpoints, finish, and land on
+# the golden attempt count (the scenario is fully deterministic in its
+# seed, so any drift in the kill/detect/restart path changes the count).
+cargo run --release -p gbcr-bench --bin fig8 -- --smoke > target/fig8_smoke.out
+grep -qx "fig8 smoke: attempts=4 failures=3" target/fig8_smoke.out || {
+  echo "tier1: fault-injection smoke diverged from golden:" >&2
+  cat target/fig8_smoke.out >&2
+  exit 1
+}
 echo "tier1: OK"

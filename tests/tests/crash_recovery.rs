@@ -42,7 +42,7 @@ fn crash_after_epoch_recovers_exactly() {
     .unwrap();
     assert_eq!(crashed.epochs.len(), 1, "epoch 0 completed before the crash");
     // The crashed run obviously produced no results.
-    let images = extract_images(&crashed, "random-traffic", 0, w.n);
+    let images = extract_images(&crashed, "random-traffic", 0, w.n).unwrap();
 
     // Recover on a fresh cluster.
     let rec = Arc::new(Mutex::new(Vec::new()));
@@ -79,7 +79,7 @@ fn crash_during_an_epoch_recovers_from_the_previous_one() {
         "only epoch 0 completed; the interrupted epoch must not be reported"
     );
 
-    let images = extract_images(&crashed, "random-traffic", 0, w.n);
+    let images = extract_images(&crashed, "random-traffic", 0, w.n).unwrap();
     let rec = Arc::new(Mutex::new(Vec::new()));
     restart_job(
         &w.job(Some(rec.clone())),
@@ -113,7 +113,7 @@ fn hpl_crash_recovery_matches_oracle() {
     )
     .unwrap();
     assert_eq!(crashed.epochs.len(), 1);
-    let images = extract_images(&crashed, "hpl", 0, w.n());
+    let images = extract_images(&crashed, "hpl", 0, w.n()).unwrap();
 
     let sum = Arc::new(Mutex::new(0u64));
     restart_job(
@@ -126,7 +126,6 @@ fn hpl_crash_recovery_matches_oracle() {
 }
 
 #[test]
-#[should_panic(expected = "incomplete")]
 fn recovering_from_the_interrupted_epoch_is_impossible() {
     let w = RandomTraffic { steps: 200, ..Default::default() };
     let crashed = run_job_with_crash(
@@ -135,6 +134,14 @@ fn recovering_from_the_interrupted_epoch_is_impossible() {
         time::ms(4200),
     )
     .unwrap();
-    // Epoch 1 was cut short: its image set must be rejected.
-    let _ = extract_images(&crashed, "random-traffic", 1, w.n);
+    // Epoch 1 was cut short: its image set must be rejected with a typed
+    // error a supervisor can catch (fall back to epoch 0).
+    let err = extract_images(&crashed, "random-traffic", 1, w.n).unwrap_err();
+    assert!(
+        matches!(&err, gbcr_des::SimError::NoRestartPoint { detail, .. }
+            if detail.contains("epoch 1 incomplete")),
+        "expected NoRestartPoint for the torn epoch, got {err:?}"
+    );
+    // The shared survival scan agrees: epoch 0 is the restart point.
+    assert_eq!(crashed.last_complete_epoch("random-traffic", w.n), Some(0));
 }

@@ -232,7 +232,7 @@ proptest! {
         got.sort();
         prop_assert_eq!(&got, &want, "checkpointed run diverged");
 
-        let images = extract_images(&report, "random-traffic", 0, w.n);
+        let images = extract_images(&report, "random-traffic", 0, w.n).unwrap();
         let rec = Arc::new(Mutex::new(Vec::new()));
         restart_job(
             &w.job(Some(rec.clone())),

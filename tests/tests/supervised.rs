@@ -53,12 +53,17 @@ fn survives_two_cluster_failures_and_finishes_exactly() {
 }
 
 #[test]
-#[should_panic(expected = "nothing to restart from")]
 fn crash_before_any_checkpoint_is_fatal() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
-    let _ = run_supervised(
+    let err = run_supervised(
         &w.job(None),
         cfg(vec![time::secs(3)]),
         &[time::ms(500)], // long before epoch 0 completes
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, gbcr_des::SimError::NoRestartPoint { detail, .. }
+            if detail.contains("preceded the first complete checkpoint")),
+        "expected NoRestartPoint, got {err:?}"
     );
 }
