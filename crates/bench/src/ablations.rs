@@ -198,6 +198,7 @@ pub fn logging_ablation_threaded(threads: Option<usize>) -> LoggingAblation {
         formation: Formation::Static { group_size: 8 },
         schedule: CkptSchedule::once(time::secs(10)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let gr = sweep_one(
         &mb.job(),
@@ -263,6 +264,7 @@ pub fn chandy_lamport_ablation_threaded(threads: Option<usize>) -> ChandyLamport
         formation: Formation::Static { group_size: g },
         schedule: CkptSchedule::once(time::secs(30)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let gr = sweep_one(
         &mb.job(),
@@ -347,6 +349,7 @@ pub fn incremental_ablation_threaded(threads: Option<usize>) -> IncrementalAblat
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule { at: vec![time::secs(30), time::secs(150)] },
         incremental,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let gr = sweep_one(&w.job(None), vec![cfg(false), cfg(true)], threads, "ab-incremental");
     let (full, inc) = (&gr.runs[0], &gr.runs[1]);
@@ -410,6 +413,7 @@ pub fn formation_ablation_threaded(threads: Option<usize>) -> FormationAblation 
         },
         schedule: CkptSchedule::once(at),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let gr = sweep_one(&spec, vec![static_cfg("micro", 4, at), dyn_cfg], threads, "ab-formation");
     let (stat, dynr) = (&gr.runs[0], &gr.runs[1]);

@@ -2,14 +2,18 @@
 //! checkpoint interval × MTBF, vs the Young/Daly closed forms.
 //!
 //! `--smoke` runs the seeded 4-rank kill/restart cell `scripts/tier1.sh`
-//! gates on and prints only its golden `attempts=` line. `--threads N`
-//! controls the worker pool (the tables must not depend on it).
+//! gates on and prints only its golden `attempts=` line. `--abort-smoke`
+//! runs the mid-protocol straggler cell (phase deadline trips, the epoch
+//! aborts and retries, results stay byte-identical) and prints its golden
+//! `aborts=` line. `--threads N` controls the worker pool (the tables must
+//! not depend on it).
 
 use gbcr_bench::fig8;
 
 fn main() {
     let mut threads = None;
     let mut smoke = false;
+    let mut abort_smoke = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -20,8 +24,11 @@ fn main() {
                 }));
             }
             "--smoke" => smoke = true,
+            "--abort-smoke" => abort_smoke = true,
             other => {
-                eprintln!("unknown flag {other}\nusage: fig8 [--threads N] [--smoke]");
+                eprintln!(
+                    "unknown flag {other}\nusage: fig8 [--threads N] [--smoke] [--abort-smoke]"
+                );
                 std::process::exit(2);
             }
         }
@@ -29,6 +36,14 @@ fn main() {
     if smoke {
         let (attempts, failures) = fig8::smoke();
         println!("fig8 smoke: attempts={attempts} failures={failures}");
+        return;
+    }
+    if abort_smoke {
+        let (aborts, retries, manifests, results_match) = fig8::abort_smoke();
+        println!(
+            "fig8 abort smoke: aborts={aborts} retries={retries} manifests={manifests} \
+             results_match={results_match}"
+        );
         return;
     }
     let sw =

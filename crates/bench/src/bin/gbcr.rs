@@ -99,6 +99,7 @@ fn cmd_run(args: &[String]) {
         formation,
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
     let Some(ep) = ck.epochs.first() else {

@@ -23,6 +23,7 @@ fn main() {
         formation: Formation::Static { group_size: g },
         schedule: CkptSchedule::once(time::secs(30)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let groups: Vec<SweepGroup> = sizes
         .iter()

@@ -33,6 +33,7 @@ fn main() {
             formation: Formation::Static { group_size: g },
             schedule: CkptSchedule::once(time::secs(30)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
         let ep = &ck.epochs[0];

@@ -10,15 +10,18 @@
 //! the whole sweep is byte-reproducible across runs and worker counts.
 
 use gbcr_core::{
-    run_job, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
-    SupervisePolicy,
+    run_job, run_job_faulted, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg,
+    Formation, PhaseDeadlines, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
-use gbcr_faults::{rng::mix64, StochasticFaults};
-use gbcr_metrics::{
-    daly_interval, measure, run_cells, AdvisorInputs, FaultAccounting, Table,
+use gbcr_faults::{
+    rng::mix64, FaultConfig, PhaseAction, PhaseFault, ProtocolPhase, StochasticFaults,
 };
-use gbcr_workloads::RandomTraffic;
+use gbcr_metrics::{
+    daly_interval, measure, run_cells, sum_counters, AdvisorInputs, FaultAccounting,
+    RecoveryCounters, Table,
+};
+use gbcr_workloads::{random::ResultsSink, RandomTraffic};
 
 /// Seed every cell's fault streams are derived from.
 pub const SEED: u64 = 0xF1_68;
@@ -51,6 +54,8 @@ pub struct FaultCell {
     pub gave_up: usize,
     /// Mean restart backoff across finishing replicas, seconds.
     pub backoff_secs: f64,
+    /// Recovery-protocol counters summed over the finishing replicas.
+    pub counters: RecoveryCounters,
 }
 
 impl FaultCell {
@@ -118,6 +123,7 @@ fn cfg_for(job: &str, n: u32, at: Vec<Time>) -> CoordinatorCfg {
         formation: Formation::Static { group_size: (n / 2).max(1) },
         schedule: CkptSchedule { at },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
@@ -218,6 +224,7 @@ pub fn run_threaded(
                 replicas,
                 gave_up,
                 backoff_secs,
+                counters: sum_counters(finished.iter().copied()),
             }
         })
         .collect();
@@ -340,7 +347,11 @@ pub fn json_block(sw: &FaultSweep) -> String {
                 "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
                  \"availability\": {:.4}, \"lost_work_node_s\": {:.1}, \
                  \"goodput\": {:.2}, \"failures\": {}, \"attempts\": {}, \
-                 \"replicas\": {}, \"gave_up\": {}, \"backoff_s\": {:.1}}}{comma}\n",
+                 \"replicas\": {}, \"gave_up\": {}, \"backoff_s\": {:.1}, \
+                 \"protocol_aborts\": {}, \"epoch_retries\": {}, \
+                 \"manifest_commits\": {}, \"write_retries\": {}, \
+                 \"failovers\": {}, \"torn_writes\": {}, \
+                 \"dropped_sends\": {}}}{comma}\n",
                 c.interval_secs,
                 c.node_mtbf_secs,
                 a.availability,
@@ -351,6 +362,13 @@ pub fn json_block(sw: &FaultSweep) -> String {
                 c.replicas,
                 c.gave_up,
                 c.backoff_secs,
+                c.counters.protocol_aborts,
+                c.counters.epoch_retries,
+                c.counters.manifest_commits,
+                c.counters.write_retries,
+                c.counters.failovers,
+                c.counters.torn_writes,
+                c.counters.dropped_sends,
             )),
             None => j.push_str(&format!(
                 "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
@@ -369,6 +387,44 @@ pub fn smoke() -> (usize, usize) {
     let sw = run_threaded(4, &[1_000], &[40], 1, Some(2));
     let a = sw.cells[0].acct.as_ref().expect("smoke cell finishes");
     (a.attempts, a.failures)
+}
+
+/// The seeded mid-protocol straggler smoke `scripts/tier1.sh` gates on:
+/// rank 2 stalls 8 s on entry to its epoch-1 checkpoint, the coordinator's
+/// group deadline trips, the epoch aborts and retries, and the run
+/// completes with per-rank results **byte-identical** to the fault-free
+/// run. Returns `(protocol_aborts, epoch_retries, manifest_commits,
+/// results_match)` for the golden line.
+pub fn abort_smoke() -> (u64, u64, u64, bool) {
+    let n = 4;
+    let w = RandomTraffic { n, steps: 220, ..RandomTraffic::default() };
+    let cfg = || CoordinatorCfg {
+        deadlines: PhaseDeadlines::new(time::secs(2), time::secs(5)),
+        ..cfg_for("abort-smoke", n, vec![time::secs(1), time::secs(3)])
+    };
+
+    let truth = ResultsSink::default();
+    let clean = run_job(&w.job(Some(truth.clone())), Some(cfg())).expect("fault-free run");
+    assert_eq!(clean.protocol_aborts, 0, "no deadline may trip fault-free");
+    let mut want = truth.lock().clone();
+    want.sort();
+
+    let faults = FaultConfig {
+        phase_faults: vec![PhaseFault {
+            epoch: 1,
+            phase: ProtocolPhase::Checkpoint,
+            rank: 2,
+            action: PhaseAction::Stall(time::secs(8)),
+        }],
+        ..FaultConfig::none()
+    };
+    let results = ResultsSink::default();
+    let report = run_job_faulted(&w.job(Some(results.clone())), Some(cfg()), &faults)
+        .expect("straggler run");
+    assert_eq!(report.finished_ranks, n, "abort-and-retry must let the job finish");
+    let mut got = results.lock().clone();
+    got.sort();
+    (report.protocol_aborts, report.epoch_retries, report.manifest_commits, got == want)
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub fn static_cfg(job: &str, group_size: u32, at: Time) -> CoordinatorCfg {
         formation: Formation::Static { group_size },
         schedule: CkptSchedule::once(at),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 

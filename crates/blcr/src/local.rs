@@ -2,7 +2,7 @@
 
 use crate::image::ProcessImage;
 use gbcr_des::{time, Proc, Time};
-use gbcr_storage::{Storage, StoredObject};
+use gbcr_storage::{FailoverWriter, RetryPolicy, Storage, StoredObject};
 
 /// Timing parameters of the local checkpointer.
 #[derive(Debug, Clone)]
@@ -25,19 +25,31 @@ impl Default for LocalCrConfig {
 /// model. One instance per MPI process (cheap, clonable).
 #[derive(Clone)]
 pub struct LocalCheckpointer {
-    storage: Storage,
+    writer: FailoverWriter,
     cfg: LocalCrConfig,
 }
 
 impl LocalCheckpointer {
-    /// Create a checkpointer writing to `storage`.
+    /// Create a checkpointer writing to `storage` alone. With one healthy
+    /// target the write path is exactly [`Storage::write`].
     pub fn new(storage: Storage, cfg: LocalCrConfig) -> Self {
-        LocalCheckpointer { storage, cfg }
+        Self::with_writer(FailoverWriter::new(vec![storage], RetryPolicy::default()), cfg)
     }
 
-    /// The underlying storage system.
+    /// Create a checkpointer writing through a retry/failover writer
+    /// (primary target first).
+    pub fn with_writer(writer: FailoverWriter, cfg: LocalCrConfig) -> Self {
+        LocalCheckpointer { writer, cfg }
+    }
+
+    /// The primary storage target.
     pub fn storage(&self) -> &Storage {
-        &self.storage
+        self.writer.primary()
+    }
+
+    /// The retry/failover write path.
+    pub fn writer(&self) -> &FailoverWriter {
+        &self.writer
     }
 
     /// Timing configuration.
@@ -59,7 +71,13 @@ impl LocalCheckpointer {
         let footprint = image.footprint;
         let payload = image.encode();
         let obj = StoredObject::new(payload, footprint);
-        self.storage.write(p, rank, &name, obj);
+        if self.writer.write(p, rank, &name, obj).is_err() {
+            // Every target's retry budget is exhausted: the image is lost
+            // and this epoch will never manifest. The run continues — the
+            // previous manifest stays the restart point.
+            p.handle()
+                .trace_event("blcr.image_lost", || format!("rank={rank} -> {name}"));
+        }
         p.sleep(self.cfg.thaw_overhead);
         p.handle()
             .trace_event("blcr.checkpoint", || format!("rank={rank} -> {name}"));
@@ -71,13 +89,14 @@ impl LocalCheckpointer {
     /// corrupt — a restart from a bad checkpoint cannot proceed.
     pub fn restart(&self, p: &Proc, job: &str, epoch: u64, rank: u32) -> ProcessImage {
         let name = ProcessImage::object_name(job, epoch, rank);
-        let obj = self.storage.read(p, rank, &name);
+        let (target, obj) = self.writer.read(p, rank, &name);
         // Incremental images need the preceding chain read back too (last
         // full image plus intermediate increments), charged as one bulk
-        // read of the recorded chain size.
+        // read of the recorded chain size against the target that held the
+        // image.
         if let Ok(peeked) = ProcessImage::decode(obj.payload.clone()) {
             if peeked.restore_extra > 0 {
-                self.storage.read_bulk(p, rank, peeked.restore_extra);
+                self.writer.targets()[target].read_bulk(p, rank, peeked.restore_extra);
             }
         }
         let img = ProcessImage::decode(obj.payload)
@@ -92,7 +111,10 @@ impl LocalCheckpointer {
     /// Whether a complete image set exists for `(job, epoch)` across
     /// `ranks` processes.
     pub fn epoch_complete(&self, job: &str, epoch: u64, ranks: u32) -> bool {
-        (0..ranks).all(|r| self.storage.contains(&ProcessImage::object_name(job, epoch, r)))
+        (0..ranks).all(|r| {
+            let name = ProcessImage::object_name(job, epoch, r);
+            self.writer.targets().iter().any(|t| t.contains(&name))
+        })
     }
 }
 

@@ -6,11 +6,18 @@ use crate::group::GroupPlan;
 use crate::proto;
 use gbcr_blcr::{LocalCheckpointer, ProcessImage};
 use gbcr_des::{Proc, Time};
+use gbcr_faults::ProtocolPhase;
 use gbcr_mpi::{CrHook, CtrlWire, Mpi, OobMsg, Rank, COORDINATOR_NODE};
 use gbcr_net::NodeId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Callback invoked when this rank enters a protocol phase of an epoch:
+/// `(process, real epoch number, phase)`. Installed by the job harness to
+/// deliver phase-targeted faults (kills/stalls); absent in fault-free runs,
+/// where the lookup is a lock-and-clone with no simulation-visible effect.
+pub type PhaseHook = Arc<dyn Fn(&Proc, u64, ProtocolPhase) + Send + Sync>;
 
 /// Minimum bytes an incremental image writes (page tables, registers,
 /// metadata — never free even when nothing was dirtied).
@@ -122,6 +129,7 @@ pub struct Controller {
     client: CkptClient,
     st: Mutex<CtlState>,
     shutdown: AtomicBool,
+    phase_hook: Mutex<Option<PhaseHook>>,
 }
 
 impl Controller {
@@ -152,9 +160,25 @@ impl Controller {
                 has_full: false,
             }),
             shutdown: AtomicBool::new(false),
+            phase_hook: Mutex::new(None),
         });
         *ctl.self_ref.lock() = Arc::downgrade(&ctl);
         ctl
+    }
+
+    /// Install the phase-entry callback (fault injection). `None` clears.
+    pub fn set_phase_hook(&self, hook: Option<PhaseHook>) {
+        *self.phase_hook.lock() = hook;
+    }
+
+    /// Announce entry into a protocol phase to the installed hook. Called
+    /// with no controller lock held: a `Kill` action unwinds right here.
+    fn phase_point(&self, p: &Proc, epoch_word: u64, phase: ProtocolPhase) {
+        let hook = self.phase_hook.lock().clone();
+        if let Some(hook) = hook {
+            let (epoch, _) = proto::split_epoch(epoch_word);
+            hook(p, epoch, phase);
+        }
     }
 
     fn arc(&self) -> Arc<Controller> {
@@ -182,6 +206,7 @@ impl Controller {
     }
 
     fn handle_epoch_begin(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        self.phase_point(p, msg.a, ProtocolPhase::Begin);
         let group_of = proto::decode_plan(msg.data.clone()).expect("valid plan payload");
         let plan = GroupPlan::from_map(group_of);
         {
@@ -203,6 +228,7 @@ impl Controller {
     }
 
     fn handle_group_start(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        self.phase_point(p, msg.a, ProtocolPhase::GroupStart);
         {
             let mut st = self.st.lock();
             let ep = st.epoch.as_mut().expect("GROUP_START outside epoch");
@@ -215,12 +241,18 @@ impl Controller {
     /// The member-side local checkpoint procedure: drain → per-connection
     /// teardown → snapshot (app state + MPI library state) → report.
     fn handle_group_go(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        self.phase_point(p, msg.a, ProtocolPhase::Checkpoint);
         let t0 = p.now();
-        let epoch = msg.a;
+        // The wire carries an epoch *word* (epoch + retry counter); state
+        // matching and replies echo the word, while image naming and
+        // records use the real epoch — a retried epoch overwrites the same
+        // image names.
+        let word = msg.a;
+        let (epoch, _) = proto::split_epoch(word);
         {
             let st = self.st.lock();
             let ep = st.epoch.as_ref().expect("GROUP_GO outside epoch");
-            assert_eq!(ep.epoch, epoch);
+            assert_eq!(ep.epoch, word);
             assert_eq!(
                 ep.plan.group_of(self.rank),
                 msg.b as usize,
@@ -236,7 +268,7 @@ impl Controller {
         //    consumed inline below (avoiding a mutual-wait deadlock).
         let peers = mpi.connected_peers();
         for &peer in &peers {
-            mpi.ctrl_send(p, peer, CtrlWire { kind: proto::FLUSH_REQ, a: epoch, b: 0 });
+            mpi.ctrl_send(p, peer, CtrlWire { kind: proto::FLUSH_REQ, a: word, b: 0 });
         }
         let mut acks = 0usize;
         while acks < peers.len() {
@@ -306,13 +338,14 @@ impl Controller {
             individual,
             connections_torn: peers.len(),
         });
-        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, epoch, individual));
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, word, individual));
         p.handle().trace_event("ckpt.rank_done", || {
             format!("rank={} epoch={epoch} individual={}", self.rank, gbcr_des::time::fmt(individual))
         });
     }
 
     fn handle_group_done(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        self.phase_point(p, msg.a, ProtocolPhase::GroupDone);
         {
             let mut st = self.st.lock();
             let ep = st.epoch.as_mut().expect("GROUP_DONE outside epoch");
@@ -324,6 +357,7 @@ impl Controller {
     }
 
     fn handle_epoch_end(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        self.phase_point(p, msg.a, ProtocolPhase::End);
         {
             let mut st = self.st.lock();
             let ep = st.epoch.take().expect("EPOCH_END outside epoch");
@@ -344,6 +378,33 @@ impl Controller {
         }
         mpi.release_deferred(p);
         mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::EPOCH_END_ACK, msg.a, 0));
+    }
+
+    /// A coordinator phase deadline tripped: discard whatever epoch attempt
+    /// is installed and roll back to running state. Idempotent — a rank the
+    /// abort reaches before the attempt's `EPOCH_BEGIN` (or after its own
+    /// stale replies) just ACKs. Any image already written stays on storage
+    /// but is unreachable: the epoch never manifests, so restart treats it
+    /// exactly like a torn write, and a successful retry overwrites it.
+    fn handle_abort(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
+        let had_epoch = {
+            let mut st = self.st.lock();
+            st.cl = None;
+            st.epoch.take().is_some()
+        };
+        if had_epoch {
+            // Undo handle_epoch_begin: resume the running-state data plane.
+            mpi.set_passive(false);
+            if self.mode == CkptMode::Logging {
+                mpi.set_log_mode(false);
+            }
+            mpi.release_deferred(p);
+        }
+        p.handle().trace_event("ckpt.rank_abort", || {
+            let (epoch, tries) = proto::split_epoch(msg.a);
+            format!("rank={} epoch={epoch} try={tries} rolled_back={had_epoch}", self.rank)
+        });
+        mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::ABORT_ACK, msg.a, 0));
     }
 }
 
@@ -533,6 +594,7 @@ impl CrHook for Controller {
             proto::UNCOORD_GO => self.uncoordinated_snapshot(p, mpi, msg.a),
             proto::GROUP_DONE => self.handle_group_done(p, mpi, &msg),
             proto::EPOCH_END => self.handle_epoch_end(p, mpi, &msg),
+            proto::ABORT_EPOCH => self.handle_abort(p, mpi, &msg),
             proto::TRAFFIC_QUERY => {
                 let data = proto::encode_traffic(&mpi.traffic().per_peer);
                 mpi.oob_send(

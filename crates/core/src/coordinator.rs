@@ -3,11 +3,15 @@
 use crate::controller::CkptMode;
 use crate::group::{Formation, GroupPlan};
 use crate::proto;
+use gbcr_blcr::codec::fnv1a;
+use gbcr_blcr::ProcessImage;
 use gbcr_des::{Proc, SimHandle, Time};
 use gbcr_mpi::{OobMsg, Rank, World, COORDINATOR_NODE};
 use gbcr_net::{Endpoint, NodeId};
+use gbcr_storage::{Storage, StoredObject};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// When checkpoints are requested (issuance/placement times, §5).
@@ -29,6 +33,47 @@ impl CkptSchedule {
     }
 }
 
+/// Per-phase protocol deadlines. `None` disables the deadline for that
+/// phase: the coordinator parks unboundedly exactly as it did before
+/// deadlines existed, so a default config arms no timers and changes no
+/// events — fault-free runs stay byte-identical.
+///
+/// A tripped deadline makes the coordinator broadcast `ABORT_EPOCH`: ranks
+/// roll back to running state, the previous manifest stays authoritative,
+/// and the epoch is retried. Only a *confirmed-dead* node (the failure
+/// detector's job) escalates to the supervisor — the abort-acknowledgement
+/// collection deliberately has no deadline, so a dead rank leaves the
+/// coordinator parked until the detector kills the job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseDeadlines {
+    /// Budget for step 1: traffic query (dynamic formation), `EPOCH_BEGIN`
+    /// broadcast, and collecting every rank's `EPOCH_BEGIN_ACK`.
+    pub begin: Option<Time>,
+    /// Budget for one group's turn in step 2: gate closure ACKs plus every
+    /// member's `RANK_DONE` (the local checkpoints — size this to the
+    /// expected image-write time, not the OOB round-trip).
+    pub group: Option<Time>,
+    /// Budget for step 3: collecting every rank's `EPOCH_END_ACK`.
+    pub end: Option<Time>,
+}
+
+impl PhaseDeadlines {
+    /// No deadlines (the pre-existing park-forever behavior).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The same budget on the begin and end phases with a separate, larger
+    /// one for the checkpoint-carrying group phase.
+    pub fn new(ack_budget: Time, group_budget: Time) -> Self {
+        PhaseDeadlines {
+            begin: Some(ack_budget),
+            group: Some(group_budget),
+            end: Some(ack_budget),
+        }
+    }
+}
+
 /// Coordinator configuration.
 #[derive(Debug, Clone)]
 pub struct CoordinatorCfg {
@@ -45,6 +90,9 @@ pub struct CoordinatorCfg {
     /// only write the bytes the application reported dirty since the
     /// previous checkpoint; restores read the image plus its chain.
     pub incremental: bool,
+    /// Per-phase protocol deadlines (grouped modes only); the default arms
+    /// nothing.
+    pub deadlines: PhaseDeadlines,
 }
 
 /// Outcome of one global checkpoint epoch.
@@ -88,10 +136,19 @@ impl EpochReport {
     }
 }
 
+/// Protocol-recovery counters, shared with the spawned coordinator body so
+/// they stay readable after the coordinator dies mid-protocol.
+#[derive(Debug, Default)]
+struct CoordCounters {
+    protocol_aborts: AtomicU64,
+    epoch_retries: AtomicU64,
+}
+
 /// Handle to a spawned coordinator; epoch reports land here as they finish.
 #[derive(Clone)]
 pub struct Coordinator {
     reports: Arc<Mutex<Vec<EpochReport>>>,
+    counters: Arc<CoordCounters>,
     pid: gbcr_des::ProcId,
 }
 
@@ -99,9 +156,18 @@ impl Coordinator {
     /// Spawn the coordinator process into the simulation. It connects to
     /// every rank's out-of-band endpoint, executes the configured schedule,
     /// and shuts the ranks' service loops down once all have finished.
-    pub fn spawn(handle: &SimHandle, world: &World, cfg: CoordinatorCfg) -> Coordinator {
+    /// `storage` is where epoch manifests are committed (the same device
+    /// the ranks write their images to).
+    pub fn spawn(
+        handle: &SimHandle,
+        world: &World,
+        cfg: CoordinatorCfg,
+        storage: Storage,
+    ) -> Coordinator {
         let reports = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(CoordCounters::default());
         let out = reports.clone();
+        let ctrs = counters.clone();
         let world = world.clone();
         let pid = handle.spawn("cr-coordinator", move |p| {
             let mut body = CoordBody {
@@ -109,12 +175,14 @@ impl Coordinator {
                 n: world.size(),
                 world,
                 cfg,
+                storage,
+                counters: ctrs,
                 stash: VecDeque::new(),
                 finished: HashSet::new(),
             };
             body.run(p, &out);
         });
-        Coordinator { reports, pid }
+        Coordinator { reports, counters, pid }
     }
 
     /// The coordinator's simulated process id (for failure injection).
@@ -126,13 +194,29 @@ impl Coordinator {
     pub fn reports(&self) -> Vec<EpochReport> {
         self.reports.lock().clone()
     }
+
+    /// How many times a phase deadline tripped and the coordinator
+    /// broadcast `ABORT_EPOCH`.
+    pub fn protocol_aborts(&self) -> u64 {
+        self.counters.protocol_aborts.load(Ordering::Relaxed)
+    }
+
+    /// How many epoch attempts were re-runs after an abort.
+    pub fn epoch_retries(&self) -> u64 {
+        self.counters.epoch_retries.load(Ordering::Relaxed)
+    }
 }
+
+/// Marker error: a phase deadline tripped inside `try_epoch`.
+struct Stalled;
 
 struct CoordBody {
     ep: Endpoint<OobMsg>,
     n: u32,
     world: World,
     cfg: CoordinatorCfg,
+    storage: Storage,
+    counters: Arc<CoordCounters>,
     stash: VecDeque<(NodeId, OobMsg)>,
     finished: HashSet<Rank>,
 }
@@ -248,16 +332,52 @@ impl CoordBody {
         }
     }
 
-    /// One global checkpoint epoch (§3.2's three steps).
+    /// One global checkpoint epoch (§3.2's three steps), retried through
+    /// `ABORT_EPOCH` whenever a phase deadline trips. Each attempt tags its
+    /// messages with a distinct epoch word so stale replies from aborted
+    /// attempts can never satisfy a later attempt's collection.
     fn run_epoch(&mut self, p: &Proc, epoch: u64, requested_at: Time) -> EpochReport {
+        let mut tries = 0u64;
+        loop {
+            match self.try_epoch(p, epoch, requested_at, tries) {
+                Ok(report) => return report,
+                Err(Stalled) => {
+                    self.counters.protocol_aborts.fetch_add(1, Ordering::Relaxed);
+                    p.handle().trace_event("ckpt.abort", || {
+                        format!("epoch={epoch} try={tries}")
+                    });
+                    self.abort_epoch(p, epoch, tries);
+                    tries += 1;
+                }
+            }
+        }
+    }
+
+    /// One attempt at an epoch. Returns `Err(Stalled)` if any configured
+    /// phase deadline trips before its collection completes.
+    fn try_epoch(
+        &mut self,
+        p: &Proc,
+        epoch: u64,
+        requested_at: Time,
+        tries: u64,
+    ) -> Result<EpochReport, Stalled> {
+        if tries > 0 {
+            self.counters.epoch_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let word = proto::epoch_word(epoch, tries);
+        let deadlines = self.cfg.deadlines;
+
         // Step 1: divide processes into groups and decide the order.
+        let begin_by = deadlines.begin.map(|d| p.now() + d);
         let plan = match &self.cfg.formation {
             Formation::Dynamic { .. } => {
-                self.broadcast(proto::TRAFFIC_QUERY, epoch, 0);
+                self.broadcast(proto::TRAFFIC_QUERY, word, 0);
                 let mut traffic: Vec<crate::group::TrafficRows> = vec![Vec::new(); self.n as usize];
                 for _ in 0..self.n {
-                    let (from, msg) =
-                        self.recv_match(p, |_, m| m.kind == proto::TRAFFIC_REPLY && m.a == epoch);
+                    let (from, msg) = self.recv_match_by(p, begin_by, |_, m| {
+                        m.kind == proto::TRAFFIC_REPLY && m.a == word
+                    })?;
                     traffic[from.0 as usize] =
                         proto::decode_traffic(msg.data).expect("valid traffic payload");
                 }
@@ -269,41 +389,53 @@ impl CoordBody {
         let plan_bytes = proto::encode_plan(plan.group_map());
         for r in 0..self.n {
             let msg =
-                OobMsg { kind: proto::EPOCH_BEGIN, a: epoch, b: 0, data: plan_bytes.clone() };
+                OobMsg { kind: proto::EPOCH_BEGIN, a: word, b: 0, data: plan_bytes.clone() };
             let size = msg.wire_size();
             self.send_to(r, msg, size);
         }
-        self.collect(p, proto::EPOCH_BEGIN_ACK, epoch, self.n);
+        self.collect_by(p, proto::EPOCH_BEGIN_ACK, word, self.n, begin_by)?;
 
         // Step 2: the groups take checkpoints in turn.
         let mut individuals: Vec<(Rank, Time)> = Vec::new();
         let mut all_ranks_done_at = started_at;
         for (g, members) in plan.groups().iter().enumerate() {
+            let group_by = deadlines.group.map(|d| p.now() + d);
             // Close every rank's gate toward (and from) this group before
             // any member freezes.
-            self.broadcast(proto::GROUP_START, epoch, g as u64);
-            self.collect(p, proto::GROUP_START_ACK, epoch, self.n);
+            self.broadcast(proto::GROUP_START, word, g as u64);
+            self.collect_by(p, proto::GROUP_START_ACK, word, self.n, group_by)?;
             for &m in members {
-                self.send_to(m, OobMsg::new(proto::GROUP_GO, epoch, g as u64), 64);
+                self.send_to(m, OobMsg::new(proto::GROUP_GO, word, g as u64), 64);
             }
             for _ in members {
-                let (from, msg) =
-                    self.recv_match(p, |_, m| m.kind == proto::RANK_DONE && m.a == epoch);
+                let (from, msg) = self.recv_match_by(p, group_by, |_, m| {
+                    m.kind == proto::RANK_DONE && m.a == word
+                })?;
                 individuals.push((from.0, msg.b));
                 all_ranks_done_at = p.now();
             }
-            self.broadcast(proto::GROUP_DONE, epoch, g as u64);
+            self.broadcast(proto::GROUP_DONE, word, g as u64);
         }
 
         // Step 3: mark the global checkpoint complete.
-        self.broadcast(proto::EPOCH_END, epoch, 0);
-        self.collect(p, proto::EPOCH_END_ACK, epoch, self.n);
+        let end_by = deadlines.end.map(|d| p.now() + d);
+        self.broadcast(proto::EPOCH_END, word, 0);
+        self.collect_by(p, proto::EPOCH_END_ACK, word, self.n, end_by)?;
+
+        // Two-phase commit, phase 2: every rank has ACKed its image
+        // durable, so atomically publish the epoch's manifest. Zero
+        // simulated time, and no park between here and the caller pushing
+        // the report — a kill can never separate "manifest visible" from
+        // "epoch reported", which keeps manifest-based restore selection
+        // exactly as strong as the old image scan.
+        self.commit_manifest(p, epoch);
+
         individuals.sort_by_key(|(r, _)| *r);
         p.handle().trace_event("ckpt.epoch_done", || {
             format!("epoch={epoch} groups={} total={}", plan.group_count(),
                 gbcr_des::time::fmt(all_ranks_done_at - requested_at))
         });
-        EpochReport {
+        Ok(EpochReport {
             epoch,
             requested_at,
             started_at,
@@ -311,7 +443,66 @@ impl CoordBody {
             finished_at: p.now(),
             individuals,
             plan,
+        })
+    }
+
+    /// Roll every rank back to running state after a tripped deadline.
+    /// Collecting the abort ACKs has **no deadline**: every live rank will
+    /// eventually answer (stalls are finite), and a dead one parks us here
+    /// until the failure detector escalates to the supervisor — exactly
+    /// the escalation split the protocol wants.
+    fn abort_epoch(&mut self, p: &Proc, epoch: u64, tries: u64) {
+        let word = proto::epoch_word(epoch, tries);
+        self.broadcast(proto::ABORT_EPOCH, word, 0);
+        self.collect(p, proto::ABORT_ACK, word, self.n);
+        // Drop stale replies of the aborted attempt: nothing matching this
+        // epoch may leak into the next attempt's collections.
+        self.purge_epoch(epoch);
+    }
+
+    /// Discard stashed protocol replies belonging to any attempt of
+    /// `epoch`.
+    fn purge_epoch(&mut self, epoch: u64) {
+        self.stash.retain(|(_, m)| {
+            let protocol_reply = matches!(
+                m.kind,
+                proto::EPOCH_BEGIN_ACK
+                    | proto::GROUP_START_ACK
+                    | proto::RANK_DONE
+                    | proto::EPOCH_END_ACK
+                    | proto::TRAFFIC_REPLY
+                    | proto::ABORT_ACK
+            );
+            !(protocol_reply && proto::split_epoch(m.a).0 == epoch)
+        });
+    }
+
+    /// Two-phase commit, phase 2: write the epoch's manifest (rank → image
+    /// name/size/checksum) through storage. Skipped silently if any image
+    /// is missing (torn or lost write): the epoch then simply never
+    /// becomes a restart point, exactly like a torn image under the old
+    /// scan.
+    fn commit_manifest(&mut self, p: &Proc, epoch: u64) {
+        let mut entries: Vec<proto::ManifestEntry> = Vec::with_capacity(self.n as usize);
+        for r in 0..self.n {
+            let name = ProcessImage::object_name(&self.cfg.job, epoch, r);
+            match self.storage.peek(&name) {
+                Some(obj) => entries.push((r, obj.virtual_size, fnv1a(&obj.payload))),
+                None => {
+                    p.handle().trace_event("ckpt.manifest_skip", || {
+                        format!("epoch={epoch} missing={name}")
+                    });
+                    return;
+                }
+            }
         }
+        let payload = proto::encode_manifest(epoch, &entries);
+        let virtual_size = payload.len() as u64;
+        self.storage.commit_meta(
+            u32::MAX, // the coordinator is not a rank
+            &proto::manifest_name(&self.cfg.job, epoch),
+            StoredObject::new(payload, virtual_size),
+        );
     }
 
     fn broadcast(&mut self, kind: u32, a: u64, b: u64) {
@@ -325,6 +516,22 @@ impl CoordBody {
         for _ in 0..count {
             self.recv_match(p, |_, m| m.kind == kind && m.a == a);
         }
+    }
+
+    /// Collect `count` messages of `kind` for epoch word `a`, failing if
+    /// the absolute deadline `by` passes first.
+    fn collect_by(
+        &mut self,
+        p: &Proc,
+        kind: u32,
+        a: u64,
+        count: u32,
+        by: Option<Time>,
+    ) -> Result<(), Stalled> {
+        for _ in 0..count {
+            self.recv_match_by(p, by, |_, m| m.kind == kind && m.a == a)?;
+        }
+        Ok(())
     }
 
     /// FINISHED messages are folded into the `finished` set whenever seen;
@@ -350,21 +557,51 @@ impl CoordBody {
     fn recv_match(
         &mut self,
         p: &Proc,
-        mut pred: impl FnMut(NodeId, &OobMsg) -> bool,
+        pred: impl FnMut(NodeId, &OobMsg) -> bool,
     ) -> (NodeId, OobMsg) {
+        match self.recv_match_by(p, None, pred) {
+            Ok(m) => m,
+            Err(Stalled) => unreachable!("no deadline, so recv cannot stall"),
+        }
+    }
+
+    /// Like `recv_match`, but gives up once the absolute deadline `by`
+    /// passes. With `by = None` this is byte-identical to the undeadlined
+    /// receive: no timer is armed and no extra events exist. A deadline
+    /// wake that arrives after the matching message was already consumed is
+    /// just a spurious wake to whatever receive runs next — every receive
+    /// loops on its own predicate, so stale wakes are harmless.
+    fn recv_match_by(
+        &mut self,
+        p: &Proc,
+        by: Option<Time>,
+        mut pred: impl FnMut(NodeId, &OobMsg) -> bool,
+    ) -> Result<(NodeId, OobMsg), Stalled> {
         if let Some(i) = self.stash.iter().position(|(n, m)| pred(*n, m)) {
-            return self.stash.remove(i).expect("index valid");
+            return Ok(self.stash.remove(i).expect("index valid"));
         }
         loop {
-            let (from, msg) = self.recv_raw(p);
-            if msg.kind == proto::FINISHED {
-                self.finished.insert(from.0);
+            if let Some((from, msg)) = self.ep.try_recv() {
+                if msg.kind == proto::FINISHED {
+                    self.finished.insert(from.0);
+                    continue;
+                }
+                if pred(from, &msg) {
+                    return Ok((from, msg));
+                }
+                self.stash.push_back((from, msg));
                 continue;
             }
-            if pred(from, &msg) {
-                return (from, msg);
+            if let Some(d) = by {
+                if p.now() >= d {
+                    return Err(Stalled);
+                }
+                self.ep.register_waiter(p.id());
+                p.handle().schedule_wake(d, p.id());
+            } else {
+                self.ep.register_waiter(p.id());
             }
-            self.stash.push_back((from, msg));
+            p.park();
         }
     }
 

@@ -5,13 +5,16 @@ use crate::controller::{CkptMode, Controller, RankCkptRecord};
 use crate::coordinator::{Coordinator, CoordinatorCfg, EpochReport};
 use crate::proto;
 use bytes::Bytes;
+use gbcr_blcr::codec::fnv1a;
 use gbcr_blcr::{LocalCheckpointer, LocalCrConfig, ProcessImage};
 use gbcr_des::{Proc, ProcId, Sim, SimHandle, SimResult, Time};
-use gbcr_faults::{FaultConfig, FaultPlan, FaultSink};
+use gbcr_faults::{FaultConfig, FaultPlan, FaultSink, PhaseAction, PhaseFaults};
 use gbcr_mpi::{DeferStats, Mpi, MpiConfig, OobMsg, World, COORDINATOR_NODE};
-use gbcr_storage::{Storage, StorageConfig, StorageStats, StoredObject, WriteFault};
+use gbcr_storage::{
+    FailoverWriter, RetryPolicy, Storage, StorageConfig, StorageStats, StoredObject, WriteFault,
+};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Everything a rank's body closure gets to work with.
@@ -43,6 +46,13 @@ pub struct JobSpec {
     pub mpi: MpiConfig,
     /// Central storage configuration.
     pub storage: StorageConfig,
+    /// Optional secondary storage target: checkpoint writes that exhaust
+    /// their retry budget on the primary fail over here. `None` keeps the
+    /// single-target write path.
+    pub storage_secondary: Option<StorageConfig>,
+    /// Retry/backoff policy for checkpoint image writes hitting a storage
+    /// outage.
+    pub write_retry: RetryPolicy,
     /// Local checkpointer timing.
     pub blcr: LocalCrConfig,
     /// The application.
@@ -57,6 +67,8 @@ impl JobSpec {
             seed: 0,
             mpi: MpiConfig::new(n),
             storage: StorageConfig::paper_testbed(),
+            storage_secondary: None,
+            write_retry: RetryPolicy::default(),
             blcr: LocalCrConfig::default(),
             body,
         }
@@ -100,6 +112,18 @@ pub struct RunReport {
     pub finished_ranks: u32,
     /// Messages black-holed because their destination's node had failed.
     pub sends_to_failed: u64,
+    /// Epoch attempts discarded because a phase deadline tripped.
+    pub protocol_aborts: u64,
+    /// Epoch attempts re-run after an abort.
+    pub epoch_retries: u64,
+    /// Per-epoch manifests durably committed (primary storage).
+    pub manifest_commits: u64,
+    /// Manifest commits lost to the torn-manifest fault point.
+    pub torn_manifests: u64,
+    /// Checkpoint image writes retried after a transient storage failure.
+    pub write_retries: u64,
+    /// Checkpoint image writes that failed over to a secondary target.
+    pub failovers: u64,
 }
 
 impl RunReport {
@@ -127,6 +151,53 @@ impl RunReport {
                 })
             })
             .map(|e| e.epoch)
+            .max()
+    }
+
+    /// Whether any epoch manifest for `job` survives in
+    /// [`RunReport::images`] — when none does (pre-manifest image sets, the
+    /// Chandy-Lamport and uncoordinated paths, or a crash before the first
+    /// commit), restart-point selection falls back to the image scan.
+    pub fn has_manifests(&self, job: &str) -> bool {
+        self.images.iter().any(|(name, obj)| {
+            proto::decode_manifest(obj.payload.clone())
+                .is_ok_and(|(epoch, _)| *name == proto::manifest_name(job, epoch))
+        })
+    }
+
+    /// The newest epoch whose **committed manifest** survives in
+    /// [`RunReport::images`] and checks out against the images it lists
+    /// (one entry per rank in `0..n`, each matching its image's size and
+    /// checksum). This is the authoritative restart point under the
+    /// two-phase epoch commit: a manifest is written only after every rank
+    /// ACKed the epoch, so its presence proves the image set is a
+    /// consistent global snapshot. Returns `None` when no valid manifest
+    /// exists.
+    pub fn last_manifested_epoch(&self, job: &str, n: u32) -> Option<u64> {
+        let by_name: HashMap<&str, &StoredObject> =
+            self.images.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        self.images
+            .iter()
+            .filter_map(|(name, obj)| {
+                // A torn manifest never reaches storage, but a stale or
+                // foreign object under a manifest-shaped name must not be
+                // trusted: decode and cross-check every listed image.
+                let (epoch, entries) = proto::decode_manifest(obj.payload.clone()).ok()?;
+                if *name != proto::manifest_name(job, epoch) || entries.len() != n as usize {
+                    return None;
+                }
+                entries
+                    .iter()
+                    .all(|&(r, size, checksum)| {
+                        r < n
+                            && by_name
+                                .get(ProcessImage::object_name(job, epoch, r).as_str())
+                                .is_some_and(|img| {
+                                    img.virtual_size == size && fnv1a(&img.payload) == checksum
+                                })
+                    })
+                    .then_some(epoch)
+            })
             .max()
     }
 }
@@ -217,6 +288,9 @@ pub(crate) fn run_job_inner_faulted(
 struct JobFaultSink {
     world: World,
     storage: Storage,
+    /// Every storage target, primary first — outage windows address them
+    /// by index.
+    storages: Vec<Storage>,
     rank_pids: Vec<ProcId>,
     coord_pid: ProcId,
     body_ends: Arc<Mutex<Vec<Time>>>,
@@ -286,6 +360,14 @@ impl FaultSink for JobFaultSink {
         let storage = self.storage.clone();
         h.call_at(until, move |_| storage.set_derate(1.0));
     }
+
+    fn storage_outage(&self, _h: &SimHandle, target: u32, until: Time) {
+        // An outage aimed at an unconfigured target (e.g. a secondary that
+        // this run does not have) is a non-event.
+        if let Some(s) = self.storages.get(target as usize) {
+            s.set_outage_until(until);
+        }
+    }
 }
 
 fn run_job_full(
@@ -297,6 +379,13 @@ fn run_job_full(
 ) -> SimResult<RunReport> {
     let mut sim = Sim::new(spec.seed);
     let storage = Storage::new(sim.handle(), spec.storage.clone());
+    let secondary = spec
+        .storage_secondary
+        .as_ref()
+        .map(|cfg| Storage::new(sim.handle(), cfg.clone()));
+    let mut targets = vec![storage.clone()];
+    targets.extend(secondary.iter().cloned());
+    let writer = FailoverWriter::new(targets.clone(), spec.write_retry.clone());
     let world = World::new(sim.handle(), spec.mpi.clone());
     let n = world.size();
 
@@ -313,11 +402,12 @@ fn run_job_full(
         formation: crate::group::Formation::regular(n),
         schedule: crate::coordinator::CkptSchedule::none(),
         incremental: false,
+        deadlines: crate::coordinator::PhaseDeadlines::none(),
     });
     let job_name = ckpt_cfg.job.clone();
     let mode = ckpt_cfg.mode;
     let incremental = ckpt_cfg.incremental;
-    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg);
+    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg, storage.clone());
 
     let body_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
     let controllers: Arc<Mutex<Vec<Arc<Controller>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -329,7 +419,7 @@ fn run_job_full(
         mpis.lock().push(mpi.clone());
         let client = CkptClient::new(0);
         client.bind_runtime(mpi.clone());
-        let blcr = LocalCheckpointer::new(storage.clone(), spec.blcr.clone());
+        let blcr = LocalCheckpointer::with_writer(writer.clone(), spec.blcr.clone());
         let controller =
             Controller::new(r, job_name.clone(), mode, incremental, blcr.clone(), client.clone());
         controllers.lock().push(controller.clone());
@@ -392,9 +482,15 @@ fn run_job_full(
                 torn.tears(name).then_some(WriteFault::Torn)
             })));
         }
+        if let Some(torn) = f.torn_manifests.filter(|t| t.prob > 0.0) {
+            storage.set_meta_fault_hook(Some(Arc::new(move |_client, name: &str| {
+                torn.tears(name).then_some(WriteFault::Torn)
+            })));
+        }
         let s = Arc::new(JobFaultSink {
             world: world.clone(),
             storage: storage.clone(),
+            storages: targets.clone(),
             rank_pids,
             coord_pid: coordinator.proc_id(),
             body_ends: body_ends.clone(),
@@ -402,6 +498,32 @@ fn run_job_full(
             detect_latency: f.detect_latency,
             killed: Mutex::new(Vec::new()),
         });
+        if !f.phase_faults.is_empty() {
+            let phase_faults = PhaseFaults::new(f.phase_faults.clone());
+            for (r, c) in controllers.lock().iter().enumerate() {
+                let rank = r as u32;
+                let pf = phase_faults.clone();
+                let sink = s.clone();
+                c.set_phase_hook(Some(Arc::new(move |p: &Proc, epoch, phase| {
+                    match pf.take(rank, epoch, phase) {
+                        Some(PhaseAction::Kill) => {
+                            sink.node_kill(p.handle(), rank);
+                            // The kill above flagged this very process; the
+                            // park never returns — it unwinds here, i.e. on
+                            // phase entry, before any protocol reply.
+                            p.park();
+                        }
+                        Some(PhaseAction::Stall(d)) => {
+                            p.handle().trace_event("fault.phase_stall", || {
+                                format!("rank {rank} epoch {epoch} {phase:?} +{d}")
+                            });
+                            p.sleep(d);
+                        }
+                        None => {}
+                    }
+                })));
+            }
+        }
         gbcr_faults::install(&sim.handle(), &f.plan, s.clone());
         sink = Some(s);
     }
@@ -431,21 +553,40 @@ fn run_job_full(
         (agg, logged)
     };
     let finished_ranks = body_ends.lock().len() as u32;
+    // Merge the secondary target's objects in (primary wins on a name
+    // collision) so restarts and manifest validation see failed-over
+    // images. Single-target runs keep the primary's export order exactly.
+    let images = {
+        let mut images = storage.export_objects();
+        if let Some(sec) = &secondary {
+            let have: HashSet<String> = images.iter().map(|(k, _)| k.clone()).collect();
+            images.extend(sec.export_objects().into_iter().filter(|(k, _)| !have.contains(k)));
+            images.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        images
+    };
+    let storage_stats = storage.stats();
     Ok(RunReport {
         completion,
         sim_end,
         epochs: coordinator.reports(),
         rank_records,
-        storage_stats: storage.stats(),
         net_stats: world.net_stats(),
         defer_stats,
         logged_bytes,
         channel_logged_bytes,
-        images: storage.export_objects(),
+        images,
         events,
         elided_wakes,
         killed_ranks: sink.map(|s| s.killed.lock().clone()).unwrap_or_default(),
         finished_ranks,
         sends_to_failed: world.dropped_sends(),
+        protocol_aborts: coordinator.protocol_aborts(),
+        epoch_retries: coordinator.epoch_retries(),
+        manifest_commits: storage_stats.manifest_commits,
+        torn_manifests: storage_stats.torn_manifests,
+        write_retries: writer.write_retries(),
+        failovers: writer.failovers(),
+        storage_stats,
     })
 }

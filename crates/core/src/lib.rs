@@ -60,13 +60,14 @@ mod restart;
 mod supervise;
 
 pub use client::CkptClient;
-pub use controller::{CkptMode, Controller, RankCkptRecord};
-pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport};
+pub use controller::{CkptMode, Controller, PhaseHook, RankCkptRecord};
+pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport, PhaseDeadlines};
 pub use group::{Formation, GroupPlan};
 pub use job::{
     restart_job_faulted, run_job, run_job_faulted, run_job_with_crash, JobSpec, RankCtx, RunReport,
 };
-pub use restart::{extract_images, restart_job, RestartSpec};
+pub use restart::{extract_images, extract_images_manifested, restart_job, RestartSpec};
 pub use supervise::{
-    run_supervised, run_supervised_faulty, Attempt, SupervisePolicy, SupervisedReport,
+    run_supervised, run_supervised_faulty, Attempt, RecoveryCounters, SupervisePolicy,
+    SupervisedReport,
 };

@@ -52,6 +52,12 @@ pub const CL_SNAPSHOT: u32 = 14;
 /// Coordinator → one rank (uncoordinated mode): take an independent local
 /// snapshot now (the coordinator only emulates each rank's local timer).
 pub const UNCOORD_GO: u32 = 15;
+/// Coordinator → all ranks: a phase deadline tripped; discard the epoch
+/// attempt carried in `a` (an epoch word, see [`epoch_word`]) and roll back
+/// to running state. The previous manifest stays authoritative.
+pub const ABORT_EPOCH: u32 = 16;
+/// Rank → coordinator: abort processed, rank is back to running state.
+pub const ABORT_ACK: u32 = 17;
 
 /// Render a protocol kind for diagnostics.
 pub fn kind_name(kind: u32) -> &'static str {
@@ -74,8 +80,78 @@ pub fn kind_name(kind: u32) -> &'static str {
         CL_MARKER => "CL_MARKER",
         CL_SNAPSHOT => "CL_SNAPSHOT",
         UNCOORD_GO => "UNCOORD_GO",
+        ABORT_EPOCH => "ABORT_EPOCH",
+        ABORT_ACK => "ABORT_ACK",
         _ => "UNKNOWN",
     }
+}
+
+// ---------------------------------------------------------------------
+// Epoch words: epoch number + retry counter in one OOB `a` field
+// ---------------------------------------------------------------------
+
+/// Bits of an epoch word holding the epoch number; the retry counter lives
+/// above them.
+const EPOCH_BITS: u32 = 48;
+
+/// Pack an epoch number and a retry counter into one OOB `a` word. Try 0
+/// encodes to the bare epoch number, so fault-free runs put exactly the
+/// same bytes on the wire as before retries existed. Ranks treat the word
+/// as opaque (install it, echo it back); only the coordinator and the
+/// image-naming path split it.
+pub fn epoch_word(epoch: u64, tries: u64) -> u64 {
+    debug_assert!(epoch < 1 << EPOCH_BITS, "epoch {epoch} overflows the epoch word");
+    debug_assert!(tries < 1 << (64 - EPOCH_BITS), "try counter {tries} overflows");
+    epoch | (tries << EPOCH_BITS)
+}
+
+/// Split an epoch word into `(epoch, tries)`. A bare epoch number (as used
+/// by the Chandy-Lamport and uncoordinated paths) splits to `(epoch, 0)`.
+pub fn split_epoch(word: u64) -> (u64, u64) {
+    (word & ((1 << EPOCH_BITS) - 1), word >> EPOCH_BITS)
+}
+
+// ---------------------------------------------------------------------
+// Epoch manifests: the atomic commit record of the two-phase epoch commit
+// ---------------------------------------------------------------------
+
+/// Storage name of the manifest object for `(job, epoch)`.
+pub fn manifest_name(job: &str, epoch: u64) -> String {
+    format!("manifest/{job}/e{epoch}")
+}
+
+/// One manifest row: `(rank, image virtual size, image payload checksum)`.
+pub type ManifestEntry = (u32, u64, u64);
+
+/// Encode an epoch manifest: the commit record listing every rank's image.
+pub fn encode_manifest(epoch: u64, entries: &[ManifestEntry]) -> Bytes {
+    let mut e = Encoder::new();
+    e.put_u64(epoch);
+    e.put_u64(entries.len() as u64);
+    for &(rank, size, checksum) in entries {
+        e.put_u32(rank);
+        e.put_u64(size);
+        e.put_u64(checksum);
+    }
+    e.finish()
+}
+
+/// Decode an epoch manifest into `(epoch, entries)`.
+pub fn decode_manifest(buf: Bytes) -> Result<(u64, Vec<ManifestEntry>), CodecError> {
+    let mut d = Decoder::new(buf);
+    let epoch = d.get_u64()?;
+    let n = d.get_u64()? as usize;
+    if n > d.remaining() {
+        return Err(CodecError::Corrupt("manifest length exceeds payload"));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push((d.get_u32()?, d.get_u64()?, d.get_u64()?));
+    }
+    if d.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes in manifest"));
+    }
+    Ok((epoch, v))
 }
 
 // ---------------------------------------------------------------------
@@ -290,9 +366,33 @@ mod tests {
 
     #[test]
     fn kind_names_cover_protocol() {
-        for k in 1..=13 {
+        for k in 1..=17 {
             assert_ne!(kind_name(k), "UNKNOWN", "kind {k}");
         }
         assert_eq!(kind_name(99), "UNKNOWN");
+    }
+
+    #[test]
+    fn epoch_word_try_zero_is_the_bare_epoch() {
+        assert_eq!(epoch_word(5, 0), 5, "fault-free wire bytes must not change");
+        assert_eq!(split_epoch(5), (5, 0));
+        assert_eq!(split_epoch(epoch_word(5, 3)), (5, 3));
+        assert_ne!(epoch_word(5, 1), epoch_word(5, 2));
+    }
+
+    #[test]
+    fn manifest_round_trip_and_corruption() {
+        let entries = vec![(0u32, 1_000_000u64, 0xDEAD_BEEFu64), (1, 2_000_000, 7)];
+        let (e, back) = decode_manifest(encode_manifest(3, &entries)).unwrap();
+        assert_eq!(e, 3);
+        assert_eq!(back, entries);
+
+        let mut enc = Encoder::new();
+        enc.put_u64(3);
+        enc.put_u64(u64::MAX); // absurd entry count
+        assert!(decode_manifest(enc.finish()).is_err());
+
+        let truncated = encode_manifest(3, &entries).slice(0..20);
+        assert!(decode_manifest(truncated).is_err());
     }
 }

@@ -1,7 +1,17 @@
 //! Restart a job from a completed global checkpoint epoch.
+//!
+//! Under the two-phase epoch commit the **manifest** is the source of
+//! truth: [`extract_images_manifested`] reads the epoch's commit record and
+//! cross-checks every image it lists (presence, size, checksum, decoded
+//! rank/epoch), failing with typed [`SimError`]s — never a panic — when
+//! what is on storage cannot be trusted. The bare image scan
+//! ([`extract_images`]) remains for image sets that predate manifests
+//! (Chandy-Lamport and uncoordinated snapshots).
 
 use crate::coordinator::CoordinatorCfg;
 use crate::job::{run_job_inner, JobSpec, RunReport};
+use crate::proto;
+use gbcr_blcr::codec::fnv1a;
 use gbcr_blcr::ProcessImage;
 use gbcr_des::{SimError, SimResult};
 use gbcr_storage::StoredObject;
@@ -46,6 +56,88 @@ pub fn extract_images(
         out.push((name, obj));
     }
     Ok(out)
+}
+
+/// Pull the image set for `(job, epoch, n)` out of a previous run's stored
+/// objects **via the epoch's committed manifest**. Fails with
+/// [`SimError::NoRestartPoint`] when no manifest exists for the epoch
+/// (it was torn mid-commit or the epoch never finished), and with
+/// [`SimError::CorruptRestartState`] when the manifest or an image it
+/// lists fails validation — a restart must never proceed on state it
+/// cannot trust.
+pub fn extract_images_manifested(
+    report: &RunReport,
+    job: &str,
+    epoch: u64,
+    n: u32,
+) -> SimResult<Vec<(String, StoredObject)>> {
+    let manifest = proto::manifest_name(job, epoch);
+    let corrupt = |detail: String| SimError::CorruptRestartState {
+        job: job.to_owned(),
+        detail,
+    };
+    let obj = report
+        .images
+        .iter()
+        .find(|(k, _)| *k == manifest)
+        .ok_or_else(|| SimError::NoRestartPoint {
+            job: job.to_owned(),
+            detail: format!("epoch {epoch} has no committed manifest '{manifest}'"),
+        })?
+        .1
+        .clone();
+    let (m_epoch, entries) = proto::decode_manifest(obj.payload)
+        .map_err(|e| corrupt(format!("manifest '{manifest}' undecodable: {e}")))?;
+    if m_epoch != epoch {
+        return Err(corrupt(format!(
+            "manifest '{manifest}' claims epoch {m_epoch}, expected {epoch}"
+        )));
+    }
+    if entries.len() != n as usize {
+        return Err(corrupt(format!(
+            "manifest '{manifest}' lists {} ranks, expected {n}",
+            entries.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    let mut seen = vec![false; n as usize];
+    for &(r, size, checksum) in &entries {
+        if r >= n || seen[r as usize] {
+            return Err(corrupt(format!(
+                "manifest '{manifest}' lists bogus or duplicate rank {r}"
+            )));
+        }
+        seen[r as usize] = true;
+        let name = ProcessImage::object_name(job, epoch, r);
+        let img = report
+            .images
+            .iter()
+            .find(|(k, _)| *k == name)
+            .ok_or_else(|| corrupt(format!("manifested image '{name}' missing from storage")))?
+            .1
+            .clone();
+        if img.virtual_size != size || fnv1a(&img.payload) != checksum {
+            return Err(corrupt(format!(
+                "image '{name}' does not match its manifest entry (size {} vs {size})",
+                img.virtual_size
+            )));
+        }
+        // Decode up front so a corrupt image surfaces as a typed error
+        // here, not a panic inside the restarted simulation.
+        let decoded = ProcessImage::decode(img.payload.clone())
+            .map_err(|e| corrupt(format!("manifested image '{name}' undecodable: {e}")))?;
+        if decoded.rank != r || decoded.epoch != epoch {
+            return Err(corrupt(format!(
+                "image '{name}' decodes to rank {} epoch {} (expected rank {r} epoch {epoch})",
+                decoded.rank, decoded.epoch
+            )));
+        }
+        out.push((r, (name, img)));
+    }
+    // Preload in rank order, exactly like [`extract_images`], so the two
+    // extraction paths hand identical `RestartSpec`s to the harness.
+    out.sort_by_key(|&(r, _)| r);
+    Ok(out.into_iter().map(|(_, pair)| pair).collect())
 }
 
 /// Build a fresh simulation, preload the images, and rerun the job with

@@ -41,6 +41,56 @@ pub struct Attempt {
     pub wall: Time,
 }
 
+/// Robustness counters accumulated across every attempt of a supervised
+/// run: how hard the crash-consistency machinery had to work to bring the
+/// job home.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Epoch attempts discarded because a coordinator phase deadline
+    /// tripped.
+    pub protocol_aborts: u64,
+    /// Epoch attempts re-run after an abort.
+    pub epoch_retries: u64,
+    /// Per-epoch manifests durably committed.
+    pub manifest_commits: u64,
+    /// Manifest commits lost to the torn-manifest fault point.
+    pub torn_manifests: u64,
+    /// Checkpoint image writes retried after transient storage failures.
+    pub write_retries: u64,
+    /// Checkpoint image writes that failed over to a secondary target.
+    pub failovers: u64,
+    /// Image writes that ran full-length but never became visible.
+    pub torn_writes: u64,
+    /// Messages black-holed because their destination's node had failed.
+    pub dropped_sends: u64,
+}
+
+impl RecoveryCounters {
+    /// Fold another counter set into this one (fleet-level aggregation).
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.protocol_aborts += other.protocol_aborts;
+        self.epoch_retries += other.epoch_retries;
+        self.manifest_commits += other.manifest_commits;
+        self.torn_manifests += other.torn_manifests;
+        self.write_retries += other.write_retries;
+        self.failovers += other.failovers;
+        self.torn_writes += other.torn_writes;
+        self.dropped_sends += other.dropped_sends;
+    }
+
+    /// Fold one attempt's report into the running totals.
+    pub fn absorb(&mut self, report: &RunReport) {
+        self.protocol_aborts += report.protocol_aborts;
+        self.epoch_retries += report.epoch_retries;
+        self.manifest_commits += report.manifest_commits;
+        self.torn_manifests += report.torn_manifests;
+        self.write_retries += report.write_retries;
+        self.failovers += report.failovers;
+        self.torn_writes += report.storage_stats.torn_writes;
+        self.dropped_sends += report.sends_to_failed;
+    }
+}
+
 /// Outcome of [`run_supervised`] / [`run_supervised_faulty`].
 #[derive(Debug, Clone)]
 pub struct SupervisedReport {
@@ -54,6 +104,9 @@ pub struct SupervisedReport {
     /// Restart backoff inserted between attempts (included in
     /// `total_wall`).
     pub total_backoff: Time,
+    /// Recovery-protocol counters summed over every attempt (including the
+    /// failed ones the final report no longer sees).
+    pub counters: RecoveryCounters,
 }
 
 impl SupervisedReport {
@@ -93,6 +146,26 @@ impl Default for SupervisePolicy {
     }
 }
 
+impl SupervisePolicy {
+    /// The backoff the supervisor inserts after the `k`-th failure
+    /// (0-based), or `None` once the attempt budget is spent (failure `k`
+    /// leaves no attempt to restart into — the supervisor gives up with
+    /// [`SimError::RetriesExhausted`]). The first backoff is
+    /// `base_backoff` as configured; each subsequent one is multiplied by
+    /// `backoff_factor` and capped at `max_backoff` — the same advance the
+    /// running loop applies.
+    pub fn backoff_after_failure(&self, k: usize) -> Option<Time> {
+        if k + 1 >= self.max_attempts {
+            return None;
+        }
+        let mut b = self.base_backoff;
+        for _ in 0..k {
+            b = ((b as f64 * self.backoff_factor) as Time).min(self.max_backoff);
+        }
+        Some(b)
+    }
+}
+
 /// Shared epilogue of a failed attempt: record it, pick the restart point
 /// (or cold-restart / give up per policy), and advance the backoff.
 struct FailureLoop {
@@ -104,6 +177,7 @@ struct FailureLoop {
     total_wall: Time,
     total_backoff: Time,
     next_backoff: Time,
+    counters: RecoveryCounters,
 }
 
 impl FailureLoop {
@@ -118,11 +192,36 @@ impl FailureLoop {
             total_wall: 0,
             total_backoff: 0,
             next_backoff,
+            counters: RecoveryCounters::default(),
         }
+    }
+
+    /// Manifest-first restart-point selection: when the attempt committed
+    /// any epoch manifest, only manifested epochs are trusted (a torn
+    /// manifest demotes its epoch even if every image survived). Image
+    /// sets without manifests — Chandy-Lamport and uncoordinated
+    /// snapshots — keep the bare image scan.
+    fn pick_restore(&self, report: &RunReport) -> SimResult<Option<RestartSpec>> {
+        let (epoch, images) = if report.has_manifests(&self.job) {
+            match report.last_manifested_epoch(&self.job, self.n) {
+                Some(e) => (
+                    e,
+                    crate::restart::extract_images_manifested(report, &self.job, e, self.n)?,
+                ),
+                None => return Ok(None),
+            }
+        } else {
+            match report.last_complete_epoch(&self.job, self.n) {
+                Some(e) => (e, crate::restart::extract_images(report, &self.job, e, self.n)?),
+                None => return Ok(None),
+            }
+        };
+        Ok(Some(RestartSpec { job: self.job.clone(), epoch, images }))
     }
 
     fn after_failure(&mut self, report: &RunReport, crashed_at: Time) -> SimResult<()> {
         self.total_wall += report.sim_end;
+        self.counters.absorb(report);
         self.attempts.push(Attempt {
             crashed_at: Some(crashed_at),
             restored_from: self.restore.as_ref().map(|r| r.epoch),
@@ -131,10 +230,9 @@ impl FailureLoop {
             killed_ranks: report.killed_ranks.clone(),
             wall: report.sim_end,
         });
-        match report.last_complete_epoch(&self.job, self.n) {
-            Some(epoch) => {
-                let images = crate::restart::extract_images(report, &self.job, epoch, self.n)?;
-                self.restore = Some(RestartSpec { job: self.job.clone(), epoch, images });
+        match self.pick_restore(report)? {
+            Some(restore) => {
+                self.restore = Some(restore);
             }
             // No epoch completed during *this* attempt, but an earlier one
             // produced a restart point: keep it — recovery never regresses
@@ -161,6 +259,7 @@ impl FailureLoop {
 
     fn finish(mut self, report: RunReport) -> SupervisedReport {
         self.total_wall += report.completion;
+        self.counters.absorb(&report);
         self.attempts.push(Attempt {
             crashed_at: None,
             restored_from: self.restore.as_ref().map(|r| r.epoch),
@@ -174,6 +273,7 @@ impl FailureLoop {
             final_report: report,
             total_wall: self.total_wall,
             total_backoff: self.total_backoff,
+            counters: self.counters,
         }
     }
 }
@@ -238,7 +338,19 @@ pub fn run_supervised_faulty(
             seed: faults.seed ^ mix64(attempt as u64 + 1),
             prob: faults.torn_write_prob,
         });
-        let cfg = FaultConfig { plan, detect_latency: faults.detect_latency, torn };
+        let torn_manifests = (faults.torn_manifest_prob > 0.0).then(|| TornWrites {
+            // A distinct stream from image tears so the two fault points
+            // are independent draws.
+            seed: mix64(faults.seed) ^ mix64(attempt as u64 + 1),
+            prob: faults.torn_manifest_prob,
+        });
+        let cfg = FaultConfig {
+            plan,
+            detect_latency: faults.detect_latency,
+            torn,
+            torn_manifests,
+            phase_faults: Vec::new(),
+        };
         let report =
             run_job_inner_faulted(spec, Some(ckpt.clone()), lp.restore.clone(), &cfg)?;
         if report.finished_ranks == n {
@@ -249,4 +361,56 @@ pub fn run_supervised_faulty(
         lp.after_failure(&report, kill_at)?;
     }
     Err(SimError::RetriesExhausted { attempts: policy.max_attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_backoff_doubles_then_saturates_at_cap() {
+        let p = SupervisePolicy::default();
+        let schedule: Vec<Time> =
+            (0..6).map(|k| p.backoff_after_failure(k).unwrap()).collect();
+        assert_eq!(
+            schedule,
+            vec![
+                time::secs(5),
+                time::secs(10),
+                time::secs(20),
+                time::secs(40),
+                time::secs(60),
+                time::secs(60),
+            ]
+        );
+        // Far past the knee the cap still holds exactly.
+        assert_eq!(p.backoff_after_failure(25), Some(time::secs(60)));
+    }
+
+    #[test]
+    fn fractional_factor_rounds_down_like_the_loop() {
+        let p = SupervisePolicy {
+            base_backoff: 1000,
+            backoff_factor: 1.5,
+            max_backoff: 5000,
+            ..SupervisePolicy::default()
+        };
+        assert_eq!(p.backoff_after_failure(0), Some(1000));
+        assert_eq!(p.backoff_after_failure(1), Some(1500));
+        assert_eq!(p.backoff_after_failure(2), Some(2250));
+        assert_eq!(p.backoff_after_failure(3), Some(3375));
+        assert_eq!(p.backoff_after_failure(4), Some(5000), "capped");
+    }
+
+    #[test]
+    fn budget_exhaustion_gives_up_instead_of_backing_off() {
+        let p = SupervisePolicy { max_attempts: 3, ..SupervisePolicy::default() };
+        // Failures 0 and 1 leave attempts to restart into; failure 2 spends
+        // the third and final attempt.
+        assert!(p.backoff_after_failure(0).is_some());
+        assert!(p.backoff_after_failure(1).is_some());
+        assert_eq!(p.backoff_after_failure(2), None);
+        let one_shot = SupervisePolicy { max_attempts: 1, ..SupervisePolicy::default() };
+        assert_eq!(one_shot.backoff_after_failure(0), None, "no retry budget at all");
+    }
 }

@@ -84,6 +84,7 @@ fn cl_cfg(at_secs: u64) -> CoordinatorCfg {
         formation: Formation::regular(8), // ignored by CL
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
@@ -119,6 +120,7 @@ fn cl_is_nonblocking_but_still_hits_the_storage_bottleneck() {
             formation: Formation::regular(8),
             schedule: CkptSchedule::once(time::secs(3)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         }),
     )
     .unwrap();
@@ -167,6 +169,7 @@ fn cl_logs_channel_state_bytes() {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule::once(time::secs(3)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         }),
     )
     .unwrap();

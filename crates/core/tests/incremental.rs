@@ -61,6 +61,7 @@ fn cfg(incremental: bool, at: Vec<Time>) -> CoordinatorCfg {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule { at },
         incremental,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 

@@ -89,6 +89,7 @@ fn ckpt(group_size: u32, at_secs: u64) -> CoordinatorCfg {
         formation: Formation::Static { group_size },
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
@@ -144,6 +145,7 @@ fn restart_from_each_of_two_epochs() {
         formation: Formation::Static { group_size: 2 },
         schedule: CkptSchedule { at: vec![time::secs(2), time::secs(8)] },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let report = run_job(&spec2, Some(cfg)).unwrap();
     assert_eq!(report.epochs.len(), 2);
@@ -175,6 +177,7 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let report2 =
         restart_job(&spec3, Some(cfg2), RestartSpec { job: "ring".into(), epoch: 0, images: images1 }).unwrap();

@@ -40,6 +40,7 @@ fn cfg(mode: CkptMode) -> CoordinatorCfg {
         formation: Formation::regular(8),
         schedule: CkptSchedule::once(time::secs(2)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
@@ -96,6 +97,7 @@ fn always_on_logging_is_the_failure_free_cost() {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule::once(time::secs(2)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         }),
     )
     .unwrap();

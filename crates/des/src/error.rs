@@ -48,6 +48,18 @@ pub enum SimError {
         /// How many attempts were made.
         attempts: usize,
     },
+    /// Restart state existed but failed validation — e.g. an image that
+    /// decodes to the wrong rank or epoch, or a manifest whose entries
+    /// disagree with the images on disk. Unlike [`SimError::NoRestartPoint`]
+    /// this is not "nothing to restart from" but "what is there cannot be
+    /// trusted"; callers should fall back to an older epoch or give up
+    /// rather than restore corrupt state.
+    CorruptRestartState {
+        /// The checkpoint job namespace being validated.
+        job: String,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -70,6 +82,9 @@ impl fmt::Display for SimError {
             }
             SimError::RetriesExhausted { attempts } => {
                 write!(f, "supervised run gave up after {attempts} attempts")
+            }
+            SimError::CorruptRestartState { job, detail } => {
+                write!(f, "corrupt restart state for job '{job}': {detail}")
             }
         }
     }

@@ -17,6 +17,8 @@ pub trait FaultSink: Send + Sync {
     fn link_flap(&self, h: &SimHandle, a: u32, b: u32);
     /// Storage bandwidth is derated by `factor` until `until`.
     fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time);
+    /// Storage target `target` rejects new writes until `until`.
+    fn storage_outage(&self, h: &SimHandle, target: u32, until: Time);
 }
 
 /// Per-image torn-write policy: each image write whose seeded
@@ -48,6 +50,11 @@ pub struct FaultConfig {
     pub detect_latency: Time,
     /// Torn-image-write policy (`None` disables).
     pub torn: Option<TornWrites>,
+    /// Torn-manifest-commit policy (`None` disables). Separate from `torn`
+    /// so image and manifest tearing are independent fault points.
+    pub torn_manifests: Option<TornWrites>,
+    /// Phase-targeted kills and straggler stalls (see [`crate::PhaseFault`]).
+    pub phase_faults: Vec<crate::PhaseFault>,
 }
 
 impl FaultConfig {
@@ -58,7 +65,10 @@ impl FaultConfig {
 
     /// Whether this config can ever perturb a run.
     pub fn is_noop(&self) -> bool {
-        self.plan.is_empty() && self.torn.map_or(true, |t| t.prob <= 0.0)
+        self.plan.is_empty()
+            && self.torn.is_none_or(|t| t.prob <= 0.0)
+            && self.torn_manifests.is_none_or(|t| t.prob <= 0.0)
+            && self.phase_faults.is_empty()
     }
 }
 
@@ -77,6 +87,10 @@ pub fn install(h: &SimHandle, plan: &FaultPlan, sink: Arc<dyn FaultSink>) -> usi
             FaultKind::StorageStall { factor, duration } => {
                 let until = h.now().saturating_add(duration);
                 sink.storage_stall(h, factor, until);
+            }
+            FaultKind::StorageOutage { target, duration } => {
+                let until = h.now().saturating_add(duration);
+                sink.storage_outage(h, target, until);
             }
         });
     }
@@ -107,6 +121,9 @@ mod tests {
         fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time) {
             self.log.lock().push((h.now(), format!("stall {factor} until {until}")));
         }
+        fn storage_outage(&self, h: &SimHandle, target: u32, until: Time) {
+            self.log.lock().push((h.now(), format!("outage {target} until {until}")));
+        }
     }
 
     #[test]
@@ -119,8 +136,12 @@ mod tests {
             time::ms(20),
             FaultKind::StorageStall { factor: 0.5, duration: time::ms(5) },
         );
+        plan.push(
+            time::ms(40),
+            FaultKind::StorageOutage { target: 1, duration: time::ms(5) },
+        );
         let rec = Arc::new(Recorder::default());
-        assert_eq!(install(&sim.handle(), &plan, rec.clone()), 3);
+        assert_eq!(install(&sim.handle(), &plan, rec.clone()), 4);
         sim.run().unwrap();
         let log = rec.log.lock();
         assert_eq!(
@@ -129,6 +150,7 @@ mod tests {
                 (time::ms(10), "kill 2".to_owned()),
                 (time::ms(20), format!("stall 0.5 until {}", time::ms(25))),
                 (time::ms(30), "flap 0-1".to_owned()),
+                (time::ms(40), format!("outage 1 until {}", time::ms(45))),
             ]
         );
     }

@@ -27,8 +27,10 @@
 #![warn(missing_docs)]
 
 mod inject;
+mod phase;
 mod plan;
 pub mod rng;
 
 pub use inject::{install, FaultConfig, FaultSink, TornWrites};
+pub use phase::{PhaseAction, PhaseFault, PhaseFaults, ProtocolPhase};
 pub use plan::{FaultEvent, FaultKind, FaultPlan, StochasticFaults};

@@ -33,6 +33,15 @@ pub enum FaultKind {
         /// How long the window lasts.
         duration: Time,
     },
+    /// Take a storage target fully offline for `duration`: new writes fail
+    /// transiently (clients retry with backoff and may fail over to a
+    /// secondary target); streams already in flight keep draining.
+    StorageOutage {
+        /// Which storage target (0 = primary, 1 = secondary, ...).
+        target: u32,
+        /// How long the outage window lasts.
+        duration: Time,
+    },
 }
 
 /// A fault at a point in virtual time.
@@ -100,6 +109,10 @@ pub struct StochasticFaults {
     /// Probability that any single checkpoint-image write is torn (runs
     /// full-length but never becomes visible). `0.0` disables.
     pub torn_write_prob: f64,
+    /// Probability that any single epoch-manifest commit is torn (the
+    /// commit record never becomes visible, so the previous manifest stays
+    /// authoritative). `0.0` disables.
+    pub torn_manifest_prob: f64,
 }
 
 impl StochasticFaults {
@@ -111,6 +124,7 @@ impl StochasticFaults {
             detect_latency: time::ms(500),
             link_flap_mtbf: None,
             torn_write_prob: 0.0,
+            torn_manifest_prob: 0.0,
         }
     }
 

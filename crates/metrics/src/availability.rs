@@ -14,6 +14,22 @@
 //! * **goodput** — `n × availability`, the effective number of nodes'
 //!   worth of useful throughput the cluster sustained.
 
+use gbcr_core::{RecoveryCounters, SupervisedReport};
+
+/// Sum the recovery-protocol counters over a set of supervised runs — the
+/// fleet-level robustness totals a fault-sweep cell reports alongside its
+/// availability numbers.
+pub fn sum_counters<'a, I>(reports: I) -> RecoveryCounters
+where
+    I: IntoIterator<Item = &'a SupervisedReport>,
+{
+    let mut total = RecoveryCounters::default();
+    for r in reports {
+        total.merge(&r.counters);
+    }
+    total
+}
+
 /// Accounting summary of one supervised faulted run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultAccounting {

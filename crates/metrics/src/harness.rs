@@ -304,6 +304,7 @@ mod tests {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule::none(),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let m = measure(&mb.job(), cfg, gbcr_des::time::secs(5)).unwrap();
         assert_eq!(m.groups, 2);
@@ -333,6 +334,7 @@ mod tests {
             formation: Formation::Static { group_size: 2 },
             schedule: CkptSchedule::none(),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let _ = measure(&mb.job(), cfg, gbcr_des::time::secs(9999));
     }
@@ -356,6 +358,7 @@ mod tests {
                         formation: Formation::Static { group_size: g },
                         schedule: CkptSchedule::once(gbcr_des::time::secs(5)),
                         incremental: false,
+                        deadlines: gbcr_core::PhaseDeadlines::none(),
                     })
                     .collect();
                 SweepGroup::new(mb.job(), cfgs)

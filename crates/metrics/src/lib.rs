@@ -29,7 +29,8 @@ mod table;
 pub mod timeline;
 
 pub use advisor::{daly_interval, placement_window, young_interval, Advice, AdvisorInputs};
-pub use availability::FaultAccounting;
+pub use availability::{sum_counters, FaultAccounting};
+pub use gbcr_core::RecoveryCounters;
 pub use cost::{cell_cost, cell_costs_snapshot, record_cell_cost, seed_cell_cost, CellCost};
 pub use harness::{
     delay_from_reports, measure, measure_with, resolve_threads, run_cells, run_sweep,

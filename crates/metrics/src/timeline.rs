@@ -99,6 +99,7 @@ mod tests {
             formation: Formation::Static { group_size },
             schedule: CkptSchedule::once(gbcr_des::time::secs(3)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         run_job(&mb.job(), Some(cfg)).unwrap().epochs[0].clone()
     }

@@ -1,0 +1,273 @@
+//! Retry/backoff and failover across storage targets.
+//!
+//! A checkpoint image write that hits a storage-target outage is retried
+//! with capped exponential backoff; once the retry budget on one target is
+//! exhausted the writer fails over to the next target in the list. The
+//! counters (`write_retries`, `failovers`) are shared across all clones of
+//! a [`FailoverWriter`], so one writer cloned per rank accumulates a
+//! job-wide total.
+//!
+//! With a single healthy target the writer is exactly [`Storage::write`]:
+//! same events, same timing, no extra state — fault-free runs stay
+//! byte-identical.
+
+use crate::model::Storage;
+use crate::object::StoredObject;
+use gbcr_des::{Proc, Time};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Capped exponential backoff for transient storage-write failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per target before failing over (total attempts per target is
+    /// `max_retries + 1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Time,
+    /// Multiplier applied per subsequent retry.
+    pub backoff_factor: f64,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Time,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: gbcr_des::time::ms(200),
+            backoff_factor: 2.0,
+            max_backoff: gbcr_des::time::secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): `base · factor^retry`,
+    /// capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Time {
+        let mut b = self.base_backoff;
+        for _ in 0..retry {
+            b = ((b as f64 * self.backoff_factor) as Time).min(self.max_backoff);
+        }
+        b.min(self.max_backoff)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    write_retries: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// Writes through an ordered list of storage targets with retry + failover.
+/// Cheap to clone; clones share the retry/failover counters.
+#[derive(Clone)]
+pub struct FailoverWriter {
+    targets: Vec<Storage>,
+    policy: RetryPolicy,
+    counters: Arc<Counters>,
+}
+
+impl FailoverWriter {
+    /// Build a writer over `targets` (primary first). Panics if empty.
+    pub fn new(targets: Vec<Storage>, policy: RetryPolicy) -> Self {
+        assert!(!targets.is_empty(), "failover writer needs at least one target");
+        FailoverWriter { targets, policy, counters: Arc::new(Counters::default()) }
+    }
+
+    /// The primary target.
+    pub fn primary(&self) -> &Storage {
+        &self.targets[0]
+    }
+
+    /// All targets, primary first.
+    pub fn targets(&self) -> &[Storage] {
+        &self.targets
+    }
+
+    /// Write `object`, retrying each target with capped exponential backoff
+    /// before failing over to the next. Returns the index of the target
+    /// that accepted the write, or `Err(())` when every target's budget is
+    /// exhausted (the image is lost; the epoch simply never manifests).
+    #[allow(clippy::result_unit_err)]
+    pub fn write(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> Result<usize, ()> {
+        for (i, target) in self.targets.iter().enumerate() {
+            if i > 0 {
+                self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+                p.handle()
+                    .trace_event("storage.failover", || format!("client={client} name={name} target={i}"));
+            }
+            let mut retry = 0u32;
+            loop {
+                if target.write_checked(p, client, name, object.clone()).is_ok() {
+                    return Ok(i);
+                }
+                if retry >= self.policy.max_retries {
+                    break;
+                }
+                self.counters.write_retries.fetch_add(1, Ordering::Relaxed);
+                p.sleep(self.policy.backoff(retry));
+                retry += 1;
+            }
+        }
+        Err(())
+    }
+
+    /// Read `name` from the first target that has it, charging transfer
+    /// time there. Panics if no target has the object (restart from a
+    /// missing checkpoint is a caller bug — validate via the manifest
+    /// first).
+    pub fn read(&self, p: &Proc, client: u32, name: &str) -> (usize, StoredObject) {
+        for (i, target) in self.targets.iter().enumerate() {
+            if target.contains(name) {
+                return (i, target.read(p, client, name));
+            }
+        }
+        panic!("storage object '{name}' does not exist on any target");
+    }
+
+    /// Total retries across all clones.
+    pub fn write_retries(&self) -> u64 {
+        self.counters.write_retries.load(Ordering::Relaxed)
+    }
+
+    /// Total failovers across all clones.
+    pub fn failovers(&self) -> u64 {
+        self.counters.failovers.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StorageConfig;
+    use crate::MB;
+    use gbcr_des::{time, Sim};
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff: time::ms(100),
+            backoff_factor: 2.0,
+            max_backoff: time::ms(700),
+        };
+        assert_eq!(p.backoff(0), time::ms(100));
+        assert_eq!(p.backoff(1), time::ms(200));
+        assert_eq!(p.backoff(2), time::ms(400));
+        assert_eq!(p.backoff(3), time::ms(700), "capped");
+        assert_eq!(p.backoff(9), time::ms(700), "stays capped");
+    }
+
+    #[test]
+    fn healthy_primary_never_retries() {
+        let mut sim = Sim::new(0);
+        let cfg = StorageConfig { per_op_latency: 0, ..StorageConfig::default() };
+        let primary = Storage::new(sim.handle(), cfg.clone());
+        let secondary = Storage::new(sim.handle(), cfg);
+        let w = FailoverWriter::new(vec![primary.clone(), secondary.clone()], RetryPolicy::default());
+        sim.spawn("w", {
+            let w = w.clone();
+            move |p| {
+                assert_eq!(w.write(p, 0, "img", StoredObject::bulk(115 * MB)), Ok(0));
+            }
+        });
+        sim.run().unwrap();
+        assert!(primary.contains("img"));
+        assert!(!secondary.contains("img"));
+        assert_eq!(w.write_retries(), 0);
+        assert_eq!(w.failovers(), 0);
+    }
+
+    #[test]
+    fn outage_retries_then_fails_over_to_secondary() {
+        let mut sim = Sim::new(0);
+        let cfg = StorageConfig { per_op_latency: 0, ..StorageConfig::default() };
+        let primary = Storage::new(sim.handle(), cfg.clone());
+        let secondary = Storage::new(sim.handle(), cfg);
+        primary.set_outage_until(time::secs(3600)); // never recovers in-test
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: time::ms(100),
+            backoff_factor: 2.0,
+            max_backoff: time::secs(1),
+        };
+        let w = FailoverWriter::new(vec![primary.clone(), secondary.clone()], policy);
+        sim.spawn("w", {
+            let w = w.clone();
+            move |p| {
+                assert_eq!(w.write(p, 0, "img", StoredObject::bulk(115 * MB)), Ok(1));
+            }
+        });
+        sim.run().unwrap();
+        assert!(secondary.contains("img"));
+        assert!(!primary.contains("img"));
+        assert_eq!(w.write_retries(), 2);
+        assert_eq!(w.failovers(), 1);
+        assert_eq!(primary.stats().unavailable_writes, 3, "initial try + 2 retries");
+    }
+
+    #[test]
+    fn short_outage_recovers_on_primary_without_failover() {
+        let mut sim = Sim::new(0);
+        let cfg = StorageConfig { per_op_latency: 0, ..StorageConfig::default() };
+        let primary = Storage::new(sim.handle(), cfg.clone());
+        let secondary = Storage::new(sim.handle(), cfg);
+        primary.set_outage_until(time::ms(250));
+        let w = FailoverWriter::new(vec![primary.clone(), secondary.clone()], RetryPolicy::default());
+        sim.spawn("w", {
+            let w = w.clone();
+            move |p| {
+                // Fails at t=0, backs off 200ms, fails at 200ms, backs off
+                // 400ms, succeeds at 600ms.
+                assert_eq!(w.write(p, 0, "img", StoredObject::bulk(MB)), Ok(0));
+            }
+        });
+        sim.run().unwrap();
+        assert!(primary.contains("img"));
+        assert_eq!(w.write_retries(), 2);
+        assert_eq!(w.failovers(), 0);
+    }
+
+    #[test]
+    fn all_targets_down_gives_up() {
+        let mut sim = Sim::new(0);
+        let cfg = StorageConfig { per_op_latency: 0, ..StorageConfig::default() };
+        let primary = Storage::new(sim.handle(), cfg);
+        primary.set_outage_until(time::secs(3600));
+        let policy = RetryPolicy { max_retries: 1, ..RetryPolicy::default() };
+        let w = FailoverWriter::new(vec![primary.clone()], policy);
+        sim.spawn("w", {
+            let w = w.clone();
+            move |p| {
+                assert!(w.write(p, 0, "img", StoredObject::bulk(MB)).is_err());
+            }
+        });
+        sim.run().unwrap();
+        assert!(!primary.contains("img"));
+        assert_eq!(w.write_retries(), 1);
+    }
+
+    #[test]
+    fn read_finds_object_on_secondary() {
+        let mut sim = Sim::new(0);
+        let cfg = StorageConfig { per_op_latency: 0, ..StorageConfig::default() };
+        let primary = Storage::new(sim.handle(), cfg.clone());
+        let secondary = Storage::new(sim.handle(), cfg);
+        secondary.preload("img", StoredObject::bulk(MB));
+        let w = FailoverWriter::new(vec![primary, secondary], RetryPolicy::default());
+        sim.spawn("r", move |p| {
+            let (target, obj) = w.read(p, 0, "img");
+            assert_eq!(target, 1);
+            assert_eq!(obj.virtual_size, MB);
+        });
+        sim.run().unwrap();
+    }
+}

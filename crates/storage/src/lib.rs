@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod config;
+mod failover;
 mod model;
 mod object;
 mod stats;
 
 pub use config::StorageConfig;
+pub use failover::{FailoverWriter, RetryPolicy};
 pub use model::{Storage, StreamId, StreamKind, WriteFault, WriteFaultFn};
 pub use object::StoredObject;
 pub use stats::{StorageStats, TransferRecord};

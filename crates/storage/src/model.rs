@@ -81,6 +81,15 @@ struct State {
     derate: f64,
     /// Per-write fault decider (fault injection); `None` = healthy.
     write_fault: Option<WriteFaultFn>,
+    /// Fault decider for metadata commits ([`Storage::commit_meta`]).
+    /// Separate slot from `write_fault` so image tearing and manifest
+    /// tearing are independently injectable.
+    meta_fault: Option<WriteFaultFn>,
+    /// The server rejects new checked writes until this instant (fault
+    /// injection: a storage-target outage). In-flight streams are not
+    /// interrupted — the outage models losing the front-end, not the data
+    /// already moving through the back-end.
+    outage_until: Time,
 }
 
 /// The shared central storage system. Cheap to clone; all clones refer to
@@ -125,6 +134,8 @@ impl Storage {
                 stats: StorageStats::default(),
                 derate: 1.0,
                 write_fault: None,
+                meta_fault: None,
+                outage_until: 0,
             })),
         }
     }
@@ -278,6 +289,95 @@ impl Storage {
     /// to writes started after this call.
     pub fn set_write_fault_hook(&self, hook: Option<WriteFaultFn>) {
         self.state.lock().write_fault = hook;
+    }
+
+    /// Install (or clear) the fault decider consulted by
+    /// [`Storage::commit_meta`]. Kept separate from the bulk-write hook so
+    /// manifest tearing and image tearing are independent fault points.
+    pub fn set_meta_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        self.state.lock().meta_fault = hook;
+    }
+
+    /// Like [`Storage::write`], but observable: returns `Err(())` instead of
+    /// silently dropping the bytes when the server is inside an outage
+    /// window (see [`Storage::set_outage_until`]). The caller still pays the
+    /// per-op round-trip that discovers the dead server. With no outage
+    /// configured this is exactly `write` — same events, same timing.
+    #[allow(clippy::result_unit_err)]
+    pub fn write_checked(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> Result<(), ()> {
+        if self.in_outage() {
+            p.sleep(self.cfg.per_op_latency);
+            self.state.lock().stats.unavailable_writes += 1;
+            self.handle
+                .trace_event("storage.unavailable", || format!("client={client} name={name}"));
+            return Err(());
+        }
+        self.write(p, client, name, object);
+        Ok(())
+    }
+
+    /// Whether the server currently rejects new checked writes.
+    pub fn in_outage(&self) -> bool {
+        self.handle.now() < self.state.lock().outage_until
+    }
+
+    /// Begin (or extend) an outage window: checked writes fail until
+    /// `until`. In-flight streams keep draining. Windows only ever extend —
+    /// overlapping injections do not shorten an outage.
+    pub fn set_outage_until(&self, until: Time) {
+        let mut st = self.state.lock();
+        if until > st.outage_until {
+            st.outage_until = until;
+        }
+        drop(st);
+        self.handle
+            .trace_event("storage.outage", || format!("until={}", time::fmt(until)));
+    }
+
+    /// Atomically publish a small metadata record (an epoch manifest) with
+    /// **zero simulated time cost**: the commit piggybacks on the protocol
+    /// round that proved all images durable, so it adds no events, no
+    /// transfer records, and no wire bytes — fault-free runs stay
+    /// byte-identical. Returns whether the record became visible: a `Torn`
+    /// or `Fail` verdict from the meta-fault hook (or an outage window)
+    /// suppresses publication, leaving any previous record authoritative.
+    pub fn commit_meta(&self, client: u32, name: &str, object: StoredObject) -> bool {
+        if self.in_outage() {
+            let mut st = self.state.lock();
+            st.stats.unavailable_writes += 1;
+            drop(st);
+            self.handle
+                .trace_event("storage.unavailable", || format!("client={client} name={name}"));
+            return false;
+        }
+        let fault = {
+            let st = self.state.lock();
+            st.meta_fault.as_ref().and_then(|h| h(client, name))
+        };
+        match fault {
+            Some(WriteFault::Torn) | Some(WriteFault::Fail) => {
+                self.state.lock().stats.torn_manifests += 1;
+                self.handle
+                    .trace_event("storage.torn_meta", || format!("client={client} name={name}"));
+                false
+            }
+            // Slow is meaningless for a zero-time commit; treat as healthy.
+            None | Some(WriteFault::Slow(_)) => {
+                let mut st = self.state.lock();
+                st.objects.insert(name.to_owned(), object);
+                st.stats.manifest_commits += 1;
+                drop(st);
+                self.handle
+                    .trace_event("storage.commit", || format!("client={client} name={name}"));
+                true
+            }
+        }
     }
 
     /// Change the bandwidth derate (fault injection: storage brown-out).
@@ -672,6 +772,56 @@ mod tests {
         sim.handle().call_at(time::ms(500), move |_| s.set_derate(0.5));
         sim.run().unwrap();
         assert_eq!(storage.derate(), 0.5);
+    }
+
+    #[test]
+    fn commit_meta_is_zero_time_and_tears_independently() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: 0, ..StorageConfig::default() },
+        );
+        storage.set_meta_fault_hook(Some(Arc::new(|_, name: &str| {
+            (name == "manifest/torn").then_some(WriteFault::Torn)
+        })));
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            assert!(s.commit_meta(u32::MAX, "manifest/good", StoredObject::bulk(64)));
+            assert!(!s.commit_meta(u32::MAX, "manifest/torn", StoredObject::bulk(64)));
+            assert_eq!(p.now(), 0, "metadata commits must not charge time");
+            // The meta hook must not apply to bulk writes.
+            write_blocking(&s, p, 0, "torn", 1);
+        });
+        sim.run().unwrap();
+        assert!(storage.contains("manifest/good"));
+        assert!(!storage.contains("manifest/torn"));
+        assert!(storage.contains("torn"), "bulk writes ignore the meta hook");
+        let stats = storage.stats();
+        assert_eq!(stats.manifest_commits, 1);
+        assert_eq!(stats.torn_manifests, 1);
+        assert_eq!(stats.records.len(), 1, "commits leave no transfer records");
+    }
+
+    #[test]
+    fn outage_window_fails_checked_writes_then_recovers() {
+        let mut sim = Sim::new(0);
+        let storage = Storage::new(
+            sim.handle(),
+            StorageConfig { per_op_latency: time::ms(2), ..StorageConfig::default() },
+        );
+        storage.set_outage_until(time::secs(1));
+        let s = storage.clone();
+        sim.spawn("w", move |p| {
+            assert!(s.write_checked(p, 0, "img", StoredObject::bulk(115 * MB)).is_err());
+            // The failed attempt still paid the per-op round-trip.
+            assert_eq!(p.now(), time::ms(2));
+            assert!(!s.commit_meta(0, "manifest/e0", StoredObject::bulk(8)));
+            p.sleep(time::secs(1));
+            assert!(s.write_checked(p, 0, "img", StoredObject::bulk(115 * MB)).is_ok());
+        });
+        sim.run().unwrap();
+        assert!(storage.contains("img"));
+        assert_eq!(storage.stats().unavailable_writes, 2);
     }
 
     #[test]

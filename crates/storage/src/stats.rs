@@ -42,6 +42,14 @@ pub struct StorageStats {
     /// Writes that moved inflated byte counts through a degraded server
     /// (fault injection).
     pub slowed_writes: u64,
+    /// Writes rejected because the server was inside an outage window
+    /// (fault injection: storage-target failures).
+    pub unavailable_writes: u64,
+    /// Epoch manifests published atomically via [`crate::Storage::commit_meta`].
+    pub manifest_commits: u64,
+    /// Manifest commits that tore: the commit was attempted but the record
+    /// was never published, leaving the previous manifest authoritative.
+    pub torn_manifests: u64,
 }
 
 impl StorageStats {

@@ -19,6 +19,7 @@ fn cfg(job: &str, group_size: u32, at: gbcr_des::Time) -> CoordinatorCfg {
         formation: Formation::Static { group_size },
         schedule: CkptSchedule::once(at),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 

@@ -33,6 +33,7 @@ fn main() {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule { at: vec![time::secs(60), time::secs(200)] },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     // Disaster: the whole cluster power-fails at t = 420 s (every simulated
     // process killed mid-flight). All that survives is the central storage.

@@ -22,6 +22,7 @@ fn run_one(layout: GroupLayout, formation: Formation, label: &str) {
         formation,
         schedule: CkptSchedule::once(time::secs(30)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
     let ep = &ck.epochs[0];

@@ -17,6 +17,7 @@ fn cfg(group_size: u32) -> CoordinatorCfg {
         formation: Formation::Static { group_size },
         schedule: CkptSchedule::once(time::secs(50)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 

@@ -34,6 +34,7 @@ fn main() {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule::once(time::secs(2)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         }),
     )
     .expect("probe run");
@@ -75,6 +76,7 @@ fn main() {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule { at: schedule },
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         },
         &[time::secs(20), time::secs(30)],
     )

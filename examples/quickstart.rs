@@ -51,6 +51,7 @@ fn main() {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule::once(time::secs(20)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
     let ep = &ck.epochs[0];

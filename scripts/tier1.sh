@@ -9,6 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release --workspace -q
 cargo run --release -p gbcr-bench --bin make_all -- \
   --smoke --serial-check --json target/BENCH_smoke.json > target/make_all_smoke.out
@@ -21,6 +22,19 @@ cargo run --release -p gbcr-bench --bin fig8 -- --smoke > target/fig8_smoke.out
 grep -qx "fig8 smoke: attempts=4 failures=3" target/fig8_smoke.out || {
   echo "tier1: fault-injection smoke diverged from golden:" >&2
   cat target/fig8_smoke.out >&2
+  exit 1
+}
+
+# Mid-protocol straggler smoke: rank 2 stalls 8 s entering its epoch-1
+# checkpoint, the coordinator's group deadline trips, the epoch aborts and
+# retries, and the run must complete with per-rank results byte-identical
+# to the fault-free run (the abort path may never corrupt application
+# state). Fully deterministic in its seed.
+cargo run --release -p gbcr-bench --bin fig8 -- --abort-smoke > target/fig8_abort_smoke.out
+grep -qx "fig8 abort smoke: aborts=1 retries=1 manifests=2 results_match=true" \
+  target/fig8_abort_smoke.out || {
+  echo "tier1: protocol-abort smoke diverged from golden:" >&2
+  cat target/fig8_abort_smoke.out >&2
   exit 1
 }
 echo "tier1: OK"

@@ -20,6 +20,7 @@ fn cfg(job: &str, group_size: u32, at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
         formation: Formation::Static { group_size },
         schedule: CkptSchedule { at },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 

@@ -21,6 +21,7 @@ fn cfg(at: Vec<Time>) -> CoordinatorCfg {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule { at },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
@@ -41,6 +42,7 @@ fn node_kill_mid_epoch_restarts_from_last_complete_epoch() {
         plan: FaultPlan::node_kill_at(time::ms(3500), 2),
         detect_latency: time::ms(500),
         torn: None,
+        ..FaultConfig::none()
     };
     let results = Arc::new(Mutex::new(Vec::new()));
     let crashed = run_job_faulted(
@@ -93,6 +95,7 @@ fn torn_image_epochs_are_skipped_on_restart() {
         plan: FaultPlan::cluster_at(time::secs(6)),
         detect_latency: time::ms(500),
         torn: Some(torn),
+        ..FaultConfig::none()
     };
     let crashed = run_job_faulted(
         &w.job(None),

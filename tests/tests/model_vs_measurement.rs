@@ -21,6 +21,7 @@ fn equation_individual_time_matches_measurement() {
             formation: Formation::Static { group_size: g },
             schedule: CkptSchedule::once(time::secs(10)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let report = run_job(&mb.job(), Some(cfg)).unwrap();
         let measured = time::as_secs_f64(report.epochs[0].mean_individual());
@@ -43,6 +44,7 @@ fn equation_total_time_matches_measurement() {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule::once(time::secs(10)),
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let report = run_job(&mb.job(), Some(cfg)).unwrap();
     let ep = &report.epochs[0];
@@ -78,6 +80,7 @@ fn placement_window_prediction_matches_figure4_behavior() {
             formation: Formation::Static { group_size: 4 },
             schedule: CkptSchedule::once(at),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let ck = run_job(&spec, Some(cfg)).unwrap();
         (

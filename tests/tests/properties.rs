@@ -225,6 +225,7 @@ proptest! {
             formation: Formation::Static { group_size },
             schedule: CkptSchedule::once(time::ms(at_ms)),
             incremental: false,
+            deadlines: gbcr_core::PhaseDeadlines::none(),
         };
         let mid = Arc::new(Mutex::new(Vec::new()));
         let report = run_job(&w.job(Some(mid.clone())), Some(cfg)).unwrap();

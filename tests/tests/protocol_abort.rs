@@ -1,0 +1,194 @@
+//! Crash-consistent commit integration: manifest-first restart selection,
+//! torn-manifest demotion, phase-targeted kills escalating to the
+//! supervisor, and storage-outage retry/failover.
+
+use gbcr_core::{
+    extract_images_manifested, proto, restart_job, run_job, run_job_faulted, CkptMode,
+    CkptSchedule, CoordinatorCfg, Formation, PhaseDeadlines, RestartSpec,
+};
+use gbcr_des::{time, SimError, Time};
+use gbcr_faults::{
+    FaultConfig, FaultKind, FaultPlan, PhaseAction, PhaseFault, ProtocolPhase, TornWrites,
+};
+use gbcr_workloads::RandomTraffic;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const JOB: &str = "random-traffic";
+
+fn cfg(at: Vec<Time>, deadlines: PhaseDeadlines) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: JOB.into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: 4 },
+        schedule: CkptSchedule { at },
+        incremental: false,
+        deadlines,
+    }
+}
+
+/// A rank killed inside its checkpoint phase takes the epoch down with it:
+/// the dead node is confirmed by the failure detector (not papered over by
+/// an abort-and-retry), the supervisor-facing report pins the last
+/// *manifested* epoch, and a restart from that manifest finishes with
+/// results identical to a failure-free run.
+#[test]
+fn phase_kill_escalates_and_restarts_from_last_manifest() {
+    let w = RandomTraffic { steps: 220, ..Default::default() };
+    let truth = Arc::new(Mutex::new(Vec::new()));
+    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    let mut want = truth.lock().clone();
+    want.sort();
+
+    // Rank 2 dies on entry to its epoch-1 checkpoint phase. The 500 ms
+    // detector confirms the death long before the 5 s group deadline, so
+    // this must escalate to a job abort, not an epoch retry.
+    let faults = FaultConfig {
+        detect_latency: time::ms(500),
+        phase_faults: vec![PhaseFault {
+            epoch: 1,
+            phase: ProtocolPhase::Checkpoint,
+            rank: 2,
+            action: PhaseAction::Kill,
+        }],
+        ..FaultConfig::none()
+    };
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let deadlines = PhaseDeadlines::new(time::secs(2), time::secs(5));
+    let crashed = run_job_faulted(
+        &w.job(Some(results.clone())),
+        Some(cfg(vec![time::secs(1), time::secs(3)], deadlines)),
+        &faults,
+    )
+    .unwrap();
+
+    assert_eq!(crashed.killed_ranks, vec![2]);
+    assert!(crashed.finished_ranks < w.n, "no rank may outlive the abort");
+    assert_eq!(crashed.protocol_aborts, 0, "a confirmed death is not a deadline abort");
+    // Epoch 0's manifest committed before the kill; epoch 1 never commits.
+    assert_eq!(crashed.manifest_commits, 1);
+    assert!(crashed.has_manifests(JOB));
+    assert_eq!(crashed.last_manifested_epoch(JOB, w.n), Some(0));
+
+    let images = extract_images_manifested(&crashed, JOB, 0, w.n).unwrap();
+    let restarted = restart_job(
+        &w.job(Some(results.clone())),
+        None,
+        RestartSpec { job: JOB.into(), epoch: 0, images },
+    )
+    .unwrap();
+    assert_eq!(restarted.finished_ranks, w.n);
+
+    let mut got = results.lock().clone();
+    got.sort();
+    assert_eq!(got, want, "phase-kill + manifest restart diverged from failure-free run");
+}
+
+/// A torn manifest commit demotes its epoch: every image survives — the
+/// legacy scan would accept the epoch — but the manifest-first selector
+/// refuses it and falls back to the previous committed epoch.
+#[test]
+fn torn_manifest_epochs_are_demoted_to_the_previous_manifest() {
+    let w = RandomTraffic { steps: 220, ..Default::default() };
+    // Pick (pure probe, no simulation) a seed that commits epoch 0's
+    // manifest but tears epoch 1's.
+    let torn = (0u64..10_000)
+        .map(|seed| TornWrites { seed, prob: 0.5 })
+        .find(|t| {
+            !t.tears(&proto::manifest_name(JOB, 0)) && t.tears(&proto::manifest_name(JOB, 1))
+        })
+        .expect("some seed tears epoch 1's manifest but not epoch 0's");
+
+    // Cluster-kill at 6 s: late enough that epoch 1 (issued 3 s) has fully
+    // run its protocol, early enough that the job has not finished.
+    let faults = FaultConfig {
+        plan: FaultPlan::cluster_at(time::secs(6)),
+        detect_latency: time::ms(500),
+        torn_manifests: Some(torn),
+        ..FaultConfig::none()
+    };
+    let crashed = run_job_faulted(
+        &w.job(None),
+        Some(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none())),
+        &faults,
+    )
+    .unwrap();
+
+    assert_eq!(crashed.epochs.len(), 2);
+    assert_eq!(crashed.manifest_commits, 1);
+    assert_eq!(crashed.torn_manifests, 1);
+    // All images are intact, so the image scan still accepts epoch 1 …
+    assert_eq!(crashed.last_complete_epoch(JOB, w.n), Some(1));
+    // … but without a committed manifest the epoch is not a restart point.
+    assert_eq!(crashed.last_manifested_epoch(JOB, w.n), Some(0));
+    let err = extract_images_manifested(&crashed, JOB, 1, w.n).unwrap_err();
+    assert!(
+        matches!(&err, SimError::NoRestartPoint { job, detail }
+            if job == JOB && detail.contains("no committed manifest")),
+        "expected NoRestartPoint for the torn-manifest epoch, got {err:?}"
+    );
+
+    let images = extract_images_manifested(&crashed, JOB, 0, w.n).unwrap();
+    let restarted = restart_job(
+        &w.job(None),
+        None,
+        RestartSpec { job: JOB.into(), epoch: 0, images },
+    )
+    .unwrap();
+    assert_eq!(restarted.finished_ranks, w.n);
+}
+
+/// A primary-storage outage spanning both checkpoint epochs forces every
+/// image write through the retry ladder and over to the secondary target.
+/// The job still finishes with failure-free results, the merged image view
+/// keeps both epochs restartable, and the whole scenario is byte-level
+/// deterministic.
+#[test]
+fn storage_outage_retries_then_fails_over_to_secondary() {
+    let w = RandomTraffic { steps: 220, ..Default::default() };
+    let truth = Arc::new(Mutex::new(Vec::new()));
+    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    let mut want = truth.lock().clone();
+    want.sort();
+
+    let spec = |sink| {
+        let mut s = w.job(Some(sink));
+        s.storage_secondary = Some(s.storage.clone());
+        s
+    };
+    // Primary (target 0) rejects writes from 0.5 s to 20.5 s — across both
+    // scheduled epochs, and longer than the full retry ladder.
+    let mut plan = FaultPlan::none();
+    plan.push(time::ms(500), FaultKind::StorageOutage { target: 0, duration: time::secs(20) });
+    let faults = FaultConfig { plan, ..FaultConfig::none() };
+    let run = |sink| {
+        run_job_faulted(
+            &spec(sink),
+            Some(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none())),
+            &faults,
+        )
+        .unwrap()
+    };
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let report = run(results.clone());
+    let replay = run(Arc::new(Mutex::new(Vec::new())));
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{replay:?}"),
+        "same seed and fault plan, different reports"
+    );
+
+    assert_eq!(report.finished_ranks, w.n, "failover must keep the job alive");
+    assert!(report.write_retries >= 1, "outage must be retried before failing over");
+    assert!(report.failovers >= 1, "exhausted retries must fail over");
+    assert!(report.storage_stats.unavailable_writes >= 1);
+    // The primary was down at both commit points, so no epoch manifests —
+    // but the failed-over images keep the legacy scan path restartable.
+    assert_eq!(report.manifest_commits, 0);
+    assert!(!report.has_manifests(JOB));
+    assert_eq!(report.last_complete_epoch(JOB, w.n), Some(1));
+
+    let mut got = results.lock().clone();
+    got.sort();
+    assert_eq!(got, want, "storage failover perturbed application results");
+}

@@ -17,6 +17,7 @@ fn cfg(at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
         formation: Formation::Static { group_size: 4 },
         schedule: CkptSchedule { at },
         incremental: false,
+        deadlines: gbcr_core::PhaseDeadlines::none(),
     }
 }
 
