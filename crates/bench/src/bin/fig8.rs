@@ -5,15 +5,19 @@
 //! gates on and prints only its golden `attempts=` line. `--abort-smoke`
 //! runs the mid-protocol straggler cell (phase deadline trips, the epoch
 //! aborts and retries, results stay byte-identical) and prints its golden
-//! `aborts=` line. `--threads N` controls the worker pool (the tables must
-//! not depend on it).
+//! `aborts=` line. `--trace PATH` runs the traced 4-rank smoke, exports
+//! its Chrome/Perfetto JSON to PATH, validates it (schema, span nesting,
+//! phase coverage) and prints the golden `trace smoke:` verdict line.
+//! `--threads N` controls the worker pool (the tables must not depend on
+//! it).
 
-use gbcr_bench::fig8;
+use gbcr_bench::{fig8, trace};
 
 fn main() {
     let mut threads = None;
     let mut smoke = false;
     let mut abort_smoke = false;
+    let mut trace_path = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -25,13 +29,31 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--abort-smoke" => abort_smoke = true,
+            "--trace" => {
+                trace_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}\nusage: fig8 [--threads N] [--smoke] [--abort-smoke]"
+                    "unknown flag {other}\nusage: fig8 [--threads N] [--smoke] [--abort-smoke] \
+                     [--trace PATH]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = trace_path {
+        let report = trace::trace_smoke();
+        let data = report.trace.as_deref().expect("traced run records data");
+        let json = trace::export(data, &path).expect("write trace file");
+        let chk = trace::check_chrome_json(&json).expect("exported trace must parse");
+        println!(
+            "fig8 trace smoke: spans={} phases_ok={} net_ok={} storage_ok={} nested={}",
+            chk.spans, chk.phases_ok, chk.net_ok, chk.storage_ok, chk.nested
+        );
+        std::process::exit(i32::from(!chk.ok()));
     }
     if smoke {
         let (attempts, failures) = fig8::smoke();

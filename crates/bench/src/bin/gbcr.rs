@@ -11,15 +11,22 @@
 //!     --mode buffering|logging|cl|uncoordinated   (default buffering)
 //!     --formation static|dynamic                  (default static)
 //!     --incremental                               (off by default)
+//!     --trace PATH                                (write a Perfetto trace)
 //! ```
+//!
+//! `--trace` runs the checkpointed simulation with full span tracing,
+//! writes the Chrome/Perfetto trace JSON to PATH (loadable in
+//! `ui.perfetto.dev`), and prints the per-epoch phase breakdown plus the
+//! per-phase latency table after the §5 metrics. Tracing only observes —
+//! the metrics are byte-identical with and without it.
 //!
 //! Argument parsing is hand-rolled to keep the dependency set at the
 //! workspace's approved crates.
 
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
+    run_job, run_job_traced, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
 };
-use gbcr_des::time;
+use gbcr_des::{time, TraceLevel};
 
 fn usage() -> ! {
     eprint!(
@@ -35,7 +42,9 @@ fn usage() -> ! {
          \u{20}  --at SECONDS                                issuance time (default 30)\n\
          \u{20}  --mode buffering|logging|cl|uncoordinated   consistency mode (default buffering)\n\
          \u{20}  --formation static|dynamic                  group formation (default static)\n\
-         \u{20}  --incremental                               incremental images (default off)\n"
+         \u{20}  --incremental                               incremental images (default off)\n\
+         \u{20}  --trace PATH                                write a Perfetto trace of the\n\
+         \u{20}                                              checkpointed run to PATH\n"
     );
     std::process::exit(2);
 }
@@ -85,6 +94,7 @@ fn cmd_run(args: &[String]) {
         _ => usage(),
     };
     let incremental = args.iter().any(|a| a == "--incremental");
+    let trace_path = parse_flag(args, "--trace");
 
     let (spec, job) = spec_for(workload);
     eprintln!("running baseline ({workload}, {} ranks)…", spec.mpi.n);
@@ -101,7 +111,11 @@ fn cmd_run(args: &[String]) {
         incremental,
         deadlines: gbcr_core::PhaseDeadlines::none(),
     };
-    let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
+    let ck = match trace_path {
+        Some(_) => run_job_traced(&spec, Some(cfg), TraceLevel::Full),
+        None => run_job(&spec, Some(cfg)),
+    }
+    .expect("checkpointed run");
     let Some(ep) = ck.epochs.first() else {
         eprintln!("checkpoint at {at_secs} s never ran (job finished first)");
         std::process::exit(1);
@@ -137,6 +151,18 @@ fn cmd_run(args: &[String]) {
         "images on storage   : {}",
         ck.images.iter().filter(|(n, _)| n.starts_with("ckpt/")).count()
     );
+
+    if let Some(path) = trace_path {
+        let data = ck.trace.as_deref().expect("traced run records data");
+        gbcr_bench::trace::export(data, path).expect("write trace file");
+        println!("--- trace ---");
+        println!(
+            "wrote {path}: {} spans, {} instants (load in ui.perfetto.dev)",
+            data.spans.len(),
+            data.instants.len()
+        );
+        print!("{}", gbcr_bench::trace::summary(data, &ck.phase_stats));
+    }
 }
 
 fn cmd_fig(which: &str) {

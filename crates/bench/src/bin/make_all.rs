@@ -17,8 +17,13 @@
 //! * `--json [PATH]` — write a machine-readable run record (per-figure
 //!   wall ms, thread count, simulated-event totals, elided wakes,
 //!   per-cell costs) to PATH (default `BENCH_harness.json`).
+//! * `--trace [PATH]` — turn on phase-level span capture for every sweep
+//!   cell (per-cell phase latency stats then land in the `--json` record)
+//!   and export the traced 4-rank smoke as Chrome/Perfetto JSON at PATH
+//!   (default `target/trace_smoke.json`). Capture only observes: every
+//!   rendered table stays byte-identical to an untraced run.
 
-use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, GROUP_SIZES};
+use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, trace, GROUP_SIZES};
 use std::time::Instant;
 
 struct Args {
@@ -27,11 +32,18 @@ struct Args {
     serial_check: bool,
     faults: bool,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut out =
-        Args { threads: None, smoke: false, serial_check: false, faults: false, json: None };
+    let mut out = Args {
+        threads: None,
+        smoke: false,
+        serial_check: false,
+        faults: false,
+        json: None,
+        trace: None,
+    };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -51,11 +63,17 @@ fn parse_args() -> Args {
                     _ => "BENCH_harness.json".to_owned(),
                 });
             }
+            "--trace" => {
+                out.trace = Some(match it.peek() {
+                    Some(v) if !v.starts_with('-') => it.next().unwrap(),
+                    _ => "target/trace_smoke.json".to_owned(),
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: make_all [--threads N] [--smoke] [--serial-check] [--faults] \
-                     [--json [PATH]]"
+                     [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -235,6 +253,13 @@ fn main() {
     if seeded > 0 {
         eprintln!("seeded {seeded} cell costs from previous run (LPT dispatch)");
     }
+    if args.trace.is_some() {
+        // Phase-level capture for every sweep cell; the tracer only
+        // observes, so every table below is still byte-identical to an
+        // untraced run (the serial/polled checks verify exactly that).
+        gbcr_des::trace::set_capture_default(gbcr_des::TraceLevel::Phases);
+        eprintln!("phase-level span capture on for every cell");
+    }
     let secs = sections(args.smoke);
 
     println!("=== gbcr: full evaluation reproduction ({threads} worker threads) ===\n");
@@ -333,6 +358,26 @@ fn main() {
         }
     }
 
+    let mut trace_exported: Option<(String, trace::TraceCheck)> = None;
+    if let Some(path) = &args.trace {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let report = trace::trace_smoke();
+        let data = report.trace.as_deref().expect("traced run records data");
+        let json = trace::export(data, path).expect("write trace file");
+        let chk = trace::check_chrome_json(&json).expect("exported trace must parse");
+        eprintln!(
+            "wrote {path}: {} spans, phases_ok={} net_ok={} storage_ok={} nested={}",
+            chk.spans, chk.phases_ok, chk.net_ok, chk.storage_ok, chk.nested
+        );
+        if !chk.ok() {
+            eprintln!("trace export FAILED validation");
+            std::process::exit(1);
+        }
+        trace_exported = Some((path.clone(), chk));
+    }
+
     if let Some(path) = &args.json {
         let mut j = String::from("{\n");
         j.push_str(&format!("  \"threads\": {threads},\n"));
@@ -357,6 +402,14 @@ fn main() {
             j.push_str(&format!("  \"faults_wall_ms\": {wall_ms:.1},\n"));
             j.push_str(&format!("  \"faults\": {},\n", fig8::json_block(sw)));
         }
+        if let Some((trace_path, chk)) = &trace_exported {
+            j.push_str(&format!(
+                "  \"trace\": {{\"path\": \"{}\", \"spans\": {}, \"valid\": {}}},\n",
+                json_escape(trace_path),
+                chk.spans,
+                chk.ok()
+            ));
+        }
         j.push_str("  \"figures\": [\n");
         for (i, ((name, _), wall)) in secs.iter().zip(&walls).enumerate() {
             let comma = if i + 1 == secs.len() { "" } else { "," };
@@ -375,11 +428,31 @@ fn main() {
         for (i, (key, c)) in cells.iter().enumerate() {
             let comma = if i + 1 == cells.len() { "" } else { "," };
             j.push_str(&format!(
-                "    {{\"key\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}}}{comma}\n",
+                "    {{\"key\": \"{}\", \"wall_ms\": {:.1}, \"events\": {}",
                 json_escape(key),
                 c.wall_ms,
                 c.events
             ));
+            // Per-phase latency stats, present when the run was traced
+            // (`--trace` sets the phase-level capture default).
+            if let Some(phases) = gbcr_metrics::cell_phases(key) {
+                j.push_str(", \"phases\": [");
+                for (p, s) in phases.iter().enumerate() {
+                    let pc = if p + 1 == phases.len() { "" } else { ", " };
+                    j.push_str(&format!(
+                        "{{\"name\": \"{}\", \"count\": {}, \"mean_ns\": {}, \
+                         \"min_ns\": {}, \"max_ns\": {}, \"total_ns\": {}}}{pc}",
+                        json_escape(&s.name),
+                        s.count,
+                        s.mean_ns(),
+                        s.min_ns,
+                        s.max_ns,
+                        s.total_ns
+                    ));
+                }
+                j.push(']');
+            }
+            j.push_str(&format!("}}{comma}\n"));
         }
         j.push_str("  ]\n}\n");
         std::fs::write(path, &j).expect("write json record");

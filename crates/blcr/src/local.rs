@@ -65,9 +65,12 @@ impl LocalCheckpointer {
     ///
     /// Returns the storage object name the image was saved under.
     pub fn checkpoint(&self, p: &Proc, job: &str, image: ProcessImage) -> String {
+        use gbcr_des::{ArgValue, Event, Track};
         let name = ProcessImage::object_name(job, image.epoch, image.rank);
+        let t0 = p.now();
         p.sleep(self.cfg.freeze_overhead);
         let rank = image.rank;
+        let epoch = image.epoch;
         let footprint = image.footprint;
         let payload = image.encode();
         let obj = StoredObject::new(payload, footprint);
@@ -76,11 +79,14 @@ impl LocalCheckpointer {
             // and this epoch will never manifest. The run continues — the
             // previous manifest stays the restart point.
             p.handle()
-                .trace_event("blcr.image_lost", || format!("rank={rank} -> {name}"));
+                .trace_instant(|| Event::BlcrImageLost { rank, name: name.clone() });
         }
         p.sleep(self.cfg.thaw_overhead);
-        p.handle()
-            .trace_event("blcr.checkpoint", || format!("rank={rank} -> {name}"));
+        let h = p.handle();
+        h.trace_span(Track::Rank(rank), "blcr.checkpoint", t0, || {
+            vec![("epoch", ArgValue::U64(epoch)), ("bytes", ArgValue::U64(footprint))]
+        });
+        h.trace_instant(|| Event::BlcrCheckpoint { rank, name: name.clone() });
         name
     }
 
@@ -88,7 +94,9 @@ impl LocalCheckpointer {
     /// read through the storage model. Panics if the image is missing or
     /// corrupt — a restart from a bad checkpoint cannot proceed.
     pub fn restart(&self, p: &Proc, job: &str, epoch: u64, rank: u32) -> ProcessImage {
+        use gbcr_des::{ArgValue, Event, Track};
         let name = ProcessImage::object_name(job, epoch, rank);
+        let t0 = p.now();
         let (target, obj) = self.writer.read(p, rank, &name);
         // Incremental images need the preceding chain read back too (last
         // full image plus intermediate increments), charged as one bulk
@@ -103,8 +111,11 @@ impl LocalCheckpointer {
             .unwrap_or_else(|e| panic!("corrupt checkpoint image '{name}': {e}"));
         assert_eq!(img.rank, rank, "image rank mismatch in '{name}'");
         assert_eq!(img.epoch, epoch, "image epoch mismatch in '{name}'");
-        p.handle()
-            .trace_event("blcr.restart", || format!("rank={rank} <- {name}"));
+        let h = p.handle();
+        h.trace_span(Track::Rank(rank), "blcr.restart", t0, || {
+            vec![("epoch", ArgValue::U64(epoch))]
+        });
+        h.trace_instant(|| Event::BlcrRestart { rank, name: name.clone() });
         img
     }
 

@@ -5,7 +5,7 @@ use crate::client::CkptClient;
 use crate::group::GroupPlan;
 use crate::proto;
 use gbcr_blcr::{LocalCheckpointer, ProcessImage};
-use gbcr_des::{Proc, Time};
+use gbcr_des::{ArgValue, Event, Proc, Time, Track};
 use gbcr_faults::ProtocolPhase;
 use gbcr_mpi::{CrHook, CtrlWire, Mpi, OobMsg, Rank, COORDINATOR_NODE};
 use gbcr_net::NodeId;
@@ -266,7 +266,7 @@ impl Controller {
         //    bounded only by the §4.4 helper thread. Members of the same
         //    group are inside this same handler, so their FLUSH_REQs are
         //    consumed inline below (avoiding a mutual-wait deadlock).
-        let peers = mpi.connected_peers();
+        let peers = mpi.stats().connected_peers;
         for &peer in &peers {
             mpi.ctrl_send(p, peer, CtrlWire { kind: proto::FLUSH_REQ, a: word, b: 0 });
         }
@@ -283,19 +283,28 @@ impl Controller {
                 _ => unreachable!(),
             }
         }
+        p.handle().trace_span(Track::Rank(self.rank), "rank.flush", t0, || {
+            vec![("peers", ArgValue::U64(peers.len() as u64))]
+        });
         // With every peer quiesced, wait for in-flight traffic to land.
+        let t_drain = p.now();
         for &peer in &peers {
             mpi.conn_wait_drained(p, peer);
         }
         // Fold anything the drain delivered into the library queues so the
         // snapshot below captures it.
         mpi.poke(p);
+        p.handle().trace_span(Track::Rank(self.rank), "rank.drain", t_drain, Vec::new);
         // 2. Tear down every established connection: the NIC context cannot
         //    ride inside a process image (§2.2). Peers outside the group
         //    participate passively (the fabric charges only this side).
+        let t_tear = p.now();
         for &peer in &peers {
             mpi.conn_teardown(p, peer);
         }
+        p.handle().trace_span(Track::Rank(self.rank), "rank.teardown", t_tear, || {
+            vec![("connections", ArgValue::U64(peers.len() as u64))]
+        });
         // 3. Local snapshot via the BLCR-equivalent: registered application
         //    state plus the checkpointable MPI library state, charged to
         //    central storage at the processor-shared rate (this is where
@@ -339,9 +348,10 @@ impl Controller {
             connections_torn: peers.len(),
         });
         mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::RANK_DONE, word, individual));
-        p.handle().trace_event("ckpt.rank_done", || {
-            format!("rank={} epoch={epoch} individual={}", self.rank, gbcr_des::time::fmt(individual))
+        p.handle().trace_span(Track::Rank(self.rank), "rank.checkpoint", t0, || {
+            vec![("epoch", ArgValue::U64(epoch))]
         });
+        p.handle().trace_instant(|| Event::CkptRankDone { rank: self.rank, epoch });
     }
 
     fn handle_group_done(&self, p: &Proc, mpi: &Mpi, msg: &OobMsg) {
@@ -400,10 +410,8 @@ impl Controller {
             }
             mpi.release_deferred(p);
         }
-        p.handle().trace_event("ckpt.rank_abort", || {
-            let (epoch, tries) = proto::split_epoch(msg.a);
-            format!("rank={} epoch={epoch} try={tries} rolled_back={had_epoch}", self.rank)
-        });
+        let (epoch, _) = proto::split_epoch(msg.a);
+        p.handle().trace_instant(|| Event::CkptRankAbort { rank: self.rank, epoch });
         mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::ABORT_ACK, msg.a, 0));
     }
 }
@@ -421,7 +429,7 @@ impl Controller {
             }
         }
         let started = p.now();
-        let peers = mpi.connected_peers();
+        let peers = mpi.stats().connected_peers;
         let (app_state, (boundary_seqs, boundary_coll), footprint) = self.client.snapshot();
         let payload = proto::encode_image_payload(
             &app_state,
@@ -443,10 +451,10 @@ impl Controller {
             st.cl = Some(ClState {
                 epoch,
                 expected: peers.iter().copied().collect(),
-                baseline: peers
-                    .iter()
-                    .map(|&q| (q, mpi.recv_bytes_from(q)))
-                    .collect(),
+                baseline: {
+                    let stats = mpi.stats();
+                    peers.iter().map(|&q| (q, stats.recv_bytes_from(q))).collect()
+                },
                 write_done: false,
                 reported: false,
                 started,
@@ -485,7 +493,7 @@ impl Controller {
                 return; // stale or duplicate marker
             }
             let base = cl.baseline.get(&q).copied().unwrap_or(0);
-            let delta = mpi.recv_bytes_from(q).saturating_sub(base);
+            let delta = mpi.stats().recv_bytes_from(q).saturating_sub(base);
             st.cl_logged += delta;
         }
         self.cl_maybe_report(p, mpi);
@@ -596,7 +604,7 @@ impl CrHook for Controller {
             proto::EPOCH_END => self.handle_epoch_end(p, mpi, &msg),
             proto::ABORT_EPOCH => self.handle_abort(p, mpi, &msg),
             proto::TRAFFIC_QUERY => {
-                let data = proto::encode_traffic(&mpi.traffic().per_peer);
+                let data = proto::encode_traffic(&mpi.stats().traffic.per_peer);
                 mpi.oob_send(
                     p,
                     COORDINATOR_NODE,

@@ -5,7 +5,7 @@ use crate::group::{Formation, GroupPlan};
 use crate::proto;
 use gbcr_blcr::codec::fnv1a;
 use gbcr_blcr::ProcessImage;
-use gbcr_des::{Proc, SimHandle, Time};
+use gbcr_des::{ArgValue, Event, Proc, SimHandle, Time, Track};
 use gbcr_mpi::{OobMsg, Rank, World, COORDINATOR_NODE};
 use gbcr_net::{Endpoint, NodeId};
 use gbcr_storage::{Storage, StoredObject};
@@ -287,6 +287,10 @@ impl CoordBody {
         self.broadcast(proto::EPOCH_END, epoch, 0);
         self.collect(p, proto::EPOCH_END_ACK, epoch, self.n);
         individuals.sort_by_key(|(r, _)| *r);
+        p.handle().trace_span(Track::Coordinator, "epoch", started_at, || {
+            vec![("epoch", ArgValue::U64(epoch)), ("groups", ArgValue::U64(1))]
+        });
+        p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups: 1 });
         EpochReport {
             epoch,
             requested_at,
@@ -321,6 +325,11 @@ impl CoordBody {
             all_ranks_done_at = p.now();
         }
         individuals.sort_by_key(|(r, _)| *r);
+        let groups = plan.group_count() as u64;
+        p.handle().trace_span(Track::Coordinator, "epoch", started_at, || {
+            vec![("epoch", ArgValue::U64(epoch)), ("groups", ArgValue::U64(groups))]
+        });
+        p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups });
         EpochReport {
             epoch,
             requested_at,
@@ -343,8 +352,9 @@ impl CoordBody {
                 Ok(report) => return report,
                 Err(Stalled) => {
                     self.counters.protocol_aborts.fetch_add(1, Ordering::Relaxed);
-                    p.handle().trace_event("ckpt.abort", || {
-                        format!("epoch={epoch} try={tries}")
+                    p.handle().trace_instant(|| Event::CkptAbort {
+                        epoch,
+                        reason: format!("phase deadline tripped (try {tries})"),
                     });
                     self.abort_epoch(p, epoch, tries);
                     tries += 1;
@@ -367,6 +377,7 @@ impl CoordBody {
         }
         let word = proto::epoch_word(epoch, tries);
         let deadlines = self.cfg.deadlines;
+        let t_epoch = p.now();
 
         // Step 1: divide processes into groups and decide the order.
         let begin_by = deadlines.begin.map(|d| p.now() + d);
@@ -394,16 +405,24 @@ impl CoordBody {
             self.send_to(r, msg, size);
         }
         self.collect_by(p, proto::EPOCH_BEGIN_ACK, word, self.n, begin_by)?;
+        p.handle().trace_span(Track::Coordinator, "phase.begin", t_epoch, || {
+            vec![("epoch", ArgValue::U64(epoch)), ("try", ArgValue::U64(tries))]
+        });
 
         // Step 2: the groups take checkpoints in turn.
         let mut individuals: Vec<(Rank, Time)> = Vec::new();
         let mut all_ranks_done_at = started_at;
         for (g, members) in plan.groups().iter().enumerate() {
             let group_by = deadlines.group.map(|d| p.now() + d);
+            let t_gate = p.now();
             // Close every rank's gate toward (and from) this group before
             // any member freezes.
             self.broadcast(proto::GROUP_START, word, g as u64);
             self.collect_by(p, proto::GROUP_START_ACK, word, self.n, group_by)?;
+            p.handle().trace_span(Track::Coordinator, "phase.group_start", t_gate, || {
+                vec![("group", ArgValue::U64(g as u64))]
+            });
+            let t_ckpt = p.now();
             for &m in members {
                 self.send_to(m, OobMsg::new(proto::GROUP_GO, word, g as u64), 64);
             }
@@ -414,13 +433,27 @@ impl CoordBody {
                 individuals.push((from.0, msg.b));
                 all_ranks_done_at = p.now();
             }
+            p.handle().trace_span(Track::Coordinator, "phase.checkpoint", t_ckpt, || {
+                vec![
+                    ("group", ArgValue::U64(g as u64)),
+                    ("members", ArgValue::U64(members.len() as u64)),
+                ]
+            });
+            let t_done = p.now();
             self.broadcast(proto::GROUP_DONE, word, g as u64);
+            p.handle().trace_span(Track::Coordinator, "phase.group_done", t_done, || {
+                vec![("group", ArgValue::U64(g as u64))]
+            });
         }
 
         // Step 3: mark the global checkpoint complete.
         let end_by = deadlines.end.map(|d| p.now() + d);
+        let t_end = p.now();
         self.broadcast(proto::EPOCH_END, word, 0);
         self.collect_by(p, proto::EPOCH_END_ACK, word, self.n, end_by)?;
+        p.handle().trace_span(Track::Coordinator, "phase.end", t_end, || {
+            vec![("epoch", ArgValue::U64(epoch))]
+        });
 
         // Two-phase commit, phase 2: every rank has ACKed its image
         // durable, so atomically publish the epoch's manifest. Zero
@@ -428,13 +461,22 @@ impl CoordBody {
         // the report — a kill can never separate "manifest visible" from
         // "epoch reported", which keeps manifest-based restore selection
         // exactly as strong as the old image scan.
+        let t_commit = p.now();
         self.commit_manifest(p, epoch);
+        p.handle().trace_span(Track::Coordinator, "manifest.commit", t_commit, || {
+            vec![("epoch", ArgValue::U64(epoch))]
+        });
 
         individuals.sort_by_key(|(r, _)| *r);
-        p.handle().trace_event("ckpt.epoch_done", || {
-            format!("epoch={epoch} groups={} total={}", plan.group_count(),
-                gbcr_des::time::fmt(all_ranks_done_at - requested_at))
+        let groups = plan.group_count() as u64;
+        p.handle().trace_span(Track::Coordinator, "epoch", t_epoch, || {
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("groups", ArgValue::U64(groups)),
+                ("try", ArgValue::U64(tries)),
+            ]
         });
+        p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups });
         Ok(EpochReport {
             epoch,
             requested_at,
@@ -489,9 +531,7 @@ impl CoordBody {
             match self.storage.peek(&name) {
                 Some(obj) => entries.push((r, obj.virtual_size, fnv1a(&obj.payload))),
                 None => {
-                    p.handle().trace_event("ckpt.manifest_skip", || {
-                        format!("epoch={epoch} missing={name}")
-                    });
+                    p.handle().trace_instant(|| Event::CkptManifestSkip { epoch });
                     return;
                 }
             }

@@ -7,7 +7,8 @@ use crate::proto;
 use bytes::Bytes;
 use gbcr_blcr::codec::fnv1a;
 use gbcr_blcr::{LocalCheckpointer, LocalCrConfig, ProcessImage};
-use gbcr_des::{Proc, ProcId, Sim, SimHandle, SimResult, Time};
+use gbcr_des::trace::PhaseStat;
+use gbcr_des::{Event, Proc, ProcId, Sim, SimHandle, SimResult, Time, TraceData, TraceLevel};
 use gbcr_faults::{FaultConfig, FaultPlan, FaultSink, PhaseAction, PhaseFaults};
 use gbcr_mpi::{DeferStats, Mpi, MpiConfig, OobMsg, World, COORDINATOR_NODE};
 use gbcr_storage::{
@@ -124,6 +125,12 @@ pub struct RunReport {
     pub write_retries: u64,
     /// Checkpoint image writes that failed over to a secondary target.
     pub failovers: u64,
+    /// Per-span-name latency statistics aggregated from the run's trace
+    /// (empty unless the run was traced — see [`run_job_traced`]).
+    pub phase_stats: Vec<PhaseStat>,
+    /// The raw trace (spans + instants), present only when the run was
+    /// traced. Export with [`gbcr_des::trace::perfetto::to_chrome_json`].
+    pub trace: Option<Arc<TraceData>>,
 }
 
 impl RunReport {
@@ -206,7 +213,20 @@ impl RunReport {
 /// `None` runs the same harness with an empty schedule, so baseline and
 /// checkpointed runs differ only by the checkpoints themselves.
 pub fn run_job(spec: &JobSpec, ckpt: Option<CoordinatorCfg>) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, None)
+    run_job_full(spec, ckpt, None, None, None, None)
+}
+
+/// Run `spec` with span tracing forced to `level` for this run (overriding
+/// the process-wide capture default). The returned report carries the raw
+/// [`TraceData`] plus per-span-name latency statistics. Tracing is purely
+/// observational: the simulation schedules exactly the same events as an
+/// untraced run, so results are byte-identical either way.
+pub fn run_job_traced(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    level: TraceLevel,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, None, None, None, Some(level))
 }
 
 /// Run `spec` but power-fail the whole cluster at `crash_at`: every rank
@@ -221,7 +241,7 @@ pub fn run_job_with_crash(
     ckpt: Option<CoordinatorCfg>,
     crash_at: Time,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, Some(crash_at), None)
+    run_job_full(spec, ckpt, None, Some(crash_at), None, None)
 }
 
 /// Run `spec` under an injected fault configuration (see `gbcr-faults`):
@@ -238,7 +258,7 @@ pub fn run_job_faulted(
     ckpt: Option<CoordinatorCfg>,
     faults: &FaultConfig,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, Some(faults))
+    run_job_full(spec, ckpt, None, None, Some(faults), None)
 }
 
 /// [`crate::restart_job`] under an injected fault configuration: restore
@@ -251,7 +271,7 @@ pub fn restart_job_faulted(
     restart: crate::restart::RestartSpec,
     faults: &FaultConfig,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, Some(restart), None, Some(faults))
+    run_job_full(spec, ckpt, Some(restart), None, Some(faults), None)
 }
 
 pub(crate) fn run_job_inner(
@@ -259,7 +279,7 @@ pub(crate) fn run_job_inner(
     ckpt: Option<CoordinatorCfg>,
     preload: Option<crate::restart::RestartSpec>,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, None, None)
+    run_job_full(spec, ckpt, preload, None, None, None)
 }
 
 pub(crate) fn run_job_inner_with_crash(
@@ -268,7 +288,7 @@ pub(crate) fn run_job_inner_with_crash(
     preload: Option<crate::restart::RestartSpec>,
     crash_at: Option<Time>,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, crash_at, None)
+    run_job_full(spec, ckpt, preload, crash_at, None, None)
 }
 
 pub(crate) fn run_job_inner_faulted(
@@ -277,7 +297,7 @@ pub(crate) fn run_job_inner_faulted(
     preload: Option<crate::restart::RestartSpec>,
     faults: &FaultConfig,
 ) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, None, Some(faults))
+    run_job_full(spec, ckpt, preload, None, Some(faults), None)
 }
 
 /// Carries node kills, cluster kills, link flaps and storage stalls from
@@ -313,7 +333,7 @@ impl FaultSink for JobFaultSink {
         if self.job_over() || self.killed.lock().contains(&rank) {
             return;
         }
-        h.trace_event("fault.node_kill", || format!("rank {rank}"));
+        h.trace_instant(|| Event::FaultNodeKill { rank });
         h.kill(self.rank_pids[rank as usize]);
         self.world.mark_failed(rank);
         self.killed.lock().push(rank);
@@ -328,7 +348,7 @@ impl FaultSink for JobFaultSink {
             .collect();
         let coord = self.coord_pid;
         h.call_after(self.detect_latency, move |h| {
-            h.trace_event("fault.abort", || format!("rank {rank} down: job aborted"));
+            h.trace_instant(|| Event::FaultAbort { rank });
             for pid in survivors {
                 h.kill(pid);
             }
@@ -344,14 +364,14 @@ impl FaultSink for JobFaultSink {
             h.kill(pid);
         }
         h.kill(self.coord_pid);
-        h.trace_event("crash", || "cluster power failure".into());
+        h.trace_instant(|| Event::ClusterCrash);
     }
 
     fn link_flap(&self, h: &SimHandle, a: u32, b: u32) {
         if self.job_over() || self.world.is_failed(a) || self.world.is_failed(b) {
             return;
         }
-        h.trace_event("fault.link_flap", || format!("rank {a} <-> rank {b}"));
+        h.trace_instant(|| Event::FaultLinkFlap { a, b });
         self.world.flap_link(a, b);
     }
 
@@ -376,8 +396,12 @@ fn run_job_full(
     preload: Option<crate::restart::RestartSpec>,
     crash_at: Option<Time>,
     faults: Option<&FaultConfig>,
+    trace: Option<TraceLevel>,
 ) -> SimResult<RunReport> {
     let mut sim = Sim::new(spec.seed);
+    if let Some(level) = trace {
+        sim.handle().tracer().set_level(level);
+    }
     let storage = Storage::new(sim.handle(), spec.storage.clone());
     let secondary = spec
         .storage_secondary
@@ -386,15 +410,7 @@ fn run_job_full(
     let mut targets = vec![storage.clone()];
     targets.extend(secondary.iter().cloned());
     let writer = FailoverWriter::new(targets.clone(), spec.write_retry.clone());
-    let world = World::new(sim.handle(), spec.mpi.clone());
-    let n = world.size();
-
-    let restore = preload.as_ref().map(|r| (r.job.clone(), r.epoch));
-    if let Some(r) = &preload {
-        for (name, obj) in &r.images {
-            storage.preload(name, obj.clone());
-        }
-    }
+    let n = spec.mpi.n;
 
     let ckpt_cfg = ckpt.unwrap_or(CoordinatorCfg {
         job: spec.name.clone(),
@@ -404,6 +420,24 @@ fn run_job_full(
         incremental: false,
         deadlines: crate::coordinator::PhaseDeadlines::none(),
     });
+    // Uncoordinated mode runs sender-based pessimistic logging for the
+    // entire job — that is its defining failure-free cost — so the mode is
+    // part of the world's construction-time configuration, not a toggle
+    // flipped after attach.
+    let mpi_cfg = if ckpt_cfg.mode == CkptMode::Uncoordinated {
+        spec.mpi.to_builder().message_logging(true).build()
+    } else {
+        spec.mpi.clone()
+    };
+    let world = World::new(sim.handle(), mpi_cfg);
+
+    let restore = preload.as_ref().map(|r| (r.job.clone(), r.epoch));
+    if let Some(r) = &preload {
+        for (name, obj) in &r.images {
+            storage.preload(name, obj.clone());
+        }
+    }
+
     let job_name = ckpt_cfg.job.clone();
     let mode = ckpt_cfg.mode;
     let incremental = ckpt_cfg.incremental;
@@ -424,11 +458,6 @@ fn run_job_full(
             Controller::new(r, job_name.clone(), mode, incremental, blcr.clone(), client.clone());
         controllers.lock().push(controller.clone());
         mpi.set_hook(controller.clone());
-        if mode == CkptMode::Uncoordinated {
-            // Sender-based pessimistic logging runs for the entire job in
-            // uncoordinated mode — that is its defining failure-free cost.
-            mpi.set_log_mode(true);
-        }
 
         let body = spec.body.clone();
         let world2 = world.clone();
@@ -514,8 +543,9 @@ fn run_job_full(
                             p.park();
                         }
                         Some(PhaseAction::Stall(d)) => {
-                            p.handle().trace_event("fault.phase_stall", || {
-                                format!("rank {rank} epoch {epoch} {phase:?} +{d}")
+                            p.handle().trace_instant(|| Event::FaultPhaseStall {
+                                rank,
+                                detail: format!("epoch {epoch} {phase:?} +{d}"),
                             });
                             p.sleep(d);
                         }
@@ -540,7 +570,8 @@ fn run_job_full(
         let mut agg = DeferStats::default();
         let mut logged = 0;
         for m in mpis.iter() {
-            let d = m.defer_stats();
+            let s = m.stats();
+            let d = s.defer;
             agg.msg_buffered += d.msg_buffered;
             agg.msg_buffered_bytes += d.msg_buffered_bytes;
             agg.req_buffered += d.req_buffered;
@@ -548,7 +579,7 @@ fn run_job_full(
             agg.released += d.released;
             agg.max_queue = agg.max_queue.max(d.max_queue);
             agg.dups_dropped += d.dups_dropped;
-            logged += m.logged_bytes();
+            logged += s.logged_bytes;
         }
         (agg, logged)
     };
@@ -566,6 +597,9 @@ fn run_job_full(
         images
     };
     let storage_stats = storage.stats();
+    let trace_data = sim.handle().tracer().take();
+    let phase_stats = gbcr_des::trace::phase_stats(&trace_data.spans);
+    let trace = (!trace_data.is_empty()).then(|| Arc::new(trace_data));
     Ok(RunReport {
         completion,
         sim_end,
@@ -588,5 +622,7 @@ fn run_job_full(
         write_retries: writer.write_retries(),
         failovers: writer.failovers(),
         storage_stats,
+        phase_stats,
+        trace,
     })
 }

@@ -64,7 +64,8 @@ pub use controller::{CkptMode, Controller, PhaseHook, RankCkptRecord};
 pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport, PhaseDeadlines};
 pub use group::{Formation, GroupPlan};
 pub use job::{
-    restart_job_faulted, run_job, run_job_faulted, run_job_with_crash, JobSpec, RankCtx, RunReport,
+    restart_job_faulted, run_job, run_job_faulted, run_job_traced, run_job_with_crash, JobSpec,
+    RankCtx, RunReport,
 };
 pub use restart::{extract_images, extract_images_manifested, restart_job, RestartSpec};
 pub use supervise::{

@@ -21,7 +21,7 @@ use crate::process::{Gate, KillSignal, Proc, ProcId};
 use crate::signal::Signal;
 use crate::time::Time;
 use crate::timer::{TimerHandle, TimerTable};
-use crate::trace::TraceLog;
+use gbcr_trace::{Arg, Event, Span, Tracer, Track};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -133,7 +133,7 @@ pub(crate) struct Inner {
     timers: Arc<TimerTable>,
     procs: Mutex<Vec<ProcSlot>>,
     rng: Mutex<SmallRng>,
-    trace: TraceLog,
+    tracer: Tracer,
     /// Progress wakes elided in this simulation (see [`SimHandle::note_elided_wakes`]).
     elided: AtomicU64,
 }
@@ -232,15 +232,88 @@ impl SimHandle {
         f(&mut self.inner.rng.lock())
     }
 
-    /// The shared trace log (disabled by default; see [`TraceLog`]).
-    pub fn trace(&self) -> &TraceLog {
-        &self.inner.trace
+    /// The simulation's structured tracer (off by default; see
+    /// [`gbcr_trace::Tracer`]). New simulations start at the process-wide
+    /// [`gbcr_trace::capture_default`] level.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
-    /// Record a trace event if tracing is enabled.
+    /// Whether anything is being captured — the one-relaxed-load fast
+    /// path every instrumentation point pays when tracing is off.
     #[inline]
-    pub fn trace_event(&self, category: &'static str, message: impl FnOnce() -> String) {
-        self.inner.trace.record(self.now(), category, message);
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.tracer.enabled()
+    }
+
+    /// Whether per-message / scheduler detail is being captured
+    /// ([`gbcr_trace::TraceLevel::Full`]).
+    #[inline]
+    pub fn trace_detailed(&self) -> bool {
+        self.inner.tracer.detailed()
+    }
+
+    /// Record a typed instant event; the closure is only evaluated when
+    /// tracing is enabled.
+    #[inline]
+    pub fn trace_instant(&self, event: impl FnOnce() -> Event) {
+        if self.trace_enabled() {
+            self.inner.tracer.record_instant(self.now(), event());
+        }
+    }
+
+    /// Like [`trace_instant`](SimHandle::trace_instant) but only at the
+    /// `Full` capture level (per-message detail).
+    #[inline]
+    pub fn trace_instant_detail(&self, event: impl FnOnce() -> Event) {
+        if self.trace_detailed() {
+            self.inner.tracer.record_instant(self.now(), event());
+        }
+    }
+
+    /// Record a completed span ending *now*; the args closure is only
+    /// evaluated when tracing is enabled. The caller captured `t_start`
+    /// with [`now`](SimHandle::now) before doing the work — recording
+    /// after the fact means there is no begin/end pairing state and an
+    /// instrumentation point can never alter simulation behaviour.
+    #[inline]
+    pub fn trace_span(
+        &self,
+        track: Track,
+        name: &'static str,
+        t_start: Time,
+        args: impl FnOnce() -> Vec<Arg>,
+    ) {
+        if self.trace_enabled() {
+            self.inner.tracer.record_span(Span {
+                track,
+                name,
+                t_start,
+                t_end: self.now(),
+                args: args(),
+            });
+        }
+    }
+
+    /// Like [`trace_span`](SimHandle::trace_span) but only at the `Full`
+    /// capture level (per-message detail).
+    #[inline]
+    pub fn trace_span_detail(
+        &self,
+        track: Track,
+        name: &'static str,
+        t_start: Time,
+        args: impl FnOnce() -> Vec<Arg>,
+    ) {
+        if self.trace_detailed() {
+            self.inner.tracer.record_span(Span {
+                track,
+                name,
+                t_start,
+                t_end: self.now(),
+                args: args(),
+            });
+        }
     }
 
     /// Spawn a new simulated process; it becomes runnable at the current
@@ -336,7 +409,7 @@ impl Sim {
             timers: TimerTable::new(),
             procs: Mutex::new(Vec::new()),
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
-            trace: TraceLog::new(),
+            tracer: Tracer::new(gbcr_trace::capture_default()),
             elided: AtomicU64::new(0),
         });
         Sim {
@@ -432,6 +505,9 @@ impl Sim {
             };
             debug_assert!(batch_time >= self.handle.now(), "time went backwards");
             inner.now.store(batch_time, Ordering::Relaxed);
+            // Scheduler-dispatch instants are Full-level detail; load the
+            // level once per same-timestamp batch, not once per event.
+            let detail = inner.tracer.detailed();
             // Dispatch the entire same-timestamp batch without returning to
             // the injector: anything pushed mid-batch has a larger sequence
             // number than every event popped here, so it sorts after them.
@@ -445,6 +521,11 @@ impl Sim {
                 dispatched += 1;
                 match ev.kind {
                     EventKind::Wake(pid) => {
+                        if detail {
+                            inner
+                                .tracer
+                                .record_instant(batch_time, Event::SchedWake { pid: pid.0 });
+                        }
                         if let Err(message) = self.gate(pid).resume() {
                             let name =
                                 self.handle.inner.procs.lock()[pid.index()].name.to_string();
@@ -454,6 +535,11 @@ impl Sim {
                     EventKind::CancellableWake { slot, gen, pid } => {
                         // `retire` wins only if nobody cancelled the wake.
                         if self.handle.inner.timers.retire(slot, gen) {
+                            if detail {
+                                inner
+                                    .tracer
+                                    .record_instant(batch_time, Event::SchedTimer { pid: pid.0 });
+                            }
                             if let Err(message) = self.gate(pid).resume() {
                                 let name = self.handle.inner.procs.lock()[pid.index()]
                                     .name
@@ -466,6 +552,9 @@ impl Sim {
                         // `retire` wins only if the timer was not cancelled
                         // (and no stale generation reuses the slot).
                         if self.handle.inner.timers.retire(slot, gen) {
+                            if detail {
+                                inner.tracer.record_instant(batch_time, Event::SchedCall);
+                            }
                             f(&self.handle);
                         }
                     }

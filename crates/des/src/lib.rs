@@ -52,14 +52,17 @@ mod process;
 mod signal;
 pub mod time;
 mod timer;
-mod trace;
 mod wake;
+
+/// The structured tracing subsystem (re-exported so downstream crates
+/// reach span/event types through the engine they already depend on).
+pub use gbcr_trace as trace;
 
 pub use engine::{total_events_processed, total_wakes_elided, Sim, SimHandle};
 pub use error::{SimError, SimResult};
+pub use gbcr_trace::{Arg, ArgValue, Event, Span, TraceData, TraceLevel, Tracer, Track};
 pub use process::{Proc, ProcId};
 pub use signal::Signal;
 pub use time::Time;
 pub use timer::TimerHandle;
-pub use trace::{TraceEvent, TraceLog};
 pub use wake::DemandWake;

@@ -246,22 +246,48 @@ fn run_until_stops_at_horizon() {
 }
 
 #[test]
-fn trace_log_records_when_enabled() {
+fn tracer_records_when_enabled() {
+    use gbcr_des::{Event, TraceLevel, Track};
     let mut sim = Sim::new(0);
     let h = sim.handle();
     sim.spawn("p", move |p| {
-        p.handle().trace_event("test", || "before enable".into());
+        let h = p.handle();
+        h.trace_instant(|| Event::Mark { category: "test", message: "before enable".into() });
+        let t0 = p.now();
         p.sleep(time::ms(1));
-        p.handle().trace().enable();
-        p.handle().trace_event("test", || "after enable".into());
+        h.tracer().set_level(TraceLevel::Phases);
+        h.trace_instant(|| Event::Mark { category: "test", message: "after enable".into() });
+        h.trace_span(Track::Rank(0), "work", t0, Vec::new);
     });
     sim.run().unwrap();
-    let events = h.trace().snapshot();
-    assert_eq!(events.len(), 1);
-    assert_eq!(events[0].message, "after enable");
-    assert_eq!(events[0].time, time::ms(1));
-    assert_eq!(h.trace().snapshot_category("test").len(), 1);
-    assert_eq!(h.trace().snapshot_category("other").len(), 0);
+    let data = h.tracer().snapshot();
+    assert_eq!(data.instants.len(), 1, "nothing recorded before enabling");
+    assert_eq!(data.instants[0].event.message(), "after enable");
+    assert_eq!(data.instants[0].time, time::ms(1));
+    assert_eq!(data.instants_in("test").len(), 1);
+    assert_eq!(data.instants_in("other").len(), 0);
+    // The span covers the sleep and ended when it was recorded.
+    assert_eq!(data.spans.len(), 1);
+    assert_eq!(data.spans[0].name, "work");
+    assert_eq!(data.spans[0].t_start, 0);
+    assert_eq!(data.spans[0].t_end, time::ms(1));
+    assert_eq!(data.spans[0].track, Track::Rank(0));
+}
+
+#[test]
+fn full_level_records_scheduler_dispatch() {
+    use gbcr_des::TraceLevel;
+    let mut sim = Sim::new(0);
+    sim.handle().tracer().set_level(TraceLevel::Full);
+    sim.spawn("p", |p| {
+        p.sleep(time::ms(1)); // plain scheduled wake
+    });
+    sim.run().unwrap();
+    let data = sim.handle().tracer().take();
+    assert!(
+        !data.instants_in("sched.wake").is_empty(),
+        "Full level records scheduler wakes: {data:?}"
+    );
 }
 
 #[test]

@@ -13,6 +13,7 @@
 //! dispatched first; their measured cost lands in the registry for the
 //! next run.
 
+use gbcr_des::trace::PhaseStat;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -56,9 +57,51 @@ pub fn cell_costs_snapshot() -> Vec<(String, CellCost)> {
     v
 }
 
+fn phases_registry() -> &'static Mutex<HashMap<String, Vec<PhaseStat>>> {
+    static REG: OnceLock<Mutex<HashMap<String, Vec<PhaseStat>>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Record (or overwrite) the per-phase latency statistics a cell's traced
+/// run produced. Only cells run with tracing enabled have anything to
+/// record; the sweep harness skips empty stat sets.
+pub fn record_cell_phases(key: &str, phases: Vec<PhaseStat>) {
+    phases_registry().lock().insert(key.to_owned(), phases);
+}
+
+/// Look up the recorded phase statistics of a cell, if any.
+pub fn cell_phases(key: &str) -> Option<Vec<PhaseStat>> {
+    phases_registry().lock().get(key).cloned()
+}
+
+/// Snapshot of every cell's phase statistics, sorted by key (stable for
+/// persisting into figure JSON).
+pub fn cell_phases_snapshot() -> Vec<(String, Vec<PhaseStat>)> {
+    let mut v: Vec<(String, Vec<PhaseStat>)> =
+        phases_registry().lock().iter().map(|(k, p)| (k.clone(), p.clone())).collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phases_record_lookup_snapshot_roundtrip() {
+        let stat = PhaseStat {
+            name: "phase.checkpoint".into(),
+            count: 2,
+            total_ns: 100,
+            min_ns: 40,
+            max_ns: 60,
+        };
+        record_cell_phases("t/ph/a", vec![stat.clone()]);
+        assert_eq!(cell_phases("t/ph/a"), Some(vec![stat]));
+        assert_eq!(cell_phases("t/ph/missing"), None);
+        let snap = cell_phases_snapshot();
+        assert!(snap.iter().any(|(k, p)| k == "t/ph/a" && p.len() == 1));
+    }
 
     #[test]
     fn record_lookup_snapshot_roundtrip() {

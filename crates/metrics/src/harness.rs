@@ -143,6 +143,9 @@ pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec
                 t0.elapsed().as_secs_f64() * 1e3,
                 report.events,
             );
+            if !report.phase_stats.is_empty() {
+                crate::cost::record_cell_phases(&keys[i], report.phase_stats.clone());
+            }
         }
         out
     };

@@ -31,10 +31,13 @@ pub mod timeline;
 pub use advisor::{daly_interval, placement_window, young_interval, Advice, AdvisorInputs};
 pub use availability::{sum_counters, FaultAccounting};
 pub use gbcr_core::RecoveryCounters;
-pub use cost::{cell_cost, cell_costs_snapshot, record_cell_cost, seed_cell_cost, CellCost};
+pub use cost::{
+    cell_cost, cell_costs_snapshot, cell_phases, cell_phases_snapshot, record_cell_cost,
+    record_cell_phases, seed_cell_cost, CellCost,
+};
 pub use harness::{
     delay_from_reports, measure, measure_with, resolve_threads, run_cells, run_sweep,
     DelayMeasurement, GroupReports, SweepGroup,
 };
 pub use table::{format_series, Table};
-pub use timeline::render_epoch;
+pub use timeline::{render_epoch, render_epoch_trace};

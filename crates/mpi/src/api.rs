@@ -1,10 +1,10 @@
 //! The user-facing MPI facade.
 
 use crate::comm::Comm;
-use crate::engine::{DeferStats, MpiCrState, Rt, TrafficStats};
+use crate::engine::{DeferStats, EndpointStats, MpiCrState, Rt, TrafficStats};
 use crate::hook::{CrHook, CtrlWire, OobMsg};
 use crate::types::{BoundarySnapshot, Msg, Rank, Request, Tag, MAX_USER_TAG};
-use gbcr_des::{Proc, Time};
+use gbcr_des::{ArgValue, Proc, Time, Track};
 use gbcr_net::NodeId;
 use std::sync::Arc;
 
@@ -32,6 +32,15 @@ impl Mpi {
         self.rt.cfg().n
     }
 
+    /// Record a [`gbcr_des::TraceLevel::Full`]-only span for a blocking
+    /// collective on this rank's track.
+    fn coll_span(&self, p: &Proc, name: &'static str, t0: Time, comm: &Comm) {
+        let n = comm.size() as u64;
+        p.handle().trace_span_detail(Track::Rank(self.rank()), name, t0, || {
+            vec![("comm", ArgValue::U64(n))]
+        });
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point
     // ------------------------------------------------------------------
@@ -40,8 +49,18 @@ impl Mpi {
     /// immediately after the copy; rendezvous → when the data has left).
     pub fn send(&self, p: &Proc, dst: Rank, tag: Tag, msg: Msg) {
         assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        let t0 = p.now();
+        let bytes = msg.size;
+        let eager = bytes <= self.rt.cfg().eager_threshold;
         let req = self.rt.isend(p, dst, tag, msg);
         self.rt.wait(p, req);
+        p.handle().trace_span_detail(Track::Rank(self.rank()), "mpi.send", t0, || {
+            vec![
+                ("peer", ArgValue::U64(u64::from(dst))),
+                ("bytes", ArgValue::U64(bytes)),
+                ("proto", ArgValue::Str(if eager { "eager" } else { "rdv" }.to_owned())),
+            ]
+        });
     }
 
     /// Nonblocking send.
@@ -53,8 +72,14 @@ impl Mpi {
     /// Blocking receive. `src = None` receives from any source.
     pub fn recv(&self, p: &Proc, src: Option<Rank>, tag: Tag) -> Msg {
         assert!(tag <= MAX_USER_TAG, "tag {tag} is in the reserved range");
+        let t0 = p.now();
         let req = self.rt.irecv(p, src, tag);
-        self.rt.wait(p, req).expect("recv request yields a message")
+        let msg = self.rt.wait(p, req).expect("recv request yields a message");
+        let bytes = msg.size;
+        p.handle().trace_span_detail(Track::Rank(self.rank()), "mpi.recv", t0, || {
+            vec![("bytes", ArgValue::U64(bytes))]
+        });
+        msg
     }
 
     /// Nonblocking receive.
@@ -114,6 +139,7 @@ impl Mpi {
         if n <= 1 {
             return;
         }
+        let t0 = p.now();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
         let mut k = 1usize;
@@ -126,11 +152,13 @@ impl Mpi {
             self.rt.wait(p, sreq);
             k <<= 1;
         }
+        self.coll_span(p, "mpi.barrier", t0, comm);
     }
 
     /// Broadcast from `root` (communicator index) over a binomial tree.
     /// The root passes `Some(msg)`; everyone receives the message.
     pub fn bcast(&self, p: &Proc, comm: &Comm, root: usize, msg: Option<Msg>) -> Msg {
+        let t0 = p.now();
         let n = comm.size();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         assert!(root < n, "bcast root out of range");
@@ -171,6 +199,7 @@ impl Mpi {
         for r in pending {
             self.rt.wait(p, r);
         }
+        self.coll_span(p, "mpi.bcast", t0, comm);
         m
     }
 
@@ -178,6 +207,7 @@ impl Mpi {
     /// communicator index. `n − 1` steps of neighbor traffic, like real
     /// MPI ring allgathers (MotifMiner's exchange pattern).
     pub fn allgather(&self, p: &Proc, comm: &Comm, mine: Msg) -> Vec<Msg> {
+        let t0 = p.now();
         let n = comm.size();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         let mut blocks: Vec<Option<Msg>> = vec![None; n];
@@ -198,6 +228,7 @@ impl Mpi {
             blocks[idx] = Some(got.clone());
             cur = got;
         }
+        self.coll_span(p, "mpi.allgather", t0, comm);
         blocks.into_iter().map(|b| b.expect("filled")).collect()
     }
 
@@ -226,10 +257,14 @@ impl Mpi {
         rtag: Tag,
     ) -> Msg {
         assert!(stag <= MAX_USER_TAG && rtag <= MAX_USER_TAG);
+        let t0 = p.now();
         let sreq = self.rt.isend(p, dst, stag, msg);
         let rreq = self.rt.irecv(p, src, rtag);
         let got = self.rt.wait(p, rreq).expect("sendrecv recv");
         self.rt.wait(p, sreq);
+        p.handle().trace_span_detail(Track::Rank(self.rank()), "mpi.sendrecv", t0, || {
+            vec![("peer", ArgValue::U64(u64::from(dst)))]
+        });
         got
     }
 
@@ -237,11 +272,12 @@ impl Mpi {
     /// Returns `Some(blocks)` in communicator order at the root, `None`
     /// elsewhere. Linear algorithm (roots at these scales are fine).
     pub fn gather(&self, p: &Proc, comm: &Comm, root: usize, mine: Msg) -> Option<Vec<Msg>> {
+        let t0 = p.now();
         let n = comm.size();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         assert!(root < n, "gather root out of range");
         let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
-        if me == root {
+        let out = if me == root {
             let mut blocks: Vec<Option<Msg>> = vec![None; n];
             blocks[me] = Some(mine);
             for _ in 0..n - 1 {
@@ -265,7 +301,9 @@ impl Mpi {
             let req = self.rt.isend(p, comm.member(root), tag, wire);
             self.rt.wait(p, req);
             None
-        }
+        };
+        self.coll_span(p, "mpi.gather", t0, comm);
+        out
     }
 
     /// Scatter one block per member from `root`. The root passes
@@ -278,11 +316,12 @@ impl Mpi {
         root: usize,
         blocks: Option<Vec<Msg>>,
     ) -> Msg {
+        let t0 = p.now();
         let n = comm.size();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         assert!(root < n, "scatter root out of range");
         let tag = comm.coll_tag(self.rt.next_coll_seq(comm.id()));
-        if me == root {
+        let out = if me == root {
             let blocks = blocks.expect("scatter root must supply blocks");
             assert_eq!(blocks.len(), n, "one block per member");
             let mut pending = Vec::new();
@@ -301,7 +340,9 @@ impl Mpi {
         } else {
             let req = self.rt.irecv(p, Some(comm.member(root)), tag);
             self.rt.wait(p, req).expect("scatter recv")
-        }
+        };
+        self.coll_span(p, "mpi.scatter", t0, comm);
+        out
     }
 
     /// Reduce (sum of `f64`) at `root` (communicator index). Returns
@@ -315,6 +356,7 @@ impl Mpi {
     /// `i`; returns the blocks received, indexed by source member.
     /// Pairwise-exchange algorithm (n−1 balanced rounds).
     pub fn alltoall(&self, p: &Proc, comm: &Comm, blocks: Vec<Msg>) -> Vec<Msg> {
+        let t0 = p.now();
         let n = comm.size();
         let me = comm.index_of(self.rank()).expect("caller not in communicator");
         assert_eq!(blocks.len(), n, "one block per member");
@@ -343,6 +385,7 @@ impl Mpi {
             self.rt.wait(p, sreq);
             received[from] = Some(got);
         }
+        self.coll_span(p, "mpi.alltoall", t0, comm);
         received.into_iter().map(|b| b.expect("filled")).collect()
     }
 
@@ -356,7 +399,10 @@ impl Mpi {
     }
 
     /// Enter/leave passive coordination (activates the helper-thread
-    /// progress slicing during compute).
+    /// progress slicing during compute). Runtime-mutable by design: the
+    /// coordinator brackets every epoch with it (see
+    /// [`MpiConfig::builder`](crate::MpiConfig::builder) for the
+    /// fixed-at-construction knobs).
     pub fn set_passive(&self, passive: bool) {
         self.rt.set_passive(passive);
     }
@@ -404,30 +450,44 @@ impl Mpi {
         self.rt.has_deferred_to(peer)
     }
 
+    /// One consistent snapshot of this rank's endpoint telemetry: sent and
+    /// received per-peer traffic, deferral counters and queue depth,
+    /// connected peers, and logged bytes — all state-guarded fields read
+    /// under a single lock acquisition. This is *the* telemetry entry
+    /// point; the per-field getters are deprecated shims over it.
+    pub fn stats(&self) -> EndpointStats {
+        self.rt.stats()
+    }
+
     /// Number of deferred operations queued on this rank.
+    #[deprecated(note = "use Mpi::stats().deferred_len")]
     pub fn deferred_len(&self) -> usize {
-        self.rt.deferred_len()
+        self.rt.stats().deferred_len
     }
 
     /// Message/request buffering counters.
+    #[deprecated(note = "use Mpi::stats().defer")]
     pub fn defer_stats(&self) -> DeferStats {
-        self.rt.defer_stats()
+        self.rt.stats().defer
     }
 
     /// Per-peer sent-traffic counters (dynamic group formation input).
+    #[deprecated(note = "use Mpi::stats().traffic")]
     pub fn traffic(&self) -> TrafficStats {
-        self.rt.traffic()
+        self.rt.stats().traffic
     }
 
     /// Cumulative user-payload bytes received from `peer` (channel-state
     /// accounting for the Chandy-Lamport comparator).
+    #[deprecated(note = "use Mpi::stats().recv_bytes_from(peer)")]
     pub fn recv_bytes_from(&self, peer: Rank) -> u64 {
-        self.rt.recv_bytes_from(peer)
+        self.rt.stats().recv_bytes_from(peer)
     }
 
     /// Peers with an established data-plane connection, sorted.
+    #[deprecated(note = "use Mpi::stats().connected_peers")]
     pub fn connected_peers(&self) -> Vec<Rank> {
-        self.rt.connected_peers()
+        self.rt.stats().connected_peers
     }
 
     /// Snapshot the checkpointable slice of this rank's library state.
@@ -454,14 +514,21 @@ impl Mpi {
         self.rt.import_cr_state(p, state);
     }
 
-    /// Enable/disable the message-logging ablation mode on this rank.
+    /// Enable/disable sender-based message logging on this rank.
+    ///
+    /// This is one of the two runtime-mutable mode switches (the other is
+    /// [`Mpi::set_passive`]); both are driven by the checkpoint protocol
+    /// itself, never by user configuration. Whole-run logging (the
+    /// uncoordinated mode) is instead selected up front via
+    /// [`crate::MpiConfigBuilder::message_logging`].
     pub fn set_log_mode(&self, on: bool) {
         self.rt.set_log_mode(on);
     }
 
     /// User bytes copied into message logs so far (ablation metric).
+    #[deprecated(note = "use Mpi::stats().logged_bytes")]
     pub fn logged_bytes(&self) -> u64 {
-        self.rt.logged_bytes()
+        self.rt.stats().logged_bytes
     }
 
     /// Whether the data-plane connection to `peer` is active.

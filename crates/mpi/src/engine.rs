@@ -85,6 +85,35 @@ pub struct TrafficStats {
     pub per_peer: Vec<(Rank, u64, u64)>,
 }
 
+/// One coherent snapshot of a rank's endpoint telemetry, taken under a
+/// single state lock by [`crate::Mpi::stats`]. Replaces the retired
+/// pile of ad-hoc getters (`traffic()`, `defer_stats()`,
+/// `recv_bytes_from()`, `connected_peers()`, `deferred_len()`,
+/// `logged_bytes()`): one call, one consistent view.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Per-peer *sent* user traffic (input to dynamic group formation).
+    pub traffic: TrafficStats,
+    /// Per-source *received* user-message `(peer, count, bytes)`, sorted
+    /// by peer (Chandy-Lamport channel accounting).
+    pub recv_per_peer: Vec<(Rank, u64, u64)>,
+    /// Deferral machinery counters (§4.3 ablation).
+    pub defer: DeferStats,
+    /// Operations currently queued in the deferral buffer.
+    pub deferred_len: usize,
+    /// Peers with an `Active` data-plane connection, sorted.
+    pub connected_peers: Vec<Rank>,
+    /// User bytes copied into message logs so far (logging ablation).
+    pub logged_bytes: u64,
+}
+
+impl EndpointStats {
+    /// Cumulative user bytes received from `peer`.
+    pub fn recv_bytes_from(&self, peer: Rank) -> u64 {
+        self.recv_per_peer.iter().find(|(r, _, _)| *r == peer).map_or(0, |(_, _, b)| *b)
+    }
+}
+
 /// The checkpointable slice of a rank's MPI-library state (what BLCR
 /// captures from the process image in the real system): delivered-but-
 /// unconsumed receive data plus eager messages held in the deferral queues
@@ -193,6 +222,7 @@ impl Rt {
         let ep = world.data.endpoint(NodeId(rank));
         let oob_ep = world.oob.endpoint(NodeId(rank));
         let demand = DemandWake::new(world.handle.clone());
+        let log_mode = world.cfg.message_logging;
         Rt {
             world,
             rank,
@@ -217,7 +247,7 @@ impl Rt {
                 coll_seq: HashMap::new(),
                 passive: false,
                 dispatching: false,
-                log_mode: false,
+                log_mode,
                 logged_bytes: 0,
                 hook: None,
                 traffic: HashMap::new(),
@@ -369,6 +399,8 @@ impl Rt {
     /// preserving per-destination FIFO order. Called by the checkpoint
     /// controller after every gate change.
     pub(crate) fn release_deferred(&self, p: &Proc) {
+        let t0 = p.now();
+        let mut released: u64 = 0;
         loop {
             // Pop one releasable operation per pass (the head for some
             // destination whose gate is open), keeping order.
@@ -398,20 +430,26 @@ impl Rt {
                 }
             };
             match next {
-                Some(d) => self.raw_send(p, d.dst, d.wire, d.on_sent),
-                None => return,
+                Some(d) => {
+                    released += 1;
+                    self.raw_send(p, d.dst, d.wire, d.on_sent);
+                }
+                None => break,
             }
+        }
+        if released > 0 {
+            p.handle().trace_span(
+                gbcr_des::Track::Rank(self.rank),
+                "mpi.release_deferred",
+                t0,
+                || vec![("released", gbcr_des::ArgValue::U64(released))],
+            );
         }
     }
 
     /// Whether any deferred operation targets `peer`.
     pub(crate) fn has_deferred_to(&self, peer: Rank) -> bool {
         self.st.lock().deferred.iter().any(|d| d.dst == peer)
-    }
-
-    /// Total deferred operations currently queued.
-    pub(crate) fn deferred_len(&self) -> usize {
-        self.st.lock().deferred.len()
     }
 
     // ------------------------------------------------------------------
@@ -805,29 +843,33 @@ impl Rt {
         self.st.lock().passive
     }
 
-    /// Cumulative user bytes received from `peer` (Chandy-Lamport channel
-    /// accounting).
-    pub(crate) fn recv_bytes_from(&self, peer: Rank) -> u64 {
-        self.st.lock().recv_traffic.get(&peer).map_or(0, |(_, b)| *b)
-    }
-
-    pub(crate) fn traffic(&self) -> TrafficStats {
-        let st = self.st.lock();
-        let mut per_peer: Vec<(Rank, u64, u64)> =
-            st.traffic.iter().map(|(r, (m, b))| (*r, *m, *b)).collect();
-        per_peer.sort_by_key(|e| e.0);
-        TrafficStats { per_peer }
-    }
-
-    pub(crate) fn defer_stats(&self) -> DeferStats {
-        self.st.lock().defer_stats
-    }
-
     /// Peers with an `Active` data-plane connection, sorted.
     pub(crate) fn connected_peers(&self) -> Vec<Rank> {
         (0..self.cfg().n)
             .filter(|&r| r != self.rank && self.ep.is_connected(NodeId(r)))
             .collect()
+    }
+
+    /// One consistent telemetry snapshot: every state-guarded counter is
+    /// read under a single lock acquisition, so cross-field invariants
+    /// (e.g. `defer.deferred_sends >= deferred_len`) hold in the result.
+    pub(crate) fn stats(&self) -> EndpointStats {
+        let connected_peers = self.connected_peers();
+        let st = self.st.lock();
+        let mut per_peer: Vec<(Rank, u64, u64)> =
+            st.traffic.iter().map(|(r, (m, b))| (*r, *m, *b)).collect();
+        per_peer.sort_by_key(|e| e.0);
+        let mut recv_per_peer: Vec<(Rank, u64, u64)> =
+            st.recv_traffic.iter().map(|(r, (m, b))| (*r, *m, *b)).collect();
+        recv_per_peer.sort_by_key(|e| e.0);
+        EndpointStats {
+            traffic: TrafficStats { per_peer },
+            recv_per_peer,
+            defer: st.defer_stats,
+            deferred_len: st.deferred.len(),
+            connected_peers,
+            logged_bytes: st.logged_bytes,
+        }
     }
 
     /// Snapshot the per-destination send sequence counters **at an
@@ -929,11 +971,6 @@ impl Rt {
     /// Enable/disable the message-logging ablation mode.
     pub(crate) fn set_log_mode(&self, on: bool) {
         self.st.lock().log_mode = on;
-    }
-
-    /// Total user bytes copied into message logs so far.
-    pub(crate) fn logged_bytes(&self) -> u64 {
-        self.st.lock().logged_bytes
     }
 
     // Back-reference so progress() can build an `Mpi` facade for hook

@@ -43,8 +43,10 @@ mod world;
 
 pub use api::Mpi;
 pub use comm::Comm;
-pub use config::{polled_progress_default, set_polled_progress_default, MpiConfig};
-pub use engine::{BufferClass, DeferStats, MpiCrState, TrafficStats};
+pub use config::{
+    polled_progress_default, set_polled_progress_default, MpiConfig, MpiConfigBuilder,
+};
+pub use engine::{BufferClass, DeferStats, EndpointStats, MpiCrState, TrafficStats};
 pub use hook::{CrHook, CtrlWire, NoopHook, OobMsg};
 pub use types::{BoundarySnapshot, Msg, Rank, Request, Tag, ANY_SOURCE, MAX_USER_TAG};
 pub use world::{World, COORDINATOR_NODE};

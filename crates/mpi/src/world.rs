@@ -176,7 +176,7 @@ impl World {
         self.shared.oob.force_disconnect(NodeId(rank), COORDINATOR_NODE);
         self.shared
             .handle
-            .trace_event("mpi.node_failed", || format!("rank {rank}"));
+            .trace_instant(|| gbcr_des::Event::NodeFailed { rank });
     }
 
     /// Ranks marked failed so far, sorted.

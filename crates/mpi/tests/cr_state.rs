@@ -150,7 +150,7 @@ fn watermark_suppresses_replayed_eager_duplicates() {
         assert_eq!(got.as_u64(), 2);
         p.sleep(time::ms(50));
         m1c.poke(p);
-        assert_eq!(m1c.defer_stats().dups_dropped, 2, "two replays dropped");
+        assert_eq!(m1c.stats().defer.dups_dropped, 2, "two replays dropped");
     });
     sim.run().unwrap();
 }
@@ -182,7 +182,7 @@ fn watermark_sinks_replayed_rendezvous() {
         // enough for the rendezvous to be sunk.
         m1.compute(p, time::ms(100));
         m1.poke(p);
-        assert_eq!(m1.defer_stats().dups_dropped, 1);
+        assert_eq!(m1.stats().defer.dups_dropped, 1);
     });
     sim.run().unwrap();
 }

@@ -47,16 +47,16 @@ fn barred_eager_sends_are_message_buffered_and_released_in_order() {
         for i in 0..5u64 {
             m0c.send(p, 1, 1, Msg::u64(i)); // eager: completes locally
         }
-        assert_eq!(m0c.deferred_len(), 5);
-        let ds = m0c.defer_stats();
+        assert_eq!(m0c.stats().deferred_len, 5);
+        let ds = m0c.stats().defer;
         assert_eq!(ds.msg_buffered, 5);
         assert_eq!(ds.msg_buffered_bytes, 40);
         assert_eq!(ds.req_buffered, 0);
         // Open the gate and flush.
         hook.unbar(1);
         m0c.release_deferred(p);
-        assert_eq!(m0c.deferred_len(), 0);
-        assert_eq!(m0c.defer_stats().released, 5);
+        assert_eq!(m0c.stats().deferred_len, 0);
+        assert_eq!(m0c.stats().defer.released, 5);
     });
     sim.spawn("r1", move |p| {
         for i in 0..5u64 {
@@ -79,7 +79,7 @@ fn barred_rendezvous_is_request_buffered_without_copying() {
     sim.spawn("r0", move |p| {
         let req = m0c.isend(p, 1, 1, Msg::bulk(50_000_000));
         // RTS deferred: request buffering, no payload bytes copied.
-        let ds = m0c.defer_stats();
+        let ds = m0c.stats().defer;
         assert_eq!(ds.req_buffered, 1);
         assert_eq!(ds.req_buffered_bytes, 50_000_000);
         assert_eq!(ds.msg_buffered_bytes, 0);
@@ -121,7 +121,7 @@ fn gate_applies_to_cts_direction_too() {
         // engine matches it and (tries to) reply — the CTS gets deferred.
         p.sleep(time::ms(300));
         m1c.poke(p);
-        assert_eq!(m1c.defer_stats().req_buffered, 1, "CTS got request-buffered");
+        assert_eq!(m1c.stats().defer.req_buffered, 1, "CTS got request-buffered");
         hook.unbar(0);
         m1c.release_deferred(p);
         let msg = m1c.wait(p, req).unwrap();
@@ -145,7 +145,7 @@ fn per_destination_fifo_is_kept_when_mixed_with_other_destinations() {
         m0c.send(p, 1, 1, Msg::u64(100)); // deferred
         m0c.send(p, 2, 1, Msg::u64(200)); // flows immediately
         m0c.send(p, 1, 1, Msg::u64(101)); // deferred behind 100
-        assert_eq!(m0c.deferred_len(), 2);
+        assert_eq!(m0c.stats().deferred_len, 2);
         assert!(m0c.has_deferred_to(1));
         assert!(!m0c.has_deferred_to(2));
         hook.unbar(1);

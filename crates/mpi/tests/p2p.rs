@@ -192,9 +192,9 @@ fn first_send_establishes_connection_lazily() {
     let (m0, m1, w) = two_rank_world(&sim);
     let w2 = w.clone();
     sim.spawn("r0", move |p| {
-        assert!(m0.connected_peers().is_empty());
+        assert!(m0.stats().connected_peers.is_empty());
         m0.send(p, 1, 1, Msg::u64(0));
-        assert_eq!(m0.connected_peers(), vec![1]);
+        assert_eq!(m0.stats().connected_peers, vec![1]);
         assert!(m0.conn_is_active(1));
     });
     sim.spawn("r1", move |p| {
@@ -225,6 +225,6 @@ fn traffic_stats_track_per_peer_counts() {
         m2.recv(p, Some(0), 1);
     });
     sim.run().unwrap();
-    let t = m0.traffic();
+    let t = m0.stats().traffic;
     assert_eq!(t.per_peer, vec![(1, 2, 16), (2, 1, 100)]);
 }

@@ -2,7 +2,8 @@
 
 use crate::config::NetConfig;
 use crate::stats::NetStats;
-use gbcr_des::{DemandWake, Proc, ProcId, SimHandle, Time, TimerHandle};
+use gbcr_des::trace::FlapStage;
+use gbcr_des::{ArgValue, DemandWake, Event, Proc, ProcId, SimHandle, Time, TimerHandle, Track};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -226,18 +227,22 @@ impl<M: Send + 'static> Fabric<M> {
                     drop(c);
                     self.inner.stats.lock().forced_down += 1;
                     self.wake_all(&mut ws);
-                    self.inner
-                        .handle
-                        .trace_event("net.flap", || format!("{a} <-> {b} (idle)"));
+                    self.inner.handle.trace_instant(|| Event::NetFlap {
+                        a: a.0,
+                        b: b.0,
+                        stage: FlapStage::Idle,
+                    });
                 } else {
                     c.state = ConnState::Draining;
                     c.flap_pending = true;
                     let mut ws = std::mem::take(&mut c.waiters);
                     drop(c);
                     self.wake_all(&mut ws);
-                    self.inner
-                        .handle
-                        .trace_event("net.flap", || format!("{a} <-> {b} (draining)"));
+                    self.inner.handle.trace_instant(|| Event::NetFlap {
+                        a: a.0,
+                        b: b.0,
+                        stage: FlapStage::Draining,
+                    });
                 }
                 true
             }
@@ -287,6 +292,7 @@ impl<M: Send + 'static> Endpoint<M> {
                     ConnState::Disconnected => {
                         c.state = ConnState::Connecting;
                         drop(c);
+                        let t0 = p.now();
                         p.sleep(self.fabric.inner.cfg.conn_setup_time);
                         let mut c = conn.lock();
                         debug_assert_eq!(c.state, ConnState::Connecting);
@@ -295,9 +301,11 @@ impl<M: Send + 'static> Endpoint<M> {
                         let mut ws = std::mem::take(&mut c.waiters);
                         drop(c);
                         self.fabric.wake_all(&mut ws);
-                        self.fabric.inner.handle.trace_event("net.connect", || {
-                            format!("{} <-> {}", self.node, peer)
+                        let h = &self.fabric.inner.handle;
+                        h.trace_span(Track::Node(self.node.0), "net.connect", t0, || {
+                            vec![("peer", ArgValue::U64(u64::from(peer.0)))]
                         });
+                        h.trace_instant(|| Event::NetConnect { a: self.node.0, b: peer.0 });
                         return;
                     }
                 }
@@ -317,6 +325,7 @@ impl<M: Send + 'static> Endpoint<M> {
     /// having stopped new sends on both sides (the checkpoint protocols in
     /// `gbcr-core` guarantee this).
     pub fn teardown(&self, p: &Proc, peer: NodeId) {
+        let t0 = p.now();
         let conn = self.fabric.conn(self.node, peer);
         loop {
             {
@@ -340,6 +349,7 @@ impl<M: Send + 'static> Endpoint<M> {
             p.park();
         }
         // Wait for both directions to drain.
+        let t_drain = p.now();
         loop {
             {
                 let mut c = conn.lock();
@@ -351,6 +361,10 @@ impl<M: Send + 'static> Endpoint<M> {
             }
             p.park();
         }
+        let h = self.fabric.inner.handle.clone();
+        h.trace_span(Track::Node(self.node.0), "net.drain", t_drain, || {
+            vec![("peer", ArgValue::U64(u64::from(peer.0)))]
+        });
         p.sleep(self.fabric.inner.cfg.conn_teardown_time);
         let mut c = conn.lock();
         debug_assert_eq!(c.state, ConnState::Draining);
@@ -359,9 +373,10 @@ impl<M: Send + 'static> Endpoint<M> {
         let mut ws = std::mem::take(&mut c.waiters);
         drop(c);
         self.fabric.wake_all(&mut ws);
-        self.fabric.inner.handle.trace_event("net.teardown", || {
-            format!("{} <-> {}", self.node, peer)
+        h.trace_span(Track::Node(self.node.0), "net.teardown", t0, || {
+            vec![("peer", ArgValue::U64(u64::from(peer.0)))]
         });
+        h.trace_instant(|| Event::NetTeardown { a: self.node.0, b: peer.0 });
     }
 
     /// Send `msg` to `peer`, charging `wire_size` bytes on the link. Never
@@ -544,7 +559,11 @@ impl<M: Send + 'static> Fabric<M> {
                 drop(c);
                 if flapped {
                     self.inner.stats.lock().forced_down += 1;
-                    h.trace_event("net.flap", || format!("{from} <-> {to} (drained)"));
+                    h.trace_instant(|| Event::NetFlap {
+                        a: from.0,
+                        b: to.0,
+                        stage: FlapStage::Drained,
+                    });
                 }
                 self.wake_all(&mut ws);
             }
@@ -565,6 +584,6 @@ impl<M: Send + 'static> Fabric<M> {
         stats.messages += 1;
         stats.bytes += wire_size;
         drop(stats);
-        h.trace_event("net.deliver", || format!("{from} -> {to} ({wire_size}B)"));
+        h.trace_instant_detail(|| Event::NetDeliver { from: from.0, to: to.0, bytes: wire_size });
     }
 }

@@ -101,8 +101,11 @@ impl FailoverWriter {
         for (i, target) in self.targets.iter().enumerate() {
             if i > 0 {
                 self.counters.failovers.fetch_add(1, Ordering::Relaxed);
-                p.handle()
-                    .trace_event("storage.failover", || format!("client={client} name={name} target={i}"));
+                p.handle().trace_instant(|| gbcr_des::Event::StorageFailover {
+                    client,
+                    name: name.to_owned(),
+                    target: i as u64,
+                });
             }
             let mut retry = 0u32;
             loop {

@@ -13,7 +13,7 @@
 use crate::config::StorageConfig;
 use crate::object::StoredObject;
 use crate::stats::{StorageStats, TransferRecord};
-use gbcr_des::{time, Proc, ProcId, SimHandle, Time, TimerHandle};
+use gbcr_des::{time, ArgValue, Event, Proc, ProcId, SimHandle, Time, TimerHandle, Track};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -273,13 +273,13 @@ impl Storage {
             Some(WriteFault::Torn) => {
                 self.state.lock().stats.torn_writes += 1;
                 self.handle
-                    .trace_event("storage.torn", || format!("client={client} name={name}"));
+                    .trace_instant(|| Event::StorageTorn { client, name: name.to_owned() });
                 self.add_stream(client, StreamKind::Write, object.virtual_size, None)
             }
             Some(WriteFault::Fail) => {
                 self.state.lock().stats.failed_writes += 1;
                 self.handle
-                    .trace_event("storage.fail", || format!("client={client} name={name}"));
+                    .trace_instant(|| Event::StorageFail { client, name: name.to_owned() });
                 self.add_stream(client, StreamKind::Write, 0, None)
             }
         }
@@ -315,7 +315,7 @@ impl Storage {
             p.sleep(self.cfg.per_op_latency);
             self.state.lock().stats.unavailable_writes += 1;
             self.handle
-                .trace_event("storage.unavailable", || format!("client={client} name={name}"));
+                .trace_instant(|| Event::StorageUnavailable { client, name: name.to_owned() });
             return Err(());
         }
         self.write(p, client, name, object);
@@ -336,8 +336,7 @@ impl Storage {
             st.outage_until = until;
         }
         drop(st);
-        self.handle
-            .trace_event("storage.outage", || format!("until={}", time::fmt(until)));
+        self.handle.trace_instant(|| Event::StorageOutage { until });
     }
 
     /// Atomically publish a small metadata record (an epoch manifest) with
@@ -353,7 +352,7 @@ impl Storage {
             st.stats.unavailable_writes += 1;
             drop(st);
             self.handle
-                .trace_event("storage.unavailable", || format!("client={client} name={name}"));
+                .trace_instant(|| Event::StorageUnavailable { client, name: name.to_owned() });
             return false;
         }
         let fault = {
@@ -364,7 +363,7 @@ impl Storage {
             Some(WriteFault::Torn) | Some(WriteFault::Fail) => {
                 self.state.lock().stats.torn_manifests += 1;
                 self.handle
-                    .trace_event("storage.torn_meta", || format!("client={client} name={name}"));
+                    .trace_instant(|| Event::StorageTornMeta { client, name: name.to_owned() });
                 false
             }
             // Slow is meaningless for a zero-time commit; treat as healthy.
@@ -374,7 +373,7 @@ impl Storage {
                 st.stats.manifest_commits += 1;
                 drop(st);
                 self.handle
-                    .trace_event("storage.commit", || format!("client={client} name={name}"));
+                    .trace_instant(|| Event::StorageCommit { client, name: name.to_owned() });
                 true
             }
         }
@@ -394,7 +393,7 @@ impl Storage {
         self.settle(&mut st, now);
         st.derate = derate;
         self.reschedule(&mut st, now);
-        self.handle.trace_event("storage.derate", || format!("x{derate}"));
+        self.handle.trace_instant(|| Event::StorageDerate { factor: derate });
     }
 
     /// The current bandwidth derate (1.0 = healthy).
@@ -454,8 +453,14 @@ impl Storage {
             st.streams.push(stream);
         }
         self.reschedule(&mut st, now);
-        self.handle.trace_event("storage.start", || {
-            format!("client={client} kind={kind:?} bytes={bytes} id={id:?}")
+        self.handle.trace_instant_detail(|| Event::StorageStart {
+            client,
+            kind: match kind {
+                StreamKind::Write => "Write",
+                StreamKind::Read => "Read",
+            },
+            bytes,
+            id: id.0,
         });
         id
     }
@@ -515,7 +520,16 @@ impl Storage {
         for w in s.waiters.drain(..) {
             handle.wake(w);
         }
-        handle.trace_event("storage.done", || format!("client={} id={:?}", s.client, s.id));
+        handle.trace_span(
+            Track::Storage(s.client),
+            match s.kind {
+                StreamKind::Write => "storage.write",
+                StreamKind::Read => "storage.read",
+            },
+            s.started,
+            || vec![("bytes", ArgValue::U64(s.total))],
+        );
+        handle.trace_instant_detail(|| Event::StorageDone { client: s.client, id: s.id.0 });
     }
 
     /// Re-issue the single outstanding completion timer for the earliest

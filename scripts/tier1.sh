@@ -37,4 +37,22 @@ grep -qx "fig8 abort smoke: aborts=1 retries=1 manifests=2 results_match=true" \
   cat target/fig8_abort_smoke.out >&2
   exit 1
 }
+
+# Trace smoke: the traced 4-rank run must export schema-valid
+# Chrome/Perfetto JSON with properly nested spans, all five coordinator
+# protocol phases covered by the epoch span, and connection/storage
+# activity present (the binary exits non-zero on any failed check).
+cargo run --release -p gbcr-bench --bin fig8 -- --trace target/trace_smoke.json \
+  > target/trace_smoke.out
+grep -q "fig8 trace smoke: spans=.* phases_ok=true net_ok=true storage_ok=true nested=true" \
+  target/trace_smoke.out || {
+  echo "tier1: trace smoke failed validation:" >&2
+  cat target/trace_smoke.out >&2
+  exit 1
+}
+# The exported file itself must be parseable JSON with a traceEvents array.
+grep -q '"traceEvents"' target/trace_smoke.json || {
+  echo "tier1: exported trace missing traceEvents array" >&2
+  exit 1
+}
 echo "tier1: OK"

@@ -1,0 +1,113 @@
+//! Golden tests for the structured tracing pipeline: the 4-rank smoke's
+//! exported Chrome/Perfetto JSON must be schema-valid with properly
+//! nested spans and full protocol-phase coverage, and tracing must be a
+//! pure observer — a traced run's simulation results are identical to an
+//! untraced run of the same job.
+
+use gbcr_bench::trace::{check_chrome_json, trace_smoke, COORDINATOR_PHASES};
+use gbcr_core::{
+    run_job, run_job_traced, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
+    PhaseDeadlines,
+};
+use gbcr_des::trace::perfetto;
+use gbcr_des::{time, TraceLevel};
+use gbcr_storage::MB;
+use gbcr_workloads::MicroBench;
+
+fn smoke_spec() -> (JobSpec, CoordinatorCfg) {
+    let mb = MicroBench {
+        n: 4,
+        comm_group_size: 2,
+        footprint: 40 * MB,
+        steps: 60,
+        ..Default::default()
+    };
+    let cfg = CoordinatorCfg {
+        job: "micro".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::Static { group_size: 2 },
+        schedule: CkptSchedule::once(time::secs(3)),
+        incremental: false,
+        deadlines: PhaseDeadlines::none(),
+    };
+    (mb.job(), cfg)
+}
+
+/// The exported smoke trace is valid Perfetto JSON: it parses back, every
+/// span row nests, all five coordinator phases are present and covered by
+/// the epoch span, and connection/storage activity has spans.
+#[test]
+fn smoke_trace_exports_valid_perfetto_json() {
+    let report = trace_smoke();
+    let data = report.trace.as_deref().expect("traced run records data");
+    let json = perfetto::to_chrome_json(data);
+
+    let trace = perfetto::parse_chrome_json(&json).expect("exported JSON parses back");
+    assert!(trace.well_nested(), "span rows must nest or be disjoint");
+
+    // One epoch span on the coordinator row, covering every phase span.
+    let epochs: Vec<_> = trace.spans_named("epoch").collect();
+    assert_eq!(epochs.len(), 1, "one checkpoint epoch in the smoke");
+    let (e0, e1) = (epochs[0].ts_ns, epochs[0].ts_ns + epochs[0].dur_ns);
+    for phase in COORDINATOR_PHASES {
+        let spans: Vec<_> = trace.spans_named(phase).collect();
+        assert!(!spans.is_empty(), "missing coordinator phase {phase}");
+        for s in spans {
+            assert!(
+                s.ts_ns >= e0 && s.ts_ns + s.dur_ns <= e1,
+                "{phase} span [{}, {}] escapes epoch [{e0}, {e1}]",
+                s.ts_ns,
+                s.ts_ns + s.dur_ns
+            );
+        }
+    }
+    // Two groups of two ranks -> two phase.checkpoint windows, and every
+    // rank writes one image through the storage model.
+    assert_eq!(trace.spans_named("phase.checkpoint").count(), 2);
+    assert_eq!(trace.spans_named("storage.write").count(), 4);
+    assert!(trace.spans_named("net.connect").next().is_some());
+    assert!(trace.spans_named("net.teardown").next().is_some());
+    assert!(trace.spans_named("rank.checkpoint").count() == 4);
+
+    // The bundled checker agrees with the explicit assertions above.
+    let chk = check_chrome_json(&json).expect("valid");
+    assert!(chk.ok(), "{chk:?}");
+}
+
+/// Tracing is a pure observer: a run traced at `Full` produces exactly
+/// the same simulation results as an untraced run of the same job.
+#[test]
+fn traced_run_is_identical_to_untraced() {
+    let (spec, cfg) = smoke_spec();
+    let plain = run_job(&spec, Some(cfg.clone())).expect("untraced run");
+    let traced = run_job_traced(&spec, Some(cfg), TraceLevel::Full).expect("traced run");
+
+    assert_eq!(plain.completion, traced.completion);
+    assert_eq!(plain.events, traced.events, "tracing must not schedule events");
+    assert_eq!(plain.defer_stats, traced.defer_stats);
+    assert_eq!(plain.logged_bytes, traced.logged_bytes);
+    assert_eq!(plain.epochs.len(), traced.epochs.len());
+    for (a, b) in plain.epochs.iter().zip(&traced.epochs) {
+        assert_eq!(a.individuals, b.individuals);
+        assert_eq!(a.requested_at, b.requested_at);
+        assert_eq!(a.all_ranks_done_at, b.all_ranks_done_at);
+    }
+    assert_eq!(plain.images, traced.images);
+
+    // And only the traced run carries trace data.
+    assert!(plain.trace.is_none() && plain.phase_stats.is_empty());
+    assert!(traced.trace.is_some() && !traced.phase_stats.is_empty());
+}
+
+/// `Phases` level keeps protocol spans but drops the per-message MPI and
+/// scheduler detail `Full` adds.
+#[test]
+fn phases_level_drops_per_message_detail() {
+    let (spec, cfg) = smoke_spec();
+    let r = run_job_traced(&spec, Some(cfg), TraceLevel::Phases).expect("traced run");
+    let data = r.trace.as_deref().expect("trace recorded");
+    assert!(!data.spans_named("rank.checkpoint").is_empty());
+    assert!(data.spans_named("mpi.send").is_empty(), "no per-message spans at Phases");
+    assert!(data.spans_named("mpi.recv").is_empty());
+    assert!(data.instants_in("sched.wake").is_empty(), "no scheduler detail at Phases");
+}
