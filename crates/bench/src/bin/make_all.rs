@@ -13,7 +13,13 @@
 //! * `--serial-check` — rerun everything on one worker and verify the
 //!   rendered tables are byte-identical, recording the speedup; then
 //!   rerun once more in legacy *polled* progress mode and verify the
-//!   tables again (demand-driven wake elision must not change any output).
+//!   tables again (demand-driven wake elision must not change any
+//!   output); then rerun once more on the legacy *threaded* executor and
+//!   verify once more (pooled coroutine execution must not change any
+//!   output either).
+//! * `--scale` — append the scale study (group-based vs whole-cluster
+//!   delay from 256 ranks up; smoke sizes under `--smoke`) and emit its
+//!   telemetry as the `scale` block of the `--json` record.
 //! * `--json [PATH]` — write a machine-readable run record (per-figure
 //!   wall ms, thread count, simulated-event totals, elided wakes,
 //!   per-cell costs) to PATH (default `BENCH_harness.json`).
@@ -23,7 +29,7 @@
 //!   (default `target/trace_smoke.json`). Capture only observes: every
 //!   rendered table stays byte-identical to an untraced run.
 
-use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, trace, GROUP_SIZES};
+use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, scale, trace, GROUP_SIZES};
 use std::time::Instant;
 
 struct Args {
@@ -31,6 +37,7 @@ struct Args {
     smoke: bool,
     serial_check: bool,
     faults: bool,
+    scale: bool,
     json: Option<String>,
     trace: Option<String>,
 }
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
         smoke: false,
         serial_check: false,
         faults: false,
+        scale: false,
         json: None,
         trace: None,
     };
@@ -57,6 +65,7 @@ fn parse_args() -> Args {
             "--smoke" => out.smoke = true,
             "--serial-check" => out.serial_check = true,
             "--faults" => out.faults = true,
+            "--scale" => out.scale = true,
             "--json" => {
                 out.json = Some(match it.peek() {
                     Some(v) if !v.starts_with('-') => it.next().unwrap(),
@@ -73,7 +82,7 @@ fn parse_args() -> Args {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: make_all [--threads N] [--smoke] [--serial-check] [--faults] \
-                     [--json [PATH]] [--trace [PATH]]"
+                     [--scale] [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -265,11 +274,13 @@ fn main() {
     println!("=== gbcr: full evaluation reproduction ({threads} worker threads) ===\n");
     let events0 = gbcr_des::total_events_processed();
     let elided0 = gbcr_des::total_wakes_elided();
+    let spawned0 = gbcr_des::total_procs_spawned();
     let t0 = Instant::now();
     let (outputs, walls) = render_all(&secs, Some(threads));
     let parallel_secs = t0.elapsed().as_secs_f64();
     let total_events = gbcr_des::total_events_processed() - events0;
     let total_elided = gbcr_des::total_wakes_elided() - elided0;
+    let total_spawned = gbcr_des::total_procs_spawned() - spawned0;
     for out in &outputs {
         println!("{out}");
     }
@@ -303,8 +314,25 @@ fn main() {
         faults = Some((sw, wall_ms));
     }
 
+    // The scale study is opt-in (`--scale`): its 10k-rank points are
+    // tier-2 cost, and its cost table is intentionally nondeterministic
+    // (wall times), so it stays outside the identity-checked sections.
+    let mut scale_cells: Option<(Vec<scale::ScaleCell>, f64)> = None;
+    if args.scale {
+        let sizes: &[u32] =
+            if args.smoke { &scale::SIZES_SMOKE } else { &scale::SIZES_FULL };
+        let t0 = Instant::now();
+        let cells = scale::run(sizes, Some(threads));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        print!("{}", scale::table(&cells).render());
+        println!();
+        print!("{}", scale::cost_table(&cells).render());
+        scale_cells = Some((cells, wall_ms));
+    }
+
     let mut serial = None;
     let mut polled: Option<(bool, u64)> = None;
+    let mut executor_check: Option<bool> = None;
     if args.serial_check {
         eprintln!("serial check: rerunning everything on 1 worker...");
         let t1 = Instant::now();
@@ -353,7 +381,29 @@ fn main() {
             }
         }
         polled = Some((polled_identical, polled_events));
-        if !identical || !polled_identical {
+
+        eprintln!("executor check: rerunning everything on the threaded backend...");
+        gbcr_des::set_executor_default(gbcr_des::ExecKind::Threaded);
+        let (threaded_outputs, _) = render_all(&secs, Some(threads));
+        gbcr_des::set_executor_default(gbcr_des::ExecKind::Pooled);
+        let threaded_identical = threaded_outputs == outputs;
+        if threaded_identical {
+            eprintln!(
+                "executor check: tables byte-identical between pooled and threaded \
+                 execution"
+            );
+        } else {
+            for (i, (name, _)) in secs.iter().enumerate() {
+                if threaded_outputs[i] != outputs[i] {
+                    eprintln!(
+                        "executor check FAILED: section {name} differs between pooled \
+                         and threaded executors"
+                    );
+                }
+            }
+        }
+        executor_check = Some(threaded_identical);
+        if !identical || !polled_identical || !threaded_identical {
             std::process::exit(1);
         }
     }
@@ -387,16 +437,28 @@ fn main() {
         j.push_str(&format!("  \"total_wall_ms\": {:.1},\n", parallel_secs * 1e3));
         j.push_str(&format!("  \"total_events\": {total_events},\n"));
         j.push_str(&format!("  \"total_elided_wakes\": {total_elided},\n"));
+        j.push_str(&format!("  \"total_procs_spawned\": {total_spawned},\n"));
+        j.push_str(&format!(
+            "  \"executor\": \"{}\",\n",
+            gbcr_des::executor_default().name()
+        ));
+        j.push_str(&format!("  \"pool_threads\": {},\n", gbcr_des::pool_threads()));
         j.push_str(&format!("  \"lpt_seeded_cells\": {seeded},\n"));
         if let Some((serial_secs, serial_identical)) = serial {
             let (polled_identical, polled_events) = polled.expect("polled pass ran");
+            let threaded_identical = executor_check.expect("executor pass ran");
             j.push_str(&format!("  \"serial_wall_ms\": {:.1},\n", serial_secs * 1e3));
             j.push_str(&format!("  \"speedup\": {:.2},\n", serial_secs / parallel_secs));
             j.push_str(&format!("  \"polled_total_events\": {polled_events},\n"));
+            j.push_str(&format!("  \"executor_identical\": {threaded_identical},\n"));
             j.push_str(&format!(
                 "  \"tables_identical\": {},\n",
-                serial_identical && polled_identical
+                serial_identical && polled_identical && threaded_identical
             ));
+        }
+        if let Some((cells, wall_ms)) = &scale_cells {
+            j.push_str(&format!("  \"scale_wall_ms\": {wall_ms:.1},\n"));
+            j.push_str(&format!("  \"scale\": {},\n", scale::json_block(cells)));
         }
         if let Some((sw, wall_ms)) = &faults {
             j.push_str(&format!("  \"faults_wall_ms\": {wall_ms:.1},\n"));

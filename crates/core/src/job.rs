@@ -76,6 +76,19 @@ impl JobSpec {
     }
 }
 
+/// A wall-clock (host) cost counter in nanoseconds. Not a model output:
+/// its value varies run to run even for identical seeds, so `Debug`
+/// deliberately elides it — determinism checks compare report debug
+/// dumps byte-for-byte, and simulator cost must never fail them.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+pub struct WallNanos(pub u64);
+
+impl std::fmt::Debug for WallNanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WallNanos(..)")
+    }
+}
+
 /// Everything measured from one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -105,6 +118,21 @@ pub struct RunReport {
     pub events: u64,
     /// Progress wakes elided by demand-driven compute slicing.
     pub elided_wakes: u64,
+    /// Which executor backend ran the simulated processes.
+    pub executor: gbcr_des::ExecKind,
+    /// Simulated processes spawned (ranks plus coordinator, writers and
+    /// other service processes). Simulator cost, like `events`.
+    pub procs_spawned: u64,
+    /// High-water mark of simultaneously live simulated processes.
+    pub peak_live_procs: u64,
+    /// Peak OS threads used for process execution: the shared pool size
+    /// under the pooled executor, `peak_live_procs` under the threaded
+    /// one.
+    pub exec_threads: u64,
+    /// Wall-clock nanoseconds spent inside process spawns.
+    pub spawn_cost_ns: WallNanos,
+    /// Wall-clock nanoseconds spent tearing processes down after the run.
+    pub teardown_cost_ns: WallNanos,
     /// Ranks killed by fault injection during this run, in kill order
     /// (empty for fault-free and whole-cluster-crash runs).
     pub killed_ranks: Vec<u32>,
@@ -561,6 +589,16 @@ fn run_job_full(
     let sim_end = sim.run()?;
     let events = sim.events_processed();
     let elided_wakes = sim.wakes_elided();
+    // All processes are done once `run` drains (a live one would have been
+    // a Deadlock error); shutting down now, instead of at drop, puts the
+    // teardown cost into the report.
+    sim.shutdown();
+    let executor = sim.executor_kind();
+    let procs_spawned = sim.procs_spawned();
+    let peak_live_procs = sim.peak_live_procs();
+    let exec_threads = sim.exec_threads();
+    let spawn_cost_ns = WallNanos(sim.spawn_cost_ns());
+    let teardown_cost_ns = WallNanos(sim.teardown_cost_ns());
     let completion = body_ends.lock().iter().copied().max().unwrap_or(sim_end);
     let rank_records = controllers.lock().iter().flat_map(|c| c.records()).collect();
     let channel_logged_bytes: u64 =
@@ -612,6 +650,12 @@ fn run_job_full(
         images,
         events,
         elided_wakes,
+        executor,
+        procs_spawned,
+        peak_live_procs,
+        exec_threads,
+        spawn_cost_ns,
+        teardown_cost_ns,
         killed_ranks: sink.map(|s| s.killed.lock().clone()).unwrap_or_default(),
         finished_ranks,
         sends_to_failed: world.dropped_sends(),

@@ -17,7 +17,8 @@
 //! reorder same-time events either.
 
 use crate::error::{SimError, SimResult};
-use crate::process::{Gate, KillSignal, Proc, ProcId};
+use crate::exec::{DesConfig, ExecKind, ExecStats, Executor, Gate, ResumeError};
+use crate::process::{Proc, ProcId};
 use crate::signal::Signal;
 use crate::time::Time;
 use crate::timer::{TimerHandle, TimerTable};
@@ -27,7 +28,6 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -41,6 +41,10 @@ static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
 /// would have woken at that the demand-driven engine never scheduled.
 static TOTAL_ELIDED: AtomicU64 = AtomicU64::new(0);
 
+/// Simulated processes spawned across every simulation in this process,
+/// ever (the sibling of [`total_events_processed`] for executor work).
+static TOTAL_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
 /// Total events dispatched by all simulations in this process so far.
 /// Monotonic; used by the benchmark harness to report aggregate engine
 /// work alongside wall-clock numbers.
@@ -52,6 +56,12 @@ pub fn total_events_processed() -> u64 {
 /// (the demand-driven counterpart of [`total_events_processed`]).
 pub fn total_wakes_elided() -> u64 {
     TOTAL_ELIDED.load(Ordering::Relaxed)
+}
+
+/// Total simulated processes spawned by all simulations in this process
+/// so far.
+pub fn total_procs_spawned() -> u64 {
+    TOTAL_SPAWNED.load(Ordering::Relaxed)
 }
 
 /// A callback executed on the scheduler thread. Must not block.
@@ -121,8 +131,10 @@ impl Injector {
 
 struct ProcSlot {
     name: Arc<str>,
-    gate: Arc<Gate>,
+    gate: Arc<dyn Gate>,
     killed: Arc<AtomicBool>,
+    /// Present only under the threaded executor, which owns one OS thread
+    /// per process; pooled tasks have nothing to join.
     join: Option<JoinHandle<()>>,
 }
 
@@ -136,6 +148,10 @@ pub(crate) struct Inner {
     tracer: Tracer,
     /// Progress wakes elided in this simulation (see [`SimHandle::note_elided_wakes`]).
     elided: AtomicU64,
+    /// The execution backend for simulated processes.
+    exec: Box<dyn Executor>,
+    /// Spawn/teardown cost and liveness high-water marks.
+    stats: Arc<ExecStats>,
 }
 
 /// A cloneable, `Send + Sync` handle onto a running simulation.
@@ -328,54 +344,36 @@ impl SimHandle {
     }
 }
 
-fn panic_payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = p.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = p.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_owned()
-    }
-}
-
 fn spawn_impl(
     handle: &SimHandle,
     name: String,
     f: impl FnOnce(&Proc) + Send + 'static,
 ) -> ProcId {
+    let t0 = std::time::Instant::now();
     let name: Arc<str> = name.into();
     let mut procs = handle.inner.procs.lock();
     let id = ProcId(u32::try_from(procs.len()).expect("too many processes"));
-    let gate = Gate::new();
     let killed = Arc::new(AtomicBool::new(false));
-    let proc_ctx = Proc {
-        handle: handle.clone(),
-        id,
-        name: name.clone(),
-        killed: killed.clone(),
-        gate: gate.clone(),
-    };
-    let thread_gate = gate.clone();
-    let join = std::thread::Builder::new()
-        .name(format!("sim-{name}"))
-        .spawn(move || {
-            thread_gate.wait_first_resume();
-            if proc_ctx.is_killed() {
-                // Killed before ever running: terminate without invoking f.
-                thread_gate.finish(Ok(()));
-                return;
-            }
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&proc_ctx)));
-            let outcome = match result {
-                Ok(()) => Ok(()),
-                Err(payload) if payload.is::<KillSignal>() => Ok(()),
-                Err(payload) => Err(panic_payload_to_string(payload.as_ref())),
-            };
-            thread_gate.finish(outcome);
-        })
-        .expect("failed to spawn simulation thread");
-    procs.push(ProcSlot { name, gate, killed, join: Some(join) });
+    handle.inner.stats.task_spawned();
+    TOTAL_SPAWNED.fetch_add(1, Ordering::Relaxed);
+    // The executor creates the gate; the Proc context is built around it
+    // and bound into the task body in one step.
+    let ctx_handle = handle.clone();
+    let ctx_name = name.clone();
+    let ctx_killed = killed.clone();
+    let task = handle.inner.exec.spawn(
+        name.clone(),
+        killed.clone(),
+        handle.inner.stats.clone(),
+        Box::new(move |gate| {
+            let proc_ctx =
+                Proc { handle: ctx_handle, id, name: ctx_name, killed: ctx_killed, gate };
+            Box::new(move || f(&proc_ctx))
+        }),
+    );
+    procs.push(ProcSlot { name, gate: task.gate, killed, join: task.join });
     drop(procs);
+    handle.inner.stats.add_spawn_ns(t0.elapsed().as_nanos() as u64);
     handle.wake(id);
     id
 }
@@ -393,15 +391,24 @@ pub struct Sim {
     /// `Inner::procs` only when a wake references a process spawned since
     /// the last refresh. Keeps the wake hot path free of locks and
     /// `Arc` clones.
-    gates: Vec<Arc<Gate>>,
+    gates: Vec<Arc<dyn Gate>>,
     /// Events dispatched by this simulation across all `run*` calls.
     events: u64,
+    /// Whether [`shutdown`](Sim::shutdown) already ran.
+    shut_down: bool,
 }
 
 impl Sim {
-    /// Create a simulation whose RNG is seeded with `seed`. Two simulations
-    /// built identically with the same seed produce identical traces.
+    /// Create a simulation whose RNG is seeded with `seed`, using the
+    /// default execution backend (see [`DesConfig::default`]). Two
+    /// simulations built identically with the same seed produce identical
+    /// traces — on either backend.
     pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, DesConfig::default())
+    }
+
+    /// Create a simulation with an explicit execution configuration.
+    pub fn with_config(seed: u64, config: DesConfig) -> Self {
         let inner = Arc::new(Inner {
             now: AtomicU64::new(0),
             seq: AtomicU64::new(0),
@@ -411,6 +418,8 @@ impl Sim {
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             tracer: Tracer::new(gbcr_trace::capture_default()),
             elided: AtomicU64::new(0),
+            exec: config.build_executor(),
+            stats: Arc::new(ExecStats::default()),
         });
         Sim {
             handle: SimHandle { inner },
@@ -418,6 +427,7 @@ impl Sim {
             drain_buf: Vec::new(),
             gates: Vec::new(),
             events: 0,
+            shut_down: false,
         }
     }
 
@@ -463,14 +473,56 @@ impl Sim {
         self.handle.inner.elided.load(Ordering::Relaxed)
     }
 
+    /// Processes this simulation has spawned so far.
+    pub fn procs_spawned(&self) -> u64 {
+        self.handle.inner.stats.spawned()
+    }
+
+    /// High-water mark of simultaneously live (spawned, not yet finished)
+    /// processes.
+    pub fn peak_live_procs(&self) -> u64 {
+        self.handle.inner.stats.peak_live()
+    }
+
+    /// Cumulative wall-clock nanoseconds spent inside `spawn` calls.
+    pub fn spawn_cost_ns(&self) -> u64 {
+        self.handle.inner.stats.spawn_ns()
+    }
+
+    /// Wall-clock nanoseconds spent tearing processes down; populated by
+    /// [`shutdown`](Sim::shutdown) (explicitly or via `Drop`).
+    pub fn teardown_cost_ns(&self) -> u64 {
+        self.handle.inner.stats.teardown_ns()
+    }
+
+    /// Peak OS threads the execution backend used for simulated
+    /// processes: the worker-pool size under the pooled executor, the
+    /// peak live process count under the threaded one.
+    pub fn exec_threads(&self) -> u64 {
+        self.handle.inner.exec.exec_threads(&self.handle.inner.stats)
+    }
+
+    /// Which execution backend this simulation runs on.
+    pub fn executor_kind(&self) -> ExecKind {
+        self.handle.inner.exec.kind()
+    }
+
     /// The cached gate for `pid`, extending the cache from the shared
     /// process table on a miss (i.e. once per spawn, not once per wake).
-    fn gate(&mut self, pid: ProcId) -> &Gate {
+    fn gate(&mut self, pid: ProcId) -> &dyn Gate {
         if pid.index() >= self.gates.len() {
             let procs = self.handle.inner.procs.lock();
             self.gates.extend(procs[self.gates.len()..].iter().map(|s| s.gate.clone()));
         }
-        &self.gates[pid.index()]
+        &*self.gates[pid.index()]
+    }
+
+    fn resume_error(&self, pid: ProcId, err: ResumeError) -> SimError {
+        let name = self.handle.inner.procs.lock()[pid.index()].name.to_string();
+        match err {
+            ResumeError::Panicked(message) => SimError::ProcessPanicked { name, message },
+            ResumeError::DoubleResume => SimError::DoubleResume { name },
+        }
     }
 
     fn run_inner(&mut self, horizon: Time) -> SimResult<Time> {
@@ -526,10 +578,8 @@ impl Sim {
                                 .tracer
                                 .record_instant(batch_time, Event::SchedWake { pid: pid.0 });
                         }
-                        if let Err(message) = self.gate(pid).resume() {
-                            let name =
-                                self.handle.inner.procs.lock()[pid.index()].name.to_string();
-                            break 'outer Err(SimError::ProcessPanicked { name, message });
+                        if let Err(e) = self.gate(pid).resume() {
+                            break 'outer Err(self.resume_error(pid, e));
                         }
                     }
                     EventKind::CancellableWake { slot, gen, pid } => {
@@ -540,11 +590,8 @@ impl Sim {
                                     .tracer
                                     .record_instant(batch_time, Event::SchedTimer { pid: pid.0 });
                             }
-                            if let Err(message) = self.gate(pid).resume() {
-                                let name = self.handle.inner.procs.lock()[pid.index()]
-                                    .name
-                                    .to_string();
-                                break 'outer Err(SimError::ProcessPanicked { name, message });
+                            if let Err(e) = self.gate(pid).resume() {
+                                break 'outer Err(self.resume_error(pid, e));
                             }
                         }
                     }
@@ -570,22 +617,38 @@ impl Sim {
     pub fn process_count(&self) -> usize {
         self.handle.inner.procs.lock().len()
     }
-}
 
-impl Drop for Sim {
-    fn drop(&mut self) {
-        // Unblock any still-parked process threads so they exit, then join.
+    /// Tear down every still-live process: mark it killed, run it to its
+    /// kill-unwind, and (under the threaded backend) join its thread.
+    /// Idempotent; called automatically on drop, but callable explicitly
+    /// so teardown cost lands in the stats before a report is assembled.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        let t0 = std::time::Instant::now();
         let mut procs = self.handle.inner.procs.lock();
         for slot in procs.iter_mut() {
             if !slot.gate.is_done() {
                 slot.killed.store(true, Ordering::Relaxed);
-                // Resuming hands the baton over; the kill check unwinds the
-                // user closure and the gate comes back as Done.
-                let _ = slot.gate.resume();
+                // Teardown hands control over; the kill check unwinds the
+                // user closure and the gate comes back as Done. (Pooled
+                // tasks that never started are terminated in place, so
+                // shutdown needs no pool workers.)
+                slot.gate.teardown();
             }
             if let Some(j) = slot.join.take() {
                 let _ = j.join();
             }
         }
+        drop(procs);
+        self.handle.inner.stats.add_teardown_ns(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }

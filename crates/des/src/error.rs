@@ -31,6 +31,14 @@ pub enum SimError {
         /// The horizon that was reached.
         at: Time,
     },
+    /// The scheduler resumed a process that was already queued or running
+    /// — a scheduler invariant violation. Surfaced as an error so that a
+    /// bug in one simulation fails that run, not the whole harness
+    /// process.
+    DoubleResume {
+        /// Name of the doubly-resumed process.
+        name: String,
+    },
     /// A recovery path needed a complete checkpoint epoch that does not
     /// exist — e.g. a crash preceded the first completed checkpoint, or a
     /// specific image of the requested epoch is missing (torn or never
@@ -76,6 +84,9 @@ impl fmt::Display for SimError {
             }
             SimError::HorizonReached { at } => {
                 write!(f, "simulation horizon reached at t={}", crate::time::fmt(*at))
+            }
+            SimError::DoubleResume { name } => {
+                write!(f, "scheduler resumed already-running process '{name}'")
             }
             SimError::NoRestartPoint { job, detail } => {
                 write!(f, "no restart point for job '{job}': {detail}")

@@ -2,27 +2,32 @@
 //!
 //! The substrate every other crate in this workspace runs on. It provides a
 //! virtual clock with nanosecond resolution, an event queue with a total
-//! deterministic order, and *thread-backed simulated processes*: each
-//! simulated entity (an MPI rank, a storage server, the checkpoint
-//! coordinator) is an OS thread, but a baton protocol guarantees **exactly
-//! one** simulated thread executes at any instant. User code is therefore
-//! written as ordinary straight-line blocking code — exactly like a real MPI
-//! program — while the whole run stays bit-for-bit reproducible for a given
-//! seed.
+//! deterministic order, and *blocking simulated processes*: each simulated
+//! entity (an MPI rank, a storage server, the checkpoint coordinator) is
+//! written as ordinary straight-line blocking code — exactly like a real
+//! MPI program — while a handoff protocol guarantees **exactly one**
+//! simulated process executes at any instant, keeping the whole run
+//! bit-for-bit reproducible for a given seed.
 //!
 //! This mirrors the classic process-oriented simulation style (SimPy,
 //! OMNeT++ "activities"): a process runs until it *yields* — by sleeping,
 //! by blocking on a [`Signal`], or by finishing — and the scheduler then
 //! dispatches the next event in `(time, sequence)` order.
 //!
-//! ## Why threads and not async?
+//! ## Why blocking processes and not async?
 //!
 //! The workloads we simulate (HPL, MotifMiner, the paper's micro-benchmarks)
-//! are most naturally expressed as blocking MPI programs. Backing each
-//! simulated process with an OS thread keeps the user-facing API free of
-//! combinators and lifetimes while the baton handoff keeps the simulation
-//! sequential and deterministic. Contention on the handoff locks is nil
-//! because at most one simulated thread and the scheduler are ever awake.
+//! are most naturally expressed as blocking MPI programs, so the
+//! user-facing API stays free of combinators and lifetimes. Underneath,
+//! two interchangeable executors provide the blocking illusion (see
+//! [`DesConfig`]): the default *pooled* backend runs each process as a
+//! stackful coroutine on a small shared worker pool (live OS threads
+//! scale with `min(ncpu, 8)`, not rank count — this is what makes
+//! 10k-rank simulations affordable), and the legacy *threaded* backend
+//! dedicates an OS thread per process with a mutex+condvar baton.
+//! Determinism is a property of the scheduler's total event order, not of
+//! the backend, and the benchmark harness checks byte-identical output
+//! across both on every run.
 //!
 //! ## Quick example
 //!
@@ -46,8 +51,11 @@
 
 #![warn(missing_docs)]
 
+mod coro;
 mod engine;
 mod error;
+mod exec;
+mod pool;
 mod process;
 mod signal;
 pub mod time;
@@ -58,9 +66,15 @@ mod wake;
 /// reach span/event types through the engine they already depend on).
 pub use gbcr_trace as trace;
 
-pub use engine::{total_events_processed, total_wakes_elided, Sim, SimHandle};
+pub use engine::{
+    total_events_processed, total_procs_spawned, total_wakes_elided, Sim, SimHandle,
+};
 pub use error::{SimError, SimResult};
+pub use exec::{executor_default, set_executor_default, DesConfig, ExecKind};
 pub use gbcr_trace::{Arg, ArgValue, Event, Span, TraceData, TraceLevel, Tracer, Track};
+pub use pool::pool_threads;
+#[doc(hidden)]
+pub use process::kill_unwind_flag_set;
 pub use process::{Proc, ProcId};
 pub use signal::Signal;
 pub use time::Time;

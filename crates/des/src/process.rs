@@ -1,15 +1,18 @@
-//! Simulated processes and the baton handoff between them and the scheduler.
+//! Simulated processes and their blocking context handle.
 //!
-//! Every simulated process is an OS thread, but the [`Gate`] baton protocol
-//! guarantees that at most one simulated thread runs at any instant: the
-//! scheduler resumes a process and then blocks until the process either
-//! *parks* (yields) or finishes. All simulation state can therefore be
-//! mutated without data races, as long as code never parks while holding a
-//! lock (an invariant all crates in this workspace follow).
+//! Every simulated process runs behind a [`crate::exec::Gate`] — the
+//! scheduler↔process handoff that guarantees at most one simulated
+//! process runs at any instant: the scheduler resumes a process and then
+//! blocks until the process either *parks* (yields) or finishes. Whether
+//! the gate is backed by a dedicated OS thread or by a pooled coroutine
+//! (see [`crate::exec`] / [`crate::pool`]) is invisible here. All
+//! simulation state can therefore be mutated without data races, as long
+//! as code never parks while holding a lock (an invariant all crates in
+//! this workspace follow).
 
 use crate::engine::SimHandle;
+use crate::exec::Gate;
 use crate::time::Time;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -31,97 +34,9 @@ impl std::fmt::Display for ProcId {
     }
 }
 
-/// Who currently holds the baton for one process thread.
-#[derive(Debug)]
-pub(crate) enum Baton {
-    /// The process thread is parked; the scheduler may resume it.
-    Parked,
-    /// The process thread is running; the scheduler is waiting.
-    Running,
-    /// The process finished normally (or was killed, which is a normal end).
-    DoneOk,
-    /// The process panicked with the given rendered payload.
-    DonePanic(String),
-}
-
-/// The per-process handoff cell shared by the scheduler and the process
-/// thread.
-pub(crate) struct Gate {
-    state: Mutex<Baton>,
-    cv: Condvar,
-}
-
 /// Marker payload used to unwind a killed process out of its user closure.
-/// Treated as a normal termination by the thread wrapper.
+/// Treated as a normal termination by both executor backends.
 pub(crate) struct KillSignal;
-
-impl Gate {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Gate { state: Mutex::new(Baton::Parked), cv: Condvar::new() })
-    }
-
-    /// Scheduler side: hand the baton to the process and block until it is
-    /// handed back. Returns the terminal panic message if the process died
-    /// panicking during this slice. Stale wakes on finished processes are
-    /// no-ops.
-    ///
-    /// A single lock acquisition covers the whole handoff: the condvar wait
-    /// releases the mutex atomically, so the process thread (blocked on the
-    /// same condvar) acquires it, observes `Running`, and runs — there is no
-    /// unlock/relock gap between publishing `Running` and starting to wait.
-    pub(crate) fn resume(&self) -> Result<(), String> {
-        let mut st = self.state.lock();
-        match *st {
-            Baton::Parked => {
-                *st = Baton::Running;
-                self.cv.notify_all();
-            }
-            Baton::DoneOk | Baton::DonePanic(_) => return Ok(()),
-            Baton::Running => unreachable!("scheduler resumed a running process"),
-        }
-        while matches!(*st, Baton::Running) {
-            self.cv.wait(&mut st);
-        }
-        match &*st {
-            Baton::DonePanic(msg) => Err(msg.clone()),
-            _ => Ok(()),
-        }
-    }
-
-    /// Process side: hand the baton back to the scheduler and block until
-    /// resumed again.
-    pub(crate) fn park(&self) {
-        let mut st = self.state.lock();
-        *st = Baton::Parked;
-        self.cv.notify_all();
-        while matches!(*st, Baton::Parked) {
-            self.cv.wait(&mut st);
-        }
-    }
-
-    /// Process side: block until the scheduler first resumes us. The state
-    /// starts out `Parked`, so this is just the waiting half of [`park`].
-    pub(crate) fn wait_first_resume(&self) {
-        let mut st = self.state.lock();
-        while matches!(*st, Baton::Parked) {
-            self.cv.wait(&mut st);
-        }
-    }
-
-    /// Process side: terminal hand-back.
-    pub(crate) fn finish(&self, outcome: Result<(), String>) {
-        let mut st = self.state.lock();
-        *st = match outcome {
-            Ok(()) => Baton::DoneOk,
-            Err(msg) => Baton::DonePanic(msg),
-        };
-        self.cv.notify_all();
-    }
-
-    pub(crate) fn is_done(&self) -> bool {
-        matches!(*self.state.lock(), Baton::DoneOk | Baton::DonePanic(_))
-    }
-}
 
 /// The context handle passed to every simulated process closure.
 ///
@@ -133,7 +48,7 @@ pub struct Proc {
     pub(crate) id: ProcId,
     pub(crate) name: Arc<str>,
     pub(crate) killed: Arc<AtomicBool>,
-    pub(crate) gate: Arc<Gate>,
+    pub(crate) gate: Arc<dyn Gate>,
 }
 
 impl Proc {
@@ -207,6 +122,21 @@ impl Proc {
 
 thread_local! {
     static KILL_UNWINDING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Reset this OS thread's kill-unwind flag. Both executor backends call
+/// this when a task's unwind has been caught: pool workers are reused for
+/// other tasks, and a stale flag would silently swallow the next real
+/// panic's output.
+pub(crate) fn clear_kill_unwind_flag() {
+    KILL_UNWINDING.with(|f| f.set(false));
+}
+
+/// Whether this OS thread currently carries the kill-unwind flag.
+/// Test-only introspection for the executor equivalence suite.
+#[doc(hidden)]
+pub fn kill_unwind_flag_set() -> bool {
+    KILL_UNWINDING.with(|f| f.get())
 }
 
 /// Kill unwinds are implemented with `panic_any(KillSignal)`; without this

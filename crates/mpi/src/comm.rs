@@ -49,10 +49,12 @@ impl Comm {
     }
 
     /// Tag for collective operation number `seq` on this communicator.
-    /// Bit 31 marks collectives; bits 28..20 carry the communicator id;
-    /// bits 19..0 the per-communicator operation sequence (wrapping).
+    /// Bit 31 marks collectives; bits 30..16 carry the communicator id
+    /// (32 768 ids — a 10k-rank job with group communicators needs
+    /// thousands); bits 15..0 the per-communicator operation sequence
+    /// (wrapping — tags only disambiguate concurrent collectives).
     pub(crate) fn coll_tag(&self, seq: u32) -> Tag {
-        0x8000_0000 | ((self.id & 0xFF) << 20) | (seq & 0xF_FFFF)
+        0x8000_0000 | ((self.id & 0x7FFF) << 16) | (seq & 0xFFFF)
     }
 }
 

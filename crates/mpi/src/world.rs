@@ -127,7 +127,7 @@ impl World {
                 comms.len() - 1
             }
         };
-        assert!(id < 256, "communicator id space exhausted");
+        assert!(id < 32_768, "communicator id space exhausted");
         Comm::new(id as u32, comms[id].clone())
     }
 

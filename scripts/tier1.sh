@@ -12,7 +12,35 @@ cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release --workspace -q
 cargo run --release -p gbcr-bench --bin make_all -- \
-  --smoke --serial-check --json target/BENCH_smoke.json > target/make_all_smoke.out
+  --smoke --serial-check --json target/BENCH_smoke.json \
+  > target/make_all_smoke.out 2> target/make_all_smoke.err
+cat target/make_all_smoke.err >&2
+
+# The serial check now also reruns the smoke sweep on the threaded
+# executor and fails on any byte difference; assert the pooled-vs-threaded
+# identity pass actually ran (a silent skip must not count as a pass).
+# make_all prints check progress on stderr, hence the .err capture above.
+grep -q "executor check: tables byte-identical" target/make_all_smoke.err || {
+  echo "tier1: pooled-vs-threaded identity check did not run:" >&2
+  tail -5 target/make_all_smoke.err >&2
+  exit 1
+}
+
+# Scale smoke: 256- and 1024-rank group-vs-cluster runs on the pooled
+# coroutine executor, under a hard wall budget (the full local run takes
+# ~6 s; the budget catches executor-overhead regressions, not CI jitter).
+timeout 120 cargo run --release -p gbcr-bench --bin scale -- --smoke \
+  > target/scale_smoke.out || {
+  echo "tier1: scale smoke failed or blew its 120 s wall budget:" >&2
+  tail -20 target/scale_smoke.out >&2
+  exit 1
+}
+grep -Eq "scale check: max_ranks=1024 peak_exec_threads=[0-9]+ executor=(pooled|threaded) monotone_reduction=true" \
+  target/scale_smoke.out || {
+  echo "tier1: scale smoke diverged from golden:" >&2
+  cat target/scale_smoke.out >&2
+  exit 1
+}
 
 # Fault-injection smoke: a seeded 4-rank run under stochastic node kills
 # must detect the failures, restart from checkpoints, finish, and land on
