@@ -17,6 +17,11 @@
 //!   output); then rerun once more on the legacy *threaded* executor and
 //!   verify once more (pooled coroutine execution must not change any
 //!   output either).
+//! * `--sched` — rerun everything under the *other* event scheduler
+//!   (parallel conservative-window if the run defaulted to serial, and
+//!   vice versa; the parallel pass forces ≥2 shards) and verify every
+//!   rendered table is byte-identical, reporting per-backend wall time
+//!   side by side.
 //! * `--scale` — append the scale study (group-based vs whole-cluster
 //!   delay from 256 ranks up; smoke sizes under `--smoke`) and emit its
 //!   telemetry as the `scale` block of the `--json` record.
@@ -29,13 +34,14 @@
 //!   (default `target/trace_smoke.json`). Capture only observes: every
 //!   rendered table stays byte-identical to an untraced run.
 
-use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, scale, trace, GROUP_SIZES};
+use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, scale, seed, trace, GROUP_SIZES};
 use std::time::Instant;
 
 struct Args {
     threads: Option<usize>,
     smoke: bool,
     serial_check: bool,
+    sched_check: bool,
     faults: bool,
     scale: bool,
     json: Option<String>,
@@ -47,6 +53,7 @@ fn parse_args() -> Args {
         threads: None,
         smoke: false,
         serial_check: false,
+        sched_check: false,
         faults: false,
         scale: false,
         json: None,
@@ -64,6 +71,7 @@ fn parse_args() -> Args {
             }
             "--smoke" => out.smoke = true,
             "--serial-check" => out.serial_check = true,
+            "--sched" => out.sched_check = true,
             "--faults" => out.faults = true,
             "--scale" => out.scale = true,
             "--json" => {
@@ -81,8 +89,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: make_all [--threads N] [--smoke] [--serial-check] [--faults] \
-                     [--scale] [--json [PATH]] [--trace [PATH]]"
+                    "usage: make_all [--threads N] [--smoke] [--serial-check] [--sched] \
+                     [--faults] [--scale] [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -196,55 +204,29 @@ fn sections(smoke: bool) -> Vec<(&'static str, Renderer)> {
     s
 }
 
-/// Run every section on `threads` workers; returns the rendered sections
-/// and per-section wall milliseconds.
+/// Run every section on `threads` workers; returns the rendered sections,
+/// per-section wall milliseconds, and per-section simulated-event counts
+/// (sections run one at a time, so global-counter deltas attribute
+/// exactly).
 fn render_all(
     secs: &[(&'static str, Renderer)],
     threads: Option<usize>,
-) -> (Vec<String>, Vec<f64>) {
+) -> (Vec<String>, Vec<f64>, Vec<u64>) {
     let mut outputs = Vec::with_capacity(secs.len());
     let mut walls = Vec::with_capacity(secs.len());
+    let mut events = Vec::with_capacity(secs.len());
     for (_, render) in secs {
         let t0 = Instant::now();
+        let e0 = gbcr_des::total_events_processed();
         outputs.push(render(threads));
+        events.push(gbcr_des::total_events_processed() - e0);
         walls.push(t0.elapsed().as_secs_f64() * 1e3);
     }
-    (outputs, walls)
+    (outputs, walls, events)
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Seed the sweep cost registry from a previous run's `--json` record, so
-/// the first sweep of this run already dispatches longest-first. Tolerant
-/// hand parser over the `"cells"` array this binary itself writes; any
-/// malformed entry is skipped (worst case: that cell is scheduled as
-/// unknown). Returns the number of cells seeded.
-fn seed_costs_from(path: &str) -> usize {
-    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
-    let Some(cells_at) = text.find("\"cells\"") else { return 0 };
-    let mut seeded = 0;
-    let field = |obj: &str, name: &str| -> Option<String> {
-        let at = obj.find(&format!("\"{name}\""))?;
-        let rest = &obj[at..];
-        let colon = rest.find(':')?;
-        let val = rest[colon + 1..].trim_start();
-        let end = val.find([',', '}']).unwrap_or(val.len());
-        Some(val[..end].trim().to_owned())
-    };
-    for obj in text[cells_at..].split('{').skip(1) {
-        let Some(end) = obj.find('}') else { continue };
-        let obj = &obj[..end];
-        let key = field(obj, "key").map(|v| v.trim_matches('"').to_owned());
-        let wall = field(obj, "wall_ms").and_then(|v| v.parse::<f64>().ok());
-        let events = field(obj, "events").and_then(|v| v.parse::<u64>().ok());
-        if let (Some(key), Some(wall), Some(events)) = (key, wall, events) {
-            gbcr_metrics::seed_cell_cost(&key, wall, events);
-            seeded += 1;
-        }
-    }
-    seeded
 }
 
 fn main() {
@@ -258,9 +240,14 @@ fn main() {
              oversubscribed; wall times and speedup will not reflect real parallelism"
         );
     }
-    let seeded = args.json.as_deref().map_or(0, seed_costs_from);
+    let seeded = args.json.as_deref().map_or(0, seed::seed_costs_from);
     if seeded > 0 {
         eprintln!("seeded {seeded} cell costs from previous run (LPT dispatch)");
+    } else if let Some(path) = &args.json {
+        eprintln!(
+            "no cell costs seeded (no readable previous record at {path}) — \
+             cold LPT dispatch, unknown cells first"
+        );
     }
     if args.trace.is_some() {
         // Phase-level capture for every sweep cell; the tracer only
@@ -276,7 +263,7 @@ fn main() {
     let elided0 = gbcr_des::total_wakes_elided();
     let spawned0 = gbcr_des::total_procs_spawned();
     let t0 = Instant::now();
-    let (outputs, walls) = render_all(&secs, Some(threads));
+    let (outputs, walls, section_events) = render_all(&secs, Some(threads));
     let parallel_secs = t0.elapsed().as_secs_f64();
     let total_events = gbcr_des::total_events_processed() - events0;
     let total_elided = gbcr_des::total_wakes_elided() - elided0;
@@ -336,7 +323,7 @@ fn main() {
     if args.serial_check {
         eprintln!("serial check: rerunning everything on 1 worker...");
         let t1 = Instant::now();
-        let (serial_outputs, _) = render_all(&secs, Some(1));
+        let (serial_outputs, _, _) = render_all(&secs, Some(1));
         let serial_secs = t1.elapsed().as_secs_f64();
         let identical = serial_outputs == outputs;
         if identical {
@@ -360,7 +347,7 @@ fn main() {
         eprintln!("polled check: rerunning everything in polled progress mode...");
         gbcr_mpi::set_polled_progress_default(true);
         let pe0 = gbcr_des::total_events_processed();
-        let (polled_outputs, _) = render_all(&secs, Some(threads));
+        let (polled_outputs, _, _) = render_all(&secs, Some(threads));
         let polled_events = gbcr_des::total_events_processed() - pe0;
         gbcr_mpi::set_polled_progress_default(false);
         let polled_identical = polled_outputs == outputs;
@@ -384,7 +371,7 @@ fn main() {
 
         eprintln!("executor check: rerunning everything on the threaded backend...");
         gbcr_des::set_executor_default(gbcr_des::ExecKind::Threaded);
-        let (threaded_outputs, _) = render_all(&secs, Some(threads));
+        let (threaded_outputs, _, _) = render_all(&secs, Some(threads));
         gbcr_des::set_executor_default(gbcr_des::ExecKind::Pooled);
         let threaded_identical = threaded_outputs == outputs;
         if threaded_identical {
@@ -406,6 +393,52 @@ fn main() {
         if !identical || !polled_identical || !threaded_identical {
             std::process::exit(1);
         }
+    }
+
+    // Scheduler A/B (`--sched`): rerun every section under the *other*
+    // event scheduler and require byte-identical tables. The parallel
+    // pass forces at least two shards so the conservative-window path
+    // actually executes even on a single-core host.
+    let main_sched = gbcr_des::sched_default();
+    let mut sched_check: Option<(gbcr_des::SchedKind, f64)> = None;
+    if args.sched_check {
+        let other = match main_sched {
+            gbcr_des::SchedKind::Serial => gbcr_des::SchedKind::Parallel,
+            gbcr_des::SchedKind::Parallel => gbcr_des::SchedKind::Serial,
+        };
+        let shards = gbcr_des::shard_count_default().max(2);
+        eprintln!("sched check: rerunning everything on the {} scheduler...", other.name());
+        gbcr_des::set_sched_default(other);
+        if other == gbcr_des::SchedKind::Parallel {
+            gbcr_des::set_shard_count_default(shards);
+        }
+        let t2 = Instant::now();
+        let (sched_outputs, _, _) = render_all(&secs, Some(threads));
+        let sched_secs = t2.elapsed().as_secs_f64();
+        gbcr_des::set_sched_default(main_sched);
+        gbcr_des::set_shard_count_default(0);
+        if sched_outputs == outputs {
+            eprintln!(
+                "sched check: tables byte-identical; {} {parallel_secs:.2}s vs {} \
+                 {sched_secs:.2}s ({:.2}x)",
+                main_sched.name(),
+                other.name(),
+                parallel_secs / sched_secs
+            );
+        } else {
+            for (i, (name, _)) in secs.iter().enumerate() {
+                if sched_outputs[i] != outputs[i] {
+                    eprintln!(
+                        "sched check FAILED: section {name} differs between the {} and {} \
+                         schedulers",
+                        main_sched.name(),
+                        other.name()
+                    );
+                }
+            }
+            std::process::exit(1);
+        }
+        sched_check = Some((other, sched_secs));
     }
 
     let mut trace_exported: Option<(String, trace::TraceCheck)> = None;
@@ -443,7 +476,17 @@ fn main() {
             gbcr_des::executor_default().name()
         ));
         j.push_str(&format!("  \"pool_threads\": {},\n", gbcr_des::pool_threads()));
+        j.push_str(&format!("  \"sched\": \"{}\",\n", main_sched.name()));
         j.push_str(&format!("  \"lpt_seeded_cells\": {seeded},\n"));
+        if let Some((other, sched_secs)) = sched_check {
+            j.push_str(&format!("  \"sched_check_backend\": \"{}\",\n", other.name()));
+            j.push_str(&format!("  \"sched_check_wall_ms\": {:.1},\n", sched_secs * 1e3));
+            j.push_str(&format!(
+                "  \"sched_check_speedup\": {:.2},\n",
+                parallel_secs / sched_secs
+            ));
+            j.push_str("  \"sched_check_identical\": true,\n");
+        }
         if let Some((serial_secs, serial_identical)) = serial {
             let (polled_identical, polled_events) = polled.expect("polled pass ran");
             let threaded_identical = executor_check.expect("executor pass ran");
@@ -472,12 +515,20 @@ fn main() {
                 chk.ok()
             ));
         }
+        // Per-figure cost records: wall time plus the simulated-event
+        // count (host-independent work measure), the scheduler backend,
+        // and the core count, so perf trajectories are comparable across
+        // machines.
         j.push_str("  \"figures\": [\n");
-        for (i, ((name, _), wall)) in secs.iter().zip(&walls).enumerate() {
+        for (i, (((name, _), wall), ev)) in
+            secs.iter().zip(&walls).zip(&section_events).enumerate()
+        {
             let comma = if i + 1 == secs.len() { "" } else { "," };
             j.push_str(&format!(
-                "    {{\"name\": \"{}\", \"wall_ms\": {wall:.1}}}{comma}\n",
-                json_escape(name)
+                "    {{\"name\": \"{}\", \"wall_ms\": {wall:.1}, \"events\": {ev}, \
+                 \"sched\": \"{}\", \"host_cores\": {cores}}}{comma}\n",
+                json_escape(name),
+                main_sched.name()
             ));
         }
         j.push_str("  ],\n");

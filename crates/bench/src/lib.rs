@@ -20,6 +20,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod paper;
 pub mod scale;
+pub mod seed;
 pub mod trace;
 
 use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};

@@ -245,18 +245,29 @@ impl CoordBody {
             if self.finished.len() as u32 == self.n {
                 break; // job already over; nothing to checkpoint
             }
+            // Epoch protocols interact across shards at sub-lookahead
+            // distance — gate closures, connection churn, and the shared
+            // storage device's processor-sharing state — so the parallel
+            // scheduler must run them in lockstep (fenced) windows. A
+            // no-op under the serial scheduler.
+            p.handle().fence_raise();
             let report = match self.cfg.mode {
                 CkptMode::ChandyLamport => self.run_cl_epoch(p, i as u64, t),
                 CkptMode::Uncoordinated => self.run_uncoordinated_epoch(p, i as u64, t),
                 _ => self.run_epoch(p, i as u64, t),
             };
             out.lock().push(report);
+            p.handle().fence_lower();
         }
         // Wait for every rank to finish, then release their service loops.
         while self.finished.len() as u32 != self.n {
             let (from, msg) = self.recv_raw(p);
             self.sort_message(from, msg);
         }
+        // The shutdown broadcast triggers a connection-teardown storm whose
+        // drain/waiter wakes cross shards at sub-lookahead distance; fence
+        // the remainder of the run (never lowered — the job is over).
+        p.handle().fence_raise();
         for r in 0..self.n {
             self.send_to(r, OobMsg::new(proto::SHUTDOWN, 0, 0), 64);
         }

@@ -154,6 +154,15 @@ pub(crate) trait Gate: Send + Sync {
     /// Scheduler side: run one slice of this process. `Ok` on park or
     /// normal finish (stale wakes on finished processes are no-ops).
     fn resume(&self) -> Result<(), ResumeError>;
+    /// Like [`resume`](Gate::resume), but the slice executes *inline on
+    /// the calling thread* when the backend supports it. The parallel
+    /// scheduler's shard workers use this so process code observes the
+    /// worker's shard-local clock (thread-local state) instead of being
+    /// bounced to an unrelated pool thread. Backends without an inline
+    /// path fall back to `resume`.
+    fn resume_local(&self) -> Result<(), ResumeError> {
+        self.resume()
+    }
     /// Process side: yield back to the scheduler; returns when resumed.
     fn park(&self);
     /// Whether the process has terminated (normally, by panic, or by

@@ -57,6 +57,7 @@ mod error;
 mod exec;
 mod pool;
 mod process;
+mod sched;
 mod signal;
 pub mod time;
 mod timer;
@@ -71,6 +72,10 @@ pub use engine::{
 };
 pub use error::{SimError, SimResult};
 pub use exec::{executor_default, set_executor_default, DesConfig, ExecKind};
+pub use sched::{
+    sched_default, set_sched_default, set_shard_count_default, shard_count_default, SchedKind,
+    SchedTelemetry,
+};
 pub use gbcr_trace::{Arg, ArgValue, Event, Span, TraceData, TraceLevel, Tracer, Track};
 pub use pool::pool_threads;
 #[doc(hidden)]

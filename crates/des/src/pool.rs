@@ -117,6 +117,31 @@ impl Gate for TaskCell {
         }
     }
 
+    fn resume_local(&self) -> Result<(), ResumeError> {
+        // Same state transition as `resume`, but the slice is hosted by
+        // the *calling* thread (a parallel-scheduler shard worker or the
+        // fenced-window control thread) instead of a pool worker, so any
+        // thread-local scheduler context the caller set up is visible to
+        // the process code. No condvar round-trip: `run_slice` returns
+        // only after the slice has ended and published its state.
+        {
+            let mut st = self.st.lock();
+            match *st {
+                CellState::New | CellState::Parked => *st = CellState::Queued,
+                CellState::DoneOk | CellState::DonePanic(_) => return Ok(()),
+                CellState::Queued | CellState::Running => {
+                    return Err(ResumeError::DoubleResume)
+                }
+            }
+        }
+        let me = self.me.upgrade().expect("task cell alive during resume");
+        run_slice(&me);
+        match &*self.st.lock() {
+            CellState::DonePanic(msg) => Err(ResumeError::Panicked(msg.clone())),
+            _ => Ok(()),
+        }
+    }
+
     fn park(&self) {
         // SAFETY: called from the coroutine, i.e. on the worker currently
         // hosting the slice; `task_sp`/`worker_sp` are valid, and the

@@ -1,0 +1,251 @@
+//! Unit-level scheduler equivalence: the conservative-window parallel
+//! scheduler against the serial oracle on raw `Sim` workloads, with
+//! arbitrary (not just contiguous) shard partitions.
+//!
+//! Tables are compared as multisets per timestamp (sorted): the parallel
+//! merge is deterministic in `(time, lane, lane_seq)` order, which can
+//! legitimately interleave *same-timestamp* events from different lanes
+//! differently than the serial `(time, seq)` order. Event *times* and the
+//! set of events at each time must be identical.
+
+use gbcr_des::{time, DesConfig, ExecKind, ProcId, SchedKind, Sim, Time};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Table = Vec<(u64, String)>;
+
+/// Token ring over `call_at_keyed` deliveries: proc `i` sends one token a
+/// round to proc `i+1` with `lat` of delivery latency (the fabric-lookahead
+/// pattern), then parks until its own token of the round arrives. This is
+/// the canonical lookahead-sound workload: every cross-shard effect is at
+/// least `lat` in the future.
+fn ring_run(
+    partition: Option<(usize, Vec<u32>)>,
+    lat: Time,
+    nprocs: usize,
+    rounds: u64,
+) -> Option<(Table, u64, gbcr_des::SchedTelemetry)> {
+    let log: Arc<Mutex<Table>> = Arc::new(Mutex::new(Vec::new()));
+    let counts: Arc<Vec<AtomicU64>> = Arc::new((0..nprocs).map(|_| AtomicU64::new(0)).collect());
+    let pids: Arc<Mutex<Vec<ProcId>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut sim = Sim::with_config(13, DesConfig::pooled());
+    for i in 0..nprocs {
+        let (log, counts, pids2) = (log.clone(), counts.clone(), pids.clone());
+        let pid = sim.spawn(format!("ring{i}"), move |p| {
+            let pids = pids2;
+            let next = (i + 1) % nprocs;
+            for round in 0..rounds {
+                let pid_next = pids.lock()[next];
+                let counts2 = counts.clone();
+                p.handle().call_at_keyed(next as u64, p.now() + lat, move |h| {
+                    counts2[next].fetch_add(1, Ordering::SeqCst);
+                    h.schedule_wake(h.now(), pid_next);
+                });
+                while counts[i].load(Ordering::SeqCst) < round + 1 {
+                    p.park();
+                }
+                log.lock().push((p.now(), format!("{i}:r{round}")));
+            }
+        });
+        pids.lock().push(pid);
+    }
+
+    if let Some((shards, proc_shard)) = partition {
+        let key_shard: HashMap<u64, u32> =
+            proc_shard.iter().enumerate().map(|(i, &s)| (i as u64, s)).collect();
+        if !sim.enable_parallel(shards, lat, proc_shard, key_shard) {
+            return None; // platform without the pooled executor
+        }
+        assert_eq!(sim.sched_kind(), SchedKind::Parallel);
+    }
+    let end = sim.run().expect("ring completes");
+    let telemetry = sim.sched_telemetry();
+    sim.shutdown();
+    let mut table = log.lock().clone();
+    table.sort();
+    Some((table, end, telemetry))
+}
+
+#[test]
+fn ring_tables_identical_across_arbitrary_partitions() {
+    let (nprocs, rounds, lat) = (6, 5, time::us(7));
+    let Some((serial, end_s, _)) = ring_run(None, lat, nprocs, rounds) else {
+        return;
+    };
+    assert_eq!(serial.len(), nprocs * rounds as usize);
+    for part in [
+        vec![0, 0, 0, 1, 1, 1], // contiguous blocks
+        vec![0, 1, 0, 1, 0, 1], // alternating
+        vec![2, 0, 1, 1, 0, 2], // scrambled, 3 shards
+    ] {
+        let shards = (*part.iter().max().unwrap() + 1).max(2) as usize;
+        let Some((par, end_p, t)) = ring_run(Some((shards, part.clone())), lat, nprocs, rounds)
+        else {
+            return;
+        };
+        assert_eq!(end_s, end_p, "end time diverged for {part:?}");
+        assert_eq!(serial, par, "tables diverged for {part:?}");
+        assert!(t.windows > 0, "parallel run executed no windows");
+        assert_eq!(t.fenced_windows, 0, "nonzero lookahead needed no fenced windows");
+    }
+}
+
+/// Zero lookahead must degrade to lockstep single-timestamp windows —
+/// never deadlock — and still match the oracle.
+#[test]
+fn zero_lookahead_is_lockstep_not_deadlock() {
+    let (nprocs, rounds) = (4, 4);
+    let Some((serial, end_s, _)) = ring_run(None, 0, nprocs, rounds) else {
+        return;
+    };
+    let Some((par, end_p, t)) = ring_run(Some((2, vec![0, 1, 0, 1])), 0, nprocs, rounds) else {
+        return;
+    };
+    assert_eq!((serial, end_s), (par, end_p));
+    assert!(t.windows > 0);
+    assert_eq!(t.windows, t.fenced_windows, "zero lookahead must fence every window");
+}
+
+/// A raised fence makes *any* workload safe under any partition — every
+/// window degrades to the globally-merged `t == T_min` batch — including
+/// signal wakes and same-timestamp cross-shard interactions that the
+/// lookahead analysis cannot cover.
+#[test]
+fn fenced_run_handles_signal_workload_on_any_partition() {
+    fn run(partition: Option<(usize, Vec<u32>)>) -> Option<(Table, u64)> {
+        let log: Arc<Mutex<Table>> = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::with_config(7, DesConfig::pooled());
+        let sig = sim.signal("go");
+        for i in 0..3u64 {
+            let log = log.clone();
+            sim.spawn(format!("ticker{i}"), move |p| {
+                for _ in 0..4 {
+                    p.sleep(time::ms(3 + i));
+                    log.lock().push((p.now(), format!("ticker{i}:tick")));
+                }
+            });
+        }
+        for i in 0..2u64 {
+            let (sig, log) = (sig.clone(), log.clone());
+            sim.spawn(format!("waiter{i}"), move |p| {
+                sig.wait(p);
+                log.lock().push((p.now(), format!("waiter{i}:woken")));
+            });
+        }
+        let (sig2, log2) = (sig.clone(), log.clone());
+        sim.spawn("notifier", move |p| {
+            p.sleep(time::ms(7));
+            log2.lock().push((p.now(), "notifier:notify".into()));
+            sig2.notify_all(p);
+        });
+        let log3 = log.clone();
+        sim.spawn("spawner", move |p| {
+            p.sleep(time::ms(2));
+            let log4 = log3.clone();
+            p.handle().spawn("child", move |c| {
+                c.sleep(time::ms(1));
+                log4.lock().push((c.now(), "child:done".into()));
+            });
+            log3.lock().push((p.now(), "spawner:spawned".into()));
+        });
+
+        if let Some((shards, proc_shard)) = partition {
+            if !sim.enable_parallel(shards, time::us(10), proc_shard, HashMap::new()) {
+                return None;
+            }
+            // Signals wake cross-shard at the same timestamp: only safe in
+            // lockstep. Raise the fence for the whole run.
+            sim.handle().fence_raise();
+        }
+        let end = sim.run().expect("signal workload completes");
+        sim.shutdown();
+        let mut table = log.lock().clone();
+        table.sort();
+        Some((table, end))
+    }
+
+    let Some(serial) = run(None) else { return };
+    for part in [vec![0, 1, 0, 1, 0, 1, 0], vec![1, 1, 0, 2, 0, 2, 1]] {
+        let shards = (*part.iter().max().unwrap() + 1).max(2) as usize;
+        let Some(par) = run(Some((shards, part.clone()))) else { return };
+        assert_eq!(serial, par, "fenced tables diverged for {part:?}");
+    }
+}
+
+/// `enable_parallel` must refuse configurations it cannot honor rather
+/// than run them unsoundly.
+#[test]
+fn enable_parallel_refuses_unsupported_configs() {
+    // Fewer than 2 shards.
+    let mut sim = Sim::with_config(1, DesConfig::pooled());
+    sim.spawn("a", |p| p.sleep(time::ms(1)));
+    assert!(!sim.enable_parallel(1, time::us(1), vec![0], HashMap::new()));
+    assert_eq!(sim.sched_kind(), SchedKind::Serial);
+
+    // Threaded executor.
+    let mut sim = Sim::with_config(1, DesConfig::threaded());
+    sim.spawn("a", |p| p.sleep(time::ms(1)));
+    sim.spawn("b", |p| p.sleep(time::ms(1)));
+    assert!(!sim.enable_parallel(2, time::us(1), vec![0, 1], HashMap::new()));
+    assert_eq!(sim.sched_kind(), SchedKind::Serial);
+    assert_eq!(sim.sched_telemetry(), gbcr_des::SchedTelemetry::default());
+}
+
+#[test]
+fn env_and_default_resolution() {
+    // Process-wide defaults round-trip; 0 clears the shard override.
+    let before = gbcr_des::sched_default();
+    gbcr_des::set_sched_default(SchedKind::Parallel);
+    assert_eq!(gbcr_des::sched_default(), SchedKind::Parallel);
+    gbcr_des::set_sched_default(before);
+    gbcr_des::set_shard_count_default(3);
+    assert_eq!(gbcr_des::shard_count_default(), 3);
+    gbcr_des::set_shard_count_default(0);
+    assert!(gbcr_des::shard_count_default() >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random shard partitions and lookahead values: the ring workload's
+    /// table must match the serial oracle byte-for-byte (after the
+    /// per-timestamp sort) for any assignment of procs to shards.
+    #[test]
+    fn random_partition_and_lookahead_match_oracle(
+        part in prop::collection::vec(0u32..4, 3..8),
+        lat_us in 0u64..25,
+        rounds in 1u64..5,
+    ) {
+        let nprocs = part.len();
+        let lat = time::us(lat_us);
+        let Some((serial, end_s, _)) = ring_run(None, lat, nprocs, rounds) else {
+            return Ok(());
+        };
+        let shards = (part.iter().copied().max().unwrap() + 1).max(2) as usize;
+        let Some((par, end_p, t)) = ring_run(Some((shards, part.clone())), lat, nprocs, rounds)
+        else {
+            return Ok(());
+        };
+        prop_assert_eq!(end_s, end_p);
+        prop_assert_eq!(serial, par);
+        prop_assert!(t.windows > 0);
+    }
+}
+
+/// The parallel scheduler composes with the pooled executor only; this is
+/// a smoke check that the combination actually exercised above is the one
+/// the platform provides.
+#[test]
+fn parallel_requires_pooled_executor() {
+    let sim = Sim::with_config(0, DesConfig::pooled());
+    if sim.executor_kind() != ExecKind::Pooled {
+        // Non-x86_64: every parallel test above returned early.
+        return;
+    }
+    assert_eq!(gbcr_des::SchedKind::Parallel.name(), "parallel");
+    assert_eq!(gbcr_des::SchedKind::Serial.name(), "serial");
+}

@@ -33,6 +33,12 @@ pub enum ConnState {
 
 struct ConnInner {
     state: ConnState,
+    /// While `Connecting`: the virtual time at which setup completes and
+    /// the connection becomes `Active`. A concurrent connector sleeps
+    /// until this instant and the first arrival flips the state — no
+    /// waiter-list wake crosses the connection (which, under the parallel
+    /// scheduler, would be a sub-lookahead cross-shard wake).
+    active_at: Time,
     /// In-flight message counts per direction; index 0 is low→high rank.
     in_flight: [usize; 2],
     /// Link serialization horizon per direction (FIFO per direction).
@@ -49,6 +55,7 @@ impl ConnInner {
     fn new() -> Self {
         ConnInner {
             state: ConnState::Disconnected,
+            active_at: 0,
             in_flight: [0, 0],
             busy_until: [0, 0],
             waiters: Vec::new(),
@@ -282,25 +289,51 @@ impl<M: Send + 'static> Endpoint<M> {
         assert_ne!(self.node, peer, "cannot connect to self");
         let conn = self.fabric.conn(self.node, peer);
         loop {
+            let sleep_for: Time;
             {
                 let mut c = conn.lock();
                 match c.state {
                     ConnState::Active => return,
-                    ConnState::Connecting | ConnState::Draining => {
+                    ConnState::Connecting => {
+                        // Another process is mid-setup. Sleep until its
+                        // recorded completion instant and re-observe
+                        // instead of parking on the waiter list: the
+                        // flip-time waiter wake would be a sub-lookahead
+                        // cross-shard wake under the parallel scheduler.
+                        // Whoever reaches `active_at` first performs the
+                        // flip (normally the initiator; a concurrent
+                        // connector completes an initiator that died
+                        // mid-setup).
+                        if p.now() >= c.active_at {
+                            c.state = ConnState::Active;
+                            let mut ws = std::mem::take(&mut c.waiters);
+                            drop(c);
+                            self.fabric.inner.stats.lock().connects += 1;
+                            self.fabric.wake_all(&mut ws);
+                            return;
+                        }
+                        sleep_for = c.active_at - p.now();
+                    }
+                    ConnState::Draining => {
                         c.waiters.push(p.id());
+                        drop(c);
+                        p.park();
+                        continue;
                     }
                     ConnState::Disconnected => {
                         c.state = ConnState::Connecting;
+                        c.active_at = p.now() + self.fabric.inner.cfg.conn_setup_time;
                         drop(c);
                         let t0 = p.now();
                         p.sleep(self.fabric.inner.cfg.conn_setup_time);
                         let mut c = conn.lock();
-                        debug_assert_eq!(c.state, ConnState::Connecting);
-                        c.state = ConnState::Active;
-                        self.fabric.inner.stats.lock().connects += 1;
-                        let mut ws = std::mem::take(&mut c.waiters);
-                        drop(c);
-                        self.fabric.wake_all(&mut ws);
+                        if c.state == ConnState::Connecting {
+                            c.state = ConnState::Active;
+                            let mut ws = std::mem::take(&mut c.waiters);
+                            drop(c);
+                            self.fabric.inner.stats.lock().connects += 1;
+                            self.fabric.wake_all(&mut ws);
+                        }
                         let h = &self.fabric.inner.handle;
                         h.trace_span(Track::Node(self.node.0), "net.connect", t0, || {
                             vec![("peer", ArgValue::U64(u64::from(peer.0)))]
@@ -310,7 +343,7 @@ impl<M: Send + 'static> Endpoint<M> {
                     }
                 }
             }
-            p.park();
+            p.sleep(sleep_for);
         }
     }
 
@@ -408,7 +441,10 @@ impl<M: Send + 'static> Endpoint<M> {
         };
         let fabric = self.fabric.clone();
         let from = self.node;
-        inner.handle.call_at(arrival, move |h| {
+        // Keyed on the destination node: under the parallel scheduler the
+        // delivery callback executes on the shard owning `peer`, so the
+        // receive-side wakes it performs stay shard-local.
+        inner.handle.call_at_keyed(u64::from(peer.0), arrival, move |h| {
             fabric.deliver(h, from, peer, msg, wire_size);
         });
     }

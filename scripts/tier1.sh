@@ -12,7 +12,7 @@ cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --release --workspace -q
 cargo run --release -p gbcr-bench --bin make_all -- \
-  --smoke --serial-check --json target/BENCH_smoke.json \
+  --smoke --serial-check --sched --json target/BENCH_smoke.json \
   > target/make_all_smoke.out 2> target/make_all_smoke.err
 cat target/make_all_smoke.err >&2
 
@@ -26,16 +26,35 @@ grep -q "executor check: tables byte-identical" target/make_all_smoke.err || {
   exit 1
 }
 
+# `--sched` reruns the whole smoke sweep under the conservative-window
+# parallel scheduler (forced to >=2 shards, so the windowed path executes
+# even on a 1-core runner) and fails on any byte difference; assert the
+# serial-vs-parallel identity pass actually ran.
+grep -q "sched check: tables byte-identical" target/make_all_smoke.err || {
+  echo "tier1: serial-vs-parallel scheduler identity check did not run:" >&2
+  tail -5 target/make_all_smoke.err >&2
+  exit 1
+}
+
 # Scale smoke: 256- and 1024-rank group-vs-cluster runs on the pooled
 # coroutine executor, under a hard wall budget (the full local run takes
-# ~6 s; the budget catches executor-overhead regressions, not CI jitter).
-timeout 120 cargo run --release -p gbcr-bench --bin scale -- --smoke \
+# ~10 s with the scheduler A/B; the budget catches executor-overhead
+# regressions, not CI jitter). `--sched` reruns the sweep under the other
+# scheduler backend and exits non-zero unless the delay tables are
+# byte-identical (and, on a >=4-core host, unless parallel reaches 2x).
+timeout 120 cargo run --release -p gbcr-bench --bin scale -- --smoke --sched \
   > target/scale_smoke.out || {
   echo "tier1: scale smoke failed or blew its 120 s wall budget:" >&2
   tail -20 target/scale_smoke.out >&2
   exit 1
 }
-grep -Eq "scale check: max_ranks=1024 peak_exec_threads=[0-9]+ executor=(pooled|threaded) monotone_reduction=true" \
+grep -Eq "scale sched check: tables_identical=true serial_ms=[0-9]+ parallel_ms=[0-9]+ speedup=[0-9.]+ host_cores=[0-9]+" \
+  target/scale_smoke.out || {
+  echo "tier1: scale serial-vs-parallel identity check did not pass:" >&2
+  cat target/scale_smoke.out >&2
+  exit 1
+}
+grep -Eq "scale check: max_ranks=1024 peak_exec_threads=[0-9]+ executor=(pooled|threaded) sched=(serial|parallel) host_cores=[0-9]+ monotone_reduction=true" \
   target/scale_smoke.out || {
   echo "tier1: scale smoke diverged from golden:" >&2
   cat target/scale_smoke.out >&2

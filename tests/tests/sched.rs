@@ -1,0 +1,174 @@
+//! Scheduler equivalence suite: the conservative-window parallel
+//! scheduler must produce **byte-identical** model outputs to the serial
+//! single-heap oracle on every workload, for any shard count and any
+//! fabric lookahead — including the zero-lookahead degenerate case, which
+//! must fall back to lockstep windows rather than deadlock.
+
+use gbcr_blcr::codec::fnv1a;
+use gbcr_core::{
+    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, PhaseDeadlines,
+    RunReport,
+};
+use gbcr_des::{time, SchedKind};
+use gbcr_storage::MB;
+use gbcr_workloads::{MicroBench, MotifMinerWorkload};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// `set_sched_default` / `set_shard_count_default` are process-wide, so
+/// runs that flip them must not interleave within this test binary.
+static SCHED_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `spec` under the given scheduler configuration, restoring the
+/// process-wide default (serial) afterwards.
+fn run_with(kind: SchedKind, shards: usize, spec: &JobSpec, ckpt: CoordinatorCfg) -> RunReport {
+    let _guard = SCHED_LOCK.lock();
+    gbcr_des::set_sched_default(kind);
+    gbcr_des::set_shard_count_default(shards);
+    let report = run_job(spec, Some(ckpt));
+    gbcr_des::set_sched_default(SchedKind::Serial);
+    gbcr_des::set_shard_count_default(0);
+    report.expect("job completes")
+}
+
+/// Every model output of a run, rendered to one comparable string.
+/// Simulator-cost fields (wall clocks, executor/scheduler backend, shard
+/// telemetry, and the `events`/`elided_wakes` counters) are deliberately
+/// excluded — they are *about* the simulator, not outputs *of* the model.
+/// The event counters in particular may legitimately differ by a few
+/// same-timestamp wake coalescings: when a park and its matching delivery
+/// share a timestamp, the serial `(time, seq)` order and the parallel
+/// `(time, lane, lane_seq)` merge can dispatch them in a different
+/// intra-batch order, so one backend parks-and-wakes where the other
+/// finds the message already queued. Both orders are individually
+/// deterministic and produce identical model outputs.
+fn digest(r: &RunReport) -> String {
+    let images: Vec<(String, u64, u64)> = r
+        .images
+        .iter()
+        .map(|(name, obj)| (name.clone(), obj.virtual_size, fnv1a(&obj.payload)))
+        .collect();
+    format!(
+        "completion={} sim_end={} finished={} epochs={:?} \
+         records={:?} net={:?} defer={:?} logged={} cl_logged={} images={:?} \
+         aborts={} retries={} manifests={} torn={} sends_to_failed={}",
+        r.completion,
+        r.sim_end,
+        r.finished_ranks,
+        r.epochs,
+        r.rank_records,
+        r.net_stats,
+        r.defer_stats,
+        r.logged_bytes,
+        r.channel_logged_bytes,
+        images,
+        r.protocol_aborts,
+        r.epoch_retries,
+        r.manifest_commits,
+        r.torn_manifests,
+        r.sends_to_failed,
+    )
+}
+
+fn micro_spec(n: u32, group: u32) -> JobSpec {
+    MicroBench {
+        n,
+        comm_group_size: group,
+        footprint: 4 * MB,
+        step_compute: time::ms(10),
+        steps: 6,
+        msg_size: 4 * 1024,
+        ..MicroBench::default()
+    }
+    .job()
+}
+
+fn ckpt_once(n: u32, at: gbcr_des::Time) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: "sched-eq".into(),
+        mode: CkptMode::Buffering,
+        formation: Formation::regular(n),
+        schedule: CkptSchedule::once(at),
+        incremental: false,
+        deadlines: PhaseDeadlines::none(),
+    }
+}
+
+#[test]
+fn micro_model_outputs_identical_serial_vs_parallel() {
+    let n = 8;
+    let spec = micro_spec(n, 4);
+    let serial = run_with(SchedKind::Serial, 0, &spec, ckpt_once(n, time::ms(25)));
+    assert_eq!(serial.sched, SchedKind::Serial);
+    assert_eq!(serial.sched_telemetry.windows, 0);
+    for shards in [2usize, 3, 5] {
+        let par = run_with(SchedKind::Parallel, shards, &spec, ckpt_once(n, time::ms(25)));
+        assert_eq!(par.sched, SchedKind::Parallel, "parallel run fell back at {shards} shards");
+        assert_eq!(par.sched_telemetry.shards, shards as u64);
+        assert!(par.sched_telemetry.windows > 0, "no windows recorded");
+        assert_eq!(digest(&serial), digest(&par), "model outputs diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn motifminer_model_outputs_identical_serial_vs_parallel() {
+    let wl = MotifMinerWorkload {
+        n: 6,
+        iterations: 2,
+        iter_compute: time::ms(50),
+        footprint: MB,
+        exchange_bytes: 64 * 1024,
+        atoms: 16,
+        ..MotifMinerWorkload::default()
+    };
+    let spec = wl.job(None);
+    let serial = run_with(SchedKind::Serial, 0, &spec, ckpt_once(wl.n, time::ms(60)));
+    let par = run_with(SchedKind::Parallel, 2, &spec, ckpt_once(wl.n, time::ms(60)));
+    assert_eq!(par.sched, SchedKind::Parallel);
+    assert_eq!(digest(&serial), digest(&par));
+}
+
+/// Zero lookahead (both fabrics at zero wire latency) forces every window
+/// degenerate: single-timestamp batches in lockstep. The run must still
+/// terminate — each window is guaranteed to execute at least the `T_min`
+/// batch — and match the serial oracle exactly.
+#[test]
+fn zero_lookahead_runs_in_lockstep_without_deadlock() {
+    let n = 6;
+    let mut spec = micro_spec(n, 3);
+    spec.mpi.net.latency = 0;
+    spec.mpi.oob.latency = 0;
+    let serial = run_with(SchedKind::Serial, 0, &spec, ckpt_once(n, time::ms(25)));
+    let par = run_with(SchedKind::Parallel, 3, &spec, ckpt_once(n, time::ms(25)));
+    assert_eq!(par.sched, SchedKind::Parallel);
+    let t = par.sched_telemetry;
+    assert!(t.windows > 0);
+    assert_eq!(t.windows, t.fenced_windows, "zero lookahead must fence every window");
+    assert_eq!(digest(&serial), digest(&par));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary shard counts (i.e. arbitrary contiguous rank
+    /// partitions) and arbitrary fabric lookaheads, the parallel
+    /// scheduler's model outputs are byte-identical to the serial
+    /// oracle's under the same configuration.
+    #[test]
+    fn random_partitions_and_lookaheads_are_byte_identical(
+        shards in 2usize..6,
+        net_us in 0u64..20,
+        oob_us in 0u64..60,
+        n in 4u32..10,
+    ) {
+        let mut spec = micro_spec(n, 1);
+        spec.mpi.net.latency = time::us(net_us);
+        spec.mpi.oob.latency = time::us(oob_us);
+        let serial = run_with(SchedKind::Serial, 0, &spec, ckpt_once(n, time::ms(20)));
+        let par = run_with(SchedKind::Parallel, shards, &spec, ckpt_once(n, time::ms(20)));
+        if shards.min(n as usize) >= 2 {
+            prop_assert_eq!(par.sched, SchedKind::Parallel);
+        }
+        prop_assert_eq!(digest(&serial), digest(&par));
+    }
+}
