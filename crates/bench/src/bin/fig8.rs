@@ -17,6 +17,8 @@ fn main() {
     let mut threads = None;
     let mut smoke = false;
     let mut abort_smoke = false;
+    let mut replicated_smoke = false;
+    let mut backend = fig8::Backend::Central;
     let mut trace_path = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -29,6 +31,17 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--abort-smoke" => abort_smoke = true,
+            "--replicated-smoke" => replicated_smoke = true,
+            "--backend" => {
+                backend = it
+                    .next()
+                    .as_deref()
+                    .and_then(fig8::Backend::parse)
+                    .unwrap_or_else(|| {
+                        eprintln!("--backend needs one of: central, failover, replicated");
+                        std::process::exit(2);
+                    });
+            }
             "--trace" => {
                 trace_path = Some(it.next().unwrap_or_else(|| {
                     eprintln!("--trace needs an output path");
@@ -38,7 +51,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: fig8 [--threads N] [--smoke] [--abort-smoke] \
-                     [--trace PATH]"
+                     [--replicated-smoke] [--backend central|failover|replicated] [--trace PATH]"
                 );
                 std::process::exit(2);
             }
@@ -56,8 +69,16 @@ fn main() {
         std::process::exit(i32::from(!chk.ok()));
     }
     if smoke {
-        let (attempts, failures) = fig8::smoke();
+        let (attempts, failures) = fig8::smoke_on(backend);
         println!("fig8 smoke: attempts={attempts} failures={failures}");
+        return;
+    }
+    if replicated_smoke {
+        let (attempts, failures, local, remote, writes, faster) = fig8::replicated_smoke();
+        println!(
+            "fig8 replicated smoke: attempts={attempts} failures={failures} local={local} \
+             remote={remote} replica_writes={writes} faster_recovery={faster}"
+        );
         return;
     }
     if abort_smoke {
@@ -68,8 +89,14 @@ fn main() {
         );
         return;
     }
-    let sw =
-        fig8::run_threaded(8, &fig8::INTERVALS_MS, &fig8::NODE_MTBFS_S, fig8::REPLICAS, threads);
+    let sw = fig8::run_threaded(
+        8,
+        &fig8::INTERVALS_MS,
+        &fig8::NODE_MTBFS_S,
+        fig8::REPLICAS,
+        threads,
+        backend,
+    );
     print!("{}", fig8::table(&sw).render());
     print!("\n{}", fig8::lost_work_table(&sw).render());
     print!("\n{}", fig8::optimal_table(&sw).render());

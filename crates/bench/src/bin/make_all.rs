@@ -43,6 +43,7 @@ struct Args {
     serial_check: bool,
     sched_check: bool,
     faults: bool,
+    backend: fig8::Backend,
     scale: bool,
     json: Option<String>,
     trace: Option<String>,
@@ -55,6 +56,7 @@ fn parse_args() -> Args {
         serial_check: false,
         sched_check: false,
         faults: false,
+        backend: fig8::Backend::Central,
         scale: false,
         json: None,
         trace: None,
@@ -73,6 +75,16 @@ fn parse_args() -> Args {
             "--serial-check" => out.serial_check = true,
             "--sched" => out.sched_check = true,
             "--faults" => out.faults = true,
+            "--backend" => {
+                out.backend = it
+                    .next()
+                    .as_deref()
+                    .and_then(fig8::Backend::parse)
+                    .unwrap_or_else(|| {
+                        eprintln!("--backend needs one of: central, failover, replicated");
+                        std::process::exit(2);
+                    });
+            }
             "--scale" => out.scale = true,
             "--json" => {
                 out.json = Some(match it.peek() {
@@ -90,7 +102,8 @@ fn parse_args() -> Args {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: make_all [--threads N] [--smoke] [--serial-check] [--sched] \
-                     [--faults] [--scale] [--json [PATH]] [--trace [PATH]]"
+                     [--faults] [--backend central|failover|replicated] [--scale] \
+                     [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -284,7 +297,7 @@ fn main() {
     if args.faults {
         let t0 = Instant::now();
         let sw = if args.smoke {
-            fig8::run_threaded(4, &[1_000, 2_000], &[60], 2, Some(threads))
+            fig8::run_threaded(4, &[1_000, 2_000], &[60], 2, Some(threads), args.backend)
         } else {
             fig8::run_threaded(
                 8,
@@ -292,6 +305,7 @@ fn main() {
                 &fig8::NODE_MTBFS_S,
                 fig8::REPLICAS,
                 Some(threads),
+                args.backend,
             )
         };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -11,7 +11,7 @@
 
 use gbcr_core::{
     run_job, run_job_faulted, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg,
-    Formation, PhaseDeadlines, SupervisePolicy,
+    Formation, PhaseDeadlines, StoreBackend, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
 use gbcr_faults::{
@@ -37,6 +37,49 @@ pub const NODE_MTBFS_S: [u64; 3] = [30, 120, 480];
 /// like and single-draw variance is averaged out.
 pub const REPLICAS: usize = 5;
 
+/// Which checkpoint-store stack the sweep's jobs write through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The paper's single shared central array.
+    #[default]
+    Central,
+    /// Central primary plus an identically-configured secondary behind
+    /// the retry/failover writer.
+    Failover,
+    /// Diskless peer replication: node-local image plus two remote ring
+    /// copies, recovery from the nearest surviving copy.
+    Replicated,
+}
+
+impl Backend {
+    /// Parse a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "central" => Some(Backend::Central),
+            "failover" => Some(Backend::Failover),
+            "replicated" => Some(Backend::Replicated),
+            _ => None,
+        }
+    }
+
+    /// The flag/JSON spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Central => "central",
+            Backend::Failover => "failover",
+            Backend::Replicated => "replicated",
+        }
+    }
+
+    fn apply(self, spec: &mut gbcr_core::JobSpec) {
+        match self {
+            Backend::Central => {}
+            Backend::Failover => spec.storage_secondary = Some(spec.storage.clone()),
+            Backend::Replicated => spec.backend = StoreBackend::Replicated { replicas: 2 },
+        }
+    }
+}
+
 /// One measured cell of the interval × MTBF sweep.
 #[derive(Debug, Clone)]
 pub struct FaultCell {
@@ -54,6 +97,10 @@ pub struct FaultCell {
     pub gave_up: usize,
     /// Mean restart backoff across finishing replicas, seconds.
     pub backoff_secs: f64,
+    /// Mean restart-storm latency (every rank's image read back plus state
+    /// re-injection) over the attempts that restored from a checkpoint,
+    /// seconds; 0 when no attempt restored. The backend comparison metric.
+    pub recovery_s: f64,
     /// Recovery-protocol counters summed over the finishing replicas.
     pub counters: RecoveryCounters,
 }
@@ -73,6 +120,8 @@ impl FaultCell {
 pub struct FaultSweep {
     /// World size.
     pub n: u32,
+    /// Checkpoint-store backend the jobs wrote through.
+    pub backend: Backend,
     /// Base seed of the fault streams.
     pub seed: u64,
     /// Failure-free bare completion (the "useful" seconds of every cell).
@@ -139,24 +188,27 @@ fn periodic(interval: Time, horizon: Time) -> Vec<Time> {
     at
 }
 
-/// Run the full sweep.
+/// Run the full sweep on the central backend.
 pub fn run() -> FaultSweep {
-    run_threaded(8, &INTERVALS_MS, &NODE_MTBFS_S, REPLICAS, None)
+    run_threaded(8, &INTERVALS_MS, &NODE_MTBFS_S, REPLICAS, None, Backend::Central)
 }
 
-/// Run with an explicit grid, replica count and worker-thread control.
-/// Every `(cell, replica)` run fans out over the [`run_cells`] pool; seeds
-/// depend only on the grid values, so results are identical on 1 or N
-/// workers.
+/// Run with an explicit grid, replica count, worker-thread control and
+/// checkpoint-store backend. Every `(cell, replica)` run fans out over the
+/// [`run_cells`] pool; seeds depend only on the grid values, so results
+/// are identical on 1 or N workers — and the fault seeds ignore the
+/// backend, so backend sweeps face the *same* failure processes.
 pub fn run_threaded(
     n: u32,
     intervals_ms: &[u64],
     node_mtbfs_s: &[u64],
     replicas: usize,
     threads: Option<usize>,
+    backend: Backend,
 ) -> FaultSweep {
     assert!(replicas > 0);
-    let (spec, job) = spec_for(n);
+    let (mut spec, job) = spec_for(n);
+    backend.apply(&mut spec);
     let useful = run_job(&spec, None).expect("bare run").completion;
     // δ for the closed forms: one checkpoint issued mid-run.
     let delta = measure(&spec, cfg_for(job, n, Vec::new()), useful / 2)
@@ -217,6 +269,13 @@ pub fn run_threaded(
                     .sum::<f64>()
                     / finished.len() as f64
             };
+            let (rsum, rcnt) = finished
+                .iter()
+                .flat_map(|r| r.attempts.iter())
+                .filter(|a| a.restore_wall > 0)
+                .fold((0.0, 0usize), |(s, c), a| {
+                    (s + time::as_secs_f64(a.restore_wall), c + 1)
+                });
             FaultCell {
                 interval_secs: time::as_secs_f64(time::ms(ims)),
                 node_mtbf_secs: mtbf_s as f64,
@@ -224,6 +283,7 @@ pub fn run_threaded(
                 replicas,
                 gave_up,
                 backoff_secs,
+                recovery_s: if rcnt == 0 { 0.0 } else { rsum / rcnt as f64 },
                 counters: sum_counters(finished.iter().copied()),
             }
         })
@@ -231,6 +291,7 @@ pub fn run_threaded(
 
     FaultSweep {
         n,
+        backend,
         seed: SEED,
         useful_secs: time::as_secs_f64(useful),
         delta_secs: delta,
@@ -247,8 +308,9 @@ pub fn table(sw: &FaultSweep) -> Table {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(
         format!(
-            "Figure 8 — availability under node failures, n={} (avail % / mean attempts)",
-            sw.n
+            "Figure 8 — availability under node failures, n={}{} (avail % / mean attempts)",
+            sw.n,
+            backend_suffix(sw),
         ),
         &header_refs,
     );
@@ -281,7 +343,7 @@ pub fn lost_work_table(sw: &FaultSweep) -> Table {
     header.extend(sw.mtbfs.iter().map(|m| format!("MTBF/node {m:.0}s")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(
-        format!("Figure 8 — lost work, n={} (node-seconds)", sw.n),
+        format!("Figure 8 — lost work, n={}{} (node-seconds)", sw.n, backend_suffix(sw)),
         &header_refs,
     );
     for (ii, &iv) in sw.intervals.iter().enumerate() {
@@ -296,6 +358,15 @@ pub fn lost_work_table(sw: &FaultSweep) -> Table {
         t.row(&row);
     }
     t
+}
+
+/// `", backend=<name>"` for non-default backends; empty for central, so
+/// historical central-only outputs render byte-identically.
+fn backend_suffix(sw: &FaultSweep) -> String {
+    match sw.backend {
+        Backend::Central => String::new(),
+        b => format!(", backend={}", b.name()),
+    }
 }
 
 /// Per-MTBF closed-form comparison: Young and Daly `T_opt` from the
@@ -336,6 +407,7 @@ pub fn optimal_table(sw: &FaultSweep) -> Table {
 pub fn json_block(sw: &FaultSweep) -> String {
     let mut j = String::from("{\n");
     j.push_str(&format!("    \"n\": {},\n", sw.n));
+    j.push_str(&format!("    \"backend\": \"{}\",\n", sw.backend.name()));
     j.push_str(&format!("    \"seed\": {},\n", sw.seed));
     j.push_str(&format!("    \"useful_s\": {:.3},\n", sw.useful_secs));
     j.push_str(&format!("    \"delta_s\": {:.3},\n", sw.delta_secs));
@@ -351,7 +423,10 @@ pub fn json_block(sw: &FaultSweep) -> String {
                  \"protocol_aborts\": {}, \"epoch_retries\": {}, \
                  \"manifest_commits\": {}, \"write_retries\": {}, \
                  \"failovers\": {}, \"torn_writes\": {}, \
-                 \"dropped_sends\": {}}}{comma}\n",
+                 \"dropped_sends\": {}, \"recovery_s\": {:.3}, \
+                 \"replicas_written\": {}, \"replica_bytes\": {}, \
+                 \"remote_recoveries\": {}, \"local_recoveries\": {}, \
+                 \"replica_losses\": {}}}{comma}\n",
                 c.interval_secs,
                 c.node_mtbf_secs,
                 a.availability,
@@ -369,6 +444,12 @@ pub fn json_block(sw: &FaultSweep) -> String {
                 c.counters.failovers,
                 c.counters.torn_writes,
                 c.counters.dropped_sends,
+                c.recovery_s,
+                c.counters.replicas_written,
+                c.counters.replica_bytes,
+                c.counters.remote_recoveries,
+                c.counters.local_recoveries,
+                c.counters.replica_losses,
             )),
             None => j.push_str(&format!(
                 "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
@@ -384,9 +465,38 @@ pub fn json_block(sw: &FaultSweep) -> String {
 /// The seeded 4-rank kill/restart smoke run `scripts/tier1.sh` gates on:
 /// returns `(attempts, failures)` so the golden line stays greppable.
 pub fn smoke() -> (usize, usize) {
-    let sw = run_threaded(4, &[1_000], &[40], 1, Some(2));
+    smoke_on(Backend::Central)
+}
+
+/// [`smoke`] on an explicit backend (the CI fault-smoke matrix reruns it
+/// under central and replicated).
+pub fn smoke_on(backend: Backend) -> (usize, usize) {
+    let sw = run_threaded(4, &[1_000], &[40], 1, Some(2), backend);
     let a = sw.cells[0].acct.as_ref().expect("smoke cell finishes");
     (a.attempts, a.failures)
+}
+
+/// The seeded replicated-backend kill/recovery smoke `scripts/tier1.sh`
+/// gates on: the same stochastic-kill cell as [`smoke`], run under the
+/// central and the replicated backend against *identical* failure draws.
+/// Returns `(attempts, failures, local, remote, replica_writes, faster)`
+/// where `local`/`remote` split the restart reads by which copy served
+/// them, `replica_writes` counts remote fan-out copies, and `faster` is
+/// whether the replicated restart storm beat central's mean latency.
+pub fn replicated_smoke() -> (usize, usize, u64, u64, u64, bool) {
+    let central = run_threaded(4, &[1_000], &[40], 1, Some(2), Backend::Central);
+    let repl = run_threaded(4, &[1_000], &[40], 1, Some(2), Backend::Replicated);
+    let cell = &repl.cells[0];
+    let a = cell.acct.as_ref().expect("replicated smoke cell finishes");
+    let faster = cell.recovery_s > 0.0 && cell.recovery_s < central.cells[0].recovery_s;
+    (
+        a.attempts,
+        a.failures,
+        cell.counters.local_recoveries,
+        cell.counters.remote_recoveries,
+        cell.counters.replicas_written,
+        faster,
+    )
 }
 
 /// The seeded mid-protocol straggler smoke `scripts/tier1.sh` gates on:
@@ -433,15 +543,35 @@ mod tests {
 
     #[test]
     fn sweep_is_thread_invariant_and_replays_exactly() {
-        let a = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(1));
-        let b = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(4));
+        let a = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(1), Backend::Central);
+        let b = run_threaded(4, &[1_000, 2_000], &[60], 2, Some(4), Backend::Central);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         assert_eq!(table(&a).render(), table(&b).render());
     }
 
     #[test]
+    fn replicated_restart_beats_central_at_shortest_mtbf() {
+        // The acceptance gate for the diskless backend: at the sweep's
+        // shortest MTBF (most restarts) the replicated restart storm —
+        // node-local reads plus at most one remote replica fetch — must be
+        // strictly faster than 4 ranks hammering the shared central array.
+        let central = run_threaded(4, &[1_000], &[30], 2, Some(2), Backend::Central);
+        let repl = run_threaded(4, &[1_000], &[30], 2, Some(2), Backend::Replicated);
+        let (c, r) = (central.cell(0, 0), repl.cell(0, 0));
+        assert!(c.recovery_s > 0.0, "central cell must actually restart");
+        assert!(r.recovery_s > 0.0, "replicated cell must actually restart");
+        assert!(
+            r.recovery_s < c.recovery_s,
+            "replicated restart {}s not below central {}s",
+            r.recovery_s,
+            c.recovery_s
+        );
+        assert!(r.counters.replicas_written > 0, "fan-out must have happened");
+    }
+
+    #[test]
     fn short_mtbf_burns_more_work_than_long_mtbf() {
-        let sw = run_threaded(4, &[1_000], &[30, 480], 3, Some(2));
+        let sw = run_threaded(4, &[1_000], &[30, 480], 3, Some(2), Backend::Central);
         let short = sw.cell(0, 0).acct.as_ref().expect("short-MTBF cell finishes");
         let long = sw.cell(0, 1).acct.as_ref().expect("long-MTBF cell finishes");
         assert!(

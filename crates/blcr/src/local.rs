@@ -2,7 +2,10 @@
 
 use crate::image::ProcessImage;
 use gbcr_des::{time, Proc, Time};
-use gbcr_storage::{FailoverWriter, RetryPolicy, Storage, StoredObject};
+use gbcr_storage::{
+    CentralStore, CheckpointStore, FailoverWriter, RetryPolicy, Storage, StoredObject,
+};
+use std::sync::Arc;
 
 /// Timing parameters of the local checkpointer.
 #[derive(Debug, Clone)]
@@ -21,11 +24,12 @@ impl Default for LocalCrConfig {
     }
 }
 
-/// Performs BLCR-style single-process snapshots through the shared storage
-/// model. One instance per MPI process (cheap, clonable).
+/// Performs BLCR-style single-process snapshots through a pluggable
+/// [`CheckpointStore`] backend. One instance per MPI process (cheap,
+/// clonable).
 #[derive(Clone)]
 pub struct LocalCheckpointer {
-    writer: FailoverWriter,
+    store: Arc<dyn CheckpointStore>,
     cfg: LocalCrConfig,
 }
 
@@ -37,19 +41,19 @@ impl LocalCheckpointer {
     }
 
     /// Create a checkpointer writing through a retry/failover writer
-    /// (primary target first).
+    /// (primary target first) — the central-array backend.
     pub fn with_writer(writer: FailoverWriter, cfg: LocalCrConfig) -> Self {
-        LocalCheckpointer { writer, cfg }
+        Self::with_store(Arc::new(CentralStore::new(writer)), cfg)
     }
 
-    /// The primary storage target.
-    pub fn storage(&self) -> &Storage {
-        self.writer.primary()
+    /// Create a checkpointer over any checkpoint-store backend.
+    pub fn with_store(store: Arc<dyn CheckpointStore>, cfg: LocalCrConfig) -> Self {
+        LocalCheckpointer { store, cfg }
     }
 
-    /// The retry/failover write path.
-    pub fn writer(&self) -> &FailoverWriter {
-        &self.writer
+    /// The checkpoint-store backend.
+    pub fn store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.store
     }
 
     /// Timing configuration.
@@ -74,9 +78,10 @@ impl LocalCheckpointer {
         let footprint = image.footprint;
         let payload = image.encode();
         let obj = StoredObject::new(payload, footprint);
-        if self.writer.write(p, rank, &name, obj).is_err() {
-            // Every target's retry budget is exhausted: the image is lost
-            // and this epoch will never manifest. The run continues — the
+        if self.store.write_image(p, rank, &name, obj).is_err() {
+            // No target/copy accepted the write (retry budgets exhausted,
+            // or every node's store unavailable): the image is lost and
+            // this epoch will never manifest. The run continues — the
             // previous manifest stays the restart point.
             p.handle()
                 .trace_instant(|| Event::BlcrImageLost { rank, name: name.clone() });
@@ -97,14 +102,14 @@ impl LocalCheckpointer {
         use gbcr_des::{ArgValue, Event, Track};
         let name = ProcessImage::object_name(job, epoch, rank);
         let t0 = p.now();
-        let (target, obj) = self.writer.read(p, rank, &name);
+        let obj = self.store.read_image(p, rank, &name);
         // Incremental images need the preceding chain read back too (last
         // full image plus intermediate increments), charged as one bulk
-        // read of the recorded chain size against the target that held the
+        // read of the recorded chain size against the copy that held the
         // image.
         if let Ok(peeked) = ProcessImage::decode(obj.payload.clone()) {
             if peeked.restore_extra > 0 {
-                self.writer.targets()[target].read_bulk(p, rank, peeked.restore_extra);
+                self.store.read_chain(p, rank, &name, peeked.restore_extra);
             }
         }
         let img = ProcessImage::decode(obj.payload)
@@ -124,7 +129,7 @@ impl LocalCheckpointer {
     pub fn epoch_complete(&self, job: &str, epoch: u64, ranks: u32) -> bool {
         (0..ranks).all(|r| {
             let name = ProcessImage::object_name(job, epoch, r);
-            self.writer.targets().iter().any(|t| t.contains(&name))
+            self.store.contains(&name)
         })
     }
 }
@@ -207,10 +212,10 @@ mod tests {
             cr.checkpoint(p, "job", img(0, 1, MB));
             // Corrupt the stored object in place.
             let name = ProcessImage::object_name("job", 1, 0);
-            let obj = cr.storage().remove(&name).unwrap();
+            let obj = storage.remove(&name).unwrap();
             let mut v = obj.payload.to_vec();
             v[10] ^= 0xff;
-            cr.storage().write(
+            storage.write(
                 p,
                 0,
                 &name,

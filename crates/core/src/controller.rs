@@ -445,7 +445,7 @@ impl Controller {
         };
         let name = ProcessImage::object_name(&self.job, epoch, self.rank);
         let obj = gbcr_storage::StoredObject::new(image.encode(), footprint);
-        let stream = self.blcr.storage().start_write(p, self.rank, &name, obj);
+        let ticket = self.blcr.store().begin_write_image(p, self.rank, &name, obj);
         {
             let mut st = self.st.lock();
             st.cl = Some(ClState {
@@ -467,10 +467,11 @@ impl Controller {
         // Background writer: computation continues while the image drains
         // to storage (the idealized non-blocking property).
         let ctl = self.arc();
-        let storage = self.blcr.storage().clone();
+        let store = self.blcr.store().clone();
+        let rank = self.rank;
         let mpi2 = mpi.clone();
         p.handle().spawn(format!("cl-writer-{}", self.rank), move |hp| {
-            storage.wait(hp, stream);
+            store.finish_write_image(hp, rank, ticket);
             {
                 let mut st = ctl.st.lock();
                 if let Some(cl) = st.cl.as_mut() {

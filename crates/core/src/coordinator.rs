@@ -8,7 +8,7 @@ use gbcr_blcr::ProcessImage;
 use gbcr_des::{ArgValue, Event, Proc, SimHandle, Time, Track};
 use gbcr_mpi::{OobMsg, Rank, World, COORDINATOR_NODE};
 use gbcr_net::{Endpoint, NodeId};
-use gbcr_storage::{Storage, StoredObject};
+use gbcr_storage::{CheckpointStore, StoredObject};
 use parking_lot::Mutex;
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -156,13 +156,14 @@ impl Coordinator {
     /// Spawn the coordinator process into the simulation. It connects to
     /// every rank's out-of-band endpoint, executes the configured schedule,
     /// and shuts the ranks' service loops down once all have finished.
-    /// `storage` is where epoch manifests are committed (the same device
-    /// the ranks write their images to).
+    /// `storage` is the checkpoint-store backend epoch manifests are
+    /// committed through (the same backend the ranks write their images
+    /// to).
     pub fn spawn(
         handle: &SimHandle,
         world: &World,
         cfg: CoordinatorCfg,
-        storage: Storage,
+        storage: Arc<dyn CheckpointStore>,
     ) -> Coordinator {
         let reports = Arc::new(Mutex::new(Vec::new()));
         let counters = Arc::new(CoordCounters::default());
@@ -215,7 +216,7 @@ struct CoordBody {
     n: u32,
     world: World,
     cfg: CoordinatorCfg,
-    storage: Storage,
+    storage: Arc<dyn CheckpointStore>,
     counters: Arc<CoordCounters>,
     stash: VecDeque<(NodeId, OobMsg)>,
     finished: HashSet<Rank>,

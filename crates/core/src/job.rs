@@ -12,7 +12,8 @@ use gbcr_des::{Event, Proc, ProcId, Sim, SimHandle, SimResult, Time, TraceData, 
 use gbcr_faults::{FaultConfig, FaultPlan, FaultSink, PhaseAction, PhaseFaults};
 use gbcr_mpi::{DeferStats, Mpi, MpiConfig, OobMsg, World, COORDINATOR_NODE};
 use gbcr_storage::{
-    FailoverWriter, RetryPolicy, Storage, StorageConfig, StorageStats, StoredObject, WriteFault,
+    CentralStore, CheckpointStore, FailoverWriter, ReplicatedCfg, ReplicatedStore, RetryPolicy,
+    Storage, StorageConfig, StorageStats, StoredObject, WriteFault,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -36,6 +37,23 @@ pub struct RankCtx<'p> {
 /// are made through `ctx.mpi` with `ctx.p`.
 pub type RankBody = Arc<dyn for<'p> Fn(RankCtx<'p>) + Send + Sync>;
 
+/// Which checkpoint-store backend a job writes its images through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// The paper's shared central array (plus the optional secondary
+    /// target with retry/failover). The default; byte-identical to the
+    /// pre-trait harness.
+    #[default]
+    Central,
+    /// Diskless peer replication: each rank's image lives in its own
+    /// node's in-memory store plus `replicas` remote ring copies, and
+    /// restart reads from the nearest surviving copy.
+    Replicated {
+        /// Remote copies per image (`k`), clamped to `n - 1`.
+        replicas: u32,
+    },
+}
+
 /// A complete job description: workload plus substrate configurations.
 #[derive(Clone)]
 pub struct JobSpec {
@@ -54,6 +72,10 @@ pub struct JobSpec {
     /// Retry/backoff policy for checkpoint image writes hitting a storage
     /// outage.
     pub write_retry: RetryPolicy,
+    /// Checkpoint-store backend selection. `Central` uses `storage` /
+    /// `storage_secondary` / `write_retry` above; `Replicated` ignores
+    /// them and builds per-node in-memory stores instead.
+    pub backend: StoreBackend,
     /// Local checkpointer timing.
     pub blcr: LocalCrConfig,
     /// The application.
@@ -70,6 +92,7 @@ impl JobSpec {
             storage: StorageConfig::paper_testbed(),
             storage_secondary: None,
             write_retry: RetryPolicy::default(),
+            backend: StoreBackend::Central,
             blcr: LocalCrConfig::default(),
             body,
         }
@@ -162,6 +185,20 @@ pub struct RunReport {
     pub write_retries: u64,
     /// Checkpoint image writes that failed over to a secondary target.
     pub failovers: u64,
+    /// Remote replica copies written (replicated backend; 0 on central).
+    pub replicas_written: u64,
+    /// Bytes carried by those replica copies.
+    pub replica_bytes: u64,
+    /// Restart reads served from a remote replica.
+    pub remote_recoveries: u64,
+    /// Restart reads served from the owner node's local copy.
+    pub local_recoveries: u64,
+    /// Replica copies destroyed by node crashes.
+    pub replica_losses: u64,
+    /// Latest instant any rank finished reading its image back and
+    /// re-injecting state during a restart (0 for non-restart runs) — the
+    /// restart-storm latency the backend comparison measures.
+    pub restore_done: Time,
     /// Per-span-name latency statistics aggregated from the run's trace
     /// (empty unless the run was traced — see [`run_job_traced`]).
     pub phase_stats: Vec<PhaseStat>,
@@ -344,10 +381,7 @@ pub(crate) fn run_job_inner_faulted(
 /// tracker (a kill drawn past job completion is a non-event).
 struct JobFaultSink {
     world: World,
-    storage: Storage,
-    /// Every storage target, primary first — outage windows address them
-    /// by index.
-    storages: Vec<Storage>,
+    store: Arc<dyn CheckpointStore>,
     rank_pids: Vec<ProcId>,
     coord_pid: ProcId,
     body_ends: Arc<Mutex<Vec<Time>>>,
@@ -373,6 +407,9 @@ impl FaultSink for JobFaultSink {
         h.trace_instant(|| Event::FaultNodeKill { rank });
         h.kill(self.rank_pids[rank as usize]);
         self.world.mark_failed(rank);
+        // A dead node takes its in-memory checkpoint copies with it
+        // (no-op on the central backend).
+        self.store.node_failed(rank);
         self.killed.lock().push(rank);
         // The launcher notices the dead node after the detector latency
         // and aborts the surviving job (mpirun's fail-stop cleanup).
@@ -413,17 +450,16 @@ impl FaultSink for JobFaultSink {
     }
 
     fn storage_stall(&self, h: &SimHandle, factor: f64, until: Time) {
-        self.storage.set_derate(factor);
-        let storage = self.storage.clone();
-        h.call_at(until, move |_| storage.set_derate(1.0));
+        self.store.set_derate(factor);
+        let store = self.store.clone();
+        h.call_at(until, move |_| store.set_derate(1.0));
     }
 
     fn storage_outage(&self, _h: &SimHandle, target: u32, until: Time) {
         // An outage aimed at an unconfigured target (e.g. a secondary that
-        // this run does not have) is a non-event.
-        if let Some(s) = self.storages.get(target as usize) {
-            s.set_outage_until(until);
-        }
+        // this run does not have, or a node id past the world size) is a
+        // non-event — the backend ignores out-of-range indices.
+        self.store.set_outage(target as usize, until);
     }
 }
 
@@ -439,15 +475,34 @@ fn run_job_full(
     if let Some(level) = trace {
         sim.handle().tracer().set_level(level);
     }
-    let storage = Storage::new(sim.handle(), spec.storage.clone());
-    let secondary = spec
-        .storage_secondary
-        .as_ref()
-        .map(|cfg| Storage::new(sim.handle(), cfg.clone()));
-    let mut targets = vec![storage.clone()];
-    targets.extend(secondary.iter().cloned());
-    let writer = FailoverWriter::new(targets.clone(), spec.write_retry.clone());
     let n = spec.mpi.n;
+    // Build the checkpoint-store backend. The central path constructs the
+    // same device/writer stack the pre-trait harness did, in the same
+    // order, so central runs stay byte-identical with historical ones.
+    let store: Arc<dyn CheckpointStore> = match spec.backend {
+        StoreBackend::Central => {
+            let storage = Storage::new(sim.handle(), spec.storage.clone());
+            let secondary = spec
+                .storage_secondary
+                .as_ref()
+                .map(|cfg| Storage::new(sim.handle(), cfg.clone()));
+            let mut targets = vec![storage];
+            targets.extend(secondary);
+            Arc::new(CentralStore::new(FailoverWriter::new(targets, spec.write_retry.clone())))
+        }
+        StoreBackend::Replicated { replicas } => {
+            // The ring rotation is a stream-isolated draw keyed by the
+            // world size: same seed + same n replays the same placement,
+            // and the draw cannot perturb any other fault stream.
+            let shift = gbcr_faults::rng::draw_u64(
+                spec.seed,
+                gbcr_faults::rng::Domain::Replica,
+                u64::from(n),
+            );
+            let cfg = ReplicatedCfg { replicas, shift, ..ReplicatedCfg::default() };
+            Arc::new(ReplicatedStore::new(sim.handle(), cfg, n))
+        }
+    };
 
     let ckpt_cfg = ckpt.unwrap_or(CoordinatorCfg {
         job: spec.name.clone(),
@@ -471,17 +526,25 @@ fn run_job_full(
 
     let restore = preload.as_ref().map(|r| (r.job.clone(), r.epoch));
     if let Some(r) = &preload {
+        // Mark the crashed attempt's dead nodes first: on per-node
+        // backends their replacements come up empty, so the preload below
+        // skips them and the restart storm reads those ranks' images from
+        // surviving replicas (no-op on the central backend).
+        for &node in &r.lost_nodes {
+            store.node_failed(node);
+        }
         for (name, obj) in &r.images {
-            storage.preload(name, obj.clone());
+            store.preload(name, obj.clone());
         }
     }
 
     let job_name = ckpt_cfg.job.clone();
     let mode = ckpt_cfg.mode;
     let incremental = ckpt_cfg.incremental;
-    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg, storage.clone());
+    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg, store.clone());
 
     let body_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
+    let restore_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
     let controllers: Arc<Mutex<Vec<Arc<Controller>>>> = Arc::new(Mutex::new(Vec::new()));
     let mpis: Arc<Mutex<Vec<Mpi>>> = Arc::new(Mutex::new(Vec::new()));
     let mut rank_pids = Vec::with_capacity(n as usize);
@@ -491,7 +554,7 @@ fn run_job_full(
         mpis.lock().push(mpi.clone());
         let client = CkptClient::new(0);
         client.bind_runtime(mpi.clone());
-        let blcr = LocalCheckpointer::with_writer(writer.clone(), spec.blcr.clone());
+        let blcr = LocalCheckpointer::with_store(store.clone(), spec.blcr.clone());
         let controller =
             Controller::new(r, job_name.clone(), mode, incremental, blcr.clone(), client.clone());
         controllers.lock().push(controller.clone());
@@ -504,6 +567,7 @@ fn run_job_full(
         // new checkpoints go under the coordinator's (possibly different)
         // job name.
         let restore = restore.clone();
+        let rends = restore_ends.clone();
         let pid = sim.spawn(format!("rank{r}"), move |p| {
             let restored = restore.map(|(job, epoch)| {
                 // Restart storm: every rank reads its image back through the
@@ -512,6 +576,7 @@ fn run_job_full(
                 let (app_state, mpi_state) = proto::decode_image_payload(image.app_state)
                     .expect("valid image payload");
                 mpi.import_cr_state(p, mpi_state);
+                rends.lock().push(p.now());
                 app_state
             });
             body(RankCtx { p, mpi: mpi.clone(), world: world2, client, restored });
@@ -577,19 +642,18 @@ fn run_job_full(
     let mut sink: Option<Arc<JobFaultSink>> = None;
     if let Some(f) = &fault_cfg {
         if let Some(torn) = f.torn.filter(|t| t.prob > 0.0) {
-            storage.set_write_fault_hook(Some(Arc::new(move |_client, name: &str| {
+            store.set_write_fault_hook(Some(Arc::new(move |_client, name: &str| {
                 torn.tears(name).then_some(WriteFault::Torn)
             })));
         }
         if let Some(torn) = f.torn_manifests.filter(|t| t.prob > 0.0) {
-            storage.set_meta_fault_hook(Some(Arc::new(move |_client, name: &str| {
+            store.set_meta_fault_hook(Some(Arc::new(move |_client, name: &str| {
                 torn.tears(name).then_some(WriteFault::Torn)
             })));
         }
         let s = Arc::new(JobFaultSink {
             world: world.clone(),
-            storage: storage.clone(),
-            storages: targets.clone(),
+            store: store.clone(),
             rank_pids,
             coord_pid: coordinator.proc_id(),
             body_ends: body_ends.clone(),
@@ -666,19 +730,12 @@ fn run_job_full(
         (agg, logged)
     };
     let finished_ranks = body_ends.lock().len() as u32;
-    // Merge the secondary target's objects in (primary wins on a name
-    // collision) so restarts and manifest validation see failed-over
-    // images. Single-target runs keep the primary's export order exactly.
-    let images = {
-        let mut images = storage.export_objects();
-        if let Some(sec) = &secondary {
-            let have: HashSet<String> = images.iter().map(|(k, _)| k.clone()).collect();
-            images.extend(sec.export_objects().into_iter().filter(|(k, _)| !have.contains(k)));
-            images.sort_by(|a, b| a.0.cmp(&b.0));
-        }
-        images
-    };
-    let storage_stats = storage.stats();
+    // The backend merges every target's (or node's) surviving objects into
+    // one durable view, so restarts and manifest validation see failed-over
+    // images and replica copies alike.
+    let images = store.export_objects();
+    let storage_stats = store.storage_stats();
+    let restore_done = restore_ends.lock().iter().copied().max().unwrap_or(0);
     let trace_data = sim.handle().tracer().take();
     let phase_stats = gbcr_des::trace::phase_stats(&trace_data.spans);
     let trace = (!trace_data.is_empty()).then(|| Arc::new(trace_data));
@@ -709,8 +766,14 @@ fn run_job_full(
         epoch_retries: coordinator.epoch_retries(),
         manifest_commits: storage_stats.manifest_commits,
         torn_manifests: storage_stats.torn_manifests,
-        write_retries: writer.write_retries(),
-        failovers: writer.failovers(),
+        write_retries: store.write_retries(),
+        failovers: store.failovers(),
+        replicas_written: storage_stats.replicas_written,
+        replica_bytes: storage_stats.replica_bytes,
+        remote_recoveries: storage_stats.remote_recoveries,
+        local_recoveries: storage_stats.local_recoveries,
+        replica_losses: storage_stats.replica_losses,
+        restore_done,
         storage_stats,
         phase_stats,
         trace,

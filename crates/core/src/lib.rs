@@ -65,7 +65,7 @@ pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport, Ph
 pub use group::{Formation, GroupPlan};
 pub use job::{
     restart_job_faulted, run_job, run_job_faulted, run_job_traced, run_job_with_crash, JobSpec,
-    RankCtx, RunReport,
+    RankCtx, RunReport, StoreBackend,
 };
 pub use restart::{extract_images, extract_images_manifested, restart_job, RestartSpec};
 pub use supervise::{

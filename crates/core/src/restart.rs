@@ -27,6 +27,11 @@ pub struct RestartSpec {
     pub epoch: u64,
     /// `(object name, image)` pairs preloaded onto the fresh storage.
     pub images: Vec<(String, StoredObject)>,
+    /// Nodes that died in the crashed attempt. Backends with per-node
+    /// state (the replicated store) bring those nodes' replacements up
+    /// *empty*, so the restart storm reads the dead ranks' images from
+    /// surviving replicas. Irrelevant to the central backend.
+    pub lost_nodes: Vec<u32>,
 }
 
 /// Pull the image set for `(job, epoch, n)` out of a previous run's stored

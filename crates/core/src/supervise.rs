@@ -39,6 +39,11 @@ pub struct Attempt {
     /// Wall-clock this attempt contributed: `completion` when it finished,
     /// `sim_end` (kill + detection + teardown) when it crashed.
     pub wall: Time,
+    /// Time the restart storm took this attempt (latest rank's image read
+    /// plus state re-injection; 0 for cold starts). The backend comparison
+    /// metric: reading replicas node-locally beats the shared central
+    /// array here.
+    pub restore_wall: Time,
 }
 
 /// Robustness counters accumulated across every attempt of a supervised
@@ -63,6 +68,16 @@ pub struct RecoveryCounters {
     pub torn_writes: u64,
     /// Messages black-holed because their destination's node had failed.
     pub dropped_sends: u64,
+    /// Remote replica copies written (replicated backend only).
+    pub replicas_written: u64,
+    /// Bytes carried by those replica copies.
+    pub replica_bytes: u64,
+    /// Restart reads served from a remote replica.
+    pub remote_recoveries: u64,
+    /// Restart reads served from the owner node's local copy.
+    pub local_recoveries: u64,
+    /// Replica copies destroyed by node crashes.
+    pub replica_losses: u64,
 }
 
 impl RecoveryCounters {
@@ -76,6 +91,11 @@ impl RecoveryCounters {
         self.failovers += other.failovers;
         self.torn_writes += other.torn_writes;
         self.dropped_sends += other.dropped_sends;
+        self.replicas_written += other.replicas_written;
+        self.replica_bytes += other.replica_bytes;
+        self.remote_recoveries += other.remote_recoveries;
+        self.local_recoveries += other.local_recoveries;
+        self.replica_losses += other.replica_losses;
     }
 
     /// Fold one attempt's report into the running totals.
@@ -88,6 +108,11 @@ impl RecoveryCounters {
         self.failovers += report.failovers;
         self.torn_writes += report.storage_stats.torn_writes;
         self.dropped_sends += report.sends_to_failed;
+        self.replicas_written += report.replicas_written;
+        self.replica_bytes += report.replica_bytes;
+        self.remote_recoveries += report.remote_recoveries;
+        self.local_recoveries += report.local_recoveries;
+        self.replica_losses += report.replica_losses;
     }
 }
 
@@ -216,7 +241,15 @@ impl FailureLoop {
                 None => return Ok(None),
             }
         };
-        Ok(Some(RestartSpec { job: self.job.clone(), epoch, images }))
+        // The crashed attempt's dead nodes come up empty on per-node
+        // backends: the restart harness wipes them before preloading, so
+        // their ranks recover from surviving replicas.
+        Ok(Some(RestartSpec {
+            job: self.job.clone(),
+            epoch,
+            images,
+            lost_nodes: report.killed_ranks.clone(),
+        }))
     }
 
     fn after_failure(&mut self, report: &RunReport, crashed_at: Time) -> SimResult<()> {
@@ -229,6 +262,7 @@ impl FailureLoop {
             finished: false,
             killed_ranks: report.killed_ranks.clone(),
             wall: report.sim_end,
+            restore_wall: report.restore_done,
         });
         match self.pick_restore(report)? {
             Some(restore) => {
@@ -267,6 +301,7 @@ impl FailureLoop {
             finished: true,
             killed_ranks: Vec::new(),
             wall: report.completion,
+            restore_wall: report.restore_done,
         });
         SupervisedReport {
             attempts: self.attempts,

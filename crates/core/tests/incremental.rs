@@ -122,7 +122,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
     let inc_restart = restart_job(
         &spec3,
         None,
-        RestartSpec { job: "inc".into(), epoch: 1, images },
+        RestartSpec { job: "inc".into(), epoch: 1, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(sorted(&results3), want, "incremental restart diverged");
@@ -138,7 +138,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
     let full_restart = restart_job(
         &spec5,
         None,
-        RestartSpec { job: "inc".into(), epoch: 1, images: images_full },
+        RestartSpec { job: "inc".into(), epoch: 1, images: images_full, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(sorted(&results5), want);

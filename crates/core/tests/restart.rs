@@ -112,7 +112,7 @@ fn restart_reproduces_uninterrupted_results_group_based() {
     let (spec3, results3) = ring_job(200);
     let images = extract_images(&report, "ring", 0, 8).unwrap();
     let restarted =
-        restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images }).unwrap();
+        restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images, lost_nodes: vec![] }).unwrap();
     assert_eq!(sorted(&results3), want, "restarted run diverged");
     assert!(restarted.completion > 0);
 }
@@ -128,7 +128,7 @@ fn restart_reproduces_results_regular_protocol() {
 
     let (spec3, results3) = ring_job(120);
     let images = extract_images(&report, "ring", 0, 8).unwrap();
-    restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images }).unwrap();
+    restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch: 0, images, lost_nodes: vec![] }).unwrap();
     assert_eq!(sorted(&results3), want);
 }
 
@@ -153,7 +153,7 @@ fn restart_from_each_of_two_epochs() {
     for epoch in 0..2u64 {
         let (spec3, results3) = ring_job(200);
         let images = extract_images(&report, "ring", epoch, 8).unwrap();
-        restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch, images }).unwrap();
+        restart_job(&spec3, None, RestartSpec { job: "ring".into(), epoch, images, lost_nodes: vec![] }).unwrap();
         assert_eq!(sorted(&results3), want, "restart from epoch {epoch} diverged");
     }
 }
@@ -180,12 +180,12 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
     };
     let report2 =
-        restart_job(&spec3, Some(cfg2), RestartSpec { job: "ring".into(), epoch: 0, images: images1 }).unwrap();
+        restart_job(&spec3, Some(cfg2), RestartSpec { job: "ring".into(), epoch: 0, images: images1, lost_nodes: vec![] }).unwrap();
     assert_eq!(report2.epochs.len(), 1);
 
     let (spec4, results4) = ring_job(260);
     let images2 = extract_images(&report2, "ring-gen2", 0, 8).unwrap();
-    restart_job(&spec4, None, RestartSpec { job: "ring-gen2".into(), epoch: 0, images: images2 }).unwrap();
+    restart_job(&spec4, None, RestartSpec { job: "ring-gen2".into(), epoch: 0, images: images2, lost_nodes: vec![] }).unwrap();
     assert_eq!(sorted(&results4), want, "second-generation restart diverged");
 }
 

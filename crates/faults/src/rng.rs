@@ -22,6 +22,9 @@ pub enum Domain {
     LinkFlap,
     /// Storage-fault decisions (derating windows, write faults).
     Storage,
+    /// Replica-placement draws (ring rotation) for the diskless
+    /// replicated checkpoint store.
+    Replica,
 }
 
 impl Domain {
@@ -30,6 +33,7 @@ impl Domain {
             Domain::NodeFailure => 0x4e4f_4445,
             Domain::LinkFlap => 0x4c49_4e4b,
             Domain::Storage => 0x5354_4f52,
+            Domain::Replica => 0x5245_504c,
         }
     }
 }
@@ -48,6 +52,13 @@ pub fn mix64(mut z: u64) -> u64 {
 /// arguments, independent of every other stream.
 pub fn stream(seed: u64, domain: Domain, index: u64) -> SmallRng {
     SmallRng::seed_from_u64(mix64(mix64(seed ^ domain.tag()) ^ index))
+}
+
+/// One raw 64-bit draw from `(seed, domain, index)` — for callers that
+/// need a single deterministic value (e.g. the replica ring rotation)
+/// without importing the RNG traits.
+pub fn draw_u64(seed: u64, domain: Domain, index: u64) -> u64 {
+    stream(seed, domain, index).next_u64()
 }
 
 /// One exponential draw with the given mean, via inverse-CDF over a draw

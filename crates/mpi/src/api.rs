@@ -1,7 +1,7 @@
 //! The user-facing MPI facade.
 
 use crate::comm::Comm;
-use crate::engine::{DeferStats, EndpointStats, MpiCrState, Rt, TrafficStats};
+use crate::engine::{EndpointStats, MpiCrState, Rt};
 use crate::hook::{CrHook, CtrlWire, OobMsg};
 use crate::types::{BoundarySnapshot, Msg, Rank, Request, Tag, MAX_USER_TAG};
 use gbcr_des::{ArgValue, Proc, Time, Track};
@@ -454,40 +454,9 @@ impl Mpi {
     /// received per-peer traffic, deferral counters and queue depth,
     /// connected peers, and logged bytes — all state-guarded fields read
     /// under a single lock acquisition. This is *the* telemetry entry
-    /// point; the per-field getters are deprecated shims over it.
+    /// point.
     pub fn stats(&self) -> EndpointStats {
         self.rt.stats()
-    }
-
-    /// Number of deferred operations queued on this rank.
-    #[deprecated(note = "use Mpi::stats().deferred_len")]
-    pub fn deferred_len(&self) -> usize {
-        self.rt.stats().deferred_len
-    }
-
-    /// Message/request buffering counters.
-    #[deprecated(note = "use Mpi::stats().defer")]
-    pub fn defer_stats(&self) -> DeferStats {
-        self.rt.stats().defer
-    }
-
-    /// Per-peer sent-traffic counters (dynamic group formation input).
-    #[deprecated(note = "use Mpi::stats().traffic")]
-    pub fn traffic(&self) -> TrafficStats {
-        self.rt.stats().traffic
-    }
-
-    /// Cumulative user-payload bytes received from `peer` (channel-state
-    /// accounting for the Chandy-Lamport comparator).
-    #[deprecated(note = "use Mpi::stats().recv_bytes_from(peer)")]
-    pub fn recv_bytes_from(&self, peer: Rank) -> u64 {
-        self.rt.stats().recv_bytes_from(peer)
-    }
-
-    /// Peers with an established data-plane connection, sorted.
-    #[deprecated(note = "use Mpi::stats().connected_peers")]
-    pub fn connected_peers(&self) -> Vec<Rank> {
-        self.rt.stats().connected_peers
     }
 
     /// Snapshot the checkpointable slice of this rank's library state.
@@ -523,12 +492,6 @@ impl Mpi {
     /// [`crate::MpiConfigBuilder::message_logging`].
     pub fn set_log_mode(&self, on: bool) {
         self.rt.set_log_mode(on);
-    }
-
-    /// User bytes copied into message logs so far (ablation metric).
-    #[deprecated(note = "use Mpi::stats().logged_bytes")]
-    pub fn logged_bytes(&self) -> u64 {
-        self.rt.stats().logged_bytes
     }
 
     /// Whether the data-plane connection to `peer` is active.

@@ -86,10 +86,8 @@ pub struct TrafficStats {
 }
 
 /// One coherent snapshot of a rank's endpoint telemetry, taken under a
-/// single state lock by [`crate::Mpi::stats`]. Replaces the retired
-/// pile of ad-hoc getters (`traffic()`, `defer_stats()`,
-/// `recv_bytes_from()`, `connected_peers()`, `deferred_len()`,
-/// `logged_bytes()`): one call, one consistent view.
+/// single state lock by [`crate::Mpi::stats`]: one call, one consistent
+/// view (no per-field getter can observe a torn update).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EndpointStats {
     /// Per-peer *sent* user traffic (input to dynamic group formation).

@@ -1,0 +1,318 @@
+//! Pluggable checkpoint-store backends.
+//!
+//! Everything above the storage crate (BLCR image writes, the coordinator's
+//! manifest commits, the supervisor's restart reads, fault injection) talks
+//! to checkpoint storage through the [`CheckpointStore`] trait. Two
+//! implementations ship here:
+//!
+//! * [`CentralStore`] — the paper's shared PVFS2-like array, wrapping the
+//!   existing [`FailoverWriter`] (one or more [`Storage`] targets with
+//!   retry + failover). Every call delegates 1:1 to the legacy path, so a
+//!   run through `CentralStore` is byte-identical to one built before the
+//!   trait existed.
+//! * [`crate::ReplicatedStore`] — a ReStore-style diskless backend: each
+//!   rank's image lands in its own node's in-memory store plus `k` remote
+//!   replicas, and restart reads from the nearest surviving copy.
+
+use crate::model::{Storage, StreamId, WriteFaultFn};
+use crate::object::StoredObject;
+use crate::stats::StorageStats;
+use gbcr_des::{Proc, Time};
+
+/// Handle for a non-blocking image write started with
+/// [`CheckpointStore::begin_write_image`]; redeem it (possibly from a
+/// different simulated process) with [`CheckpointStore::finish_write_image`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteTicket {
+    pub(crate) stream: StreamId,
+}
+
+/// The checkpoint storage abstraction: where epoch images and manifests
+/// live, how they are written, and where restart finds them.
+///
+/// Contract highlights:
+///
+/// * `write_image` blocks until the image is as durable as the backend can
+///   make it; `Err(())` means *observably* nothing accepted the write
+///   (every target/copy was inside an outage window). Silent fault modes
+///   (torn/failed writes) still return `Ok` — the writer cannot tell, the
+///   durability promise is what broke.
+/// * `read_image` panics when no copy survives anywhere: restarting from a
+///   checkpoint that the manifest did not validate is a caller bug.
+/// * `commit_meta` is a zero-simulated-time manifest publish (it piggybacks
+///   on the protocol round that proved the images durable).
+pub trait CheckpointStore: Send + Sync {
+    /// Write a checkpoint image, blocking until durable. `Err(())` when no
+    /// target accepted the write (outage windows everywhere).
+    #[allow(clippy::result_unit_err)]
+    fn write_image(&self, p: &Proc, client: u32, name: &str, object: StoredObject)
+        -> Result<(), ()>;
+
+    /// Start an image write without blocking (the Chandy-Lamport
+    /// copy-on-write path overlaps the transfer with computation); pair
+    /// with [`CheckpointStore::finish_write_image`].
+    fn begin_write_image(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> WriteTicket;
+
+    /// Block until a write started with `begin_write_image` is durable
+    /// (including any replica fan-out the backend performs).
+    fn finish_write_image(&self, p: &Proc, client: u32, ticket: WriteTicket);
+
+    /// Read an image back, charging transfer time at whichever copy serves
+    /// it. Panics if no copy exists anywhere.
+    fn read_image(&self, p: &Proc, client: u32, name: &str) -> StoredObject;
+
+    /// Charge a bulk read of `bytes` anonymous bytes at the copy that
+    /// holds `name` (incremental-checkpoint chain restores account their
+    /// chain members in aggregate).
+    fn read_chain(&self, p: &Proc, client: u32, name: &str, bytes: u64);
+
+    /// Whether any copy of `name` exists (no simulated time cost).
+    fn contains(&self, name: &str) -> bool;
+
+    /// Zero-time lookup of `name` on any copy.
+    fn peek(&self, name: &str) -> Option<StoredObject>;
+
+    /// Atomically publish a small metadata record (epoch manifest) with
+    /// zero simulated time cost. Returns whether it became visible.
+    fn commit_meta(&self, client: u32, name: &str, object: StoredObject) -> bool;
+
+    /// Seed the namespace with an already-durable object (restart path);
+    /// no simulated time cost.
+    fn preload(&self, name: &str, object: StoredObject);
+
+    /// Export the whole logical namespace, deduplicated and sorted by name
+    /// (for carrying images across simulations).
+    fn export_objects(&self) -> Vec<(String, StoredObject)>;
+
+    /// Aggregated transfer/fault statistics across the backend's devices.
+    fn storage_stats(&self) -> StorageStats;
+
+    /// Write retries performed by the backend's retry machinery (0 unless
+    /// the backend retries).
+    fn write_retries(&self) -> u64 {
+        0
+    }
+
+    /// Primary→standby failovers performed by the backend (0 unless the
+    /// backend fails over).
+    fn failovers(&self) -> u64 {
+        0
+    }
+
+    /// A compute node crashed: destroy whatever checkpoint state was
+    /// co-located with it. No-op for backends with no per-node state.
+    fn node_failed(&self, node: u32) {
+        let _ = node;
+    }
+
+    /// Open (or extend) an outage window on storage target `target`
+    /// (fault injection). Out-of-range targets are ignored.
+    fn set_outage(&self, target: usize, until: Time);
+
+    /// Apply a bandwidth derate to the backend's devices (fault injection:
+    /// brown-out). 1.0 restores full health.
+    fn set_derate(&self, derate: f64);
+
+    /// Install (or clear) the per-image write-fault decider.
+    fn set_write_fault_hook(&self, hook: Option<WriteFaultFn>);
+
+    /// Install (or clear) the manifest-commit fault decider.
+    fn set_meta_fault_hook(&self, hook: Option<WriteFaultFn>);
+}
+
+/// Deterministic ring placement for replica copies: the `k` nodes after
+/// `owner` on the ring of `n` nodes, rotated by `shift` (drawn once per job
+/// from the stream-isolated RNG so placement is reproducible but not
+/// always "the next node"). Never includes `owner`; returns fewer than `k`
+/// peers only when the cluster has fewer than `k + 1` nodes.
+pub fn replica_nodes(owner: u32, n: u32, k: u32, shift: u64) -> Vec<u32> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let k = k.min(n - 1);
+    (0..k as u64)
+        .map(|j| {
+            // Offsets land in [0, n-2], so owner + 1 + offset can never
+            // wrap back onto owner, and k consecutive offsets mod (n-1)
+            // are pairwise distinct.
+            let offset = (shift + j) % (n as u64 - 1);
+            ((owner as u64 + 1 + offset) % n as u64) as u32
+        })
+        .collect()
+}
+
+/// Parse the owning rank out of a checkpoint-image name: images are named
+/// `ckpt/{job}/e{epoch}/r{rank}`, so the trailing `/r<digits>` component
+/// identifies the owner. Names without one (epoch manifests,
+/// `manifest/{job}/e{epoch}`) return `None` and are treated as global
+/// metadata by placement-aware backends.
+pub fn owner_rank(name: &str) -> Option<u32> {
+    let idx = name.rfind("/r")?;
+    let digits = &name[idx + 2..];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The legacy central-array path behind the trait: a [`FailoverWriter`]
+/// over one or more shared [`Storage`] targets. All delegation is 1:1 with
+/// the pre-trait code paths (same events, same timing, same counters).
+pub struct CentralStore {
+    writer: crate::failover::FailoverWriter,
+}
+
+impl CentralStore {
+    /// Wrap an existing failover writer.
+    pub fn new(writer: crate::failover::FailoverWriter) -> Self {
+        CentralStore { writer }
+    }
+
+    /// The underlying writer (targets, retry policy, shared counters).
+    pub fn writer(&self) -> &crate::failover::FailoverWriter {
+        &self.writer
+    }
+
+    fn primary(&self) -> &Storage {
+        self.writer.primary()
+    }
+}
+
+impl CheckpointStore for CentralStore {
+    fn write_image(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> Result<(), ()> {
+        self.writer.write(p, client, name, object).map(|_| ())
+    }
+
+    fn begin_write_image(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> WriteTicket {
+        WriteTicket { stream: self.primary().start_write(p, client, name, object) }
+    }
+
+    fn finish_write_image(&self, p: &Proc, _client: u32, ticket: WriteTicket) {
+        self.primary().wait(p, ticket.stream);
+    }
+
+    fn read_image(&self, p: &Proc, client: u32, name: &str) -> StoredObject {
+        self.writer.read(p, client, name).1
+    }
+
+    fn read_chain(&self, p: &Proc, client: u32, name: &str, bytes: u64) {
+        for target in self.writer.targets() {
+            if target.contains(name) {
+                target.read_bulk(p, client, bytes);
+                return;
+            }
+        }
+        panic!("storage object '{name}' does not exist on any target");
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.writer.targets().iter().any(|t| t.contains(name))
+    }
+
+    fn peek(&self, name: &str) -> Option<StoredObject> {
+        self.writer.targets().iter().find_map(|t| t.peek(name))
+    }
+
+    fn commit_meta(&self, client: u32, name: &str, object: StoredObject) -> bool {
+        self.primary().commit_meta(client, name, object)
+    }
+
+    fn preload(&self, name: &str, object: StoredObject) {
+        self.primary().preload(name, object);
+    }
+
+    fn export_objects(&self) -> Vec<(String, StoredObject)> {
+        // Primary wins on name collisions (it is authoritative; a standby
+        // only holds copies the primary rejected during an outage).
+        let mut out = self.primary().export_objects();
+        for standby in &self.writer.targets()[1..] {
+            for (name, obj) in standby.export_objects() {
+                if !out.iter().any(|(n, _)| *n == name) {
+                    out.push((name, obj));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        self.primary().stats()
+    }
+
+    fn write_retries(&self) -> u64 {
+        self.writer.write_retries()
+    }
+
+    fn failovers(&self) -> u64 {
+        self.writer.failovers()
+    }
+
+    fn set_outage(&self, target: usize, until: Time) {
+        if let Some(t) = self.writer.targets().get(target) {
+            t.set_outage_until(until);
+        }
+    }
+
+    fn set_derate(&self, derate: f64) {
+        self.primary().set_derate(derate);
+    }
+
+    fn set_write_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        self.primary().set_write_fault_hook(hook);
+    }
+
+    fn set_meta_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        self.primary().set_meta_fault_hook(hook);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_placement_skips_owner_and_wraps() {
+        assert_eq!(replica_nodes(0, 4, 2, 0), vec![1, 2]);
+        assert_eq!(replica_nodes(3, 4, 2, 0), vec![0, 1]);
+        // Rotated by shift.
+        assert_eq!(replica_nodes(0, 4, 2, 1), vec![2, 3]);
+        // shift wraps within the n-1 non-owner offsets: offset 2 then 0.
+        assert_eq!(replica_nodes(0, 4, 2, 2), vec![3, 1]);
+    }
+
+    #[test]
+    fn ring_placement_clamps_k_to_cluster_size() {
+        assert_eq!(replica_nodes(1, 3, 10, 0), vec![2, 0]);
+        assert_eq!(replica_nodes(0, 1, 3, 7), Vec::<u32>::new());
+        assert_eq!(replica_nodes(0, 2, 3, 5), vec![1]);
+    }
+
+    #[test]
+    fn owner_rank_parses_image_names_only() {
+        assert_eq!(owner_rank("ckpt/job/e3/r12"), Some(12));
+        assert_eq!(owner_rank("ckpt/job/e0/r0"), Some(0));
+        assert_eq!(owner_rank("manifest/job/e3"), None);
+        assert_eq!(owner_rank("ckpt/job/e3/r"), None);
+        assert_eq!(owner_rank("ckpt/job/e3/r1x"), None);
+        assert_eq!(owner_rank("plain"), None);
+    }
+}

@@ -57,6 +57,22 @@ impl StorageConfig {
         }
     }
 
+    /// One node's in-memory (diskless) checkpoint store: a ramdisk-speed
+    /// device private to that node, so there is no cross-client contention
+    /// to model (`congestion = 0`) and the per-op cost is a local mmap
+    /// round-trip rather than a parallel-filesystem metadata RPC. Used per
+    /// node by the ReStore-style replicated backend; writes land at memory
+    /// bandwidth instead of queueing on the shared central array.
+    pub fn node_local() -> Self {
+        StorageConfig {
+            servers: 1,
+            aggregate_bw: 2.0e9,
+            single_client_bw: 2.0e9,
+            congestion: 0.0,
+            per_op_latency: time::us(100),
+        }
+    }
+
     /// Deliverable aggregate rate (bytes/s) with `k` concurrent streams.
     pub fn aggregate_rate(&self, k: usize) -> f64 {
         if k == 0 {

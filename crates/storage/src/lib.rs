@@ -26,16 +26,20 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod config;
 mod failover;
 mod model;
 mod object;
+mod replicated;
 mod stats;
 
+pub use backend::{owner_rank, replica_nodes, CentralStore, CheckpointStore, WriteTicket};
 pub use config::StorageConfig;
 pub use failover::{FailoverWriter, RetryPolicy};
 pub use model::{Storage, StreamId, StreamKind, WriteFault, WriteFaultFn};
 pub use object::StoredObject;
+pub use replicated::{ReplicatedCfg, ReplicatedStore};
 pub use stats::{StorageStats, TransferRecord};
 
 /// One megabyte (10^6 bytes) — the unit used throughout the paper's figures.

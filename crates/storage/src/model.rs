@@ -252,11 +252,27 @@ impl Storage {
     /// cannot observe the difference between `Torn` and a healthy write —
     /// that is the point.
     pub fn start_write(&self, p: &Proc, client: u32, name: &str, object: StoredObject) -> StreamId {
-        p.sleep(self.cfg.per_op_latency);
         let fault = {
             let st = self.state.lock();
             st.write_fault.as_ref().and_then(|h| h(client, name))
         };
+        self.start_write_faulted(p, client, name, object, fault)
+    }
+
+    /// Start a write with a fault verdict already decided, bypassing this
+    /// device's own write-fault hook. The replicated backend uses this to
+    /// apply *one* fault draw per logical image while fanning copies out to
+    /// several per-node devices; `start_write` delegates here, so the
+    /// central path's event sequence is unchanged.
+    pub(crate) fn start_write_faulted(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+        fault: Option<WriteFault>,
+    ) -> StreamId {
+        p.sleep(self.cfg.per_op_latency);
         match fault {
             None => self.add_stream(
                 client,
@@ -337,6 +353,21 @@ impl Storage {
         }
         drop(st);
         self.handle.trace_instant(|| Event::StorageOutage { until });
+    }
+
+    /// Crash-stop this device: drop every stored object and annul the
+    /// publish side-effect of any in-flight write stream (the bytes already
+    /// moving keep charging time, but nothing they carried survives — a
+    /// node's RAM disappeared with the node). Returns the dropped objects
+    /// sorted by name, so callers can account the losses deterministically.
+    pub fn wipe(&self) -> Vec<(String, StoredObject)> {
+        let mut st = self.state.lock();
+        for s in &mut st.streams {
+            s.publish = None;
+        }
+        let mut dropped: Vec<(String, StoredObject)> = st.objects.drain().collect();
+        dropped.sort_by(|a, b| a.0.cmp(&b.0));
+        dropped
     }
 
     /// Atomically publish a small metadata record (an epoch manifest) with

@@ -1,0 +1,586 @@
+//! Diskless peer-replicated in-memory checkpoint store (ReStore-style).
+//!
+//! Instead of pushing every epoch image through one shared PVFS-like
+//! array, each rank writes its image to its *own node's* in-memory store
+//! (ramdisk speed, no cross-client contention) and fans out `k` remote
+//! replica copies over the fabric to the ring peers chosen by
+//! [`replica_nodes`]. A node crash destroys that node's store — the local
+//! image *and* any replica copies it held for peers — so restart reads
+//! each image from the nearest surviving copy: owner node first, then the
+//! replicas in placement order. Only when all `k + 1` copies died is the
+//! image gone (the manifest then fails validation and the supervisor
+//! reports the existing typed `NoRestartPoint`).
+//!
+//! Determinism: replica placement is a pure function of
+//! `(owner, n, k, shift)` with `shift` drawn once per job from the
+//! stream-isolated fault RNG; fan-out and recovery probing iterate peers
+//! in placement order; merged statistics sort records by
+//! `(start, end, client, bytes)`. Two runs with the same seed are
+//! byte-identical.
+
+use crate::backend::{owner_rank, replica_nodes, CheckpointStore, WriteTicket};
+use crate::config::StorageConfig;
+use crate::model::{Storage, StreamId, WriteFaultFn};
+use crate::object::StoredObject;
+use crate::stats::StorageStats;
+use gbcr_des::{time, ArgValue, Event, Proc, SimHandle, Time, Track};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of the replicated backend.
+#[derive(Debug, Clone)]
+pub struct ReplicatedCfg {
+    /// Per-node in-memory device model (default: [`StorageConfig::node_local`]).
+    pub node: StorageConfig,
+    /// Remote replica copies per image (`k`). Clamped to `n - 1`.
+    pub replicas: u32,
+    /// Ring-placement rotation, drawn once per job from the stream-isolated
+    /// RNG (keeps placement reproducible without hardcoding "next node").
+    pub shift: u64,
+    /// One-way fabric cost charged per replica push / remote recovery read
+    /// (RDMA transfer setup to a peer's memory).
+    pub replica_rtt: Time,
+}
+
+impl Default for ReplicatedCfg {
+    fn default() -> Self {
+        ReplicatedCfg {
+            node: StorageConfig::node_local(),
+            replicas: 2,
+            shift: 0,
+            replica_rtt: time::us(25),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ReplicaCounters {
+    replicas_written: AtomicU64,
+    replica_bytes: AtomicU64,
+    remote_recoveries: AtomicU64,
+    local_recoveries: AtomicU64,
+    replica_losses: AtomicU64,
+}
+
+/// Meta/outage accounting that has no single home device.
+#[derive(Default)]
+struct ExtraStats {
+    unavailable_writes: u64,
+    manifest_commits: u64,
+    torn_manifests: u64,
+}
+
+struct PendingWrite {
+    owner: u32,
+    name: String,
+    object: StoredObject,
+}
+
+/// The diskless replicated backend: `n` per-node in-memory stores, `k`
+/// remote replicas per image, nearest-surviving-copy recovery.
+pub struct ReplicatedStore {
+    cfg: ReplicatedCfg,
+    handle: SimHandle,
+    nodes: Vec<Storage>,
+    /// Nodes that crashed: their *initial* image seeding is skipped on a
+    /// restarted simulation (the replacement node comes up empty), but new
+    /// writes and recovery re-seeding go through normally.
+    lost: Mutex<HashSet<u32>>,
+    write_fault: Mutex<Option<WriteFaultFn>>,
+    meta_fault: Mutex<Option<WriteFaultFn>>,
+    pending: Mutex<HashMap<(u32, StreamId), PendingWrite>>,
+    counters: ReplicaCounters,
+    extra: Mutex<ExtraStats>,
+}
+
+impl ReplicatedStore {
+    /// Build the backend with one in-memory store per node.
+    pub fn new(handle: SimHandle, cfg: ReplicatedCfg, n: u32) -> Self {
+        assert!(n > 0, "replicated store needs at least one node");
+        let nodes =
+            (0..n).map(|_| Storage::new(handle.clone(), cfg.node.clone())).collect();
+        ReplicatedStore {
+            cfg,
+            handle,
+            nodes,
+            lost: Mutex::new(HashSet::new()),
+            write_fault: Mutex::new(None),
+            meta_fault: Mutex::new(None),
+            pending: Mutex::new(HashMap::new()),
+            counters: ReplicaCounters::default(),
+            extra: Mutex::new(ExtraStats::default()),
+        }
+    }
+
+    /// Effective replica count (`k` clamped to `n - 1`).
+    pub fn replicas(&self) -> u32 {
+        self.cfg.replicas.min(self.nodes.len() as u32 - 1)
+    }
+
+    /// The ring rotation in force.
+    pub fn shift(&self) -> u64 {
+        self.cfg.shift
+    }
+
+    /// Per-node device handles (tests poke at individual nodes).
+    pub fn nodes(&self) -> &[Storage] {
+        &self.nodes
+    }
+
+    fn owner_of(&self, client: u32, name: &str) -> u32 {
+        let n = self.nodes.len() as u32;
+        owner_rank(name).filter(|r| *r < n).unwrap_or(client % n)
+    }
+
+    fn peers_of(&self, owner: u32) -> Vec<u32> {
+        replica_nodes(owner, self.nodes.len() as u32, self.cfg.replicas, self.cfg.shift)
+    }
+
+    /// Fan `object` out to the owner's ring peers, blocking until every
+    /// accepted copy is durable. Shared by the blocking write path and the
+    /// deferred (Chandy-Lamport) finish path.
+    fn push_replicas(&self, p: &Proc, client: u32, name: &str, object: &StoredObject, owner: u32) {
+        let peers = self.peers_of(owner);
+        if peers.is_empty() {
+            return;
+        }
+        let fanout_start = p.now();
+        let mut streams: Vec<(u32, StreamId)> = Vec::new();
+        for peer in peers {
+            let store = &self.nodes[peer as usize];
+            if store.in_outage() {
+                p.sleep(store.config().per_op_latency);
+                self.extra.lock().unavailable_writes += 1;
+                self.handle.trace_instant(|| Event::StorageUnavailable {
+                    client,
+                    name: name.to_owned(),
+                });
+                continue;
+            }
+            p.sleep(self.cfg.replica_rtt);
+            let id = store.start_write(p, client, name, object.clone());
+            self.handle.trace_instant(|| Event::StorageReplicate {
+                client,
+                peer,
+                name: name.to_owned(),
+            });
+            streams.push((peer, id));
+        }
+        for (peer, id) in &streams {
+            self.nodes[*peer as usize].wait(p, *id);
+        }
+        if !streams.is_empty() {
+            let pushed = streams.len() as u64;
+            self.counters.replicas_written.fetch_add(pushed, Ordering::Relaxed);
+            self.counters
+                .replica_bytes
+                .fetch_add(pushed * object.virtual_size, Ordering::Relaxed);
+            let bytes = pushed * object.virtual_size;
+            self.handle.trace_span(Track::Storage(client), "storage.replicate", fanout_start, || {
+                vec![("replicas", ArgValue::U64(pushed)), ("bytes", ArgValue::U64(bytes))]
+            });
+        }
+    }
+}
+
+impl CheckpointStore for ReplicatedStore {
+    fn write_image(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> Result<(), ()> {
+        let owner = self.owner_of(client, name);
+        // One fault draw per logical image, applied to the local copy only:
+        // a torn or failed local write is exactly what the remote replicas
+        // exist to mask (the bytes being pushed come from the sender's own
+        // memory, not the torn copy).
+        let fault = {
+            let hook = self.write_fault.lock();
+            hook.as_ref().and_then(|h| h(client, name))
+        };
+        let owner_store = &self.nodes[owner as usize];
+        let mut accepted = false;
+        let mut local_stream = None;
+        if owner_store.in_outage() {
+            p.sleep(owner_store.config().per_op_latency);
+            self.extra.lock().unavailable_writes += 1;
+            self.handle
+                .trace_instant(|| Event::StorageUnavailable { client, name: name.to_owned() });
+        } else {
+            accepted = true;
+            local_stream =
+                Some(owner_store.start_write_faulted(p, client, name, object.clone(), fault));
+        }
+        let peers_up = self
+            .peers_of(owner)
+            .iter()
+            .any(|peer| !self.nodes[*peer as usize].in_outage());
+        if let Some(id) = local_stream {
+            owner_store.wait(p, id);
+        }
+        self.push_replicas(p, client, name, &object, owner);
+        if accepted || peers_up {
+            Ok(())
+        } else {
+            Err(())
+        }
+    }
+
+    fn begin_write_image(
+        &self,
+        p: &Proc,
+        client: u32,
+        name: &str,
+        object: StoredObject,
+    ) -> WriteTicket {
+        let owner = self.owner_of(client, name);
+        let fault = {
+            let hook = self.write_fault.lock();
+            hook.as_ref().and_then(|h| h(client, name))
+        };
+        let id =
+            self.nodes[owner as usize].start_write_faulted(p, client, name, object.clone(), fault);
+        self.pending
+            .lock()
+            .insert((client, id), PendingWrite { owner, name: name.to_owned(), object });
+        WriteTicket { stream: id }
+    }
+
+    fn finish_write_image(&self, p: &Proc, client: u32, ticket: WriteTicket) {
+        let pending = self
+            .pending
+            .lock()
+            .remove(&(client, ticket.stream))
+            .expect("finish_write_image without matching begin");
+        self.nodes[pending.owner as usize].wait(p, ticket.stream);
+        self.push_replicas(p, client, &pending.name, &pending.object, pending.owner);
+    }
+
+    fn read_image(&self, p: &Proc, client: u32, name: &str) -> StoredObject {
+        let owner = self.owner_of(client, name);
+        if self.nodes[owner as usize].contains(name) {
+            self.counters.local_recoveries.fetch_add(1, Ordering::Relaxed);
+            return self.nodes[owner as usize].read(p, client, name);
+        }
+        for peer in self.peers_of(owner) {
+            if self.nodes[peer as usize].contains(name) {
+                let started = p.now();
+                p.sleep(self.cfg.replica_rtt);
+                let obj = self.nodes[peer as usize].read(p, client, name);
+                self.counters.remote_recoveries.fetch_add(1, Ordering::Relaxed);
+                self.handle.trace_instant(|| Event::StorageRecoverRemote {
+                    client,
+                    peer,
+                    name: name.to_owned(),
+                });
+                let bytes = obj.virtual_size;
+                self.handle.trace_span(
+                    Track::Storage(client),
+                    "storage.recover_remote",
+                    started,
+                    || vec![("peer", ArgValue::U64(peer as u64)), ("bytes", ArgValue::U64(bytes))],
+                );
+                // Re-seed the (replacement) owner node so subsequent chain
+                // reads and epochs see a local copy; the object is already
+                // durable, so this costs nothing.
+                self.nodes[owner as usize].preload(name, obj.clone());
+                return obj;
+            }
+        }
+        panic!("storage object '{name}' does not exist on any target");
+    }
+
+    fn read_chain(&self, p: &Proc, client: u32, name: &str, bytes: u64) {
+        let owner = self.owner_of(client, name);
+        if self.nodes[owner as usize].contains(name) {
+            self.nodes[owner as usize].read_bulk(p, client, bytes);
+            return;
+        }
+        for peer in self.peers_of(owner) {
+            if self.nodes[peer as usize].contains(name) {
+                p.sleep(self.cfg.replica_rtt);
+                self.nodes[peer as usize].read_bulk(p, client, bytes);
+                return;
+            }
+        }
+        panic!("storage object '{name}' does not exist on any target");
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.nodes.iter().any(|s| s.contains(name))
+    }
+
+    fn peek(&self, name: &str) -> Option<StoredObject> {
+        self.nodes.iter().find_map(|s| s.peek(name))
+    }
+
+    fn commit_meta(&self, client: u32, name: &str, object: StoredObject) -> bool {
+        let fault = {
+            let hook = self.meta_fault.lock();
+            hook.as_ref().and_then(|h| h(client, name))
+        };
+        use crate::model::WriteFault;
+        match fault {
+            Some(WriteFault::Torn) | Some(WriteFault::Fail) => {
+                self.extra.lock().torn_manifests += 1;
+                self.handle
+                    .trace_instant(|| Event::StorageTornMeta { client, name: name.to_owned() });
+                false
+            }
+            None | Some(WriteFault::Slow(_)) => {
+                // The manifest is tiny control metadata: replicate it to
+                // every live node so it survives any single crash, exactly
+                // one logical commit regardless of node count.
+                let mut placed = 0usize;
+                for store in &self.nodes {
+                    if store.in_outage() {
+                        continue;
+                    }
+                    store.preload(name, object.clone());
+                    placed += 1;
+                }
+                if placed == 0 {
+                    self.extra.lock().unavailable_writes += 1;
+                    self.handle.trace_instant(|| Event::StorageUnavailable {
+                        client,
+                        name: name.to_owned(),
+                    });
+                    false
+                } else {
+                    self.extra.lock().manifest_commits += 1;
+                    self.handle
+                        .trace_instant(|| Event::StorageCommit { client, name: name.to_owned() });
+                    true
+                }
+            }
+        }
+    }
+
+    fn preload(&self, name: &str, object: StoredObject) {
+        let lost = self.lost.lock();
+        let n = self.nodes.len() as u32;
+        match owner_rank(name).filter(|r| *r < n) {
+            Some(owner) => {
+                let mut targets = vec![owner];
+                targets.extend(self.peers_of(owner));
+                for t in targets {
+                    if !lost.contains(&t) {
+                        self.nodes[t as usize].preload(name, object.clone());
+                    }
+                }
+            }
+            None => {
+                for (i, store) in self.nodes.iter().enumerate() {
+                    if !lost.contains(&(i as u32)) {
+                        store.preload(name, object.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn export_objects(&self) -> Vec<(String, StoredObject)> {
+        let mut merged: BTreeMap<String, StoredObject> = BTreeMap::new();
+        for store in &self.nodes {
+            for (name, obj) in store.export_objects() {
+                merged.entry(name).or_insert(obj);
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    fn storage_stats(&self) -> StorageStats {
+        let mut out = StorageStats::default();
+        for store in &self.nodes {
+            let s = store.stats();
+            out.records.extend(s.records);
+            out.torn_writes += s.torn_writes;
+            out.failed_writes += s.failed_writes;
+            out.slowed_writes += s.slowed_writes;
+            out.unavailable_writes += s.unavailable_writes;
+            out.manifest_commits += s.manifest_commits;
+            out.torn_manifests += s.torn_manifests;
+        }
+        out.records.sort_by(|a, b| {
+            (a.start, a.end, a.client, a.bytes).cmp(&(b.start, b.end, b.client, b.bytes))
+        });
+        let extra = self.extra.lock();
+        out.unavailable_writes += extra.unavailable_writes;
+        out.manifest_commits += extra.manifest_commits;
+        out.torn_manifests += extra.torn_manifests;
+        out.replicas_written = self.counters.replicas_written.load(Ordering::Relaxed);
+        out.replica_bytes = self.counters.replica_bytes.load(Ordering::Relaxed);
+        out.remote_recoveries = self.counters.remote_recoveries.load(Ordering::Relaxed);
+        out.local_recoveries = self.counters.local_recoveries.load(Ordering::Relaxed);
+        out.replica_losses = self.counters.replica_losses.load(Ordering::Relaxed);
+        out
+    }
+
+    fn node_failed(&self, node: u32) {
+        let Some(store) = self.nodes.get(node as usize) else { return };
+        let dropped = store.wipe();
+        let lost_replicas = dropped
+            .iter()
+            .filter(|(name, _)| matches!(owner_rank(name), Some(r) if r != node))
+            .count() as u64;
+        self.counters.replica_losses.fetch_add(lost_replicas, Ordering::Relaxed);
+        self.lost.lock().insert(node);
+        let objects = dropped.len() as u64;
+        self.handle.trace_instant(|| Event::StorageNodeLost { node, objects });
+    }
+
+    fn set_outage(&self, target: usize, until: Time) {
+        if let Some(store) = self.nodes.get(target) {
+            store.set_outage_until(until);
+        }
+    }
+
+    fn set_derate(&self, derate: f64) {
+        for store in &self.nodes {
+            store.set_derate(derate);
+        }
+    }
+
+    fn set_write_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        *self.write_fault.lock() = hook;
+    }
+
+    fn set_meta_fault_hook(&self, hook: Option<WriteFaultFn>) {
+        *self.meta_fault.lock() = hook;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MB;
+    use gbcr_des::Sim;
+    use std::sync::Arc;
+
+    fn store(sim: &mut Sim, n: u32, k: u32) -> Arc<ReplicatedStore> {
+        let cfg = ReplicatedCfg { replicas: k, ..ReplicatedCfg::default() };
+        Arc::new(ReplicatedStore::new(sim.handle(), cfg, n))
+    }
+
+    #[test]
+    fn write_lands_on_owner_and_ring_peers() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 2);
+        let s = st.clone();
+        sim.spawn("w", move |p| {
+            s.write_image(p, 1, "ckpt/j/e0/r1", StoredObject::bulk(10 * MB)).unwrap();
+        });
+        sim.run().unwrap();
+        assert!(st.nodes()[1].contains("ckpt/j/e0/r1"), "owner copy");
+        // shift 0, owner 1 -> peers 2, 3.
+        assert!(st.nodes()[2].contains("ckpt/j/e0/r1"));
+        assert!(st.nodes()[3].contains("ckpt/j/e0/r1"));
+        assert!(!st.nodes()[0].contains("ckpt/j/e0/r1"));
+        let stats = st.storage_stats();
+        assert_eq!(stats.replicas_written, 2);
+        assert_eq!(stats.replica_bytes, 2 * 10 * MB);
+    }
+
+    #[test]
+    fn recovery_prefers_local_then_replica_order() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 2);
+        let s = st.clone();
+        sim.spawn("rw", move |p| {
+            s.write_image(p, 1, "ckpt/j/e0/r1", StoredObject::bulk(MB)).unwrap();
+            s.read_image(p, 1, "ckpt/j/e0/r1");
+            // Kill the owner node: next read must come from a replica.
+            s.node_failed(1);
+            s.read_image(p, 1, "ckpt/j/e0/r1");
+        });
+        sim.run().unwrap();
+        let stats = st.storage_stats();
+        assert_eq!(stats.local_recoveries, 1);
+        assert_eq!(stats.remote_recoveries, 1);
+        // The remote read re-seeded the owner node.
+        assert!(st.nodes()[1].contains("ckpt/j/e0/r1"));
+    }
+
+    #[test]
+    fn node_failure_counts_lost_replica_copies() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 2);
+        let s = st.clone();
+        sim.spawn("w", move |p| {
+            // Node 2 holds its own image plus replicas of ranks 0 and 1.
+            s.write_image(p, 0, "ckpt/j/e0/r0", StoredObject::bulk(MB)).unwrap();
+            s.write_image(p, 1, "ckpt/j/e0/r1", StoredObject::bulk(MB)).unwrap();
+            s.write_image(p, 2, "ckpt/j/e0/r2", StoredObject::bulk(MB)).unwrap();
+            s.node_failed(2);
+        });
+        sim.run().unwrap();
+        let stats = st.storage_stats();
+        assert_eq!(stats.replica_losses, 2, "r0 and r1 copies died with node 2");
+        assert!(!st.nodes()[2].contains("ckpt/j/e0/r2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist on any target")]
+    fn all_copies_dead_panics_on_read() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 1);
+        let s = st.clone();
+        sim.spawn("rw", move |p| {
+            s.write_image(p, 0, "ckpt/j/e0/r0", StoredObject::bulk(MB)).unwrap();
+            s.node_failed(0);
+            s.node_failed(1); // shift 0: rank 0's only replica is node 1
+            s.read_image(p, 0, "ckpt/j/e0/r0");
+        });
+        let err = sim.run().unwrap_err();
+        panic!("{err}");
+    }
+
+    #[test]
+    fn preload_skips_lost_nodes_until_reseeded() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 1);
+        st.node_failed(0);
+        CheckpointStore::preload(&*st, "ckpt/j/e0/r0", StoredObject::bulk(MB));
+        assert!(!st.nodes()[0].contains("ckpt/j/e0/r0"), "lost node comes up empty");
+        assert!(st.nodes()[1].contains("ckpt/j/e0/r0"), "replica preloaded");
+        let s = st.clone();
+        sim.spawn("r", move |p| {
+            s.read_image(p, 0, "ckpt/j/e0/r0");
+        });
+        sim.run().unwrap();
+        assert_eq!(st.storage_stats().remote_recoveries, 1);
+        assert!(st.nodes()[0].contains("ckpt/j/e0/r0"), "recovery re-seeded the node");
+    }
+
+    #[test]
+    fn manifests_replicate_to_every_node() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 3, 1);
+        assert!(st.commit_meta(u32::MAX, "manifest/j/e0", StoredObject::bulk(64)));
+        for node in st.nodes() {
+            assert!(node.contains("manifest/j/e0"));
+        }
+        let stats = st.storage_stats();
+        assert_eq!(stats.manifest_commits, 1, "one logical commit");
+        drop(sim);
+    }
+
+    #[test]
+    fn deferred_write_fans_out_on_finish() {
+        let mut sim = Sim::new(0);
+        let st = store(&mut sim, 4, 2);
+        let s = st.clone();
+        sim.spawn("w", move |p| {
+            let t = s.begin_write_image(p, 0, "ckpt/j/e0/r0", StoredObject::bulk(MB));
+            assert_eq!(s.storage_stats().replicas_written, 0, "no fan-out before finish");
+            s.finish_write_image(p, 0, t);
+        });
+        sim.run().unwrap();
+        assert_eq!(st.storage_stats().replicas_written, 2);
+        assert!(st.nodes()[1].contains("ckpt/j/e0/r0"));
+        assert!(st.nodes()[2].contains("ckpt/j/e0/r0"));
+    }
+}

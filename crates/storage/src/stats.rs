@@ -50,6 +50,19 @@ pub struct StorageStats {
     /// Manifest commits that tore: the commit was attempted but the record
     /// was never published, leaving the previous manifest authoritative.
     pub torn_manifests: u64,
+    /// Remote replica copies fanned out by the replicated backend (one per
+    /// peer copy, not per logical image). Always 0 on the central path.
+    pub replicas_written: u64,
+    /// Bytes carried by those replica copies.
+    pub replica_bytes: u64,
+    /// Restart reads served from a remote replica because the owner node's
+    /// local copy was gone.
+    pub remote_recoveries: u64,
+    /// Restart reads served from the owner node's own in-memory copy.
+    pub local_recoveries: u64,
+    /// Replica copies destroyed because the node holding them crashed
+    /// (objects whose owner was some *other* rank).
+    pub replica_losses: u64,
 }
 
 impl StorageStats {

@@ -325,6 +325,34 @@ pub enum Event {
         /// Index of the target that accepted the write.
         target: u64,
     },
+    /// A checkpoint image copy was pushed to a remote peer node's
+    /// in-memory store (diskless replicated backend).
+    StorageReplicate {
+        /// Writing client (owning rank).
+        client: u32,
+        /// Node receiving the replica copy.
+        peer: u32,
+        /// Object name.
+        name: String,
+    },
+    /// A restart read was served from a remote replica because the owner
+    /// node's local copy was gone.
+    StorageRecoverRemote {
+        /// Reading client (restarting rank).
+        client: u32,
+        /// Node the surviving replica was read from.
+        peer: u32,
+        /// Object name.
+        name: String,
+    },
+    /// A node crash wiped that node's in-memory store (local images and
+    /// any replica copies it held for peers).
+    StorageNodeLost {
+        /// The crashed node.
+        node: u32,
+        /// Objects destroyed with it.
+        objects: u64,
+    },
     /// Free-form marker for tests and one-off instrumentation.
     Mark {
         /// Category tag (matches the legacy string-category filters).
@@ -370,6 +398,9 @@ impl Event {
             Event::StorageStart { .. } => "storage.start",
             Event::StorageDone { .. } => "storage.done",
             Event::StorageFailover { .. } => "storage.failover",
+            Event::StorageReplicate { .. } => "storage.replicate",
+            Event::StorageRecoverRemote { .. } => "storage.recover_remote",
+            Event::StorageNodeLost { .. } => "storage.node_lost",
             Event::Mark { category, .. } => category,
         }
     }
@@ -403,7 +434,10 @@ impl Event {
             | Event::StorageCommit { client, .. }
             | Event::StorageStart { client, .. }
             | Event::StorageDone { client, .. }
-            | Event::StorageFailover { client, .. } => Track::Storage(*client),
+            | Event::StorageFailover { client, .. }
+            | Event::StorageReplicate { client, .. }
+            | Event::StorageRecoverRemote { client, .. } => Track::Storage(*client),
+            Event::StorageNodeLost { node, .. } => Track::Storage(*node),
             Event::StorageOutage { .. } | Event::StorageDerate { .. } => Track::Storage(u32::MAX),
             Event::Mark { .. } => Track::Sim,
         }
@@ -449,6 +483,13 @@ impl Event {
             Event::StorageDone { client, id } => format!("client={client} id={id}"),
             Event::StorageFailover { client, name, target } => {
                 format!("client={client} name={name} target={target}")
+            }
+            Event::StorageReplicate { client, peer, name }
+            | Event::StorageRecoverRemote { client, peer, name } => {
+                format!("client={client} peer={peer} name={name}")
+            }
+            Event::StorageNodeLost { node, objects } => {
+                format!("node={node} objects={objects}")
             }
             Event::Mark { message, .. } => message.clone(),
         }

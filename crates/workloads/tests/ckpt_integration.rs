@@ -58,7 +58,7 @@ fn hpl_restart_mid_factorization_is_exact() {
     restart_job(
         &w.job(Some(sum.clone())),
         None,
-        RestartSpec { job: "hpl".into(), epoch: 0, images },
+        RestartSpec { job: "hpl".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(*sum.lock(), want, "restarted factorization diverged");
@@ -74,7 +74,7 @@ fn hpl_restart_under_regular_protocol_is_exact() {
     restart_job(
         &w.job(Some(sum.clone())),
         None,
-        RestartSpec { job: "hpl".into(), epoch: 0, images },
+        RestartSpec { job: "hpl".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(*sum.lock(), want);
@@ -109,7 +109,7 @@ fn motifminer_checkpoint_and_restart_are_exact() {
     restart_job(
         &w.job(Some(restarted.clone())),
         None,
-        RestartSpec { job: "motifminer".into(), epoch: 0, images },
+        RestartSpec { job: "motifminer".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(*restarted.lock(), want, "restarted mining diverged");
@@ -143,7 +143,7 @@ fn random_traffic_restart_equivalence_across_patterns_and_group_sizes() {
             restart_job(
                 &w.job(Some(re.clone())),
                 None,
-                RestartSpec { job: "random-traffic".into(), epoch: 0, images },
+                RestartSpec { job: "random-traffic".into(), epoch: 0, images, lost_nodes: vec![] },
             )
             .unwrap();
             let mut got = re.lock().clone();

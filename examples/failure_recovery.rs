@@ -59,7 +59,7 @@ fn main() {
     let rr = restart_job(
         &w.job(Some(recovered.clone())),
         None,
-        RestartSpec { job: "motifminer".into(), epoch: last_epoch, images },
+        RestartSpec { job: "motifminer".into(), epoch: last_epoch, images, lost_nodes: vec![] },
     )
     .expect("restarted run");
     let got = *recovered.lock();

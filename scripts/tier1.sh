@@ -72,6 +72,22 @@ grep -qx "fig8 smoke: attempts=4 failures=3" target/fig8_smoke.out || {
   exit 1
 }
 
+# Replicated-backend kill/recovery smoke: the same seeded 4-rank
+# stochastic-kill cell, run under the central and the diskless
+# peer-replicated backend against identical failure draws. The golden
+# line pins the recovery split (the dead rank's replacement reads its
+# image from a remote replica, the survivors restore node-locally), the
+# replica fan-out volume, and that the replicated restart storm beats the
+# shared central array's.
+cargo run --release -p gbcr-bench --bin fig8 -- --replicated-smoke \
+  > target/fig8_replicated_smoke.out
+grep -qx "fig8 replicated smoke: attempts=2 failures=1 local=3 remote=1 replica_writes=120 faster_recovery=true" \
+  target/fig8_replicated_smoke.out || {
+  echo "tier1: replicated kill/recovery smoke diverged from golden:" >&2
+  cat target/fig8_replicated_smoke.out >&2
+  exit 1
+}
+
 # Mid-protocol straggler smoke: rank 2 stalls 8 s entering its epoch-1
 # checkpoint, the coordinator's group deadline trips, the epoch aborts and
 # retries, and the run must complete with per-rank results byte-identical

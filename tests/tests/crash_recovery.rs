@@ -50,7 +50,7 @@ fn crash_after_epoch_recovers_exactly() {
     restart_job(
         &w.job(Some(rec.clone())),
         None,
-        RestartSpec { job: "random-traffic".into(), epoch: 0, images },
+        RestartSpec { job: "random-traffic".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     let mut got = rec.lock().clone();
@@ -85,7 +85,7 @@ fn crash_during_an_epoch_recovers_from_the_previous_one() {
     restart_job(
         &w.job(Some(rec.clone())),
         None,
-        RestartSpec { job: "random-traffic".into(), epoch: 0, images },
+        RestartSpec { job: "random-traffic".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     let mut got = rec.lock().clone();
@@ -120,7 +120,7 @@ fn hpl_crash_recovery_matches_oracle() {
     restart_job(
         &w.job(Some(sum.clone())),
         None,
-        RestartSpec { job: "hpl".into(), epoch: 0, images },
+        RestartSpec { job: "hpl".into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(*sum.lock(), oracle, "post-crash HPL result diverged from the oracle");

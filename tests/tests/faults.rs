@@ -62,7 +62,7 @@ fn node_kill_mid_epoch_restarts_from_last_complete_epoch() {
     let restarted = restart_job(
         &w.job(Some(results.clone())),
         None,
-        RestartSpec { job: JOB.into(), epoch: 0, images },
+        RestartSpec { job: JOB.into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(restarted.finished_ranks, w.n);
@@ -119,7 +119,7 @@ fn torn_image_epochs_are_skipped_on_restart() {
     let restarted = restart_job(
         &w.job(None),
         None,
-        RestartSpec { job: JOB.into(), epoch: 0, images },
+        RestartSpec { job: JOB.into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(restarted.finished_ranks, w.n);

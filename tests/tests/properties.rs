@@ -238,7 +238,7 @@ proptest! {
         restart_job(
             &w.job(Some(rec.clone())),
             None,
-            RestartSpec { job: "random-traffic".into(), epoch: 0, images },
+            RestartSpec { job: "random-traffic".into(), epoch: 0, images, lost_nodes: vec![] },
         )
         .unwrap();
         let mut got = rec.lock().clone();

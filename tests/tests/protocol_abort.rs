@@ -74,7 +74,7 @@ fn phase_kill_escalates_and_restarts_from_last_manifest() {
     let restarted = restart_job(
         &w.job(Some(results.clone())),
         None,
-        RestartSpec { job: JOB.into(), epoch: 0, images },
+        RestartSpec { job: JOB.into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(restarted.finished_ranks, w.n);
@@ -132,7 +132,7 @@ fn torn_manifest_epochs_are_demoted_to_the_previous_manifest() {
     let restarted = restart_job(
         &w.job(None),
         None,
-        RestartSpec { job: JOB.into(), epoch: 0, images },
+        RestartSpec { job: JOB.into(), epoch: 0, images, lost_nodes: vec![] },
     )
     .unwrap();
     assert_eq!(restarted.finished_ranks, w.n);
