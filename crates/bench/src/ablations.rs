@@ -199,6 +199,7 @@ pub fn logging_ablation_threaded(threads: Option<usize>) -> LoggingAblation {
         schedule: CkptSchedule::once(time::secs(10)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let gr = sweep_one(
         &mb.job(),
@@ -265,6 +266,7 @@ pub fn chandy_lamport_ablation_threaded(threads: Option<usize>) -> ChandyLamport
         schedule: CkptSchedule::once(time::secs(30)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let gr = sweep_one(
         &mb.job(),
@@ -350,6 +352,7 @@ pub fn incremental_ablation_threaded(threads: Option<usize>) -> IncrementalAblat
         schedule: CkptSchedule { at: vec![time::secs(30), time::secs(150)] },
         incremental,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let gr = sweep_one(&w.job(None), vec![cfg(false), cfg(true)], threads, "ab-incremental");
     let (full, inc) = (&gr.runs[0], &gr.runs[1]);
@@ -414,6 +417,7 @@ pub fn formation_ablation_threaded(threads: Option<usize>) -> FormationAblation 
         schedule: CkptSchedule::once(at),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let gr = sweep_one(&spec, vec![static_cfg("micro", 4, at), dyn_cfg], threads, "ab-formation");
     let (stat, dynr) = (&gr.runs[0], &gr.runs[1]);

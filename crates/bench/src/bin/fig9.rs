@@ -1,0 +1,54 @@
+//! Regenerate Figure 9: availability under coordinator churn, static
+//! control plane vs lease-based leader failover × coordinator MTBF.
+//!
+//! `--smoke` runs the seeded 8-rank coordinator-kill failover cell
+//! `scripts/tier1.sh` gates on and prints only its golden `terms=` line.
+//! `--threads N` controls the worker pool (the tables must not depend on
+//! it); `--json` emits the run-record JSON block instead of the table.
+
+use gbcr_bench::fig9;
+
+fn main() {
+    let mut threads = None;
+    let mut smoke = false;
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number");
+                    std::process::exit(2);
+                }));
+            }
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag {other}\nusage: fig9 [--threads N] [--smoke] [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        let (terms, migrations, supervisor_restarts, results_match) = fig9::smoke();
+        println!(
+            "fig9 smoke: terms={terms} migrations={migrations} \
+             supervisor_restarts={supervisor_restarts} results_match={results_match}"
+        );
+        return;
+    }
+    let st = fig9::run_threaded(8, &fig9::COORD_MTBFS_S, fig9::REPLICAS, threads, fig9::Plane::Static);
+    let fo =
+        fig9::run_threaded(8, &fig9::COORD_MTBFS_S, fig9::REPLICAS, threads, fig9::Plane::Failover);
+    if json {
+        println!("{}", fig9::json_block(&st, &fo));
+        return;
+    }
+    print!("{}", fig9::table(&st, &fo).render());
+    println!(
+        "\nbare completion {:.2}s; interval {} ms; fault seed {:#x}",
+        st.useful_secs,
+        fig9::INTERVAL_MS,
+        st.seed
+    );
+}

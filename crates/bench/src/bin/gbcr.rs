@@ -110,6 +110,7 @@ fn cmd_run(args: &[String]) {
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let ck = match trace_path {
         Some(_) => run_job_traced(&spec, Some(cfg), TraceLevel::Full),

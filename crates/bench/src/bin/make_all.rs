@@ -34,7 +34,9 @@
 //!   (default `target/trace_smoke.json`). Capture only observes: every
 //!   rendered table stays byte-identical to an untraced run.
 
-use gbcr_bench::{ablations, fig1, fig3, fig4, fig5, fig7, fig8, scale, seed, trace, GROUP_SIZES};
+use gbcr_bench::{
+    ablations, fig1, fig3, fig4, fig5, fig7, fig8, fig9, scale, seed, trace, GROUP_SIZES,
+};
 use std::time::Instant;
 
 struct Args {
@@ -43,6 +45,7 @@ struct Args {
     serial_check: bool,
     sched_check: bool,
     faults: bool,
+    fig9: bool,
     backend: fig8::Backend,
     scale: bool,
     json: Option<String>,
@@ -56,6 +59,7 @@ fn parse_args() -> Args {
         serial_check: false,
         sched_check: false,
         faults: false,
+        fig9: false,
         backend: fig8::Backend::Central,
         scale: false,
         json: None,
@@ -75,6 +79,7 @@ fn parse_args() -> Args {
             "--serial-check" => out.serial_check = true,
             "--sched" => out.sched_check = true,
             "--faults" => out.faults = true,
+            "--fig9" => out.fig9 = true,
             "--backend" => {
                 out.backend = it
                     .next()
@@ -102,7 +107,7 @@ fn parse_args() -> Args {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: make_all [--threads N] [--smoke] [--serial-check] [--sched] \
-                     [--faults] [--backend central|failover|replicated] [--scale] \
+                     [--faults] [--fig9] [--backend central|failover|replicated] [--scale] \
                      [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
@@ -315,6 +320,21 @@ fn main() {
         faults = Some((sw, wall_ms));
     }
 
+    // The control-plane sweep is opt-in (`--fig9`): like `--faults` it
+    // exercises the injector, and it runs every cell twice (static plane
+    // and lease-based failover) against identical coordinator-kill draws.
+    let mut fig9_sweeps: Option<(fig9::PlaneSweep, fig9::PlaneSweep, f64)> = None;
+    if args.fig9 {
+        let t0 = Instant::now();
+        let (mtbfs, replicas): (&[u64], usize) =
+            if args.smoke { (&[20, 60], 2) } else { (&fig9::COORD_MTBFS_S, fig9::REPLICAS) };
+        let st = fig9::run_threaded(8, mtbfs, replicas, Some(threads), fig9::Plane::Static);
+        let fo = fig9::run_threaded(8, mtbfs, replicas, Some(threads), fig9::Plane::Failover);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{}", fig9::table(&st, &fo).render());
+        fig9_sweeps = Some((st, fo, wall_ms));
+    }
+
     // The scale study is opt-in (`--scale`): its 10k-rank points are
     // tier-2 cost, and its cost table is intentionally nondeterministic
     // (wall times), so it stays outside the identity-checked sections.
@@ -520,6 +540,10 @@ fn main() {
         if let Some((sw, wall_ms)) = &faults {
             j.push_str(&format!("  \"faults_wall_ms\": {wall_ms:.1},\n"));
             j.push_str(&format!("  \"faults\": {},\n", fig8::json_block(sw)));
+        }
+        if let Some((st, fo, wall_ms)) = &fig9_sweeps {
+            j.push_str(&format!("  \"fig9_wall_ms\": {wall_ms:.1},\n"));
+            j.push_str(&format!("  \"fig9\": {},\n", fig9::json_block(st, fo)));
         }
         if let Some((trace_path, chk)) = &trace_exported {
             j.push_str(&format!(

@@ -34,6 +34,7 @@ fn main() {
             schedule: CkptSchedule::once(time::secs(30)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
         let ep = &ck.epochs[0];

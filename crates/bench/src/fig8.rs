@@ -173,6 +173,7 @@ fn cfg_for(job: &str, n: u32, at: Vec<Time>) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 
@@ -426,7 +427,10 @@ pub fn json_block(sw: &FaultSweep) -> String {
                  \"dropped_sends\": {}, \"recovery_s\": {:.3}, \
                  \"replicas_written\": {}, \"replica_bytes\": {}, \
                  \"remote_recoveries\": {}, \"local_recoveries\": {}, \
-                 \"replica_losses\": {}}}{comma}\n",
+                 \"replica_losses\": {}, \"coordinator_kills\": {}, \
+                 \"elections_held\": {}, \"terms\": {}, \
+                 \"heartbeats_missed\": {}, \"leader_migrations\": {}, \
+                 \"time_to_new_leader_s\": {:.3}}}{comma}\n",
                 c.interval_secs,
                 c.node_mtbf_secs,
                 a.availability,
@@ -450,6 +454,12 @@ pub fn json_block(sw: &FaultSweep) -> String {
                 c.counters.remote_recoveries,
                 c.counters.local_recoveries,
                 c.counters.replica_losses,
+                c.counters.coordinator_kills,
+                c.counters.elections_held,
+                c.counters.terms,
+                c.counters.heartbeats_missed,
+                c.counters.leader_migrations,
+                time::as_secs_f64(c.counters.time_to_new_leader),
             )),
             None => j.push_str(&format!(
                 "      {{\"interval_s\": {:.1}, \"node_mtbf_s\": {:.0}, \
@@ -510,6 +520,7 @@ pub fn abort_smoke() -> (u64, u64, u64, bool) {
     let w = RandomTraffic { n, steps: 220, ..RandomTraffic::default() };
     let cfg = || CoordinatorCfg {
         deadlines: PhaseDeadlines::new(time::secs(2), time::secs(5)),
+        election: Default::default(),
         ..cfg_for("abort-smoke", n, vec![time::secs(1), time::secs(3)])
     };
 

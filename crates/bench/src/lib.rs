@@ -18,6 +18,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 pub mod paper;
 pub mod scale;
 pub mod seed;
@@ -40,6 +41,7 @@ pub fn static_cfg(job: &str, group_size: u32, at: Time) -> CoordinatorCfg {
         schedule: CkptSchedule::once(at),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

@@ -39,6 +39,7 @@ pub fn trace_smoke() -> RunReport {
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
         deadlines: PhaseDeadlines::none(),
+        election: Default::default(),
     };
     run_job_traced(&mb.job(), Some(cfg), TraceLevel::Full).expect("trace smoke run")
 }

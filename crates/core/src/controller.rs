@@ -129,6 +129,11 @@ pub struct Controller {
     client: CkptClient,
     st: Mutex<CtlState>,
     shutdown: AtomicBool,
+    /// Whether this rank's application body has finished. Set just before
+    /// the `FINISHED` send so a failover coordinator's `RECONCILE` round
+    /// can rebuild the finished set even when the original message died
+    /// with the old coordinator.
+    finished: AtomicBool,
     phase_hook: Mutex<Option<PhaseHook>>,
 }
 
@@ -160,6 +165,7 @@ impl Controller {
                 has_full: false,
             }),
             shutdown: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
             phase_hook: Mutex::new(None),
         });
         *ctl.self_ref.lock() = Arc::downgrade(&ctl);
@@ -188,6 +194,12 @@ impl Controller {
     /// Whether the coordinator has told this rank to leave its service loop.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Record that this rank's application body has finished (called by the
+    /// job harness just before it sends `FINISHED`).
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Relaxed);
     }
 
     /// Per-epoch records accumulated so far.
@@ -610,6 +622,23 @@ impl CrHook for Controller {
                     p,
                     COORDINATOR_NODE,
                     OobMsg { kind: proto::TRAFFIC_REPLY, a: msg.a, b: 0, data },
+                );
+            }
+            proto::RECONCILE => {
+                // A failover coordinator is rebuilding its predecessor's
+                // bookkeeping: echo the term, report whether our body
+                // finished, and carry our half-open epoch word (if any) so
+                // the new leader can abort the attempt cleanly.
+                let open = self.st.lock().epoch.as_ref().map(|ep| ep.epoch);
+                mpi.oob_send(
+                    p,
+                    COORDINATOR_NODE,
+                    OobMsg {
+                        kind: proto::RECONCILE_ACK,
+                        a: msg.a,
+                        b: u64::from(self.finished.load(Ordering::Relaxed)),
+                        data: proto::encode_reconcile_ack(open),
+                    },
                 );
             }
             proto::SHUTDOWN => self.shutdown.store(true, Ordering::Relaxed),

@@ -1,6 +1,7 @@
 //! The global C/R coordinator (the `mpirun` console process).
 
 use crate::controller::CkptMode;
+use crate::election::{self, ControlPlane, ElectionCfg};
 use crate::group::{Formation, GroupPlan};
 use crate::proto;
 use gbcr_blcr::codec::fnv1a;
@@ -93,6 +94,10 @@ pub struct CoordinatorCfg {
     /// Per-phase protocol deadlines (grouped modes only); the default arms
     /// nothing.
     pub deadlines: PhaseDeadlines,
+    /// Survivable-control-plane configuration. The default
+    /// ([`ElectionCfg::disabled`]) spawns no standby/lease machinery and
+    /// reproduces the static coordinator byte-for-byte.
+    pub election: ElectionCfg,
 }
 
 /// Outcome of one global checkpoint epoch.
@@ -136,12 +141,13 @@ impl EpochReport {
     }
 }
 
-/// Protocol-recovery counters, shared with the spawned coordinator body so
-/// they stay readable after the coordinator dies mid-protocol.
+/// Protocol-recovery counters, shared with the spawned coordinator body
+/// (and, under failover, every successor body) so they stay readable after
+/// a coordinator dies mid-protocol.
 #[derive(Debug, Default)]
-struct CoordCounters {
-    protocol_aborts: AtomicU64,
-    epoch_retries: AtomicU64,
+pub(crate) struct CoordCounters {
+    pub(crate) protocol_aborts: AtomicU64,
+    pub(crate) epoch_retries: AtomicU64,
 }
 
 /// Handle to a spawned coordinator; epoch reports land here as they finish.
@@ -150,6 +156,7 @@ pub struct Coordinator {
     reports: Arc<Mutex<Vec<EpochReport>>>,
     counters: Arc<CoordCounters>,
     pid: gbcr_des::ProcId,
+    control: Arc<ControlPlane>,
 }
 
 impl Coordinator {
@@ -167,23 +174,22 @@ impl Coordinator {
     ) -> Coordinator {
         let reports = Arc::new(Mutex::new(Vec::new()));
         let counters = Arc::new(CoordCounters::default());
+        let control = ControlPlane::new(cfg.election);
         let out = reports.clone();
         let ctrs = counters.clone();
-        let world = world.clone();
+        let w = world.clone();
+        let cfg2 = cfg.clone();
+        let st = storage.clone();
+        let cp_body = cfg.election.enabled.then(|| control.clone());
         let pid = handle.spawn("cr-coordinator", move |p| {
-            let mut body = CoordBody {
-                ep: world.oob_endpoint(COORDINATOR_NODE),
-                n: world.size(),
-                world,
-                cfg,
-                storage,
-                counters: ctrs,
-                stash: VecDeque::new(),
-                finished: HashSet::new(),
-            };
+            let mut body = CoordBody::new(w, cfg2, st, ctrs, cp_body);
             body.run(p, &out);
         });
-        Coordinator { reports, counters, pid }
+        *control.leader_pid.lock() = Some(pid);
+        if control.enabled() {
+            election::install(handle, world, &cfg, &storage, &counters, &reports, &control);
+        }
+        Coordinator { reports, counters, pid, control }
     }
 
     /// The coordinator's simulated process id (for failure injection).
@@ -206,23 +212,53 @@ impl Coordinator {
     pub fn epoch_retries(&self) -> u64 {
         self.counters.epoch_retries.load(Ordering::Relaxed)
     }
+
+    /// The shared control-plane state (term, leader pid, robustness
+    /// counters). Always present; inert when the election is disabled.
+    pub(crate) fn control(&self) -> &Arc<ControlPlane> {
+        &self.control
+    }
 }
 
 /// Marker error: a phase deadline tripped inside `try_epoch`.
 struct Stalled;
 
-struct CoordBody {
+pub(crate) struct CoordBody {
     ep: Endpoint<OobMsg>,
     n: u32,
     world: World,
     cfg: CoordinatorCfg,
     storage: Arc<dyn CheckpointStore>,
     counters: Arc<CoordCounters>,
+    /// The shared control plane, when failover is enabled (None keeps the
+    /// static coordinator's behavior byte-identical).
+    cp: Option<Arc<ControlPlane>>,
     stash: VecDeque<(NodeId, OobMsg)>,
     finished: HashSet<Rank>,
 }
 
 impl CoordBody {
+    /// Build a coordinator body bound to the service address. Used both by
+    /// the boot coordinator and by every failover winner.
+    pub(crate) fn new(
+        world: World,
+        cfg: CoordinatorCfg,
+        storage: Arc<dyn CheckpointStore>,
+        counters: Arc<CoordCounters>,
+        cp: Option<Arc<ControlPlane>>,
+    ) -> Self {
+        CoordBody {
+            ep: world.oob_endpoint(COORDINATOR_NODE),
+            n: world.size(),
+            world,
+            cfg,
+            storage,
+            counters,
+            cp,
+            stash: VecDeque::new(),
+            finished: HashSet::new(),
+        }
+    }
     /// Send an OOB message to `r`, black-holing it if r's node has failed:
     /// the RC send to a dead HCA completes in error and the message is
     /// lost — the coordinator only learns of the death when the failure
@@ -235,13 +271,28 @@ impl CoordBody {
         self.ep.send(NodeId(r), msg, size);
     }
 
-    fn run(&mut self, p: &Proc, out: &Arc<Mutex<Vec<EpochReport>>>) {
+    pub(crate) fn run(&mut self, p: &Proc, out: &Arc<Mutex<Vec<EpochReport>>>) {
         // Connect to every rank's OOB endpoint up front (job launch cost).
         for r in 0..self.n {
             self.ep.connect(p, NodeId(r));
         }
+        self.run_from(p, out, 0, 0);
+    }
+
+    /// Execute the schedule from entry `start` onward (`start > 0` after a
+    /// failover resumed past already-committed epochs). `pending_tries`
+    /// seeds the first epoch's attempt counter so a takeover that aborted
+    /// attempt `t` of a half-open epoch reruns it under the fresh word
+    /// `t + 1`.
+    fn run_from(
+        &mut self,
+        p: &Proc,
+        out: &Arc<Mutex<Vec<EpochReport>>>,
+        start: usize,
+        mut pending_tries: u64,
+    ) {
         let schedule = self.cfg.schedule.at.clone();
-        for (i, &t) in schedule.iter().enumerate() {
+        for (i, &t) in schedule.iter().enumerate().skip(start) {
             self.wait_until(p, t);
             if self.finished.len() as u32 == self.n {
                 break; // job already over; nothing to checkpoint
@@ -252,10 +303,11 @@ impl CoordBody {
             // scheduler must run them in lockstep (fenced) windows. A
             // no-op under the serial scheduler.
             p.handle().fence_raise();
+            let first_tries = std::mem::take(&mut pending_tries);
             let report = match self.cfg.mode {
                 CkptMode::ChandyLamport => self.run_cl_epoch(p, i as u64, t),
                 CkptMode::Uncoordinated => self.run_uncoordinated_epoch(p, i as u64, t),
-                _ => self.run_epoch(p, i as u64, t),
+                _ => self.run_epoch(p, i as u64, t, first_tries),
             };
             out.lock().push(report);
             p.handle().fence_lower();
@@ -269,8 +321,94 @@ impl CoordBody {
         // drain/waiter wakes cross shards at sub-lookahead distance; fence
         // the remainder of the run (never lowered — the job is over).
         p.handle().fence_raise();
+        if let Some(cp) = &self.cp {
+            // From here on a control-plane kill is a non-event: the job is
+            // over, so the lease machinery stands down rather than electing
+            // a successor for nothing.
+            cp.finish();
+        }
         for r in 0..self.n {
             self.send_to(r, OobMsg::new(proto::SHUTDOWN, 0, 0), 64);
+        }
+        if let Some(cp) = self.cp.clone() {
+            self.stop_standbys(p, &cp);
+        }
+    }
+
+    /// Resume the schedule as a freshly-elected coordinator (term
+    /// `term`). The dead leader's bookkeeping is reconstructed from two
+    /// sources of truth that survived it: the ranks (finished flags and
+    /// any half-open epoch word, via a `RECONCILE` round) and storage (the
+    /// newest committed epoch manifest). A half-open attempt is aborted
+    /// through the ordinary `ABORT_EPOCH` machinery and retried under a
+    /// fresh attempt word; fully-committed epochs are skipped.
+    pub(crate) fn takeover_and_run(
+        &mut self,
+        p: &Proc,
+        out: &Arc<Mutex<Vec<EpochReport>>>,
+        term: u64,
+    ) {
+        // Adopt the service mailbox. Anything already queued there was
+        // addressed to the dead coordinator; only FINISHED notices are
+        // still meaningful (protocol replies belong to an attempt whose
+        // collections died with their collector).
+        while let Some((from, msg)) = self.ep.try_recv() {
+            if msg.kind == proto::FINISHED {
+                self.finished.insert(from.0);
+            }
+        }
+        let failed = self.world.failed_ranks();
+        let live: Vec<Rank> = (0..self.n).filter(|r| !failed.contains(r)).collect();
+        for &r in &live {
+            self.ep.connect(p, NodeId(r));
+        }
+        for &r in &live {
+            self.send_to(r, OobMsg::new(proto::RECONCILE, term, 0), 64);
+        }
+        let mut open: Option<u64> = None;
+        for _ in &live {
+            let (from, msg) =
+                self.recv_match(p, |_, m| m.kind == proto::RECONCILE_ACK && m.a == term);
+            if msg.b == 1 {
+                self.finished.insert(from.0);
+            }
+            if let Some(w) = proto::decode_reconcile_ack(msg.data).expect("valid reconcile ack") {
+                open = Some(open.map_or(w, |o: u64| o.max(w)));
+            }
+        }
+        // Storage is the other half of the truth: the newest committed
+        // manifest bounds how far the schedule definitely got.
+        let committed = (0..self.cfg.schedule.at.len() as u64)
+            .filter(|&e| self.storage.peek(&proto::manifest_name(&self.cfg.job, e)).is_some())
+            .max();
+        let mut start = committed.map_or(0, |c| c + 1) as usize;
+        let mut pending_tries = 0u64;
+        if let Some(word) = open {
+            let (epoch, tries) = proto::split_epoch(word);
+            self.counters.protocol_aborts.fetch_add(1, Ordering::Relaxed);
+            p.handle().trace_instant(|| Event::CkptAbort {
+                epoch,
+                reason: format!("coordinator failover (term {term})"),
+            });
+            self.abort_word(p, word, live.len() as u32);
+            self.purge_epoch(epoch);
+            start = epoch as usize;
+            pending_tries = tries + 1;
+        }
+        self.run_from(p, out, start, pending_tries);
+    }
+
+    /// Release every surviving standby and the heartbeat emitter at the
+    /// end of a failover-enabled run.
+    fn stop_standbys(&mut self, p: &Proc, cp: &ControlPlane) {
+        for q in 0..self.n {
+            if !self.world.is_failed(q) {
+                self.ep.connect(p, gbcr_mpi::standby_node(q));
+                self.ep.send(gbcr_mpi::standby_node(q), OobMsg::new(proto::STANDBY_STOP, 0, 0), 64);
+            }
+        }
+        if let Some(hb) = cp.hb_pid.lock().take() {
+            p.handle().kill(hb);
         }
     }
 
@@ -357,8 +495,14 @@ impl CoordBody {
     /// `ABORT_EPOCH` whenever a phase deadline trips. Each attempt tags its
     /// messages with a distinct epoch word so stale replies from aborted
     /// attempts can never satisfy a later attempt's collection.
-    fn run_epoch(&mut self, p: &Proc, epoch: u64, requested_at: Time) -> EpochReport {
-        let mut tries = 0u64;
+    fn run_epoch(
+        &mut self,
+        p: &Proc,
+        epoch: u64,
+        requested_at: Time,
+        start_tries: u64,
+    ) -> EpochReport {
+        let mut tries = start_tries;
         loop {
             match self.try_epoch(p, epoch, requested_at, tries) {
                 Ok(report) => return report,
@@ -390,6 +534,13 @@ impl CoordBody {
         let word = proto::epoch_word(epoch, tries);
         let deadlines = self.cfg.deadlines;
         let t_epoch = p.now();
+        // Under failover, groups re-form over the survivors: dead ranks
+        // are carved out into singleton groups nobody gates on or waits
+        // for, and every collection expects replies from the living only.
+        // With the election disabled `failed` stays empty and every count
+        // below is exactly the historical `n`.
+        let failed = if self.cfg.election.enabled { self.world.failed_ranks() } else { Vec::new() };
+        let expect = self.n - failed.len() as u32;
 
         // Step 1: divide processes into groups and decide the order.
         let begin_by = deadlines.begin.map(|d| p.now() + d);
@@ -397,7 +548,7 @@ impl CoordBody {
             Formation::Dynamic { .. } => {
                 self.broadcast(proto::TRAFFIC_QUERY, word, 0);
                 let mut traffic: Vec<crate::group::TrafficRows> = vec![Vec::new(); self.n as usize];
-                for _ in 0..self.n {
+                for _ in 0..expect {
                     let (from, msg) = self.recv_match_by(p, begin_by, |_, m| {
                         m.kind == proto::TRAFFIC_REPLY && m.a == word
                     })?;
@@ -408,6 +559,7 @@ impl CoordBody {
             }
             f => GroupPlan::from_formation(self.n, f, None),
         };
+        let plan = if failed.is_empty() { plan } else { plan.reform(&failed) };
         let started_at = p.now();
         let plan_bytes = proto::encode_plan(plan.group_map());
         for r in 0..self.n {
@@ -416,7 +568,7 @@ impl CoordBody {
             let size = msg.wire_size();
             self.send_to(r, msg, size);
         }
-        self.collect_by(p, proto::EPOCH_BEGIN_ACK, word, self.n, begin_by)?;
+        self.collect_by(p, proto::EPOCH_BEGIN_ACK, word, expect, begin_by)?;
         p.handle().trace_span(Track::Coordinator, "phase.begin", t_epoch, || {
             vec![("epoch", ArgValue::U64(epoch)), ("try", ArgValue::U64(tries))]
         });
@@ -430,15 +582,17 @@ impl CoordBody {
             // Close every rank's gate toward (and from) this group before
             // any member freezes.
             self.broadcast(proto::GROUP_START, word, g as u64);
-            self.collect_by(p, proto::GROUP_START_ACK, word, self.n, group_by)?;
+            self.collect_by(p, proto::GROUP_START_ACK, word, expect, group_by)?;
             p.handle().trace_span(Track::Coordinator, "phase.group_start", t_gate, || {
                 vec![("group", ArgValue::U64(g as u64))]
             });
             let t_ckpt = p.now();
-            for &m in members {
+            let live_members: Vec<Rank> =
+                members.iter().copied().filter(|m| !failed.contains(m)).collect();
+            for &m in &live_members {
                 self.send_to(m, OobMsg::new(proto::GROUP_GO, word, g as u64), 64);
             }
-            for _ in members {
+            for _ in &live_members {
                 let (from, msg) = self.recv_match_by(p, group_by, |_, m| {
                     m.kind == proto::RANK_DONE && m.a == word
                 })?;
@@ -462,7 +616,7 @@ impl CoordBody {
         let end_by = deadlines.end.map(|d| p.now() + d);
         let t_end = p.now();
         self.broadcast(proto::EPOCH_END, word, 0);
-        self.collect_by(p, proto::EPOCH_END_ACK, word, self.n, end_by)?;
+        self.collect_by(p, proto::EPOCH_END_ACK, word, expect, end_by)?;
         p.handle().trace_span(Track::Coordinator, "phase.end", t_end, || {
             vec![("epoch", ArgValue::U64(epoch))]
         });
@@ -507,11 +661,23 @@ impl CoordBody {
     /// the escalation split the protocol wants.
     fn abort_epoch(&mut self, p: &Proc, epoch: u64, tries: u64) {
         let word = proto::epoch_word(epoch, tries);
-        self.broadcast(proto::ABORT_EPOCH, word, 0);
-        self.collect(p, proto::ABORT_ACK, word, self.n);
+        let expect = if self.cfg.election.enabled {
+            self.n - self.world.failed_ranks().len() as u32
+        } else {
+            self.n
+        };
+        self.abort_word(p, word, expect);
         // Drop stale replies of the aborted attempt: nothing matching this
         // epoch may leak into the next attempt's collections.
         self.purge_epoch(epoch);
+    }
+
+    /// Broadcast `ABORT_EPOCH` for one attempt word and collect `expect`
+    /// acknowledgements (the live ranks). Shared by deadline-tripped
+    /// aborts and the failover takeover's half-open-epoch abort.
+    fn abort_word(&mut self, p: &Proc, word: u64, expect: u32) {
+        self.broadcast(proto::ABORT_EPOCH, word, 0);
+        self.collect(p, proto::ABORT_ACK, word, expect);
     }
 
     /// Discard stashed protocol replies belonging to any attempt of

@@ -1,0 +1,469 @@
+//! Survivable control plane: lease-based coordinator liveness and a
+//! deterministic failover election.
+//!
+//! The paper's global C/R coordinator (the `mpirun` console) is a single
+//! point of failure: §2.2's framework restarts the *job* when a compute
+//! node dies, but nothing in the original design survives the death of the
+//! console node itself. This module adds the standard engineering answer —
+//! leases plus leader election — rebuilt on the simulated out-of-band
+//! plane so its cost and its failure windows are measurable:
+//!
+//! * Every rank hosts a lightweight **standby** agent at
+//!   [`gbcr_mpi::standby_node`]`(r)`. The current leader renews a lease by
+//!   heartbeating all standbys from a dedicated emitter process.
+//! * A standby whose lease lapses contests the next **term**. Expiries are
+//!   staggered by rank (plus a small deterministic jitter from the
+//!   [`Domain::Election`](gbcr_faults::rng::Domain) stream), so the lowest
+//!   surviving rank campaigns first and wins — elections are
+//!   deterministic, not raced.
+//! * A candidate needs a **majority of the surviving ranks** (vote-once
+//!   per term), so two leaders can never coexist in one term.
+//! * The winner binds the [`gbcr_mpi::COORDINATOR_NODE`] service address,
+//!   runs a `RECONCILE` round to rebuild the dead coordinator's
+//!   bookkeeping (finished set, half-open epoch), aborts any half-open
+//!   epoch attempt through the existing `ABORT_EPOCH` machinery, and
+//!   resumes the checkpoint schedule past the newest committed manifest —
+//!   **without** escalating to the supervisor.
+//!
+//! With [`ElectionCfg::disabled`] (the default) none of this machinery is
+//! even spawned, so existing runs stay byte-identical.
+
+use crate::coordinator::{CoordBody, CoordCounters, CoordinatorCfg, EpochReport};
+use crate::proto;
+use gbcr_des::{time, Event, Proc, ProcId, SimHandle, Time};
+use gbcr_faults::rng::{draw_u64, Domain};
+use gbcr_mpi::{standby_node, OobMsg, World, COORDINATOR_NODE};
+use gbcr_net::Endpoint;
+use gbcr_storage::CheckpointStore;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lease and election timing for the survivable control plane.
+///
+/// All durations are virtual time; all jitter comes from a stream-isolated
+/// RNG keyed by `jitter_seed`, so two runs with the same configuration
+/// elect the same leaders at the same instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElectionCfg {
+    /// Whether the failover machinery (standbys, heartbeats, elections)
+    /// exists at all. `false` reproduces the historical static coordinator
+    /// byte-for-byte.
+    pub enabled: bool,
+    /// Lease renewal period of the heartbeat emitter.
+    pub heartbeat_every: Time,
+    /// How long a standby tolerates heartbeat silence before its lease
+    /// lapses. Must comfortably exceed `heartbeat_every`.
+    pub lease_timeout: Time,
+    /// Extra silence rank `r`'s standby adds per rank (`r · stagger`)
+    /// before contesting, so the lowest surviving rank always campaigns
+    /// first and elections are deterministic.
+    pub stagger: Time,
+    /// Seed of the [`Domain::Election`](gbcr_faults::rng::Domain) stream
+    /// the per-standby expiry jitter is drawn from.
+    pub jitter_seed: u64,
+    /// Hard ceiling on the term number: a standby whose candidacy would
+    /// exceed it stands down for good, leaving recovery to the
+    /// supervisor's failure detector.
+    pub max_terms: u64,
+}
+
+impl ElectionCfg {
+    /// No failover: the historical single static coordinator. Nothing is
+    /// spawned and no message, timer, or trace event differs from a build
+    /// without this module.
+    pub fn disabled() -> Self {
+        ElectionCfg { enabled: false, ..Self::failover(0) }
+    }
+
+    /// Failover enabled with the default lease timing (250 ms heartbeats,
+    /// 1 s lease, 100 ms per-rank stagger, at most 8 terms).
+    pub fn failover(jitter_seed: u64) -> Self {
+        ElectionCfg {
+            enabled: true,
+            heartbeat_every: time::ms(250),
+            lease_timeout: time::secs(1),
+            stagger: time::ms(100),
+            jitter_seed,
+            max_terms: 8,
+        }
+    }
+}
+
+impl Default for ElectionCfg {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Shared control-plane state: who leads, which term we are in, and the
+/// robustness counters the run report exposes. One per job run, shared by
+/// the leader, the heartbeat emitter, every standby, and the fault sink.
+pub(crate) struct ControlPlane {
+    /// The election configuration (copied out of the coordinator config so
+    /// the sink and emitters need no access to the full config).
+    pub(crate) cfg: ElectionCfg,
+    /// Current term: 1 under the boot leader, +1 per successful election.
+    pub(crate) term: AtomicU64,
+    /// The process currently playing coordinator (kill target for
+    /// control-plane faults). Taken on kill, restored by the next winner.
+    pub(crate) leader_pid: Mutex<Option<ProcId>>,
+    /// The current term's heartbeat emitter process.
+    pub(crate) hb_pid: Mutex<Option<ProcId>>,
+    /// Standby processes by rank (for cleanup when the job dies wholesale).
+    pub(crate) standby_pids: Mutex<Vec<ProcId>>,
+    /// When the most recent coordinator kill landed (None once a successor
+    /// took over) — the start point of `time_to_new_leader`.
+    pub(crate) lost_at: Mutex<Option<Time>>,
+    /// Set by the leader once every rank finished: late control-plane
+    /// kills are non-events and the lease machinery stands down.
+    pub(crate) done: AtomicBool,
+    /// Candidacies started (lease expiries that led to a campaign).
+    pub(crate) elections_held: AtomicU64,
+    /// Lease expiries observed by standbys.
+    pub(crate) heartbeats_missed: AtomicU64,
+    /// Successful leadership migrations (elections won).
+    pub(crate) leader_migrations: AtomicU64,
+    /// Summed virtual time between a coordinator kill and its successor
+    /// taking over.
+    pub(crate) time_to_new_leader: AtomicU64,
+    /// Coordinator-node kills injected.
+    pub(crate) coordinator_kills: AtomicU64,
+    /// `(term, epochs completed)` at the most recent coordinator kill;
+    /// surfaced as [`crate::RunReport::coordinator_lost`] when the run
+    /// dies without recovering.
+    pub(crate) coordinator_lost: Mutex<Option<(u64, u64)>>,
+}
+
+impl ControlPlane {
+    pub(crate) fn new(cfg: ElectionCfg) -> Arc<Self> {
+        Arc::new(ControlPlane {
+            cfg,
+            term: AtomicU64::new(1),
+            leader_pid: Mutex::new(None),
+            hb_pid: Mutex::new(None),
+            standby_pids: Mutex::new(Vec::new()),
+            lost_at: Mutex::new(None),
+            done: AtomicBool::new(false),
+            elections_held: AtomicU64::new(0),
+            heartbeats_missed: AtomicU64::new(0),
+            leader_migrations: AtomicU64::new(0),
+            time_to_new_leader: AtomicU64::new(0),
+            coordinator_kills: AtomicU64::new(0),
+            coordinator_lost: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn finish(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    /// Record an injected coordinator kill (called by the fault sink).
+    pub(crate) fn note_kill(&self, now: Time, term: u64, epochs_done: u64) {
+        *self.lost_at.lock() = Some(now);
+        self.coordinator_kills.fetch_add(1, Ordering::Relaxed);
+        *self.coordinator_lost.lock() = Some((term, epochs_done));
+    }
+}
+
+/// Spawn the failover machinery: the term-1 heartbeat emitter plus one
+/// standby per rank. Called by [`crate::Coordinator::spawn`] when (and only
+/// when) the election is enabled.
+pub(crate) fn install(
+    handle: &SimHandle,
+    world: &World,
+    cfg: &CoordinatorCfg,
+    storage: &Arc<dyn CheckpointStore>,
+    counters: &Arc<CoordCounters>,
+    reports: &Arc<Mutex<Vec<EpochReport>>>,
+    cp: &Arc<ControlPlane>,
+) {
+    spawn_heartbeat(handle, world, cp, 1);
+    let mut pids = Vec::with_capacity(world.size() as usize);
+    for r in 0..world.size() {
+        let world = world.clone();
+        let cfg = cfg.clone();
+        let storage = storage.clone();
+        let counters = counters.clone();
+        let reports = reports.clone();
+        let cp = cp.clone();
+        pids.push(handle.spawn(format!("standby{r}"), move |p| {
+            standby_body(p, r, &world, cfg, storage, counters, &reports, &cp);
+        }));
+    }
+    *cp.standby_pids.lock() = pids;
+}
+
+/// Spawn the heartbeat emitter for `term`: a dedicated process sending
+/// `HEARTBEAT` from the coordinator's service address to every standby
+/// each `heartbeat_every`, until the job is done or it is killed together
+/// with its leader.
+pub(crate) fn spawn_heartbeat(
+    handle: &SimHandle,
+    world: &World,
+    cp: &Arc<ControlPlane>,
+    term: u64,
+) {
+    let every = cp.cfg.heartbeat_every;
+    let world = world.clone();
+    let cp2 = cp.clone();
+    let pid = handle.spawn(format!("coord-hb-{term}"), move |p| {
+        let ep = world.oob_endpoint(COORDINATOR_NODE);
+        let n = world.size();
+        for q in 0..n {
+            ep.connect(p, standby_node(q));
+        }
+        let mut seq = 0u64;
+        while !cp2.is_done() {
+            // Every standby gets the renewal — a dead rank's standby died
+            // with its node, and an undelivered heartbeat to its mailbox is
+            // harmless, whereas *skipping* a live standby would let its
+            // lease lapse under a healthy leader (split brain).
+            for q in 0..n {
+                ep.send(standby_node(q), OobMsg::new(proto::HEARTBEAT, term, seq), 64);
+            }
+            seq += 1;
+            p.sleep(every);
+        }
+    });
+    *cp.hb_pid.lock() = Some(pid);
+}
+
+/// Outcome of one candidacy.
+enum Campaign {
+    /// Majority reached: this standby is the new leader.
+    Won,
+    /// A leader for `term >= ours` is alive (heartbeat/announce seen).
+    Deposed(u64),
+    /// We granted our vote to a higher-term candidate instead.
+    Granted(u64),
+    /// The vote budget lapsed without a majority; retry a later term.
+    TimedOut,
+    /// `STANDBY_STOP` arrived mid-campaign: the job is over.
+    Stop,
+}
+
+/// The standby agent for rank `r`: watch the lease, vote, and — when this
+/// rank's staggered expiry fires first — campaign and take over.
+#[allow(clippy::too_many_arguments)]
+fn standby_body(
+    p: &Proc,
+    r: u32,
+    world: &World,
+    cfg: CoordinatorCfg,
+    storage: Arc<dyn CheckpointStore>,
+    counters: Arc<CoordCounters>,
+    reports: &Arc<Mutex<Vec<EpochReport>>>,
+    cp: &Arc<ControlPlane>,
+) {
+    let e = cfg.election;
+    let ep = world.oob_endpoint(standby_node(r));
+    // Deterministic per-standby jitter, well under one stagger slot: rank
+    // order of expiries is never reordered, but identical configurations
+    // still break ties identically run to run.
+    let jitter =
+        draw_u64(e.jitter_seed, Domain::Election, 0x1000 + u64::from(r)) % (e.stagger / 4).max(1);
+    let slot = |now: Time| now + e.lease_timeout + u64::from(r) * e.stagger + jitter;
+    let mut term = 1u64; // highest term we have heard a leader for
+    let mut voted = 1u64; // highest term we have granted a vote in
+    let mut deadline = slot(p.now());
+    loop {
+        if cp.is_done() {
+            return;
+        }
+        match ep.recv_timeout(p, deadline) {
+            Some((_, msg)) => match msg.kind {
+                proto::HEARTBEAT | proto::LEADER_ANNOUNCE if msg.a >= term => {
+                    term = msg.a;
+                    deadline = slot(p.now());
+                }
+                proto::ELECT_REQ if msg.a > voted => {
+                    voted = msg.a;
+                    grant_vote(p, &ep, r, msg.a, msg.b as u32);
+                    // Granting also extends our own patience: the winner
+                    // needs a quiet lease's worth of time to take over and
+                    // start heartbeating before we contest.
+                    deadline = slot(p.now());
+                }
+                proto::STANDBY_STOP => return,
+                _ => {} // stale heartbeats, duplicate requests, late votes
+            },
+            None => {
+                // Lease lapsed: as far as this standby can tell the
+                // coordinator is dead. Contest the next term.
+                cp.heartbeats_missed.fetch_add(1, Ordering::Relaxed);
+                p.handle().trace_instant(|| Event::HeartbeatMissed { node: r, term });
+                let new_term = term.max(voted) + 1;
+                if new_term > e.max_terms {
+                    // Election budget spent: stand down for good and leave
+                    // escalation to the supervisor's failure detector.
+                    return;
+                }
+                voted = new_term; // self-vote
+                match campaign(p, r, &ep, world, cp, new_term) {
+                    Campaign::Won => {
+                        take_over(p, r, new_term, world, cfg, storage, counters, reports, cp);
+                        return;
+                    }
+                    Campaign::Deposed(t) => {
+                        term = t;
+                        deadline = slot(p.now());
+                    }
+                    Campaign::Granted(t) => {
+                        voted = t;
+                        deadline = slot(p.now());
+                    }
+                    Campaign::TimedOut => deadline = slot(p.now()),
+                    Campaign::Stop => return,
+                }
+            }
+        }
+    }
+}
+
+fn grant_vote(p: &Proc, ep: &Endpoint<OobMsg>, r: u32, term: u64, candidate: u32) {
+    ep.connect(p, standby_node(candidate));
+    ep.send(standby_node(candidate), OobMsg::new(proto::ELECT_VOTE, term, u64::from(r)), 64);
+}
+
+/// One candidacy for `new_term`: request votes from every surviving
+/// standby and wait (bounded by one lease timeout) for a majority of the
+/// surviving ranks, counting our own vote.
+fn campaign(
+    p: &Proc,
+    r: u32,
+    ep: &Endpoint<OobMsg>,
+    world: &World,
+    cp: &Arc<ControlPlane>,
+    new_term: u64,
+) -> Campaign {
+    cp.elections_held.fetch_add(1, Ordering::Relaxed);
+    p.handle().trace_instant(|| Event::ElectionStart { term: new_term, candidate: r });
+    let n = world.size();
+    let mut votes: HashSet<u32> = HashSet::new();
+    votes.insert(r);
+    for q in (0..n).filter(|&q| q != r && !world.is_failed(q)) {
+        ep.connect(p, standby_node(q));
+        ep.send(standby_node(q), OobMsg::new(proto::ELECT_REQ, new_term, u64::from(r)), 64);
+    }
+    let by = p.now() + cp.cfg.lease_timeout;
+    loop {
+        let live = n - world.failed_ranks().len() as u32;
+        if votes.len() as u32 * 2 > live {
+            return Campaign::Won;
+        }
+        match ep.recv_timeout(p, by) {
+            Some((_, msg)) => match msg.kind {
+                proto::ELECT_VOTE if msg.a == new_term => {
+                    votes.insert(msg.b as u32);
+                }
+                proto::HEARTBEAT | proto::LEADER_ANNOUNCE if msg.a >= new_term => {
+                    return Campaign::Deposed(msg.a);
+                }
+                proto::ELECT_REQ if msg.a > new_term => {
+                    // A higher-term candidate outranks us: grant and stand
+                    // down (vote-once still holds — our self-vote was for a
+                    // strictly lower term).
+                    grant_vote(p, ep, r, msg.a, msg.b as u32);
+                    return Campaign::Granted(msg.a);
+                }
+                proto::STANDBY_STOP => return Campaign::Stop,
+                _ => {}
+            },
+            None => return Campaign::TimedOut,
+        }
+    }
+}
+
+/// The winner's transition from standby to coordinator: record the
+/// migration, settle the other standbys, restart the lease stream, then
+/// bind the service address and resume the schedule (reconcile + abort of
+/// any half-open epoch happen inside
+/// [`CoordBody::takeover_and_run`]).
+#[allow(clippy::too_many_arguments)]
+fn take_over(
+    p: &Proc,
+    r: u32,
+    term: u64,
+    world: &World,
+    cfg: CoordinatorCfg,
+    storage: Arc<dyn CheckpointStore>,
+    counters: Arc<CoordCounters>,
+    reports: &Arc<Mutex<Vec<EpochReport>>>,
+    cp: &Arc<ControlPlane>,
+) {
+    let now = p.now();
+    cp.term.store(term, Ordering::Relaxed);
+    cp.leader_migrations.fetch_add(1, Ordering::Relaxed);
+    if let Some(t0) = cp.lost_at.lock().take() {
+        cp.time_to_new_leader.fetch_add(now - t0, Ordering::Relaxed);
+    }
+    *cp.leader_pid.lock() = Some(p.id());
+    p.handle().trace_instant(|| Event::ElectionWon { term, leader: r });
+    // Settle the other standbys before any of them reaches its own
+    // staggered expiry: adopt the term, refresh the lease.
+    let ep = world.oob_endpoint(standby_node(r));
+    for q in (0..world.size()).filter(|&q| q != r && !world.is_failed(q)) {
+        ep.connect(p, standby_node(q));
+        ep.send(standby_node(q), OobMsg::new(proto::LEADER_ANNOUNCE, term, u64::from(r)), 64);
+    }
+    // The new term's lease stream.
+    spawn_heartbeat(p.handle(), world, cp, term);
+    // Become the coordinator: bind the service address and resume.
+    let mut body = CoordBody::new(world.clone(), cfg, storage, counters, Some(cp.clone()));
+    body.takeover_and_run(p, reports, term);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_failover_is_sane() {
+        let d = ElectionCfg::default();
+        assert!(!d.enabled);
+        assert_eq!(d, ElectionCfg::disabled());
+        let f = ElectionCfg::failover(7);
+        assert!(f.enabled);
+        assert!(
+            f.lease_timeout >= 2 * f.heartbeat_every,
+            "a lease must survive at least one lost heartbeat"
+        );
+        assert!(f.stagger > 0 && f.max_terms > 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_under_a_quarter_slot() {
+        let e = ElectionCfg::failover(0xBEEF);
+        for r in 0..32u32 {
+            let j = draw_u64(e.jitter_seed, Domain::Election, 0x1000 + u64::from(r))
+                % (e.stagger / 4).max(1);
+            let j2 = draw_u64(e.jitter_seed, Domain::Election, 0x1000 + u64::from(r))
+                % (e.stagger / 4).max(1);
+            assert_eq!(j, j2, "jitter must replay exactly");
+            assert!(j < e.stagger / 4, "jitter must never reorder rank expiries");
+        }
+    }
+
+    #[test]
+    fn control_plane_records_kills() {
+        let cp = ControlPlane::new(ElectionCfg::failover(1));
+        assert_eq!(cp.term.load(Ordering::Relaxed), 1);
+        assert!(!cp.is_done());
+        cp.note_kill(42, 1, 3);
+        assert_eq!(cp.coordinator_kills.load(Ordering::Relaxed), 1);
+        assert_eq!(*cp.coordinator_lost.lock(), Some((1, 3)));
+        assert_eq!(*cp.lost_at.lock(), Some(42));
+        cp.finish();
+        assert!(cp.is_done());
+    }
+}

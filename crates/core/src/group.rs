@@ -177,6 +177,32 @@ impl GroupPlan {
         &self.groups[g]
     }
 
+    /// Re-form the plan over the survivors of `failed`: dead ranks are
+    /// struck from their groups (groups emptied entirely are dropped) and
+    /// appended as trailing singleton groups, keeping the "every rank in
+    /// exactly one group" invariant the wire encoding relies on while
+    /// guaranteeing no surviving group ever gates on — or waits for — a
+    /// dead member. With `failed` empty this is the identity.
+    pub fn reform(&self, failed: &[Rank]) -> Self {
+        if failed.is_empty() {
+            return self.clone();
+        }
+        let n = self.group_of.len() as u32;
+        let mut groups: Vec<Vec<Rank>> = self
+            .groups
+            .iter()
+            .map(|g| g.iter().copied().filter(|r| !failed.contains(r)).collect::<Vec<_>>())
+            .filter(|g| !g.is_empty())
+            .collect();
+        let mut dead: Vec<Rank> = failed.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
+        for r in dead {
+            groups.push(vec![r]);
+        }
+        Self::new(n, groups)
+    }
+
     /// Rebuild a plan from a decoded `rank → group` map.
     pub fn from_map(group_of: Vec<usize>) -> Self {
         let n_groups = group_of.iter().copied().max().map_or(0, |m| m + 1);
@@ -304,6 +330,23 @@ mod tests {
         let p = GroupPlan::by_size(6, 2);
         let p2 = GroupPlan::from_map(p.group_map().to_vec());
         assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn reform_strikes_dead_ranks_into_singletons() {
+        let p = GroupPlan::by_size(8, 4);
+        let r = p.reform(&[1, 4, 5]);
+        assert_eq!(r.groups(), &[vec![0, 2, 3], vec![6, 7], vec![1], vec![4], vec![5]]);
+        assert_eq!(r.group_of(6), 1);
+        assert_eq!(r.group_of(1), 2, "dead ranks trail in rank order");
+    }
+
+    #[test]
+    fn reform_drops_fully_dead_groups_and_is_identity_when_no_failures() {
+        let p = GroupPlan::by_size(6, 2);
+        assert_eq!(p.reform(&[]), p);
+        let r = p.reform(&[2, 3]);
+        assert_eq!(r.groups(), &[vec![0, 1], vec![4, 5], vec![2], vec![3]]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::client::CkptClient;
 use crate::controller::{CkptMode, Controller, RankCkptRecord};
 use crate::coordinator::{Coordinator, CoordinatorCfg, EpochReport};
+use crate::election::ControlPlane;
 use crate::proto;
 use bytes::Bytes;
 use gbcr_blcr::codec::fnv1a;
@@ -17,6 +18,7 @@ use gbcr_storage::{
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Everything a rank's body closure gets to work with.
@@ -195,6 +197,25 @@ pub struct RunReport {
     pub local_recoveries: u64,
     /// Replica copies destroyed by node crashes.
     pub replica_losses: u64,
+    /// Coordinator-node kills injected into this run.
+    pub coordinator_kills: u64,
+    /// Leader elections contested by standbys (candidacies, not wins).
+    pub elections_held: u64,
+    /// The control plane's final term: 1 for a run that never lost its
+    /// coordinator, +1 per successful failover election.
+    pub terms: u64,
+    /// Lease expiries observed by standbys (heartbeat silence).
+    pub heartbeats_missed: u64,
+    /// Successful leadership migrations (elections won and taken over).
+    pub leader_migrations: u64,
+    /// Summed virtual time between a coordinator kill and its successor
+    /// taking over (0 when no migration happened).
+    pub time_to_new_leader: Time,
+    /// `(term, epochs committed)` at the moment the coordinator was lost,
+    /// for runs that died without a successor taking over (`None` for
+    /// finished runs and for survived failovers) — the supervisor turns
+    /// this into [`gbcr_des::SimError::CoordinatorLost`].
+    pub coordinator_lost: Option<(u64, u64)>,
     /// Latest instant any rank finished reading its image back and
     /// re-injecting state during a restart (0 for non-restart runs) — the
     /// restart-storm latency the backend comparison measures.
@@ -335,6 +356,20 @@ pub fn run_job_faulted(
     run_job_full(spec, ckpt, None, None, Some(faults), None)
 }
 
+/// [`run_job_faulted`] with span tracing forced to `level`: the returned
+/// report carries the typed instant events (coordinator kills, missed
+/// heartbeats, election starts/wins) alongside the fault effects — the
+/// observability hook the election property tests assert leadership
+/// invariants through.
+pub fn run_job_faulted_traced(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    faults: &FaultConfig,
+    level: TraceLevel,
+) -> SimResult<RunReport> {
+    run_job_full(spec, ckpt, None, None, Some(faults), Some(level))
+}
+
 /// [`crate::restart_job`] under an injected fault configuration: restore
 /// from `restart`'s images, then run with `faults` armed — one attempt of
 /// the [`crate::run_supervised_faulty`] loop, exposed for callers driving
@@ -388,6 +423,13 @@ struct JobFaultSink {
     n: u32,
     detect_latency: Time,
     killed: Mutex<Vec<u32>>,
+    /// The coordinator handle (epoch reports tell a coordinator kill how
+    /// far the schedule had committed).
+    coordinator: Coordinator,
+    /// The shared control plane: leader/heartbeat pids to kill, and where
+    /// coordinator-loss accounting lands. Inert when the election is
+    /// disabled.
+    control: Arc<ControlPlane>,
 }
 
 impl JobFaultSink {
@@ -411,6 +453,15 @@ impl FaultSink for JobFaultSink {
         // (no-op on the central backend).
         self.store.node_failed(rank);
         self.killed.lock().push(rank);
+        if self.control.enabled() {
+            // The rank's election standby rides the same physical node, so
+            // it dies with the rank — an orphaned standby of a dead rank
+            // would otherwise stop seeing heartbeats and contest a healthy
+            // leader (split brain).
+            if let Some(&spid) = self.control.standby_pids.lock().get(rank as usize) {
+                h.kill(spid);
+            }
+        }
         // The launcher notices the dead node after the detector latency
         // and aborts the surviving job (mpirun's fail-stop cleanup).
         let survivors: Vec<ProcId> = self
@@ -421,12 +472,27 @@ impl FaultSink for JobFaultSink {
             .map(|(_, &pid)| pid)
             .collect();
         let coord = self.coord_pid;
+        let control = self.control.clone();
         h.call_after(self.detect_latency, move |h| {
             h.trace_instant(|| Event::FaultAbort { rank });
             for pid in survivors {
                 h.kill(pid);
             }
             h.kill(coord);
+            if control.enabled() {
+                // Tear the failover machinery down with the job: whoever
+                // currently leads, its heartbeat stream, and the standbys.
+                control.finish();
+                if let Some(l) = control.leader_pid.lock().take() {
+                    h.kill(l);
+                }
+                if let Some(hb) = control.hb_pid.lock().take() {
+                    h.kill(hb);
+                }
+                for &pid in control.standby_pids.lock().iter() {
+                    h.kill(pid);
+                }
+            }
         });
     }
 
@@ -438,7 +504,52 @@ impl FaultSink for JobFaultSink {
             h.kill(pid);
         }
         h.kill(self.coord_pid);
+        if self.control.enabled() {
+            self.control.finish();
+            if let Some(l) = self.control.leader_pid.lock().take() {
+                h.kill(l);
+            }
+            if let Some(hb) = self.control.hb_pid.lock().take() {
+                h.kill(hb);
+            }
+            for &pid in self.control.standby_pids.lock().iter() {
+                h.kill(pid);
+            }
+        }
         h.trace_instant(|| Event::ClusterCrash);
+    }
+
+    fn coordinator_kill(&self, h: &SimHandle) {
+        // A kill drawn past job completion — or landing after the control
+        // plane already stood down — is a non-event, mirroring node_kill.
+        if self.job_over() || self.control.is_done() {
+            return;
+        }
+        let term = self.control.term.load(Ordering::Relaxed);
+        h.trace_instant(|| Event::CoordinatorKilled { term });
+        self.control.note_kill(h.now(), term, self.coordinator.reports().len() as u64);
+        // Kill whoever currently plays coordinator, plus its lease stream,
+        // then tear down the console's control-plane links. The ranks keep
+        // running: this is a control-plane loss, not a data-plane one.
+        let leader = self.control.leader_pid.lock().take().unwrap_or(self.coord_pid);
+        h.kill(leader);
+        if let Some(hb) = self.control.hb_pid.lock().take() {
+            h.kill(hb);
+        }
+        self.world.mark_coordinator_failed();
+        if !self.control.enabled() {
+            // Static control plane: nobody can take over. The launcher's
+            // detector eventually notices the dead console and tears the
+            // job down — the supervisor-escalation path failover exists to
+            // avoid.
+            let ranks = self.rank_pids.clone();
+            h.call_after(self.detect_latency, move |h| {
+                h.trace_instant(|| Event::FaultAbort { rank: gbcr_faults::COORDINATOR_VICTIM });
+                for pid in ranks {
+                    h.kill(pid);
+                }
+            });
+        }
     }
 
     fn link_flap(&self, h: &SimHandle, a: u32, b: u32) {
@@ -511,7 +622,9 @@ fn run_job_full(
         schedule: crate::coordinator::CkptSchedule::none(),
         incremental: false,
         deadlines: crate::coordinator::PhaseDeadlines::none(),
+        election: crate::election::ElectionCfg::disabled(),
     });
+    let election_enabled = ckpt_cfg.election.enabled;
     // Uncoordinated mode runs sender-based pessimistic logging for the
     // entire job — that is its defining failure-free cost — so the mode is
     // part of the world's construction-time configuration, not a toggle
@@ -583,7 +696,11 @@ fn run_job_full(
             ends.lock().push(p.now());
             // Tell the coordinator we are done, then keep servicing the
             // checkpoint protocol until released (a finished rank must
-            // still participate passively in other groups' epochs).
+            // still participate passively in other groups' epochs). The
+            // local flag is set first so a failover successor's RECONCILE
+            // learns of the finish even if the FINISHED notice died with
+            // the old coordinator.
+            controller.mark_finished();
             mpi.oob_send(p, COORDINATOR_NODE, OobMsg::new(proto::FINISHED, 0, 0));
             while !controller.shutdown_requested() {
                 mpi.poke(p);
@@ -617,10 +734,13 @@ fn run_job_full(
     // rides on shard 0. Keyed events (fabric deliveries) route by
     // destination node id, and the lookahead is the smaller of the two
     // fabrics' wire latencies.
+    // Failover adds standby/heartbeat processes on service node ids with
+    // no shard mapping, so election-enabled runs also stay serial.
     if gbcr_des::sched_default() == gbcr_des::SchedKind::Parallel
         && fault_cfg.is_none()
         && preload.is_none()
         && trace.is_none()
+        && !election_enabled
     {
         let shards = gbcr_des::shard_count_default().min(n as usize);
         if shards >= 2 {
@@ -660,6 +780,8 @@ fn run_job_full(
             n,
             detect_latency: f.detect_latency,
             killed: Mutex::new(Vec::new()),
+            coordinator: coordinator.clone(),
+            control: coordinator.control().clone(),
         });
         if !f.phase_faults.is_empty() {
             let phase_faults = PhaseFaults::new(f.phase_faults.clone());
@@ -730,6 +852,15 @@ fn run_job_full(
         (agg, logged)
     };
     let finished_ranks = body_ends.lock().len() as u32;
+    let control = coordinator.control();
+    let coordinator_lost =
+        if finished_ranks < n { *control.coordinator_lost.lock() } else { None };
+    let coordinator_kills = control.coordinator_kills.load(Ordering::Relaxed);
+    let elections_held = control.elections_held.load(Ordering::Relaxed);
+    let terms = control.term.load(Ordering::Relaxed);
+    let heartbeats_missed = control.heartbeats_missed.load(Ordering::Relaxed);
+    let leader_migrations = control.leader_migrations.load(Ordering::Relaxed);
+    let time_to_new_leader = control.time_to_new_leader.load(Ordering::Relaxed);
     // The backend merges every target's (or node's) surviving objects into
     // one durable view, so restarts and manifest validation see failed-over
     // images and replica copies alike.
@@ -773,6 +904,13 @@ fn run_job_full(
         remote_recoveries: storage_stats.remote_recoveries,
         local_recoveries: storage_stats.local_recoveries,
         replica_losses: storage_stats.replica_losses,
+        coordinator_kills,
+        elections_held,
+        terms,
+        heartbeats_missed,
+        leader_migrations,
+        time_to_new_leader,
+        coordinator_lost,
         restore_done,
         storage_stats,
         phase_stats,

@@ -53,6 +53,7 @@
 mod client;
 mod controller;
 mod coordinator;
+mod election;
 mod group;
 mod job;
 pub mod proto;
@@ -62,10 +63,11 @@ mod supervise;
 pub use client::CkptClient;
 pub use controller::{CkptMode, Controller, PhaseHook, RankCkptRecord};
 pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport, PhaseDeadlines};
+pub use election::ElectionCfg;
 pub use group::{Formation, GroupPlan};
 pub use job::{
-    restart_job_faulted, run_job, run_job_faulted, run_job_traced, run_job_with_crash, JobSpec,
-    RankCtx, RunReport, StoreBackend,
+    restart_job_faulted, run_job, run_job_faulted, run_job_faulted_traced, run_job_traced,
+    run_job_with_crash, JobSpec, RankCtx, RunReport, StoreBackend,
 };
 pub use restart::{extract_images, extract_images_manifested, restart_job, RestartSpec};
 pub use supervise::{

@@ -59,6 +59,33 @@ pub const ABORT_EPOCH: u32 = 16;
 /// Rank → coordinator: abort processed, rank is back to running state.
 pub const ABORT_ACK: u32 = 17;
 
+// ---------------------------------------------------------------------
+// Control-plane liveness and failover (lease-based leader election)
+// ---------------------------------------------------------------------
+
+/// Leader → standbys: lease renewal. `a` = current term, `b` = heartbeat
+/// sequence number within the term.
+pub const HEARTBEAT: u32 = 18;
+/// Candidate standby → all standbys: request a vote for term `a`; `b` is
+/// the candidate's rank.
+pub const ELECT_REQ: u32 = 19;
+/// Standby → candidate standby: vote granted for term `a`; `b` is the
+/// voter's rank. At most one vote per term per standby.
+pub const ELECT_VOTE: u32 = 20;
+/// New leader → standbys: term `a` won by rank `b`; adopt the term and
+/// refresh your lease.
+pub const LEADER_ANNOUNCE: u32 = 21;
+/// New leader → all ranks: report your control-plane state for term `a`
+/// so the takeover can rebuild the dead coordinator's bookkeeping.
+pub const RECONCILE: u32 = 22;
+/// Rank → coordinator: reconciliation report for term `a`. `b` is 1 if
+/// this rank's application body already finished (its `FINISHED` message
+/// may have died with the old coordinator); the payload carries the
+/// rank's open epoch word, if any (see [`encode_reconcile_ack`]).
+pub const RECONCILE_ACK: u32 = 23;
+/// Leader → standbys: the job is complete, leave the standby loop.
+pub const STANDBY_STOP: u32 = 24;
+
 /// Render a protocol kind for diagnostics.
 pub fn kind_name(kind: u32) -> &'static str {
     match kind {
@@ -82,6 +109,13 @@ pub fn kind_name(kind: u32) -> &'static str {
         UNCOORD_GO => "UNCOORD_GO",
         ABORT_EPOCH => "ABORT_EPOCH",
         ABORT_ACK => "ABORT_ACK",
+        HEARTBEAT => "HEARTBEAT",
+        ELECT_REQ => "ELECT_REQ",
+        ELECT_VOTE => "ELECT_VOTE",
+        LEADER_ANNOUNCE => "LEADER_ANNOUNCE",
+        RECONCILE => "RECONCILE",
+        RECONCILE_ACK => "RECONCILE_ACK",
+        STANDBY_STOP => "STANDBY_STOP",
         _ => "UNKNOWN",
     }
 }
@@ -109,6 +143,38 @@ pub fn epoch_word(epoch: u64, tries: u64) -> u64 {
 /// by the Chandy-Lamport and uncoordinated paths) splits to `(epoch, 0)`.
 pub fn split_epoch(word: u64) -> (u64, u64) {
     (word & ((1 << EPOCH_BITS) - 1), word >> EPOCH_BITS)
+}
+
+// ---------------------------------------------------------------------
+// Reconciliation payloads (failover takeover)
+// ---------------------------------------------------------------------
+
+/// Encode a [`RECONCILE_ACK`] payload: the rank's currently installed
+/// (half-open) epoch word, if any.
+pub fn encode_reconcile_ack(open: Option<u64>) -> Bytes {
+    let mut e = Encoder::new();
+    match open {
+        Some(word) => {
+            e.put_u64(1);
+            e.put_u64(word);
+        }
+        None => e.put_u64(0),
+    }
+    e.finish()
+}
+
+/// Decode a [`RECONCILE_ACK`] payload into the open epoch word, if any.
+pub fn decode_reconcile_ack(buf: Bytes) -> Result<Option<u64>, CodecError> {
+    let mut d = Decoder::new(buf);
+    let out = match d.get_u64()? {
+        0 => None,
+        1 => Some(d.get_u64()?),
+        _ => return Err(CodecError::Corrupt("bad reconcile-ack discriminant")),
+    };
+    if d.remaining() != 0 {
+        return Err(CodecError::Corrupt("trailing bytes in reconcile ack"));
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------
@@ -366,7 +432,7 @@ mod tests {
 
     #[test]
     fn kind_names_cover_protocol() {
-        for k in 1..=17 {
+        for k in 1..=24 {
             assert_ne!(kind_name(k), "UNKNOWN", "kind {k}");
         }
         assert_eq!(kind_name(99), "UNKNOWN");
@@ -378,6 +444,19 @@ mod tests {
         assert_eq!(split_epoch(5), (5, 0));
         assert_eq!(split_epoch(epoch_word(5, 3)), (5, 3));
         assert_ne!(epoch_word(5, 1), epoch_word(5, 2));
+    }
+
+    #[test]
+    fn reconcile_ack_round_trip() {
+        assert_eq!(decode_reconcile_ack(encode_reconcile_ack(None)).unwrap(), None);
+        let word = epoch_word(7, 2);
+        assert_eq!(
+            decode_reconcile_ack(encode_reconcile_ack(Some(word))).unwrap(),
+            Some(word)
+        );
+        let mut e = Encoder::new();
+        e.put_u64(9);
+        assert!(decode_reconcile_ack(e.finish()).is_err());
     }
 
     #[test]

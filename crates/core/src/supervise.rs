@@ -78,6 +78,20 @@ pub struct RecoveryCounters {
     pub local_recoveries: u64,
     /// Replica copies destroyed by node crashes.
     pub replica_losses: u64,
+    /// Coordinator-node kills injected across the attempts.
+    pub coordinator_kills: u64,
+    /// Failover elections contested by standbys.
+    pub elections_held: u64,
+    /// Highest control-plane term any attempt reached (1 = the boot
+    /// coordinator was never replaced).
+    pub terms: u64,
+    /// Lease expiries observed by standbys.
+    pub heartbeats_missed: u64,
+    /// Successful coordinator migrations (elections won and taken over).
+    pub leader_migrations: u64,
+    /// Summed virtual time between a coordinator kill and its successor
+    /// taking over.
+    pub time_to_new_leader: Time,
 }
 
 impl RecoveryCounters {
@@ -96,6 +110,12 @@ impl RecoveryCounters {
         self.remote_recoveries += other.remote_recoveries;
         self.local_recoveries += other.local_recoveries;
         self.replica_losses += other.replica_losses;
+        self.coordinator_kills += other.coordinator_kills;
+        self.elections_held += other.elections_held;
+        self.terms = self.terms.max(other.terms);
+        self.heartbeats_missed += other.heartbeats_missed;
+        self.leader_migrations += other.leader_migrations;
+        self.time_to_new_leader += other.time_to_new_leader;
     }
 
     /// Fold one attempt's report into the running totals.
@@ -113,6 +133,12 @@ impl RecoveryCounters {
         self.remote_recoveries += report.remote_recoveries;
         self.local_recoveries += report.local_recoveries;
         self.replica_losses += report.replica_losses;
+        self.coordinator_kills += report.coordinator_kills;
+        self.elections_held += report.elections_held;
+        self.terms = self.terms.max(report.terms);
+        self.heartbeats_missed += report.heartbeats_missed;
+        self.leader_migrations += report.leader_migrations;
+        self.time_to_new_leader += report.time_to_new_leader;
     }
 }
 
@@ -273,7 +299,14 @@ impl FailureLoop {
             // to a cold restart once any checkpoint is durable.
             None if self.restore.is_some() => {}
             None if self.policy.cold_restart => self.restore = None,
+            // A dead control plane with no restart point is its own typed
+            // failure: the run lost its coordinator (static plane, or a
+            // failover that never completed) before any checkpoint became
+            // durable, and the policy forbids a cold restart.
             None => {
+                if let Some((term, epoch)) = report.coordinator_lost {
+                    return Err(SimError::CoordinatorLost { term, epoch });
+                }
                 return Err(SimError::NoRestartPoint {
                     job: self.job.clone(),
                     detail: format!(

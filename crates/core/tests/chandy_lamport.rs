@@ -85,6 +85,7 @@ fn cl_cfg(at_secs: u64) -> CoordinatorCfg {
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 
@@ -121,6 +122,7 @@ fn cl_is_nonblocking_but_still_hits_the_storage_bottleneck() {
             schedule: CkptSchedule::once(time::secs(3)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         }),
     )
     .unwrap();
@@ -170,6 +172,7 @@ fn cl_logs_channel_state_bytes() {
             schedule: CkptSchedule::once(time::secs(3)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         }),
     )
     .unwrap();

@@ -62,6 +62,7 @@ fn cfg(incremental: bool, at: Vec<Time>) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

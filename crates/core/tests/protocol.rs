@@ -52,6 +52,7 @@ fn group_ckpt(job: &str, group_size: u32, at: Time) -> CoordinatorCfg {
         schedule: CkptSchedule::once(at),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 
@@ -165,6 +166,7 @@ fn multiple_epochs_in_one_run() {
         schedule: CkptSchedule { at: vec![time::secs(2), time::secs(18)] },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&spec, Some(cfg)).unwrap();
     assert_eq!(report.epochs.len(), 2);
@@ -186,6 +188,7 @@ fn logging_mode_counts_bytes_and_keeps_gates_open() {
         schedule: CkptSchedule::once(time::secs(2)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&spec, Some(cfg)).unwrap();
     assert!(report.logged_bytes > 0, "messages during the epoch must be logged");
@@ -210,6 +213,7 @@ fn dynamic_formation_discovers_comm_groups() {
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&spec, Some(cfg)).unwrap();
     let plan = &report.epochs[0].plan;
@@ -233,6 +237,7 @@ fn dynamic_formation_falls_back_for_global_patterns() {
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&spec, Some(cfg)).unwrap();
     assert_eq!(report.epochs[0].plan.group_count(), 4, "static fallback of size 2");

@@ -90,6 +90,7 @@ fn ckpt(group_size: u32, at_secs: u64) -> CoordinatorCfg {
         schedule: CkptSchedule::once(time::secs(at_secs)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 
@@ -146,6 +147,7 @@ fn restart_from_each_of_two_epochs() {
         schedule: CkptSchedule { at: vec![time::secs(2), time::secs(8)] },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&spec2, Some(cfg)).unwrap();
     assert_eq!(report.epochs.len(), 2);
@@ -178,6 +180,7 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report2 =
         restart_job(&spec3, Some(cfg2), RestartSpec { job: "ring".into(), epoch: 0, images: images1, lost_nodes: vec![] }).unwrap();

@@ -41,6 +41,7 @@ fn cfg(mode: CkptMode) -> CoordinatorCfg {
         schedule: CkptSchedule::once(time::secs(2)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 
@@ -98,6 +99,7 @@ fn always_on_logging_is_the_failure_free_cost() {
             schedule: CkptSchedule::once(time::secs(2)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         }),
     )
     .unwrap();

@@ -68,6 +68,20 @@ pub enum SimError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// The checkpoint *control plane* was lost: the coordinator's node
+    /// died and no surviving node took the role over (static coordinator,
+    /// or a failover election that never converged). Distinct from
+    /// [`SimError::NoRestartPoint`] — the data plane may hold perfectly
+    /// good restart state; what failed is the authority that schedules
+    /// epochs.
+    CoordinatorLost {
+        /// Election term in force when the coordinator was lost (1 for a
+        /// static coordinator that never migrated).
+        term: u64,
+        /// The epoch the coordinator was orchestrating (or about to
+        /// request) when it died.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -97,6 +111,11 @@ impl fmt::Display for SimError {
             SimError::CorruptRestartState { job, detail } => {
                 write!(f, "corrupt restart state for job '{job}': {detail}")
             }
+            SimError::CoordinatorLost { term, epoch } => write!(
+                f,
+                "checkpoint coordinator lost at term {term} (epoch {epoch}) \
+                 with no surviving leader"
+            ),
         }
     }
 }

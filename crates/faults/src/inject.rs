@@ -13,6 +13,9 @@ pub trait FaultSink: Send + Sync {
     fn node_kill(&self, h: &SimHandle, rank: u32);
     /// The whole cluster power-fails at the current virtual time.
     fn cluster_kill(&self, h: &SimHandle);
+    /// The node hosting the checkpoint coordinator dies at the current
+    /// virtual time; every rank survives.
+    fn coordinator_kill(&self, h: &SimHandle);
     /// The data-plane link between two ranks is forced down.
     fn link_flap(&self, h: &SimHandle, a: u32, b: u32);
     /// Storage bandwidth is derated by `factor` until `until`.
@@ -83,6 +86,7 @@ pub fn install(h: &SimHandle, plan: &FaultPlan, sink: Arc<dyn FaultSink>) -> usi
         h.call_at(ev.at, move |h| match kind {
             FaultKind::NodeKill { rank } => sink.node_kill(h, rank),
             FaultKind::ClusterKill => sink.cluster_kill(h),
+            FaultKind::CoordinatorKill => sink.coordinator_kill(h),
             FaultKind::LinkFlap { a, b } => sink.link_flap(h, a, b),
             FaultKind::StorageStall { factor, duration } => {
                 let until = h.now().saturating_add(duration);
@@ -115,6 +119,9 @@ mod tests {
         fn cluster_kill(&self, h: &SimHandle) {
             self.log.lock().push((h.now(), "cluster".into()));
         }
+        fn coordinator_kill(&self, h: &SimHandle) {
+            self.log.lock().push((h.now(), "coordinator".into()));
+        }
         fn link_flap(&self, h: &SimHandle, a: u32, b: u32) {
             self.log.lock().push((h.now(), format!("flap {a}-{b}")));
         }
@@ -140,8 +147,9 @@ mod tests {
             time::ms(40),
             FaultKind::StorageOutage { target: 1, duration: time::ms(5) },
         );
+        plan.push(time::ms(50), FaultKind::CoordinatorKill);
         let rec = Arc::new(Recorder::default());
-        assert_eq!(install(&sim.handle(), &plan, rec.clone()), 4);
+        assert_eq!(install(&sim.handle(), &plan, rec.clone()), 5);
         sim.run().unwrap();
         let log = rec.log.lock();
         assert_eq!(
@@ -151,6 +159,7 @@ mod tests {
                 (time::ms(20), format!("stall 0.5 until {}", time::ms(25))),
                 (time::ms(30), "flap 0-1".to_owned()),
                 (time::ms(40), format!("outage 1 until {}", time::ms(45))),
+                (time::ms(50), "coordinator".to_owned()),
             ]
         );
     }

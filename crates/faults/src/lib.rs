@@ -33,4 +33,4 @@ pub mod rng;
 
 pub use inject::{install, FaultConfig, FaultSink, TornWrites};
 pub use phase::{PhaseAction, PhaseFault, PhaseFaults, ProtocolPhase};
-pub use plan::{FaultEvent, FaultKind, FaultPlan, StochasticFaults};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, StochasticFaults, COORDINATOR_VICTIM};

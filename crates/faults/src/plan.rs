@@ -16,6 +16,13 @@ pub enum FaultKind {
     },
     /// Power-fail the whole cluster (every rank and the coordinator).
     ClusterKill,
+    /// Kill the node hosting the checkpoint coordinator (the control
+    /// plane's console). Every rank survives: this is a pure control-plane
+    /// loss. With failover disabled the harness aborts the job after its
+    /// detection latency (the launcher notices its console died); with
+    /// lease-based election enabled the surviving ranks elect a
+    /// replacement and the run continues in place.
+    CoordinatorKill,
     /// Force the data-plane connection between two ranks down; it is
     /// rebuilt through the normal teardown/re-setup path on next use.
     LinkFlap {
@@ -82,6 +89,11 @@ impl FaultPlan {
         FaultPlan { events: vec![FaultEvent { at: t, kind: FaultKind::NodeKill { rank } }] }
     }
 
+    /// A coordinator-node kill at `t`.
+    pub fn coordinator_kill_at(t: Time) -> Self {
+        FaultPlan { events: vec![FaultEvent { at: t, kind: FaultKind::CoordinatorKill }] }
+    }
+
     /// Append an event.
     pub fn push(&mut self, at: Time, kind: FaultKind) {
         self.events.push(FaultEvent { at, kind });
@@ -113,7 +125,16 @@ pub struct StochasticFaults {
     /// commit record never becomes visible, so the previous manifest stays
     /// authoritative). `0.0` disables.
     pub torn_manifest_prob: f64,
+    /// Mean time between failures of the *coordinator's* node (`None`
+    /// disables control-plane kills). Drawn from its own
+    /// [`Domain::Election`] stream, so enabling coordinator kills never
+    /// shifts the per-node kill schedule.
+    pub coord_mtbf: Option<Time>,
 }
+
+/// Sentinel "victim" reported by [`StochasticFaults::attempt_plan`] when
+/// the attempt's first kill hits the coordinator rather than a rank.
+pub const COORDINATOR_VICTIM: u32 = u32::MAX;
 
 impl StochasticFaults {
     /// A kill-only process with the given seed and per-node MTBF.
@@ -125,6 +146,7 @@ impl StochasticFaults {
             link_flap_mtbf: None,
             torn_write_prob: 0.0,
             torn_manifest_prob: 0.0,
+            coord_mtbf: None,
         }
     }
 
@@ -148,11 +170,29 @@ impl StochasticFaults {
         (time::secs_f64(best.0), best.1)
     }
 
-    /// The full fault plan for attempt `attempt`: the first node kill plus
-    /// any link flaps that land before it. Returns the plan and the kill
-    /// `(offset, victim)` so the supervisor knows what it armed.
+    /// The coordinator-node failure time of attempt `attempt`, if
+    /// control-plane kills are enabled. One exponential per attempt from
+    /// the isolated [`Domain::Election`] stream.
+    pub fn coordinator_kill(&self, attempt: u64) -> Option<Time> {
+        self.coord_mtbf.map(|mtbf| {
+            let mut rng = stream(self.seed, Domain::Election, attempt);
+            time::secs_f64(exp_secs(&mut rng, time::as_secs_f64(mtbf)))
+        })
+    }
+
+    /// The full fault plan for attempt `attempt`: the first kill — the
+    /// earlier of the first node kill and (when enabled) the coordinator
+    /// kill — plus any link flaps that land before it. Returns the plan
+    /// and the kill `(offset, victim)` so the supervisor knows what it
+    /// armed; a coordinator kill reports [`COORDINATOR_VICTIM`]. With
+    /// `coord_mtbf` disabled this is byte-identical to the historical
+    /// node-kill-only plan.
     pub fn attempt_plan(&self, attempt: u64, n: u32) -> (FaultPlan, (Time, u32)) {
-        let (kill_at, victim) = self.first_kill(attempt, n);
+        let (node_at, node_victim) = self.first_kill(attempt, n);
+        let (kill_at, victim, kill) = match self.coordinator_kill(attempt) {
+            Some(c) if c < node_at => (c, COORDINATOR_VICTIM, FaultKind::CoordinatorKill),
+            _ => (node_at, node_victim, FaultKind::NodeKill { rank: node_victim }),
+        };
         let mut plan = FaultPlan::none();
         if let Some(flap_mtbf) = self.link_flap_mtbf {
             let mean = time::as_secs_f64(flap_mtbf);
@@ -166,7 +206,7 @@ impl StochasticFaults {
                 t += exp_secs(&mut rng, mean);
             }
         }
-        plan.push(kill_at, FaultKind::NodeKill { rank: victim });
+        plan.push(kill_at, kill);
         (plan, (kill_at, victim))
     }
 }
@@ -208,6 +248,39 @@ mod tests {
         let small = avg(4);
         let big = avg(64);
         assert!(big < small / 4.0, "64-node mean {big} vs 4-node mean {small}");
+    }
+
+    #[test]
+    fn coordinator_kills_never_shift_the_node_schedule() {
+        let base = StochasticFaults::kills(42, time::secs(30));
+        let with_coord = StochasticFaults {
+            coord_mtbf: Some(time::secs(90)),
+            ..StochasticFaults::kills(42, time::secs(30))
+        };
+        for attempt in 0..16 {
+            // The per-node draws are stream-isolated from the coordinator
+            // draw, so enabling control-plane kills leaves them untouched.
+            assert_eq!(base.first_kill(attempt, 8), with_coord.first_kill(attempt, 8));
+            let (plan, (at, victim)) = with_coord.attempt_plan(attempt, 8);
+            let last = plan.events.last().expect("plan ends with a kill");
+            assert_eq!(last.at, at);
+            match last.kind {
+                FaultKind::CoordinatorKill => {
+                    assert_eq!(victim, COORDINATOR_VICTIM);
+                    assert!(at <= base.first_kill(attempt, 8).0);
+                }
+                FaultKind::NodeKill { rank } => {
+                    assert_eq!((at, rank), base.first_kill(attempt, 8));
+                }
+                other => panic!("unexpected final event {other:?}"),
+            }
+        }
+        // A 90 s coordinator MTBF against a 30/8 s cluster MTBF still hits
+        // the coordinator first on *some* attempt.
+        let hits = (0..64)
+            .filter(|&a| with_coord.attempt_plan(a, 8).1 .1 == COORDINATOR_VICTIM)
+            .count();
+        assert!(hits > 0, "no attempt ever drew a coordinator-first kill");
     }
 
     #[test]

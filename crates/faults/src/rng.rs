@@ -25,6 +25,9 @@ pub enum Domain {
     /// Replica-placement draws (ring rotation) for the diskless
     /// replicated checkpoint store.
     Replica,
+    /// Control-plane draws: coordinator kill times and the per-rank lease
+    /// jitter used by the failover election protocol.
+    Election,
 }
 
 impl Domain {
@@ -34,6 +37,7 @@ impl Domain {
             Domain::LinkFlap => 0x4c49_4e4b,
             Domain::Storage => 0x5354_4f52,
             Domain::Replica => 0x5245_504c,
+            Domain::Election => 0x454c_4543,
         }
     }
 }

@@ -308,6 +308,7 @@ mod tests {
             schedule: CkptSchedule::none(),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let m = measure(&mb.job(), cfg, gbcr_des::time::secs(5)).unwrap();
         assert_eq!(m.groups, 2);
@@ -338,6 +339,7 @@ mod tests {
             schedule: CkptSchedule::none(),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let _ = measure(&mb.job(), cfg, gbcr_des::time::secs(9999));
     }
@@ -362,6 +364,7 @@ mod tests {
                         schedule: CkptSchedule::once(gbcr_des::time::secs(5)),
                         incremental: false,
                         deadlines: gbcr_core::PhaseDeadlines::none(),
+                        election: Default::default(),
                     })
                     .collect();
                 SweepGroup::new(mb.job(), cfgs)

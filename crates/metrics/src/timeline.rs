@@ -214,6 +214,7 @@ mod tests {
             schedule: CkptSchedule::once(gbcr_des::time::secs(3)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         run_job(&mb.job(), Some(cfg)).unwrap().epochs[0].clone()
     }
@@ -270,6 +271,7 @@ mod tests {
             schedule: CkptSchedule::once(gbcr_des::time::secs(3)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let report = gbcr_core::run_job_traced(
             &mb.job(),

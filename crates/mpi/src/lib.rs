@@ -49,4 +49,4 @@ pub use config::{
 pub use engine::{BufferClass, DeferStats, EndpointStats, MpiCrState, TrafficStats};
 pub use hook::{CrHook, CtrlWire, NoopHook, OobMsg};
 pub use types::{BoundarySnapshot, Msg, Rank, Request, Tag, ANY_SOURCE, MAX_USER_TAG};
-pub use world::{World, COORDINATOR_NODE};
+pub use world::{standby_node, World, COORDINATOR_NODE};

@@ -14,8 +14,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Out-of-band node id of the global checkpoint coordinator (the `mpirun`
-/// console in MVAPICH2 terms).
+/// console in MVAPICH2 terms). This is a *service address*: whichever
+/// process currently holds the coordinator role binds an endpoint here, so
+/// rank-side protocol code addresses "the coordinator" without knowing
+/// which node is playing it after a failover.
 pub const COORDINATOR_NODE: NodeId = NodeId(u32::MAX);
+
+/// Out-of-band node id of rank `r`'s election standby — the lightweight
+/// agent that watches the coordinator's lease and runs the failover
+/// election for its rank. Standbys get their own addresses (descending
+/// from just below [`COORDINATOR_NODE`]) so lease/election traffic never
+/// mixes into the rank protocol mailboxes.
+pub fn standby_node(rank: Rank) -> NodeId {
+    NodeId(u32::MAX - 1 - rank)
+}
 
 pub(crate) struct WorldShared {
     pub(crate) handle: SimHandle,
@@ -177,6 +189,21 @@ impl World {
         self.shared
             .handle
             .trace_instant(|| gbcr_des::Event::NodeFailed { rank });
+    }
+
+    /// Record that the node hosting the checkpoint coordinator has died:
+    /// its out-of-band links to every rank are forcibly torn down. The
+    /// ranks themselves keep running — this is a control-plane loss, not a
+    /// data-plane one, so nothing is black-holed and no rank is marked
+    /// failed. The next OOB send a rank makes toward [`COORDINATOR_NODE`]
+    /// lazily re-establishes the link — reaching whichever process has
+    /// bound the coordinator service address by then (the elected
+    /// successor, under failover).
+    pub fn mark_coordinator_failed(&self) {
+        for r in 0..self.shared.cfg.n {
+            self.shared.oob.force_disconnect(COORDINATOR_NODE, NodeId(r));
+            self.shared.oob.force_disconnect(COORDINATOR_NODE, standby_node(r));
+        }
     }
 
     /// Ranks marked failed so far, sorted.

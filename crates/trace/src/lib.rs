@@ -253,6 +253,33 @@ pub enum Event {
         /// Description (phase, stall length).
         detail: String,
     },
+    /// Fault injector killed the node hosting the checkpoint coordinator
+    /// (control-plane loss; every rank survives).
+    CoordinatorKilled {
+        /// Election term that died with the coordinator.
+        term: u64,
+    },
+    /// A standby's coordinator lease expired without a heartbeat.
+    HeartbeatMissed {
+        /// The standby's rank.
+        node: u32,
+        /// Term whose lease lapsed.
+        term: u64,
+    },
+    /// A standby started a failover election (became a candidate).
+    ElectionStart {
+        /// The term being contested.
+        term: u64,
+        /// The candidate's rank.
+        candidate: u32,
+    },
+    /// A candidate collected a majority and took the coordinator role.
+    ElectionWon {
+        /// The won term.
+        term: u64,
+        /// The new leader's rank.
+        leader: u32,
+    },
     /// A write's bytes moved but the object was never published.
     StorageTorn {
         /// Writing client.
@@ -388,6 +415,10 @@ impl Event {
             Event::ClusterCrash => "crash",
             Event::FaultLinkFlap { .. } => "fault.link_flap",
             Event::FaultPhaseStall { .. } => "fault.phase_stall",
+            Event::CoordinatorKilled { .. } => "fault.coordinator_kill",
+            Event::HeartbeatMissed { .. } => "election.heartbeat_missed",
+            Event::ElectionStart { .. } => "election.start",
+            Event::ElectionWon { .. } => "election.won",
             Event::StorageTorn { .. } => "storage.torn",
             Event::StorageFail { .. } => "storage.fail",
             Event::StorageUnavailable { .. } => "storage.unavailable",
@@ -426,7 +457,11 @@ impl Event {
             Event::CkptAbort { .. }
             | Event::CkptEpochDone { .. }
             | Event::CkptManifestSkip { .. }
-            | Event::ClusterCrash => Track::Coordinator,
+            | Event::ClusterCrash
+            | Event::CoordinatorKilled { .. }
+            | Event::ElectionWon { .. } => Track::Coordinator,
+            Event::HeartbeatMissed { node, .. } => Track::Rank(*node),
+            Event::ElectionStart { candidate, .. } => Track::Rank(*candidate),
             Event::StorageTorn { client, .. }
             | Event::StorageFail { client, .. }
             | Event::StorageUnavailable { client, .. }
@@ -470,6 +505,16 @@ impl Event {
             Event::ClusterCrash => "cluster power failure".into(),
             Event::FaultLinkFlap { a, b } => format!("rank {a} <-> rank {b}"),
             Event::FaultPhaseStall { rank, detail } => format!("rank {rank}: {detail}"),
+            Event::CoordinatorKilled { term } => format!("coordinator down (term {term})"),
+            Event::HeartbeatMissed { node, term } => {
+                format!("standby {node}: lease lapsed (term {term})")
+            }
+            Event::ElectionStart { term, candidate } => {
+                format!("rank {candidate} contests term {term}")
+            }
+            Event::ElectionWon { term, leader } => {
+                format!("rank {leader} leads term {term}")
+            }
             Event::StorageTorn { client, name }
             | Event::StorageFail { client, name }
             | Event::StorageUnavailable { client, name }
@@ -737,6 +782,20 @@ mod tests {
             "test"
         );
         assert_eq!(Event::StorageDone { client: 3, id: 7 }.track(), Track::Storage(3));
+        assert_eq!(
+            Event::CoordinatorKilled { term: 1 }.category(),
+            "fault.coordinator_kill"
+        );
+        assert_eq!(Event::CoordinatorKilled { term: 1 }.track(), Track::Coordinator);
+        assert_eq!(
+            Event::ElectionStart { term: 2, candidate: 0 }.track(),
+            Track::Rank(0)
+        );
+        assert_eq!(Event::ElectionWon { term: 2, leader: 0 }.category(), "election.won");
+        assert_eq!(
+            Event::HeartbeatMissed { node: 3, term: 1 }.category(),
+            "election.heartbeat_missed"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn cfg(job: &str, group_size: u32, at: gbcr_des::Time) -> CoordinatorCfg {
         schedule: CkptSchedule::once(at),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

@@ -34,6 +34,7 @@ fn main() {
         schedule: CkptSchedule { at: vec![time::secs(60), time::secs(200)] },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     // Disaster: the whole cluster power-fails at t = 420 s (every simulated
     // process killed mid-flight). All that survives is the central storage.

@@ -18,6 +18,7 @@ fn cfg(group_size: u32) -> CoordinatorCfg {
         schedule: CkptSchedule::once(time::secs(50)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

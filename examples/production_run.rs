@@ -35,6 +35,7 @@ fn main() {
             schedule: CkptSchedule::once(time::secs(2)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         }),
     )
     .expect("probe run");
@@ -77,6 +78,7 @@ fn main() {
             schedule: CkptSchedule { at: schedule },
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         },
         &[time::secs(20), time::secs(30)],
     )

@@ -52,6 +52,7 @@ fn main() {
         schedule: CkptSchedule::once(time::secs(20)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
     let ep = &ck.epochs[0];

@@ -101,6 +101,19 @@ grep -qx "fig8 abort smoke: aborts=1 retries=1 manifests=2 results_match=true" \
   exit 1
 }
 
+# Coordinator-kill failover smoke: the coordinator's node dies 3.5 s into
+# a seeded 8-rank run, the lowest-ranked standby wins the term-2 election,
+# aborts the half-open epoch, re-forms groups over the survivors and
+# finishes in place — zero supervisor restarts, per-rank results
+# byte-identical to the fault-free run. Fully deterministic in its seed.
+cargo run --release -p gbcr-bench --bin fig9 -- --smoke > target/fig9_smoke.out
+grep -qx "fig9 smoke: terms=2 migrations=1 supervisor_restarts=0 results_match=true" \
+  target/fig9_smoke.out || {
+  echo "tier1: coordinator-kill failover smoke diverged from golden:" >&2
+  cat target/fig9_smoke.out >&2
+  exit 1
+}
+
 # Trace smoke: the traced 4-rank run must export schema-valid
 # Chrome/Perfetto JSON with properly nested spans, all five coordinator
 # protocol phases covered by the epoch span, and connection/storage

@@ -21,6 +21,7 @@ fn cfg(job: &str, group_size: u32, at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn cfg(at: Vec<Time>) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

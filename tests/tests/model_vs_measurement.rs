@@ -22,6 +22,7 @@ fn equation_individual_time_matches_measurement() {
             schedule: CkptSchedule::once(time::secs(10)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let report = run_job(&mb.job(), Some(cfg)).unwrap();
         let measured = time::as_secs_f64(report.epochs[0].mean_individual());
@@ -45,6 +46,7 @@ fn equation_total_time_matches_measurement() {
         schedule: CkptSchedule::once(time::secs(10)),
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     };
     let report = run_job(&mb.job(), Some(cfg)).unwrap();
     let ep = &report.epochs[0];
@@ -81,6 +83,7 @@ fn placement_window_prediction_matches_figure4_behavior() {
             schedule: CkptSchedule::once(at),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let ck = run_job(&spec, Some(cfg)).unwrap();
         (

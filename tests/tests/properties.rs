@@ -226,6 +226,7 @@ proptest! {
             schedule: CkptSchedule::once(time::ms(at_ms)),
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
+            election: Default::default(),
         };
         let mid = Arc::new(Mutex::new(Vec::new()));
         let report = run_job(&w.job(Some(mid.clone())), Some(cfg)).unwrap();

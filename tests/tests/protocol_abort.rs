@@ -24,6 +24,7 @@ fn cfg(at: Vec<Time>, deadlines: PhaseDeadlines) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental: false,
         deadlines,
+        election: Default::default(),
     }
 }
 

@@ -91,6 +91,7 @@ fn ckpt_once(n: u32, at: gbcr_des::Time) -> CoordinatorCfg {
         schedule: CkptSchedule::once(at),
         incremental: false,
         deadlines: PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

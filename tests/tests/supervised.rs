@@ -18,6 +18,7 @@ fn cfg(at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
         schedule: CkptSchedule { at },
         incremental: false,
         deadlines: gbcr_core::PhaseDeadlines::none(),
+        election: Default::default(),
     }
 }
 

@@ -29,6 +29,7 @@ fn smoke_spec() -> (JobSpec, CoordinatorCfg) {
         schedule: CkptSchedule::once(time::secs(3)),
         incremental: false,
         deadlines: PhaseDeadlines::none(),
+        election: Default::default(),
     };
     (mb.job(), cfg)
 }
