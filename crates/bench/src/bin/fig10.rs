@@ -1,0 +1,61 @@
+//! Regenerate Figure 10: multi-tenant checkpoint interference — P99 epoch
+//! latency and per-tenant goodput vs co-tenant checkpoint load, aligned
+//! cluster-wide checkpointing vs group-based staggering.
+//!
+//! `--smoke` runs the seeded 32-tenant cell pair `scripts/tier1.sh` gates
+//! on and prints only its golden line. `--threads N` controls the worker
+//! pool (results must not depend on it); `--json` emits the run-record
+//! JSON block instead of the table.
+
+use gbcr_bench::fig10;
+
+fn main() {
+    let mut threads = None;
+    let mut smoke = false;
+    let mut json = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive number");
+                    std::process::exit(2);
+                }));
+            }
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown flag {other}\nusage: fig10 [--threads N] [--smoke] [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        let (cw, gr) = fig10::smoke();
+        println!(
+            "fig10 smoke: tenants={} p99_clusterwide_ms={:.1} p99_group_ms={:.1} \
+             goodput_clusterwide={:.3} goodput_group={:.3} peak_streams={}/{}",
+            cw.tenants,
+            cw.p99_epoch_ms,
+            gr.p99_epoch_ms,
+            cw.goodput_mean,
+            gr.goodput_mean,
+            cw.peak_streams,
+            gr.peak_streams,
+        );
+        return;
+    }
+    let sw = fig10::run_threaded(&fig10::LOADS, threads);
+    if json {
+        println!("{}", fig10::json_block(&sw));
+        return;
+    }
+    print!("{}", fig10::table(&sw).render());
+    println!(
+        "\n{} ranks/tenant; interval {} ms; {} epochs/tenant; seed {:#x}",
+        sw.n_per_tenant,
+        sw.interval_ms,
+        fig10::EPOCHS,
+        sw.seed
+    );
+}

@@ -24,7 +24,7 @@
 //! workspace's approved crates.
 
 use gbcr_core::{
-    run_job, run_job_traced, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
 };
 use gbcr_des::{time, TraceLevel};
 
@@ -98,7 +98,7 @@ fn cmd_run(args: &[String]) {
 
     let (spec, job) = spec_for(workload);
     eprintln!("running baseline ({workload}, {} ranks)…", spec.mpi.n);
-    let base = run_job(&spec, None).expect("baseline run");
+    let base = spec.runner().run().expect("baseline run");
     eprintln!(
         "baseline completion: {:.1} s — running checkpointed…",
         time::as_secs_f64(base.completion)
@@ -113,8 +113,8 @@ fn cmd_run(args: &[String]) {
         election: Default::default(),
     };
     let ck = match trace_path {
-        Some(_) => run_job_traced(&spec, Some(cfg), TraceLevel::Full),
-        None => run_job(&spec, Some(cfg)),
+        Some(_) => spec.runner().ckpt(cfg).traced(TraceLevel::Full).run(),
+        None => spec.runner().ckpt(cfg).run(),
     }
     .expect("checkpointed run");
     let Some(ep) = ck.epochs.first() else {

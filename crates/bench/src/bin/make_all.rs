@@ -35,7 +35,7 @@
 //!   rendered table stays byte-identical to an untraced run.
 
 use gbcr_bench::{
-    ablations, fig1, fig3, fig4, fig5, fig7, fig8, fig9, scale, seed, trace, GROUP_SIZES,
+    ablations, fig1, fig10, fig3, fig4, fig5, fig7, fig8, fig9, scale, seed, trace, GROUP_SIZES,
 };
 use std::time::Instant;
 
@@ -46,6 +46,7 @@ struct Args {
     sched_check: bool,
     faults: bool,
     fig9: bool,
+    fig10: bool,
     backend: fig8::Backend,
     scale: bool,
     json: Option<String>,
@@ -60,6 +61,7 @@ fn parse_args() -> Args {
         sched_check: false,
         faults: false,
         fig9: false,
+        fig10: false,
         backend: fig8::Backend::Central,
         scale: false,
         json: None,
@@ -80,6 +82,7 @@ fn parse_args() -> Args {
             "--sched" => out.sched_check = true,
             "--faults" => out.faults = true,
             "--fig9" => out.fig9 = true,
+            "--fig10" => out.fig10 = true,
             "--backend" => {
                 out.backend = it
                     .next()
@@ -107,7 +110,8 @@ fn parse_args() -> Args {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: make_all [--threads N] [--smoke] [--serial-check] [--sched] \
-                     [--faults] [--fig9] [--backend central|failover|replicated] [--scale] \
+                     [--faults] [--fig9] [--fig10] \
+                     [--backend central|failover|replicated] [--scale] \
                      [--json [PATH]] [--trace [PATH]]"
                 );
                 std::process::exit(2);
@@ -335,6 +339,19 @@ fn main() {
         fig9_sweeps = Some((st, fo, wall_ms));
     }
 
+    // The interference study is opt-in (`--fig10`): each cell is a whole
+    // multi-tenant cluster simulation (up to 512 concurrent ranks) plus a
+    // solo baseline per tenant — tier-2 cost at the full load grid.
+    let mut fig10_sweep: Option<(fig10::Fig10Sweep, f64)> = None;
+    if args.fig10 {
+        let t0 = Instant::now();
+        let loads: &[usize] = if args.smoke { &[32] } else { &fig10::LOADS };
+        let sw = fig10::run_threaded(loads, Some(threads));
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{}", fig10::table(&sw).render());
+        fig10_sweep = Some((sw, wall_ms));
+    }
+
     // The scale study is opt-in (`--scale`): its 10k-rank points are
     // tier-2 cost, and its cost table is intentionally nondeterministic
     // (wall times), so it stays outside the identity-checked sections.
@@ -544,6 +561,10 @@ fn main() {
         if let Some((st, fo, wall_ms)) = &fig9_sweeps {
             j.push_str(&format!("  \"fig9_wall_ms\": {wall_ms:.1},\n"));
             j.push_str(&format!("  \"fig9\": {},\n", fig9::json_block(st, fo)));
+        }
+        if let Some((sw, wall_ms)) = &fig10_sweep {
+            j.push_str(&format!("  \"fig10_wall_ms\": {wall_ms:.1},\n"));
+            j.push_str(&format!("  \"fig10\": {},\n", fig10::json_block(sw)));
         }
         if let Some((trace_path, chk)) = &trace_exported {
             j.push_str(&format!(

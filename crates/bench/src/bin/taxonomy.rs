@@ -4,7 +4,7 @@
 //! checkpointing — all on the same 32-rank micro-benchmark with one
 //! checkpoint at t = 30 s.
 
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::time;
 use gbcr_metrics::Table;
 use gbcr_storage::MB;
@@ -14,7 +14,7 @@ fn main() {
     // Rendezvous-sized messages so logging costs are visible.
     let mb = MicroBench { msg_size: 2 * MB, step_compute: time::ms(150), ..Default::default() };
     let spec = mb.job();
-    let base = run_job(&spec, None).expect("baseline");
+    let base = spec.runner().run().expect("baseline");
 
     let mut t = Table::new(
         "§2.1 taxonomy — one checkpoint at 30 s, 32 ranks, 180 MB/process, 2 MB messages",
@@ -36,7 +36,7 @@ fn main() {
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
         };
-        let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
+        let ck = spec.runner().ckpt(cfg).run().expect("ckpt run");
         let ep = &ck.epochs[0];
         let logged = ck.logged_bytes + ck.channel_logged_bytes;
         t.row(&[

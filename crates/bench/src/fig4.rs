@@ -50,12 +50,13 @@ pub fn table(sw: &Sweep) -> Table {
 /// at `at` seconds, returning the effective delay in seconds.
 pub fn effective_at(at_secs: u64) -> f64 {
     let pb = PlacementBench::default();
-    let base = gbcr_core::run_job(&pb.job(), None).expect("baseline");
-    let ck = gbcr_core::run_job(
-        &pb.job(),
-        Some(static_cfg("placement", 8, time::secs(at_secs))),
-    )
-    .expect("ckpt run");
+    let base = pb.job().runner().run().expect("baseline");
+    let ck = pb
+        .job()
+        .runner()
+        .ckpt(static_cfg("placement", 8, time::secs(at_secs)))
+        .run()
+        .expect("ckpt run");
     time::as_secs_f64(ck.completion.saturating_sub(base.completion))
 }
 

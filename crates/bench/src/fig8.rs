@@ -2,7 +2,8 @@
 //! process, sweeping checkpoint interval × per-node MTBF and comparing the
 //! empirically best interval against the Young and Daly closed forms.
 //!
-//! Every cell is one [`gbcr_core::run_supervised_faulty`] run: per-node
+//! Every cell is one supervised stochastic run
+//! ([`gbcr_core::SupervisedRunner::stochastic`]): per-node
 //! exponential failure clocks kill a rank, the launcher aborts the
 //! survivors after the detection latency, and the supervisor restarts from
 //! the last complete epoch with backoff until the job finishes. All
@@ -10,7 +11,7 @@
 //! the whole sweep is byte-reproducible across runs and worker counts.
 
 use gbcr_core::{
-    run_job, run_job_faulted, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg,
+    CkptMode, CkptSchedule, CoordinatorCfg,
     Formation, PhaseDeadlines, StoreBackend, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
@@ -210,7 +211,7 @@ pub fn run_threaded(
     assert!(replicas > 0);
     let (mut spec, job) = spec_for(n);
     backend.apply(&mut spec);
-    let useful = run_job(&spec, None).expect("bare run").completion;
+    let useful = spec.runner().run().expect("bare run").completion;
     // δ for the closed forms: one checkpoint issued mid-run.
     let delta = measure(&spec, cfg_for(job, n, Vec::new()), useful / 2)
         .expect("delay measurement")
@@ -233,7 +234,7 @@ pub fn run_threaded(
         );
         let cfg = cfg_for(job, n, periodic(interval, useful));
         let policy = SupervisePolicy::default();
-        match run_supervised_faulty(&spec, cfg, &faults, &policy) {
+        match spec.runner().ckpt(cfg).supervised(policy).stochastic(&faults) {
             Ok(report) => Some(report),
             Err(SimError::RetriesExhausted { .. }) => None,
             Err(e) => panic!("fault sweep cell ({ims} ms, {mtbf_s} s) failed: {e}"),
@@ -525,7 +526,7 @@ pub fn abort_smoke() -> (u64, u64, u64, bool) {
     };
 
     let truth = ResultsSink::default();
-    let clean = run_job(&w.job(Some(truth.clone())), Some(cfg())).expect("fault-free run");
+    let clean = w.job(Some(truth.clone())).runner().ckpt(cfg()).run().expect("fault-free run");
     assert_eq!(clean.protocol_aborts, 0, "no deadline may trip fault-free");
     let mut want = truth.lock().clone();
     want.sort();
@@ -540,7 +541,12 @@ pub fn abort_smoke() -> (u64, u64, u64, bool) {
         ..FaultConfig::none()
     };
     let results = ResultsSink::default();
-    let report = run_job_faulted(&w.job(Some(results.clone())), Some(cfg()), &faults)
+    let report = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(cfg())
+        .faults(&faults)
+        .run()
         .expect("straggler run");
     assert_eq!(report.finished_ranks, n, "abort-and-retry must let the job finish");
     let mut got = results.lock().clone();

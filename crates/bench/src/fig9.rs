@@ -6,7 +6,8 @@
 //! coordinator state from the storage manifests and resumes in place —
 //! zero supervisor restarts).
 //!
-//! Every cell is one [`gbcr_core::run_supervised_faulty`] run whose fault
+//! Every cell is one supervised stochastic run
+//! ([`gbcr_core::SupervisedRunner::stochastic`]) whose fault
 //! process kills only the *coordinator's* node: `coord_mtbf` is the swept
 //! exponential and the per-node kill clock is pushed out to 10⁵ s so rank
 //! failures never fire. Cell seeds ignore the plane, so both planes face
@@ -14,7 +15,7 @@
 //! availability gap is purely the recovery path.
 
 use gbcr_core::{
-    run_job, run_job_faulted, run_supervised_faulty, CkptMode, CkptSchedule, CoordinatorCfg,
+    CkptMode, CkptSchedule, CoordinatorCfg,
     ElectionCfg, Formation, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
@@ -158,7 +159,7 @@ pub fn run_threaded(
 ) -> PlaneSweep {
     assert!(replicas > 0);
     let (spec, job) = spec_for(n);
-    let useful = run_job(&spec, None).expect("bare run").completion;
+    let useful = spec.runner().run().expect("bare run").completion;
     let interval = time::ms(INTERVAL_MS);
 
     let runs = run_cells(coord_mtbfs_s.len() * replicas, threads, |k| {
@@ -176,7 +177,7 @@ pub fn run_threaded(
             ..cfg_for(job, n, periodic(interval, useful))
         };
         let policy = SupervisePolicy::default();
-        match run_supervised_faulty(&spec, cfg, &faults, &policy) {
+        match spec.runner().ckpt(cfg).supervised(policy).stochastic(&faults) {
             Ok(report) => Some(report),
             Err(SimError::RetriesExhausted { .. }) => None,
             Err(e) => panic!("fig9 cell (mtbf {mtbf_s} s, {}) failed: {e}", plane.name()),
@@ -334,7 +335,7 @@ pub fn smoke() -> (u64, u64, u64, bool) {
     };
 
     let truth = ResultsSink::default();
-    let clean = run_job(&w.job(Some(truth.clone())), Some(mk())).expect("fault-free run");
+    let clean = w.job(Some(truth.clone())).runner().ckpt(mk()).run().expect("fault-free run");
     assert_eq!(clean.terms, 1, "no election may run fault-free");
     assert_eq!(clean.leader_migrations, 0, "no migration may run fault-free");
     let mut want = truth.lock().clone();
@@ -345,7 +346,12 @@ pub fn smoke() -> (u64, u64, u64, bool) {
         ..FaultConfig::none()
     };
     let results = ResultsSink::default();
-    let report = run_job_faulted(&w.job(Some(results.clone())), Some(mk()), &faults)
+    let report = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(mk())
+        .faults(&faults)
+        .run()
         .expect("coordinator-kill run");
     assert_eq!(report.finished_ranks, n, "failover must let the job finish in place");
     let supervisor_restarts = u64::from(report.finished_ranks != n);

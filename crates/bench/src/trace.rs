@@ -8,7 +8,7 @@
 //! lifecycle and storage writes must have spans.
 
 use gbcr_core::{
-    run_job_traced, CkptMode, CkptSchedule, CoordinatorCfg, Formation, PhaseDeadlines, RunReport,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, PhaseDeadlines, RunReport,
 };
 use gbcr_des::trace::{perfetto, PhaseStat};
 use gbcr_des::{time, TraceData, TraceLevel};
@@ -41,7 +41,7 @@ pub fn trace_smoke() -> RunReport {
         deadlines: PhaseDeadlines::none(),
         election: Default::default(),
     };
-    run_job_traced(&mb.job(), Some(cfg), TraceLevel::Full).expect("trace smoke run")
+    mb.job().runner().ckpt(cfg).traced(TraceLevel::Full).run().expect("trace smoke run")
 }
 
 /// Verdict of [`check_chrome_json`] over an exported trace.

@@ -1,0 +1,132 @@
+//! Deprecated free-function entry points, kept for one release as thin
+//! shims over [`crate::JobRunner`] / [`crate::SupervisedRunner`].
+//!
+//! Each shim is a one-line delegation, so old and new paths are
+//! byte-identical by construction (asserted by the `runner_compat`
+//! regression test). New code — and every in-repo caller — goes through
+//! the builder:
+//!
+//! | deprecated | replacement |
+//! |---|---|
+//! | `run_job(spec, ckpt)` | `spec.runner().ckpt_opt(ckpt).run()` |
+//! | `run_job_traced(spec, ckpt, level)` | `spec.runner().ckpt_opt(ckpt).traced(level).run()` |
+//! | `run_job_with_crash(spec, ckpt, t)` | `spec.runner().ckpt_opt(ckpt).crash_at(t).run()` |
+//! | `run_job_faulted(spec, ckpt, f)` | `spec.runner().ckpt_opt(ckpt).faults(f).run()` |
+//! | `run_job_faulted_traced(spec, ckpt, f, level)` | `spec.runner().ckpt_opt(ckpt).faults(f).traced(level).run()` |
+//! | `restart_job_faulted(spec, ckpt, r, f)` | `spec.runner().ckpt_opt(ckpt).restart(r).faults(f).run()` |
+//! | `run_supervised(spec, ckpt, crashes)` | `spec.runner().ckpt(ckpt).supervised(SupervisePolicy::immediate()).crashes(crashes)` |
+//! | `run_supervised_faulty(spec, ckpt, f, policy)` | `spec.runner().ckpt(ckpt).supervised(policy.clone()).stochastic(f)` |
+
+use crate::coordinator::CoordinatorCfg;
+use crate::job::{JobSpec, RunReport};
+use crate::restart::RestartSpec;
+use crate::supervise::{SupervisePolicy, SupervisedReport};
+use gbcr_des::{SimResult, Time, TraceLevel};
+use gbcr_faults::{FaultConfig, StochasticFaults};
+
+/// Run `spec` to completion with an optional checkpoint configuration.
+#[deprecated(since = "0.2.0", note = "use `spec.runner().ckpt_opt(ckpt).run()`")]
+pub fn run_job(spec: &JobSpec, ckpt: Option<CoordinatorCfg>) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).run()
+}
+
+/// Run `spec` with span tracing forced to `level`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt_opt(ckpt).traced(level).run()`"
+)]
+pub fn run_job_traced(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    level: TraceLevel,
+) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).traced(level).run()
+}
+
+/// Run `spec` but power-fail the whole cluster at `crash_at`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt_opt(ckpt).crash_at(t).run()`"
+)]
+pub fn run_job_with_crash(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    crash_at: Time,
+) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).crash_at(crash_at).run()
+}
+
+/// Run `spec` under an injected fault configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt_opt(ckpt).faults(faults).run()`"
+)]
+pub fn run_job_faulted(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    faults: &FaultConfig,
+) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).faults(faults).run()
+}
+
+/// Run `spec` under faults with span tracing forced to `level`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt_opt(ckpt).faults(faults).traced(level).run()`"
+)]
+pub fn run_job_faulted_traced(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    faults: &FaultConfig,
+    level: TraceLevel,
+) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).faults(faults).traced(level).run()
+}
+
+/// Restore from `restart`'s images, then run with `faults` armed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt_opt(ckpt).restart(restart).faults(faults).run()`"
+)]
+pub fn restart_job_faulted(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    restart: RestartSpec,
+    faults: &FaultConfig,
+) -> SimResult<RunReport> {
+    spec.runner().ckpt_opt(ckpt).restart(restart).faults(faults).run()
+}
+
+/// Run `spec` under `ckpt` with whole-cluster crashes at each time in
+/// `crash_at`, restarting after each; the final attempt runs to
+/// completion. Applies the historical immediate-restart policy
+/// ([`SupervisePolicy::immediate`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt(ckpt).supervised(SupervisePolicy::immediate()).crashes(crash_at)`"
+)]
+pub fn run_supervised(
+    spec: &JobSpec,
+    ckpt: CoordinatorCfg,
+    crash_at: &[Time],
+) -> SimResult<SupervisedReport> {
+    spec.runner()
+        .ckpt(ckpt)
+        .supervised(SupervisePolicy::immediate())
+        .crashes(crash_at)
+}
+
+/// Run `spec` under `ckpt` against a stochastic fail-stop process,
+/// restarting per `policy` until the job finishes or the budget runs out.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spec.runner().ckpt(ckpt).supervised(policy.clone()).stochastic(faults)`"
+)]
+pub fn run_supervised_faulty(
+    spec: &JobSpec,
+    ckpt: CoordinatorCfg,
+    faults: &StochasticFaults,
+    policy: &SupervisePolicy,
+) -> SimResult<SupervisedReport> {
+    spec.runner().ckpt(ckpt).supervised(policy.clone()).stochastic(faults)
+}

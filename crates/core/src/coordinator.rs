@@ -438,7 +438,11 @@ impl CoordBody {
         self.collect(p, proto::EPOCH_END_ACK, epoch, self.n);
         individuals.sort_by_key(|(r, _)| *r);
         p.handle().trace_span(Track::Coordinator, "epoch", started_at, || {
-            vec![("epoch", ArgValue::U64(epoch)), ("groups", ArgValue::U64(1))]
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("groups", ArgValue::U64(1)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
+            ]
         });
         p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups: 1 });
         EpochReport {
@@ -477,7 +481,11 @@ impl CoordBody {
         individuals.sort_by_key(|(r, _)| *r);
         let groups = plan.group_count() as u64;
         p.handle().trace_span(Track::Coordinator, "epoch", started_at, || {
-            vec![("epoch", ArgValue::U64(epoch)), ("groups", ArgValue::U64(groups))]
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("groups", ArgValue::U64(groups)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
+            ]
         });
         p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups });
         EpochReport {
@@ -570,7 +578,11 @@ impl CoordBody {
         }
         self.collect_by(p, proto::EPOCH_BEGIN_ACK, word, expect, begin_by)?;
         p.handle().trace_span(Track::Coordinator, "phase.begin", t_epoch, || {
-            vec![("epoch", ArgValue::U64(epoch)), ("try", ArgValue::U64(tries))]
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("try", ArgValue::U64(tries)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
+            ]
         });
 
         // Step 2: the groups take checkpoints in turn.
@@ -584,7 +596,10 @@ impl CoordBody {
             self.broadcast(proto::GROUP_START, word, g as u64);
             self.collect_by(p, proto::GROUP_START_ACK, word, expect, group_by)?;
             p.handle().trace_span(Track::Coordinator, "phase.group_start", t_gate, || {
-                vec![("group", ArgValue::U64(g as u64))]
+                vec![
+                    ("group", ArgValue::U64(g as u64)),
+                    ("job", ArgValue::Str(self.cfg.job.clone())),
+                ]
             });
             let t_ckpt = p.now();
             let live_members: Vec<Rank> =
@@ -603,12 +618,16 @@ impl CoordBody {
                 vec![
                     ("group", ArgValue::U64(g as u64)),
                     ("members", ArgValue::U64(members.len() as u64)),
+                    ("job", ArgValue::Str(self.cfg.job.clone())),
                 ]
             });
             let t_done = p.now();
             self.broadcast(proto::GROUP_DONE, word, g as u64);
             p.handle().trace_span(Track::Coordinator, "phase.group_done", t_done, || {
-                vec![("group", ArgValue::U64(g as u64))]
+                vec![
+                    ("group", ArgValue::U64(g as u64)),
+                    ("job", ArgValue::Str(self.cfg.job.clone())),
+                ]
             });
         }
 
@@ -618,7 +637,10 @@ impl CoordBody {
         self.broadcast(proto::EPOCH_END, word, 0);
         self.collect_by(p, proto::EPOCH_END_ACK, word, expect, end_by)?;
         p.handle().trace_span(Track::Coordinator, "phase.end", t_end, || {
-            vec![("epoch", ArgValue::U64(epoch))]
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
+            ]
         });
 
         // Two-phase commit, phase 2: every rank has ACKed its image
@@ -630,7 +652,10 @@ impl CoordBody {
         let t_commit = p.now();
         self.commit_manifest(p, epoch);
         p.handle().trace_span(Track::Coordinator, "manifest.commit", t_commit, || {
-            vec![("epoch", ArgValue::U64(epoch))]
+            vec![
+                ("epoch", ArgValue::U64(epoch)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
+            ]
         });
 
         individuals.sort_by_key(|(r, _)| *r);
@@ -640,6 +665,7 @@ impl CoordBody {
                 ("epoch", ArgValue::U64(epoch)),
                 ("groups", ArgValue::U64(groups)),
                 ("try", ArgValue::U64(tries)),
+                ("job", ArgValue::Str(self.cfg.job.clone())),
             ]
         });
         p.handle().trace_instant(|| Event::CkptEpochDone { epoch, groups });

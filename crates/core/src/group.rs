@@ -35,7 +35,7 @@ pub enum Formation {
 
 impl Formation {
     /// Regular (non-group) coordinated checkpointing — the paper's baseline
-    /// [14] — is group-based checkpointing with a single all-rank group.
+    /// \[14] — is group-based checkpointing with a single all-rank group.
     pub fn regular(n: u32) -> Self {
         Formation::Static { group_size: n }
     }

@@ -99,6 +99,77 @@ impl JobSpec {
             body,
         }
     }
+
+    /// Builder-style construction. Defaults match [`JobSpec::new`]
+    /// exactly, so `JobSpec::builder(name, n, body).build()` and
+    /// `JobSpec::new(name, n, body)` are interchangeable.
+    pub fn builder(name: impl Into<String>, n: u32, body: RankBody) -> JobSpecBuilder {
+        JobSpecBuilder { inner: JobSpec::new(name, n, body) }
+    }
+
+    /// Start a [`crate::JobRunner`] for this spec — the unified submission
+    /// path replacing the deprecated `run_job*` free functions.
+    pub fn runner(&self) -> crate::runner::JobRunner<'_> {
+        crate::runner::JobRunner::new(self)
+    }
+}
+
+/// Builder for [`JobSpec`] (see [`JobSpec::builder`]). Every setter
+/// overrides one field; unset fields keep the paper-testbed defaults of
+/// [`JobSpec::new`]. The plain struct stays public, so struct-literal
+/// construction keeps working too.
+#[derive(Clone)]
+pub struct JobSpecBuilder {
+    inner: JobSpec,
+}
+
+impl JobSpecBuilder {
+    /// Simulation seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// MPI/world configuration (replaces the default `MpiConfig::new(n)`).
+    pub fn mpi(mut self, mpi: MpiConfig) -> Self {
+        self.inner.mpi = mpi;
+        self
+    }
+
+    /// Central storage configuration.
+    pub fn storage(mut self, storage: StorageConfig) -> Self {
+        self.inner.storage = storage;
+        self
+    }
+
+    /// Optional secondary storage target for write failover.
+    pub fn storage_secondary(mut self, secondary: StorageConfig) -> Self {
+        self.inner.storage_secondary = Some(secondary);
+        self
+    }
+
+    /// Retry/backoff policy for checkpoint image writes.
+    pub fn write_retry(mut self, retry: RetryPolicy) -> Self {
+        self.inner.write_retry = retry;
+        self
+    }
+
+    /// Checkpoint-store backend selection.
+    pub fn backend(mut self, backend: StoreBackend) -> Self {
+        self.inner.backend = backend;
+        self
+    }
+
+    /// Local checkpointer timing.
+    pub fn blcr(mut self, blcr: LocalCrConfig) -> Self {
+        self.inner.blcr = blcr;
+        self
+    }
+
+    /// Finish building the spec.
+    pub fn build(self) -> JobSpec {
+        self.inner
+    }
 }
 
 /// A wall-clock (host) cost counter in nanoseconds. Not a model output:
@@ -221,7 +292,7 @@ pub struct RunReport {
     /// restart-storm latency the backend comparison measures.
     pub restore_done: Time,
     /// Per-span-name latency statistics aggregated from the run's trace
-    /// (empty unless the run was traced — see [`run_job_traced`]).
+    /// (empty unless the run was traced — see [`crate::JobRunner::traced`]).
     pub phase_stats: Vec<PhaseStat>,
     /// The raw trace (spans + instants), present only when the run was
     /// traced. Export with [`gbcr_des::trace::perfetto::to_chrome_json`].
@@ -304,109 +375,20 @@ impl RunReport {
     }
 }
 
-/// Run `spec` to completion with an optional checkpoint configuration.
-/// `None` runs the same harness with an empty schedule, so baseline and
-/// checkpointed runs differ only by the checkpoints themselves.
-pub fn run_job(spec: &JobSpec, ckpt: Option<CoordinatorCfg>) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, None, None)
-}
-
-/// Run `spec` with span tracing forced to `level` for this run (overriding
-/// the process-wide capture default). The returned report carries the raw
-/// [`TraceData`] plus per-span-name latency statistics. Tracing is purely
-/// observational: the simulation schedules exactly the same events as an
-/// untraced run, so results are byte-identical either way.
-pub fn run_job_traced(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    level: TraceLevel,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, None, Some(level))
-}
-
-/// Run `spec` but power-fail the whole cluster at `crash_at`: every rank
-/// and the coordinator are killed at that instant. The returned report
-/// carries whatever the run produced up to the crash — in particular the
-/// **durable checkpoint images** on central storage and the epochs the
-/// coordinator had marked complete; feed those to
-/// [`crate::restart_job`] to recover. `completion` is meaningless for a
-/// crashed run.
-pub fn run_job_with_crash(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    crash_at: Time,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, Some(crash_at), None, None)
-}
-
-/// Run `spec` under an injected fault configuration (see `gbcr-faults`):
-/// timed node kills, link flaps and storage stalls from `faults.plan`, plus
-/// the torn-image-write policy. A node kill tears the victim's connections
-/// down, black-holes messages addressed to it, and aborts the surviving
-/// ranks after `faults.detect_latency` — the fail-stop model with launcher
-/// detection. Inspect `finished_ranks == n` on the report to tell a
-/// completed run from an aborted one, and feed
-/// [`RunReport::last_complete_epoch`] + [`crate::restart_job`] (or just
-/// [`crate::run_supervised_faulty`]) to recover.
-pub fn run_job_faulted(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    faults: &FaultConfig,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, Some(faults), None)
-}
-
-/// [`run_job_faulted`] with span tracing forced to `level`: the returned
-/// report carries the typed instant events (coordinator kills, missed
-/// heartbeats, election starts/wins) alongside the fault effects — the
-/// observability hook the election property tests assert leadership
-/// invariants through.
-pub fn run_job_faulted_traced(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    faults: &FaultConfig,
-    level: TraceLevel,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, None, None, Some(faults), Some(level))
-}
-
-/// [`crate::restart_job`] under an injected fault configuration: restore
-/// from `restart`'s images, then run with `faults` armed — one attempt of
-/// the [`crate::run_supervised_faulty`] loop, exposed for callers driving
-/// the recovery loop themselves.
-pub fn restart_job_faulted(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    restart: crate::restart::RestartSpec,
-    faults: &FaultConfig,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, Some(restart), None, Some(faults), None)
-}
-
-pub(crate) fn run_job_inner(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    preload: Option<crate::restart::RestartSpec>,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, None, None, None)
-}
-
-pub(crate) fn run_job_inner_with_crash(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    preload: Option<crate::restart::RestartSpec>,
-    crash_at: Option<Time>,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, crash_at, None, None)
-}
-
-pub(crate) fn run_job_inner_faulted(
-    spec: &JobSpec,
-    ckpt: Option<CoordinatorCfg>,
-    preload: Option<crate::restart::RestartSpec>,
-    faults: &FaultConfig,
-) -> SimResult<RunReport> {
-    run_job_full(spec, ckpt, preload, None, Some(faults), None)
+/// The default (no-checkpoint) coordinator configuration [`run_job_full`]
+/// substitutes when the caller passes `ckpt = None`: the same harness with
+/// an empty schedule, so baseline and checkpointed runs differ only by the
+/// checkpoints themselves.
+pub(crate) fn default_ckpt_cfg(spec: &JobSpec) -> CoordinatorCfg {
+    CoordinatorCfg {
+        job: spec.name.clone(),
+        mode: CkptMode::Buffering,
+        formation: crate::group::Formation::regular(spec.mpi.n),
+        schedule: crate::coordinator::CkptSchedule::none(),
+        incremental: false,
+        deadlines: crate::coordinator::PhaseDeadlines::none(),
+        election: crate::election::ElectionCfg::disabled(),
+    }
 }
 
 /// Carries node kills, cluster kills, link flaps and storage stalls from
@@ -574,56 +556,125 @@ impl FaultSink for JobFaultSink {
     }
 }
 
-fn run_job_full(
+/// Everything [`install_job`] wired into a simulation for one job: the
+/// handles a caller needs to arm fault injection, pick a scheduler
+/// backend, and collect the job's model outputs after the run drains.
+/// [`run_job_full`] consumes one for a solo run; `crate::cluster` installs
+/// many into a shared simulation and collects each tenant separately.
+pub(crate) struct JobParts {
+    pub(crate) world: World,
+    pub(crate) store: Arc<dyn CheckpointStore>,
+    pub(crate) coordinator: Coordinator,
+    pub(crate) body_ends: Arc<Mutex<Vec<Time>>>,
+    pub(crate) restore_ends: Arc<Mutex<Vec<Time>>>,
+    pub(crate) controllers: Arc<Mutex<Vec<Arc<Controller>>>>,
+    pub(crate) mpis: Arc<Mutex<Vec<Mpi>>>,
+    pub(crate) rank_pids: Vec<ProcId>,
+    pub(crate) n: u32,
+    pub(crate) fabric_lookahead: Time,
+    pub(crate) election_enabled: bool,
+}
+
+impl JobParts {
+    /// Latest time any rank's application body finished (the job
+    /// completion time), falling back to `sim_end` for runs where no body
+    /// completed.
+    pub(crate) fn completion(&self, sim_end: Time) -> Time {
+        self.body_ends.lock().iter().copied().max().unwrap_or(sim_end)
+    }
+
+    /// Per-rank, per-epoch checkpoint records in rank order.
+    pub(crate) fn rank_records(&self) -> Vec<RankCkptRecord> {
+        self.controllers.lock().iter().flat_map(|c| c.records()).collect()
+    }
+
+    /// Channel-state bytes logged across ranks (Chandy-Lamport mode only).
+    pub(crate) fn channel_logged_bytes(&self) -> u64 {
+        self.controllers.lock().iter().map(|c| c.cl_logged_bytes()).sum()
+    }
+
+    /// Aggregated buffering counters and message-logged bytes across
+    /// ranks.
+    pub(crate) fn defer_and_logged(&self) -> (DeferStats, u64) {
+        let mpis = self.mpis.lock();
+        let mut agg = DeferStats::default();
+        let mut logged = 0;
+        for m in mpis.iter() {
+            let s = m.stats();
+            let d = s.defer;
+            agg.msg_buffered += d.msg_buffered;
+            agg.msg_buffered_bytes += d.msg_buffered_bytes;
+            agg.req_buffered += d.req_buffered;
+            agg.req_buffered_bytes += d.req_buffered_bytes;
+            agg.released += d.released;
+            agg.max_queue = agg.max_queue.max(d.max_queue);
+            agg.dups_dropped += d.dups_dropped;
+            logged += s.logged_bytes;
+        }
+        (agg, logged)
+    }
+
+    /// How many ranks' application bodies ran to completion.
+    pub(crate) fn finished_ranks(&self) -> u32 {
+        self.body_ends.lock().len() as u32
+    }
+
+    /// Latest instant any rank finished its restart-storm image read (0
+    /// for non-restart runs).
+    pub(crate) fn restore_done(&self) -> Time {
+        self.restore_ends.lock().iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Install one job — checkpoint store, world, coordinator, and every
+/// rank's process — into the simulation behind `h`, without running it.
+/// The operation order is exactly the historical `run_job_full` prologue,
+/// so solo runs stay byte-identical; `store_override` lets the cluster
+/// harness point several tenants at one shared (contended) store instead
+/// of building a private one.
+pub(crate) fn install_job(
+    h: &SimHandle,
     spec: &JobSpec,
     ckpt: Option<CoordinatorCfg>,
-    preload: Option<crate::restart::RestartSpec>,
-    crash_at: Option<Time>,
-    faults: Option<&FaultConfig>,
-    trace: Option<TraceLevel>,
-) -> SimResult<RunReport> {
-    let mut sim = Sim::new(spec.seed);
-    if let Some(level) = trace {
-        sim.handle().tracer().set_level(level);
-    }
+    preload: Option<&crate::restart::RestartSpec>,
+    store_override: Option<Arc<dyn CheckpointStore>>,
+) -> JobParts {
     let n = spec.mpi.n;
     // Build the checkpoint-store backend. The central path constructs the
     // same device/writer stack the pre-trait harness did, in the same
     // order, so central runs stay byte-identical with historical ones.
-    let store: Arc<dyn CheckpointStore> = match spec.backend {
-        StoreBackend::Central => {
-            let storage = Storage::new(sim.handle(), spec.storage.clone());
-            let secondary = spec
-                .storage_secondary
-                .as_ref()
-                .map(|cfg| Storage::new(sim.handle(), cfg.clone()));
-            let mut targets = vec![storage];
-            targets.extend(secondary);
-            Arc::new(CentralStore::new(FailoverWriter::new(targets, spec.write_retry.clone())))
-        }
-        StoreBackend::Replicated { replicas } => {
-            // The ring rotation is a stream-isolated draw keyed by the
-            // world size: same seed + same n replays the same placement,
-            // and the draw cannot perturb any other fault stream.
-            let shift = gbcr_faults::rng::draw_u64(
-                spec.seed,
-                gbcr_faults::rng::Domain::Replica,
-                u64::from(n),
-            );
-            let cfg = ReplicatedCfg { replicas, shift, ..ReplicatedCfg::default() };
-            Arc::new(ReplicatedStore::new(sim.handle(), cfg, n))
-        }
+    let store: Arc<dyn CheckpointStore> = match store_override {
+        Some(store) => store,
+        None => match spec.backend {
+            StoreBackend::Central => {
+                let storage = Storage::new(h.clone(), spec.storage.clone());
+                let secondary = spec
+                    .storage_secondary
+                    .as_ref()
+                    .map(|cfg| Storage::new(h.clone(), cfg.clone()));
+                let mut targets = vec![storage];
+                targets.extend(secondary);
+                Arc::new(CentralStore::new(FailoverWriter::new(
+                    targets,
+                    spec.write_retry.clone(),
+                )))
+            }
+            StoreBackend::Replicated { replicas } => {
+                // The ring rotation is a stream-isolated draw keyed by the
+                // world size: same seed + same n replays the same placement,
+                // and the draw cannot perturb any other fault stream.
+                let shift = gbcr_faults::rng::draw_u64(
+                    spec.seed,
+                    gbcr_faults::rng::Domain::Replica,
+                    u64::from(n),
+                );
+                let cfg = ReplicatedCfg { replicas, shift, ..ReplicatedCfg::default() };
+                Arc::new(ReplicatedStore::new(h.clone(), cfg, n))
+            }
+        },
     };
 
-    let ckpt_cfg = ckpt.unwrap_or(CoordinatorCfg {
-        job: spec.name.clone(),
-        mode: CkptMode::Buffering,
-        formation: crate::group::Formation::regular(n),
-        schedule: crate::coordinator::CkptSchedule::none(),
-        incremental: false,
-        deadlines: crate::coordinator::PhaseDeadlines::none(),
-        election: crate::election::ElectionCfg::disabled(),
-    });
+    let ckpt_cfg = ckpt.unwrap_or_else(|| default_ckpt_cfg(spec));
     let election_enabled = ckpt_cfg.election.enabled;
     // Uncoordinated mode runs sender-based pessimistic logging for the
     // entire job — that is its defining failure-free cost — so the mode is
@@ -635,26 +686,20 @@ fn run_job_full(
         spec.mpi.clone()
     };
     let fabric_lookahead = mpi_cfg.net.lookahead().min(mpi_cfg.oob.lookahead());
-    let world = World::new(sim.handle(), mpi_cfg);
+    let world = World::new(h.clone(), mpi_cfg);
 
-    let restore = preload.as_ref().map(|r| (r.job.clone(), r.epoch));
-    if let Some(r) = &preload {
-        // Mark the crashed attempt's dead nodes first: on per-node
-        // backends their replacements come up empty, so the preload below
-        // skips them and the restart storm reads those ranks' images from
-        // surviving replicas (no-op on the central backend).
-        for &node in &r.lost_nodes {
-            store.node_failed(node);
-        }
-        for (name, obj) in &r.images {
-            store.preload(name, obj.clone());
-        }
+    let restore = preload.map(|r| (r.job.clone(), r.epoch));
+    if let Some(r) = preload {
+        // The spec method enforces the replicated-recovery ordering
+        // invariant (lost nodes wiped before the preload) so no caller can
+        // get it wrong again.
+        r.install(store.as_ref());
     }
 
     let job_name = ckpt_cfg.job.clone();
     let mode = ckpt_cfg.mode;
     let incremental = ckpt_cfg.incremental;
-    let coordinator = Coordinator::spawn(&sim.handle(), &world, ckpt_cfg, store.clone());
+    let coordinator = Coordinator::spawn(h, &world, ckpt_cfg, store.clone());
 
     let body_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
     let restore_ends: Arc<Mutex<Vec<Time>>> = Arc::new(Mutex::new(Vec::new()));
@@ -681,7 +726,7 @@ fn run_job_full(
         // job name.
         let restore = restore.clone();
         let rends = restore_ends.clone();
-        let pid = sim.spawn(format!("rank{r}"), move |p| {
+        let pid = h.spawn(format!("rank{r}"), move |p| {
             let restored = restore.map(|(job, epoch)| {
                 // Restart storm: every rank reads its image back through the
                 // shared storage model before computing.
@@ -712,6 +757,47 @@ fn run_job_full(
         });
         rank_pids.push(pid);
     }
+
+    JobParts {
+        world,
+        store,
+        coordinator,
+        body_ends,
+        restore_ends,
+        controllers,
+        mpis,
+        rank_pids,
+        n,
+        fabric_lookahead,
+        election_enabled,
+    }
+}
+
+pub(crate) fn run_job_full(
+    spec: &JobSpec,
+    ckpt: Option<CoordinatorCfg>,
+    preload: Option<crate::restart::RestartSpec>,
+    crash_at: Option<Time>,
+    faults: Option<&FaultConfig>,
+    trace: Option<TraceLevel>,
+) -> SimResult<RunReport> {
+    let mut sim = Sim::new(spec.seed);
+    if let Some(level) = trace {
+        sim.handle().tracer().set_level(level);
+    }
+    let parts = install_job(&sim.handle(), spec, ckpt, preload.as_ref(), None);
+    let JobParts {
+        ref world,
+        ref store,
+        ref coordinator,
+        ref body_ends,
+        ref controllers,
+        ref rank_pids,
+        n,
+        fabric_lookahead,
+        election_enabled,
+        ..
+    } = parts;
 
     // Legacy whole-cluster crashes are expressed as a one-event fault plan
     // so both paths share the sink (and stay byte-identical: one `call_at`,
@@ -774,7 +860,7 @@ fn run_job_full(
         let s = Arc::new(JobFaultSink {
             world: world.clone(),
             store: store.clone(),
-            rank_pids,
+            rank_pids: rank_pids.clone(),
             coord_pid: coordinator.proc_id(),
             body_ends: body_ends.clone(),
             n,
@@ -829,29 +915,11 @@ fn run_job_full(
     let exec_threads = sim.exec_threads();
     let spawn_cost_ns = WallNanos(sim.spawn_cost_ns());
     let teardown_cost_ns = WallNanos(sim.teardown_cost_ns());
-    let completion = body_ends.lock().iter().copied().max().unwrap_or(sim_end);
-    let rank_records = controllers.lock().iter().flat_map(|c| c.records()).collect();
-    let channel_logged_bytes: u64 =
-        controllers.lock().iter().map(|c| c.cl_logged_bytes()).sum();
-    let (defer_stats, logged_bytes) = {
-        let mpis = mpis.lock();
-        let mut agg = DeferStats::default();
-        let mut logged = 0;
-        for m in mpis.iter() {
-            let s = m.stats();
-            let d = s.defer;
-            agg.msg_buffered += d.msg_buffered;
-            agg.msg_buffered_bytes += d.msg_buffered_bytes;
-            agg.req_buffered += d.req_buffered;
-            agg.req_buffered_bytes += d.req_buffered_bytes;
-            agg.released += d.released;
-            agg.max_queue = agg.max_queue.max(d.max_queue);
-            agg.dups_dropped += d.dups_dropped;
-            logged += s.logged_bytes;
-        }
-        (agg, logged)
-    };
-    let finished_ranks = body_ends.lock().len() as u32;
+    let completion = parts.completion(sim_end);
+    let rank_records = parts.rank_records();
+    let channel_logged_bytes = parts.channel_logged_bytes();
+    let (defer_stats, logged_bytes) = parts.defer_and_logged();
+    let finished_ranks = parts.finished_ranks();
     let control = coordinator.control();
     let coordinator_lost =
         if finished_ranks < n { *control.coordinator_lost.lock() } else { None };
@@ -866,7 +934,7 @@ fn run_job_full(
     // images and replica copies alike.
     let images = store.export_objects();
     let storage_stats = store.storage_stats();
-    let restore_done = restore_ends.lock().iter().copied().max().unwrap_or(0);
+    let restore_done = parts.restore_done();
     let trace_data = sim.handle().tracer().take();
     let phase_stats = gbcr_des::trace::phase_stats(&trace_data.spans);
     let trace = (!trace_data.is_empty()).then(|| Arc::new(trace_data));

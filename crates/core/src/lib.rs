@@ -39,18 +39,23 @@
 //!   ablation — gates stay open, every message is copied+logged and
 //!   zero-copy rendezvous is disabled, so its failure-free overhead can be
 //!   compared against buffering.
-//! * [`run_job`] / [`restart_job`]: a harness that runs an MPI workload
-//!   under a checkpoint schedule and can restart it from any completed
-//!   epoch, replaying to a provably identical result (see the integration
-//!   tests).
+//! * [`JobRunner`] / [`restart_job`]: a builder-style harness that runs an
+//!   MPI workload under a checkpoint schedule (optionally traced, crashed,
+//!   faulted, or supervised) and can restart it from any completed epoch,
+//!   replaying to a provably identical result (see the integration tests).
+//! * [`cluster`]: multi-tenant service mode — many concurrent jobs in one
+//!   simulation, contending for shared storage arrays and fabric
+//!   bandwidth, each with its own checkpoint policy.
 //!
 //! Regular (non-group) coordinated checkpointing — the paper's baseline,
-//! reference [14] — is exactly this machinery with a single group of size
+//! reference \[14] — is exactly this machinery with a single group of size
 //! `N`; [`Formation::regular`] expresses that.
 
 #![warn(missing_docs)]
 
 mod client;
+pub mod cluster;
+mod compat;
 mod controller;
 mod coordinator;
 mod election;
@@ -58,19 +63,20 @@ mod group;
 mod job;
 pub mod proto;
 mod restart;
+mod runner;
 mod supervise;
 
 pub use client::CkptClient;
+#[allow(deprecated)]
+pub use compat::{
+    restart_job_faulted, run_job, run_job_faulted, run_job_faulted_traced, run_job_traced,
+    run_job_with_crash, run_supervised, run_supervised_faulty,
+};
 pub use controller::{CkptMode, Controller, PhaseHook, RankCkptRecord};
 pub use coordinator::{CkptSchedule, Coordinator, CoordinatorCfg, EpochReport, PhaseDeadlines};
 pub use election::ElectionCfg;
 pub use group::{Formation, GroupPlan};
-pub use job::{
-    restart_job_faulted, run_job, run_job_faulted, run_job_faulted_traced, run_job_traced,
-    run_job_with_crash, JobSpec, RankCtx, RunReport, StoreBackend,
-};
+pub use job::{JobSpec, JobSpecBuilder, RankBody, RankCtx, RunReport, StoreBackend};
 pub use restart::{extract_images, extract_images_manifested, restart_job, RestartSpec};
-pub use supervise::{
-    run_supervised, run_supervised_faulty, Attempt, RecoveryCounters, SupervisePolicy,
-    SupervisedReport,
-};
+pub use runner::{JobRunner, SupervisedRunner};
+pub use supervise::{Attempt, RecoveryCounters, SupervisePolicy, SupervisedReport};

@@ -9,12 +9,12 @@
 //! (Chandy-Lamport and uncoordinated snapshots).
 
 use crate::coordinator::CoordinatorCfg;
-use crate::job::{run_job_inner, JobSpec, RunReport};
+use crate::job::{JobSpec, RunReport};
 use crate::proto;
 use gbcr_blcr::codec::fnv1a;
 use gbcr_blcr::ProcessImage;
 use gbcr_des::{SimError, SimResult};
-use gbcr_storage::StoredObject;
+use gbcr_storage::{CheckpointStore, StoredObject};
 
 /// Which epoch to restart from, and the images to restart with (normally
 /// [`extract_images`] of a previous run's report).
@@ -32,6 +32,25 @@ pub struct RestartSpec {
     /// *empty*, so the restart storm reads the dead ranks' images from
     /// surviving replicas. Irrelevant to the central backend.
     pub lost_nodes: Vec<u32>,
+}
+
+impl RestartSpec {
+    /// Install this restart point onto a fresh checkpoint store:
+    /// **first** wipe the crashed attempt's lost nodes, **then** preload
+    /// the surviving images. The order is load-bearing on per-node
+    /// backends — a preload before the wipe would hand a dead node's
+    /// replacement its old in-memory copies, silently skipping the remote
+    /// replica reads the recovery model exists to charge. Keeping both
+    /// steps inside one method makes the ordering an invariant of the
+    /// type instead of a convention every caller must remember.
+    pub fn install(&self, store: &dyn CheckpointStore) {
+        for &node in &self.lost_nodes {
+            store.node_failed(node);
+        }
+        for (name, obj) in &self.images {
+            store.preload(name, obj.clone());
+        }
+    }
 }
 
 /// Pull the image set for `(job, epoch, n)` out of a previous run's stored
@@ -157,5 +176,5 @@ pub fn restart_job(
     ckpt: Option<CoordinatorCfg>,
     restart: RestartSpec,
 ) -> SimResult<RunReport> {
-    run_job_inner(spec, ckpt, Some(restart))
+    crate::job::run_job_full(spec, ckpt, Some(restart), None, None, None)
 }

@@ -4,20 +4,23 @@
 //! out.
 //!
 //! This is the operational loop the paper's framework exists to enable
-//! (and what the job-pause service of its reference [23] automates): the
+//! (and what the job-pause service of its reference \[23] automates): the
 //! checkpointing system turns a fatal failure into a bounded amount of
 //! recomputation. Two drivers share the machinery:
 //!
-//! * [`run_supervised`] — deterministic whole-cluster crashes at caller
-//!   chosen times (the original harness, kept for the crash-recovery
-//!   experiments);
-//! * [`run_supervised_faulty`] — a stochastic fail-stop process from
-//!   `gbcr-faults`: per-node exponential failure clocks pick a victim each
-//!   attempt, the survivors are aborted after the detection latency, and
-//!   the [`SupervisePolicy`] decides restart/backoff/give-up.
+//! * [`crate::SupervisedRunner::crashes`] — deterministic whole-cluster crashes
+//!   at caller-chosen times (the original harness, kept for the
+//!   crash-recovery experiments);
+//! * [`crate::SupervisedRunner::stochastic`] — a stochastic fail-stop process
+//!   from `gbcr-faults`: per-node exponential failure clocks pick a victim
+//!   each attempt, the survivors are aborted after the detection latency,
+//!   and the [`SupervisePolicy`] decides restart/backoff/give-up.
+//!
+//! Both are terminal states of the [`crate::JobRunner`] chain
+//! (`spec.runner().ckpt(cfg).supervised(policy)`).
 
 use crate::coordinator::CoordinatorCfg;
-use crate::job::{run_job_inner, run_job_inner_faulted, JobSpec, RunReport};
+use crate::job::{run_job_full, JobSpec, RunReport};
 use crate::restart::RestartSpec;
 use gbcr_des::{time, SimError, SimResult, Time};
 use gbcr_faults::{rng::mix64, FaultConfig, StochasticFaults, TornWrites};
@@ -142,7 +145,8 @@ impl RecoveryCounters {
     }
 }
 
-/// Outcome of [`run_supervised`] / [`run_supervised_faulty`].
+/// Outcome of a supervised run ([`crate::SupervisedRunner::crashes`] /
+/// [`crate::SupervisedRunner::stochastic`]).
 #[derive(Debug, Clone)]
 pub struct SupervisedReport {
     /// Every attempt, in order; the last one finished.
@@ -167,7 +171,7 @@ impl SupervisedReport {
     }
 }
 
-/// How [`run_supervised_faulty`] reacts to failures.
+/// How a supervised run reacts to failures.
 #[derive(Debug, Clone)]
 pub struct SupervisePolicy {
     /// Give up (with [`SimError::RetriesExhausted`]) after this many
@@ -198,6 +202,20 @@ impl Default for SupervisePolicy {
 }
 
 impl SupervisePolicy {
+    /// The policy the original crash-recovery harness used: restart
+    /// immediately (no backoff), and treat a crash before the first
+    /// complete checkpoint as fatal instead of cold-restarting. This is
+    /// what the deprecated `run_supervised` free function always applied;
+    /// [`crate::SupervisedRunner`] callers pick it explicitly.
+    pub fn immediate() -> Self {
+        SupervisePolicy {
+            base_backoff: 0,
+            max_backoff: 0,
+            cold_restart: false,
+            ..SupervisePolicy::default()
+        }
+    }
+
     /// The backoff the supervisor inserts after the `k`-th failure
     /// (0-based), or `None` once the attempt budget is spent (failure `k`
     /// leaves no attempt to restart into — the supervisor gives up with
@@ -352,32 +370,25 @@ impl FailureLoop {
 /// forward across attempts); the final attempt runs to completion.
 ///
 /// Fails with [`SimError::NoRestartPoint`] if a crash happens before the
-/// first epoch ever completes (there is nothing to restart from — exactly
-/// the exposure window the paper's Total Checkpoint Time measures). No
-/// backoff is inserted between attempts, matching the original harness.
-pub fn run_supervised(
+/// first epoch ever completes and `policy` forbids cold restarts (there
+/// is nothing to restart from — exactly the exposure window the paper's
+/// Total Checkpoint Time measures). The engine behind
+/// [`crate::SupervisedRunner::crashes`]; the deprecated `run_supervised`
+/// shim applies [`SupervisePolicy::immediate`].
+pub(crate) fn supervised_crashes(
     spec: &JobSpec,
     ckpt: CoordinatorCfg,
     crash_at: &[Time],
+    policy: SupervisePolicy,
 ) -> SimResult<SupervisedReport> {
-    let policy = SupervisePolicy {
-        base_backoff: 0,
-        max_backoff: 0,
-        cold_restart: false,
-        ..SupervisePolicy::default()
-    };
     let mut lp = FailureLoop::new(ckpt.job.clone(), spec.mpi.n, policy);
     for &t in crash_at {
-        let report = crate::job::run_job_inner_with_crash(
-            spec,
-            Some(ckpt.clone()),
-            lp.restore.clone(),
-            Some(t),
-        )?;
+        let report =
+            run_job_full(spec, Some(ckpt.clone()), lp.restore.clone(), Some(t), None, None)?;
         lp.after_failure(&report, t)?;
     }
     // Final attempt: no crash.
-    let final_report = run_job_inner(spec, Some(ckpt), lp.restore.clone())?;
+    let final_report = run_job_full(spec, Some(ckpt), lp.restore.clone(), None, None, None)?;
     Ok(lp.finish(final_report))
 }
 
@@ -386,11 +397,11 @@ pub fn run_supervised(
 /// kill clocks, optional link flaps and torn image writes), restarts from
 /// the last complete epoch per `policy` until the job finishes, and gives
 /// up with [`SimError::RetriesExhausted`] once `policy.max_attempts` is
-/// spent.
+/// spent. The engine behind [`crate::SupervisedRunner::stochastic`].
 ///
 /// Fully deterministic in `(spec.seed, faults.seed)`: two calls with
 /// identical inputs produce byte-identical reports.
-pub fn run_supervised_faulty(
+pub(crate) fn supervised_stochastic(
     spec: &JobSpec,
     ckpt: CoordinatorCfg,
     faults: &StochasticFaults,
@@ -420,7 +431,7 @@ pub fn run_supervised_faulty(
             phase_faults: Vec::new(),
         };
         let report =
-            run_job_inner_faulted(spec, Some(ckpt.clone()), lp.restore.clone(), &cfg)?;
+            run_job_full(spec, Some(ckpt.clone()), lp.restore.clone(), None, Some(&cfg), None)?;
         if report.finished_ranks == n {
             // The kill draw landed past completion: the job beat the
             // failure process this attempt.

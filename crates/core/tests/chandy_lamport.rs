@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
 };
 use gbcr_des::time;
 use gbcr_mpi::Msg;
@@ -92,7 +92,7 @@ fn cl_cfg(at_secs: u64) -> CoordinatorCfg {
 #[test]
 fn cl_epoch_completes_with_all_images_durable() {
     let spec = ring_job(150, 60 * MB, 32 * 1024);
-    let report = run_job(&spec, Some(cl_cfg(3))).unwrap();
+    let report = spec.runner().ckpt(cl_cfg(3)).run().unwrap();
     assert_eq!(report.epochs.len(), 1);
     let ep = &report.epochs[0];
     assert_eq!(ep.individuals.len(), 8);
@@ -110,12 +110,10 @@ fn cl_is_nonblocking_but_still_hits_the_storage_bottleneck() {
     // *effective delay* is far below the blocking regular protocol's, but
     // the *total checkpoint time* is just as long (everyone shares B).
     let spec = ring_job(150, 150 * MB, 32 * 1024);
-    let base = run_job(&spec, None).unwrap();
+    let base = spec.runner().run().unwrap();
 
-    let cl = run_job(&spec, Some(cl_cfg(3))).unwrap();
-    let blocking = run_job(
-        &spec,
-        Some(CoordinatorCfg {
+    let cl = spec.runner().ckpt(cl_cfg(3)).run().unwrap();
+    let blocking = spec.runner().ckpt(CoordinatorCfg {
             job: "cl".into(),
             mode: CkptMode::Buffering,
             formation: Formation::regular(8),
@@ -123,8 +121,7 @@ fn cl_is_nonblocking_but_still_hits_the_storage_bottleneck() {
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
-        }),
-    )
+        }).run()
     .unwrap();
 
     let cl_eff = cl.completion.saturating_sub(base.completion);
@@ -157,15 +154,13 @@ fn cl_logs_channel_state_bytes() {
     let spec = desync_pairs_job(400, 100 * MB, 3 * MB);
     let mut cfg = cl_cfg(3);
     cfg.job = "pairs".into();
-    let report = run_job(&spec, Some(cfg)).unwrap();
+    let report = spec.runner().ckpt(cfg).run().unwrap();
     assert!(
         report.channel_logged_bytes > 0,
         "in-flight traffic during the marker wave must be logged"
     );
     // The group-based protocol logs nothing, ever.
-    let grouped = run_job(
-        &spec,
-        Some(CoordinatorCfg {
+    let grouped = spec.runner().ckpt(CoordinatorCfg {
             job: "pairs".into(),
             mode: CkptMode::Buffering,
             formation: Formation::Static { group_size: 4 },
@@ -173,8 +168,7 @@ fn cl_logs_channel_state_bytes() {
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
-        }),
-    )
+        }).run()
     .unwrap();
     assert_eq!(grouped.channel_logged_bytes, 0);
     assert_eq!(grouped.logged_bytes, 0);
@@ -185,8 +179,8 @@ fn cl_runs_do_not_perturb_results() {
     // Determinism check via completion comparison on a deterministic ring:
     // two CL runs are identical; results handled by the shared machinery.
     let spec = ring_job(150, 40 * MB, 32 * 1024);
-    let a = run_job(&spec, Some(cl_cfg(2))).unwrap();
-    let b = run_job(&spec, Some(cl_cfg(2))).unwrap();
+    let a = spec.runner().ckpt(cl_cfg(2)).run().unwrap();
+    let b = spec.runner().ckpt(cl_cfg(2)).run().unwrap();
     assert_eq!(a.completion, b.completion);
     assert_eq!(a.channel_logged_bytes, b.channel_logged_bytes);
 }

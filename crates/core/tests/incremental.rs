@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use gbcr_blcr::ProcessImage;
 use gbcr_core::{
-    extract_images, restart_job, run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    extract_images, restart_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
     JobSpec, RankCtx, RestartSpec,
 };
 use gbcr_des::{time, Time};
@@ -76,9 +76,9 @@ fn sorted(v: &Mutex<Vec<(u32, u64)>>) -> Vec<(u32, u64)> {
 fn incremental_epochs_are_much_faster_after_the_first() {
     let (spec, _r) = job(200);
     let at = vec![time::secs(3), time::secs(10)];
-    let full = run_job(&spec, Some(cfg(false, at.clone()))).unwrap();
+    let full = spec.runner().ckpt(cfg(false, at.clone())).run().unwrap();
     let (spec2, _r2) = job(200);
-    let inc = run_job(&spec2, Some(cfg(true, at))).unwrap();
+    let inc = spec2.runner().ckpt(cfg(true, at)).run().unwrap();
 
     // Epoch 0 is a full image either way.
     let full_e0 = full.epochs[0].total_time();
@@ -110,12 +110,12 @@ fn incremental_epochs_are_much_faster_after_the_first() {
 #[test]
 fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
     let (spec, results) = job(200);
-    run_job(&spec, None).unwrap();
+    spec.runner().run().unwrap();
     let want = sorted(&results);
 
     let (spec2, _r) = job(200);
     let at = vec![time::secs(3), time::secs(10)];
-    let report = run_job(&spec2, Some(cfg(true, at))).unwrap();
+    let report = spec2.runner().ckpt(cfg(true, at)).run().unwrap();
 
     // Restart from the incremental epoch 1.
     let (spec3, results3) = job(200);
@@ -133,7 +133,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
     // run's epoch-1 restart.
     let (spec4, _r4) = job(200);
     let report_full =
-        run_job(&spec4, Some(cfg(false, vec![time::secs(3), time::secs(10)]))).unwrap();
+        spec4.runner().ckpt(cfg(false, vec![time::secs(3), time::secs(10)])).run().unwrap();
     let (spec5, results5) = job(200);
     let images_full = extract_images(&report_full, "inc", 1, 8).unwrap();
     let full_restart = restart_job(
@@ -157,7 +157,7 @@ fn restart_from_incremental_epoch_is_exact_and_charges_the_chain() {
 fn incremental_off_never_records_chains() {
     let (spec, _r) = job(120);
     let report =
-        run_job(&spec, Some(cfg(false, vec![time::secs(2), time::secs(6)]))).unwrap();
+        spec.runner().ckpt(cfg(false, vec![time::secs(2), time::secs(6)])).run().unwrap();
     for (name, obj) in report.images.iter().filter(|(n, _)| n.starts_with("ckpt/")) {
         let img = ProcessImage::decode(obj.payload.clone()).unwrap();
         assert_eq!(img.restore_extra, 0, "full image {name} must have no chain");

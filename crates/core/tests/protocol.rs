@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
 };
 use gbcr_des::{time, Time};
 use gbcr_mpi::Msg;
@@ -60,7 +60,7 @@ fn group_ckpt(job: &str, group_size: u32, at: Time) -> CoordinatorCfg {
 fn regular_checkpoint_matches_eq2_individual_time() {
     // Eq. 2a: Individual ≈ footprint × N / B, identical for every rank.
     let spec = comm_group_body(4, 40, 500);
-    let report = run_job(&spec, Some(group_ckpt("proto-test", 8, time::secs(3)))).unwrap();
+    let report = spec.runner().ckpt(group_ckpt("proto-test", 8, time::secs(3))).run().unwrap();
     assert_eq!(report.epochs.len(), 1);
     let ep = &report.epochs[0];
     assert_eq!(ep.individuals.len(), 8);
@@ -82,7 +82,7 @@ fn regular_checkpoint_matches_eq2_individual_time() {
 #[test]
 fn group_checkpoint_matches_eq3_individual_and_total() {
     let spec = comm_group_body(4, 40, 500);
-    let report = run_job(&spec, Some(group_ckpt("proto-test", 4, time::secs(3)))).unwrap();
+    let report = spec.runner().ckpt(group_ckpt("proto-test", 4, time::secs(3))).run().unwrap();
     let ep = &report.epochs[0];
     assert_eq!(ep.plan.group_count(), 2);
     // Eq. 3a: Individual ≈ footprint × group_size / B ≈ 5.14 s.
@@ -108,8 +108,8 @@ fn effective_delay_lies_between_individual_and_total() {
     // §5: Individual ≤ Effective ≤ Total for group-based checkpointing,
     // with a compute-heavy workload so non-checkpointing groups overlap.
     let spec = comm_group_body(4, 24, 1000);
-    let base = run_job(&spec, None).unwrap();
-    let ck = run_job(&spec, Some(group_ckpt("proto-test", 4, time::secs(5)))).unwrap();
+    let base = spec.runner().run().unwrap();
+    let ck = spec.runner().ckpt(group_ckpt("proto-test", 4, time::secs(5))).run().unwrap();
     assert_eq!(base.epochs.len(), 0);
     let ep = &ck.epochs[0];
     let effective = ck.completion - base.completion;
@@ -126,7 +126,7 @@ fn effective_delay_lies_between_individual_and_total() {
         time::fmt(ep.total_time())
     );
     // And grouping must beat the regular protocol's effective delay.
-    let ck_all = run_job(&spec, Some(group_ckpt("proto-test", 8, time::secs(5)))).unwrap();
+    let ck_all = spec.runner().ckpt(group_ckpt("proto-test", 8, time::secs(5))).run().unwrap();
     let effective_all = ck_all.completion - base.completion;
     assert!(
         effective < effective_all,
@@ -139,7 +139,7 @@ fn effective_delay_lies_between_individual_and_total() {
 #[test]
 fn all_images_are_durable_and_complete() {
     let spec = comm_group_body(2, 30, 400);
-    let report = run_job(&spec, Some(group_ckpt("proto-test", 2, time::secs(2)))).unwrap();
+    let report = spec.runner().ckpt(group_ckpt("proto-test", 2, time::secs(2))).run().unwrap();
     // 8 ranks × 1 epoch.
     let image_names: Vec<&str> = report
         .images
@@ -168,7 +168,7 @@ fn multiple_epochs_in_one_run() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&spec, Some(cfg)).unwrap();
+    let report = spec.runner().ckpt(cfg).run().unwrap();
     assert_eq!(report.epochs.len(), 2);
     assert_eq!(report.epochs[0].epoch, 0);
     assert_eq!(report.epochs[1].epoch, 1);
@@ -190,7 +190,7 @@ fn logging_mode_counts_bytes_and_keeps_gates_open() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&spec, Some(cfg)).unwrap();
+    let report = spec.runner().ckpt(cfg).run().unwrap();
     assert!(report.logged_bytes > 0, "messages during the epoch must be logged");
     assert_eq!(report.defer_stats.msg_buffered + report.defer_stats.req_buffered, 0,
         "logging mode never defers");
@@ -215,7 +215,7 @@ fn dynamic_formation_discovers_comm_groups() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&spec, Some(cfg)).unwrap();
+    let report = spec.runner().ckpt(cfg).run().unwrap();
     let plan = &report.epochs[0].plan;
     assert_eq!(plan.group_count(), 4, "groups: {:?}", plan.groups());
     assert_eq!(plan.groups()[0], vec![0, 1]);
@@ -239,14 +239,14 @@ fn dynamic_formation_falls_back_for_global_patterns() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&spec, Some(cfg)).unwrap();
+    let report = spec.runner().ckpt(cfg).run().unwrap();
     assert_eq!(report.epochs[0].plan.group_count(), 4, "static fallback of size 2");
 }
 
 #[test]
 fn connections_are_torn_down_and_rebuilt() {
     let spec = comm_group_body(4, 40, 300);
-    let report = run_job(&spec, Some(group_ckpt("proto-test", 4, time::secs(3)))).unwrap();
+    let report = spec.runner().ckpt(group_ckpt("proto-test", 4, time::secs(3))).run().unwrap();
     let teardowns = report.net_stats.teardowns;
     assert!(teardowns >= 8, "each rank tears its ring connections: got {teardowns}");
     // Lazy rebuild: connects > initial connects (workload continues after).
@@ -258,8 +258,8 @@ fn connections_are_torn_down_and_rebuilt() {
 #[test]
 fn baseline_run_without_checkpoints_is_unperturbed() {
     let spec = comm_group_body(4, 20, 100);
-    let a = run_job(&spec, None).unwrap();
-    let b = run_job(&spec, None).unwrap();
+    let a = spec.runner().run().unwrap();
+    let b = spec.runner().run().unwrap();
     assert_eq!(a.completion, b.completion, "deterministic replay");
     assert!(a.epochs.is_empty());
     assert_eq!(a.rank_records.len(), 0);

@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use gbcr_blcr::codec::{Checkpointable, Decoder, Encoder};
 use gbcr_core::{
-    extract_images, restart_job, run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    extract_images, restart_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
     JobSpec, RankCtx, RestartSpec,
 };
 use gbcr_des::time;
@@ -98,13 +98,13 @@ fn ckpt(group_size: u32, at_secs: u64) -> CoordinatorCfg {
 fn restart_reproduces_uninterrupted_results_group_based() {
     // Ground truth: uninterrupted run.
     let (spec, results) = ring_job(200);
-    run_job(&spec, None).unwrap();
+    spec.runner().run().unwrap();
     let want = sorted(&results);
     assert_eq!(want.len(), 8);
 
     // Run with a mid-flight group-based checkpoint (2 groups of 4).
     let (spec2, results2) = ring_job(200);
-    let report = run_job(&spec2, Some(ckpt(4, 3))).unwrap();
+    let report = spec2.runner().ckpt(ckpt(4, 3)).run().unwrap();
     assert_eq!(report.epochs.len(), 1);
     assert_eq!(sorted(&results2), want, "checkpointing must not alter results");
 
@@ -121,11 +121,11 @@ fn restart_reproduces_uninterrupted_results_group_based() {
 #[test]
 fn restart_reproduces_results_regular_protocol() {
     let (spec, results) = ring_job(120);
-    run_job(&spec, None).unwrap();
+    spec.runner().run().unwrap();
     let want = sorted(&results);
 
     let (spec2, _r2) = ring_job(120);
-    let report = run_job(&spec2, Some(ckpt(8, 2))).unwrap();
+    let report = spec2.runner().ckpt(ckpt(8, 2)).run().unwrap();
 
     let (spec3, results3) = ring_job(120);
     let images = extract_images(&report, "ring", 0, 8).unwrap();
@@ -136,7 +136,7 @@ fn restart_reproduces_results_regular_protocol() {
 #[test]
 fn restart_from_each_of_two_epochs() {
     let (spec, results) = ring_job(200);
-    run_job(&spec, None).unwrap();
+    spec.runner().run().unwrap();
     let want = sorted(&results);
 
     let (spec2, _r) = ring_job(200);
@@ -149,7 +149,7 @@ fn restart_from_each_of_two_epochs() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&spec2, Some(cfg)).unwrap();
+    let report = spec2.runner().ckpt(cfg).run().unwrap();
     assert_eq!(report.epochs.len(), 2);
 
     for epoch in 0..2u64 {
@@ -163,11 +163,11 @@ fn restart_from_each_of_two_epochs() {
 #[test]
 fn restarted_run_can_checkpoint_again_and_restart_again() {
     let (spec, results) = ring_job(260);
-    run_job(&spec, None).unwrap();
+    spec.runner().run().unwrap();
     let want = sorted(&results);
 
     let (spec2, _r) = ring_job(260);
-    let report1 = run_job(&spec2, Some(ckpt(4, 2))).unwrap();
+    let report1 = spec2.runner().ckpt(ckpt(4, 2)).run().unwrap();
     let images1 = extract_images(&report1, "ring", 0, 8).unwrap();
 
     // Restart, checkpoint the restarted run under a new job name, restart
@@ -195,7 +195,7 @@ fn restarted_run_can_checkpoint_again_and_restart_again() {
 #[test]
 fn restart_from_incomplete_epoch_is_rejected() {
     let (spec, _r) = ring_job(80);
-    let report = run_job(&spec, Some(ckpt(4, 1))).unwrap();
+    let report = spec.runner().ckpt(ckpt(4, 1)).run().unwrap();
     // Ask for an epoch that never ran: a typed error, not a panic, so
     // callers (the supervisor) can degrade to an older epoch.
     let err = extract_images(&report, "ring", 7, 8).unwrap_err();

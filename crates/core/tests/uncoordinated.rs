@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
 };
 use gbcr_des::time;
 use gbcr_mpi::Msg;
@@ -48,7 +48,7 @@ fn cfg(mode: CkptMode) -> CoordinatorCfg {
 #[test]
 fn snapshots_are_staggered_and_independent() {
     let spec = ring_job(400, 16 * 1024);
-    let report = run_job(&spec, Some(cfg(CkptMode::Uncoordinated))).unwrap();
+    let report = spec.runner().ckpt(cfg(CkptMode::Uncoordinated)).run().unwrap();
     let ep = &report.epochs[0];
     assert_eq!(ep.individuals.len(), 8);
     // Each rank writes alone (staggered 2 s apart, writes take ~0.52 s),
@@ -73,8 +73,8 @@ fn always_on_logging_is_the_failure_free_cost() {
     // Rendezvous-sized traffic: logging forfeits zero-copy and copies
     // every payload for the WHOLE run, not just during epochs.
     let spec = ring_job(300, 2 * MB);
-    let base = run_job(&spec, None).unwrap();
-    let un = run_job(&spec, Some(cfg(CkptMode::Uncoordinated))).unwrap();
+    let base = spec.runner().run().unwrap();
+    let un = spec.runner().ckpt(cfg(CkptMode::Uncoordinated)).run().unwrap();
     // 8 ranks × 300 steps × 2 MB all logged:
     assert!(
         un.logged_bytes >= 8 * 300 * 2 * MB,
@@ -90,9 +90,7 @@ fn always_on_logging_is_the_failure_free_cost() {
         time::fmt(base.completion)
     );
     // Group-based logs nothing and defers instead.
-    let grouped = run_job(
-        &spec,
-        Some(CoordinatorCfg {
+    let grouped = spec.runner().ckpt(CoordinatorCfg {
             job: "uncoord".into(),
             mode: CkptMode::Buffering,
             formation: Formation::Static { group_size: 4 },
@@ -100,8 +98,7 @@ fn always_on_logging_is_the_failure_free_cost() {
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
-        }),
-    )
+        }).run()
     .unwrap();
     assert_eq!(grouped.logged_bytes, 0);
 }

@@ -587,7 +587,7 @@ impl Sim {
     }
 
     /// Switch this simulation onto the conservative-window parallel
-    /// scheduler (see [`crate::sched`]). Must be called before the first
+    /// scheduler (see `crate::sched`). Must be called before the first
     /// `run*` call, after all initial processes are spawned:
     /// `proc_shard[pid]` assigns each existing process to a shard and
     /// `key_shard` maps [`call_at_keyed`](SimHandle::call_at_keyed)

@@ -9,7 +9,7 @@
 //! output ordering (and which error is reported first) is deterministic
 //! too.
 
-use gbcr_core::{run_job, CkptSchedule, CoordinatorCfg, JobSpec, RunReport};
+use gbcr_core::{CkptSchedule, CoordinatorCfg, JobSpec, RunReport};
 use gbcr_des::{time, SimResult, Time};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -136,7 +136,7 @@ pub fn run_sweep(groups: &[SweepGroup], threads: Option<usize>) -> SimResult<Vec
         let (g, c) = tasks[i];
         let group = &groups[g];
         let t0 = std::time::Instant::now();
-        let out = run_job(&group.spec, c.map(|j| group.cfgs[j].clone()));
+        let out = group.spec.runner().ckpt_opt(c.map(|j| group.cfgs[j].clone())).run();
         if let Ok(report) = &out {
             crate::cost::record_cell_cost(
                 &keys[i],

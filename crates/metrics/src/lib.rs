@@ -16,7 +16,7 @@
 //! [`measure`] runs a workload twice — once bare, once with a checkpoint —
 //! and extracts all three. [`run_sweep`] fans whole sweeps of independent
 //! `(spec, cfg)` cells over a worker pool with deterministic, cell-ordered
-//! results. [`series`]/[`Table`] format the sweeps the benches print for
+//! results. [`format_series`]/[`Table`] format the sweeps the benches print for
 //! each of the paper's figures.
 
 #![warn(missing_docs)]
@@ -26,6 +26,7 @@ mod availability;
 mod cost;
 mod harness;
 mod table;
+pub mod tenancy;
 pub mod timeline;
 
 pub use advisor::{daly_interval, placement_window, young_interval, Advice, AdvisorInputs};

@@ -1,0 +1,125 @@
+//! Per-tenant aggregation over cluster runs: attribute traced phase time
+//! to tenants and summarize per-tenant latency/goodput populations.
+//!
+//! Coordinator spans carry a `job` argument (the tenant's name), so a
+//! traced [`gbcr_core::cluster::run_cluster`] produces one interleaved
+//! trace that [`span_time_by_job`] splits back into per-tenant phase
+//! budgets — the PR 5 span machinery doing multi-tenant attribution.
+
+use gbcr_des::trace::{ArgValue, TraceData};
+use gbcr_des::Time;
+use std::collections::BTreeMap;
+
+/// Sum the wall (virtual) time of every span whose name starts with
+/// `prefix` (use `""` for all spans), keyed by the span's `job` argument.
+/// Spans without a `job` argument (rank/storage/fabric tracks) are
+/// ignored. Returns `(job, total_time, span_count)` sorted by job name —
+/// deterministic, so smoke goldens can pin it.
+pub fn span_time_by_job(trace: &TraceData, prefix: &str) -> Vec<(String, Time, u64)> {
+    let mut by_job: BTreeMap<String, (Time, u64)> = BTreeMap::new();
+    for span in &trace.spans {
+        if !span.name.starts_with(prefix) {
+            continue;
+        }
+        let Some(job) = span.args.iter().find_map(|(k, v)| {
+            if *k != "job" {
+                return None;
+            }
+            match v {
+                ArgValue::Str(j) => Some(j.clone()),
+                _ => None,
+            }
+        }) else {
+            continue;
+        };
+        let e = by_job.entry(job).or_default();
+        e.0 += span.t_end - span.t_start;
+        e.1 += 1;
+    }
+    by_job.into_iter().map(|(job, (t, c))| (job, t, c)).collect()
+}
+
+/// Summary statistics of one latency population (epoch total times,
+/// per-tenant completions, ...): count, mean, P50/P99 by nearest rank,
+/// max. All zeros for an empty population.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Population size.
+    pub count: u64,
+    /// Arithmetic mean (integer division of the sum).
+    pub mean: Time,
+    /// Median (nearest rank).
+    pub p50: Time,
+    /// 99th percentile (nearest rank).
+    pub p99: Time,
+    /// Maximum.
+    pub max: Time,
+}
+
+impl LatencyStats {
+    /// Summarize a latency population.
+    pub fn of(samples: impl IntoIterator<Item = Time>) -> Self {
+        let v: Vec<Time> = samples.into_iter().collect();
+        if v.is_empty() {
+            return LatencyStats::default();
+        }
+        let sum: Time = v.iter().sum();
+        LatencyStats {
+            count: v.len() as u64,
+            mean: sum / v.len() as Time,
+            p50: gbcr_core::cluster::percentile(v.iter().copied(), 0.50),
+            p99: gbcr_core::cluster::percentile(v.iter().copied(), 0.99),
+            max: *v.iter().max().expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbcr_des::trace::{Span, Track};
+
+    fn span(name: &'static str, job: Option<&str>, t0: Time, t1: Time) -> Span {
+        Span {
+            track: Track::Coordinator,
+            name,
+            t_start: t0,
+            t_end: t1,
+            args: job
+                .map(|j| vec![("job", ArgValue::Str(j.to_owned()))])
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn splits_interleaved_spans_by_job() {
+        let trace = TraceData {
+            spans: vec![
+                span("phase.begin", Some("b"), 0, 10),
+                span("phase.checkpoint", Some("a"), 5, 25),
+                span("epoch", Some("a"), 0, 30),
+                span("phase.end", None, 0, 100), // no job arg: ignored
+            ],
+            ..TraceData::default()
+        };
+        assert_eq!(
+            span_time_by_job(&trace, "phase."),
+            vec![("a".into(), 20, 1), ("b".into(), 10, 1)]
+        );
+        assert_eq!(
+            span_time_by_job(&trace, ""),
+            vec![("a".into(), 50, 2), ("b".into(), 10, 1)]
+        );
+    }
+
+    #[test]
+    fn latency_stats_summary() {
+        assert_eq!(LatencyStats::of([]), LatencyStats::default());
+        let s = LatencyStats::of(1..=100);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.mean, 50);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+}

@@ -87,7 +87,7 @@ pub fn render_epoch(ep: &EpochReport, width: usize) -> String {
 /// manifest commit, and each rank row shows the measured flush / drain /
 /// teardown / image-write sub-phases of its local checkpoint. Requires a
 /// run traced at [`TraceLevel::Phases`](gbcr_des::TraceLevel) or above
-/// (e.g. via `gbcr_core::run_job_traced` or the `--trace` bench flag).
+/// (e.g. via `gbcr_core::JobRunner::traced` or the `--trace` bench flag).
 ///
 /// Legend: coordinator `b`egin / group-`s`tart / `c`heckpoint /
 /// group-`d`one / `e`nd / `m`anifest; ranks `─` in-checkpoint, `f`lush,
@@ -195,7 +195,7 @@ fn render_one_epoch(out: &mut String, trace: &TraceData, ep: &Span, width: usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+    use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
     use gbcr_storage::MB;
     use gbcr_workloads::MicroBench;
 
@@ -216,7 +216,7 @@ mod tests {
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
         };
-        run_job(&mb.job(), Some(cfg)).unwrap().epochs[0].clone()
+        mb.job().runner().ckpt(cfg).run().unwrap().epochs[0].clone()
     }
 
     #[test]
@@ -273,12 +273,13 @@ mod tests {
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
         };
-        let report = gbcr_core::run_job_traced(
-            &mb.job(),
-            Some(cfg),
-            gbcr_des::TraceLevel::Phases,
-        )
-        .unwrap();
+        let report = mb
+            .job()
+            .runner()
+            .ckpt(cfg)
+            .traced(gbcr_des::TraceLevel::Phases)
+            .run()
+            .unwrap();
         let trace = report.trace.as_deref().expect("traced run records spans");
         let s = render_epoch_trace(trace, 60);
         let lines: Vec<&str> = s.lines().collect();

@@ -460,7 +460,7 @@ impl Mpi {
     }
 
     /// Snapshot the checkpointable slice of this rank's library state.
-    /// `boundary_seqs` comes from [`Mpi::send_seqs`] captured at the
+    /// `boundary_seqs` comes from [`crate::MpiCrState::send_seqs`] captured at the
     /// application's last registered state boundary.
     pub fn export_cr_state(
         &self,

@@ -55,6 +55,18 @@ impl NetConfig {
         }
     }
 
+    /// This fabric derated to a static fair share among `k` co-tenants:
+    /// bandwidth drops to `1/k`, every other parameter (latency, per
+    /// message overhead, connection costs) is per-endpoint and unchanged.
+    /// The cluster harness's bandwidth-tax model of a fully-bisectional
+    /// link carrying `k` jobs at once; `k = 0` or `1` is a no-op.
+    pub fn shared_among(&self, k: u64) -> Self {
+        NetConfig {
+            bandwidth: self.bandwidth / (k.max(1) as f64),
+            ..self.clone()
+        }
+    }
+
     /// Time to serialize `bytes` onto the link (excludes latency).
     pub fn serialize_time(&self, bytes: u64) -> Time {
         time::transfer_time(bytes, self.bandwidth)

@@ -161,7 +161,7 @@ pub fn owner_rank(name: &str) -> Option<u32> {
     digits.parse().ok()
 }
 
-/// The legacy central-array path behind the trait: a [`FailoverWriter`]
+/// The legacy central-array path behind the trait: a [`crate::FailoverWriter`]
 /// over one or more shared [`Storage`] targets. All delegation is 1:1 with
 /// the pre-trait code paths (same events, same timing, same counters).
 pub struct CentralStore {

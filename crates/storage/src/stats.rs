@@ -82,6 +82,29 @@ impl StorageStats {
             / self.records.len() as f64
     }
 
+    /// High-water mark of simultaneously active transfers on this device —
+    /// the depth of the checkpoint storm the processor-sharing server
+    /// absorbed. Sweep-line over `[start, end)` intervals (an end at `t`
+    /// frees its slot before a start at `t` claims one), so back-to-back
+    /// streams don't count as concurrent. The cluster interference study
+    /// reports this per shared array.
+    pub fn peak_concurrent_streams(&self) -> u64 {
+        let mut edges: Vec<(Time, i64)> = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            if r.end > r.start {
+                edges.push((r.start, 1));
+                edges.push((r.end, -1));
+            }
+        }
+        edges.sort_unstable_by_key(|&(t, d)| (t, d));
+        let (mut live, mut peak) = (0i64, 0i64);
+        for (_, d) in edges {
+            live += d;
+            peak = peak.max(live);
+        }
+        peak as u64
+    }
+
     /// Aggregate throughput: total bytes divided by the wall-span from the
     /// first start to the last end — the "Aggregated Throughput" series in
     /// Figure 1.
@@ -124,6 +147,25 @@ mod tests {
         };
         assert_eq!(stats.total_bytes(), 100);
         assert!((stats.aggregate_throughput() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_streams_sweep_line() {
+        let stats = StorageStats {
+            records: vec![
+                rec(0, 1, 0, 10),
+                rec(1, 1, 5, 15),
+                rec(2, 1, 10, 20),
+                // Back-to-back with record 0: end-before-start at t=10 must
+                // not count as overlap.
+                rec(3, 1, 10, 11),
+                // Zero-length stream never counts.
+                rec(4, 1, 7, 7),
+            ],
+            ..StorageStats::default()
+        };
+        assert_eq!(stats.peak_concurrent_streams(), 3);
+        assert_eq!(StorageStats::default().peak_concurrent_streams(), 0);
     }
 
     #[test]

@@ -727,7 +727,7 @@ static CAPTURE_DEFAULT: AtomicU8 = AtomicU8::new(0);
 /// Set the capture level newly created simulations start at. Read once
 /// per `Sim::new`; used by the `--trace` flags on the benchmark binaries
 /// (single-threaded setup). Tests that need tracing should prefer an
-/// explicit per-run level (`run_job_traced`) — this global is racy across
+/// explicit per-run level (`JobRunner::traced`) — this global is racy across
 /// concurrently constructed simulations by design, exactly like the
 /// polled-progress default.
 pub fn set_capture_default(level: TraceLevel) {

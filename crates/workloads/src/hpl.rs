@@ -361,7 +361,6 @@ fn broadcast_f64s(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbcr_core::run_job;
     use parking_lot::Mutex;
 
     fn small() -> HplWorkload {
@@ -381,7 +380,7 @@ mod tests {
     fn distributed_lu_matches_sequential_oracle() {
         let w = small();
         let sum = Arc::new(Mutex::new(0u64));
-        run_job(&w.job(Some(sum.clone())), None).unwrap();
+        w.job(Some(sum.clone())).runner().run().unwrap();
         let want = sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
         assert_eq!(*sum.lock(), want, "distributed factorization diverged from oracle");
     }

@@ -225,12 +225,11 @@ impl PlacementBench {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbcr_core::run_job;
 
     #[test]
     fn micro_baseline_duration_matches_model() {
         let mb = MicroBench { n: 8, comm_group_size: 4, steps: 50, ..Default::default() };
-        let report = run_job(&mb.job(), None).unwrap();
+        let report = mb.job().runner().run().unwrap();
         let expect = time::as_secs_f64(mb.approx_duration());
         let got = time::as_secs_f64(report.completion);
         assert!((got - expect).abs() / expect < 0.05, "got {got}, expect ~{expect}");
@@ -239,7 +238,7 @@ mod tests {
     #[test]
     fn micro_embarrassingly_parallel_has_no_traffic() {
         let mb = MicroBench { n: 4, comm_group_size: 1, steps: 20, ..Default::default() };
-        let report = run_job(&mb.job(), None).unwrap();
+        let report = mb.job().runner().run().unwrap();
         assert_eq!(report.net_stats.messages, 0);
     }
 
@@ -252,7 +251,7 @@ mod tests {
             periods: 2,
             ..Default::default()
         };
-        let report = run_job(&pb.job(), None).unwrap();
+        let report = pb.job().runner().run().unwrap();
         let expect = time::as_secs_f64(pb.approx_duration());
         let got = time::as_secs_f64(report.completion);
         assert!((got - expect).abs() / expect < 0.05, "got {got}, expect ~{expect}");

@@ -217,7 +217,6 @@ impl MotifMinerWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbcr_core::run_job;
     use parking_lot::Mutex;
 
     fn small() -> MotifMinerWorkload {
@@ -236,9 +235,9 @@ mod tests {
     fn mining_is_deterministic_and_converges() {
         let w = small();
         let d1 = Arc::new(Mutex::new(0u64));
-        run_job(&w.job(Some(d1.clone())), None).unwrap();
+        w.job(Some(d1.clone())).runner().run().unwrap();
         let d2 = Arc::new(Mutex::new(0u64));
-        run_job(&w.job(Some(d2.clone())), None).unwrap();
+        w.job(Some(d2.clone())).runner().run().unwrap();
         let (a, b) = (*d1.lock(), *d2.lock());
         assert_eq!(a, b, "mining result must be deterministic");
         assert_ne!(a, 0);
@@ -251,7 +250,7 @@ mod tests {
         // different n.
         let w = small();
         let d = Arc::new(Mutex::new(0u64));
-        run_job(&w.job(Some(d.clone())), None).unwrap();
+        w.job(Some(d.clone())).runner().run().unwrap();
         let total = *d.lock();
         // Per-rank digests are identical; recover one by dividing.
         assert_eq!(total % u64::from(w.n), 0, "ranks disagreed on the final table");
@@ -284,7 +283,7 @@ mod tests {
     #[test]
     fn duration_model_matches_run() {
         let w = small();
-        let report = run_job(&w.job(None), None).unwrap();
+        let report = w.job(None).runner().run().unwrap();
         let expect = time::as_secs_f64(w.approx_duration());
         let got = time::as_secs_f64(report.completion);
         assert!((got - expect).abs() / expect < 0.15, "got {got}, expect ~{expect}");

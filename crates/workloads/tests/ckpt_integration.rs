@@ -3,7 +3,7 @@
 //! must converge to the identical answer.
 
 use gbcr_core::{
-    extract_images, restart_job, run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    extract_images, restart_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
     RestartSpec,
 };
 use gbcr_des::time;
@@ -42,7 +42,8 @@ fn hpl_checkpointed_run_still_matches_oracle() {
     let w = small_hpl();
     let want = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
     let sum = Arc::new(Mutex::new(0u64));
-    let report = run_job(&w.job(Some(sum.clone())), Some(cfg("hpl", 2, time::secs(1)))).unwrap();
+    let report =
+        w.job(Some(sum.clone())).runner().ckpt(cfg("hpl", 2, time::secs(1))).run().unwrap();
     assert_eq!(report.epochs.len(), 1);
     assert_eq!(*sum.lock(), want, "checkpointing perturbed the factorization");
 }
@@ -52,7 +53,7 @@ fn hpl_restart_mid_factorization_is_exact() {
     let w = small_hpl();
     let want = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
 
-    let report = run_job(&w.job(None), Some(cfg("hpl", 4, time::secs(2)))).unwrap();
+    let report = w.job(None).runner().ckpt(cfg("hpl", 4, time::secs(2))).run().unwrap();
     let images = extract_images(&report, "hpl", 0, w.n()).unwrap();
 
     let sum = Arc::new(Mutex::new(0u64));
@@ -69,7 +70,7 @@ fn hpl_restart_mid_factorization_is_exact() {
 fn hpl_restart_under_regular_protocol_is_exact() {
     let w = small_hpl();
     let want = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
-    let report = run_job(&w.job(None), Some(cfg("hpl", 8, time::secs(2)))).unwrap();
+    let report = w.job(None).runner().ckpt(cfg("hpl", 8, time::secs(2))).run().unwrap();
     let images = extract_images(&report, "hpl", 0, w.n()).unwrap();
     let sum = Arc::new(Mutex::new(0u64));
     restart_job(
@@ -97,12 +98,12 @@ fn small_miner() -> MotifMinerWorkload {
 fn motifminer_checkpoint_and_restart_are_exact() {
     let w = small_miner();
     let truth = Arc::new(Mutex::new(0u64));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let want = *truth.lock();
 
     let mid = Arc::new(Mutex::new(0u64));
     let report =
-        run_job(&w.job(Some(mid.clone())), Some(cfg("motifminer", 2, time::ms(900)))).unwrap();
+        w.job(Some(mid.clone())).runner().ckpt(cfg("motifminer", 2, time::ms(900))).run().unwrap();
     assert_eq!(*mid.lock(), want, "checkpointing perturbed the mining result");
 
     let images = extract_images(&report, "motifminer", 0, w.n).unwrap();
@@ -124,17 +125,18 @@ fn random_traffic_restart_equivalence_across_patterns_and_group_sizes() {
     for pattern_seed in [11u64, 29, 73] {
         let w = RandomTraffic { pattern_seed, ..Default::default() };
         let truth = Arc::new(Mutex::new(Vec::new()));
-        run_job(&w.job(Some(truth.clone())), None).unwrap();
+        w.job(Some(truth.clone())).runner().run().unwrap();
         let mut want = truth.lock().clone();
         want.sort();
 
         for group_size in [2u32, 4, 8] {
             let mid = Arc::new(Mutex::new(Vec::new()));
-            let report = run_job(
-                &w.job(Some(mid.clone())),
-                Some(cfg("random-traffic", group_size, time::ms(1700))),
-            )
-            .unwrap();
+            let report = w
+                .job(Some(mid.clone()))
+                .runner()
+                .ckpt(cfg("random-traffic", group_size, time::ms(1700)))
+                .run()
+                .unwrap();
             let mut got = mid.lock().clone();
             got.sort();
             assert_eq!(got, want, "seed={pattern_seed} g={group_size}: ckpt run diverged");
@@ -171,10 +173,10 @@ fn hpl_effective_delay_group_4_beats_regular() {
         panel_bytes: 2 * MB,
         update_substeps: 4,
     };
-    let base = run_job(&w.job(None), None).unwrap();
+    let base = w.job(None).runner().run().unwrap();
     let at = time::secs(6);
-    let all = run_job(&w.job(None), Some(cfg("hpl", 8, at))).unwrap();
-    let grouped = run_job(&w.job(None), Some(cfg("hpl", 2, at))).unwrap();
+    let all = w.job(None).runner().ckpt(cfg("hpl", 8, at)).run().unwrap();
+    let grouped = w.job(None).runner().ckpt(cfg("hpl", 2, at)).run().unwrap();
     let d_all = all.completion - base.completion;
     let d_grp = grouped.completion - base.completion;
     // At this toy scale (4 rows, tiny writes) the win is modest; the

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example failure_recovery`
 
 use gbcr_core::{
-    extract_images, restart_job, run_job, run_job_with_crash, CkptMode, CkptSchedule,
+    extract_images, restart_job, CkptMode, CkptSchedule,
     CoordinatorCfg, Formation, RestartSpec,
 };
 use gbcr_des::time;
@@ -19,7 +19,7 @@ fn main() {
 
     // Ground truth: the uninterrupted run's result digest.
     let truth = Arc::new(Mutex::new(0u64));
-    let base = run_job(&w.job(Some(truth.clone())), None).expect("baseline");
+    let base = w.job(Some(truth.clone())).runner().run().expect("baseline");
     let want = *truth.lock();
     println!(
         "uninterrupted run: {:.1} s, result digest {want:#018x}",
@@ -39,7 +39,7 @@ fn main() {
     // Disaster: the whole cluster power-fails at t = 420 s (every simulated
     // process killed mid-flight). All that survives is the central storage.
     let report =
-        run_job_with_crash(&w.job(None), Some(cfg), time::secs(420)).expect("crashed run");
+        w.job(None).runner().ckpt(cfg).crash_at(time::secs(420)).run().expect("crashed run");
     println!(
         "run crashed at 420 s; {} checkpoint epochs had completed (at {:.0} s and {:.0} s)",
         report.epochs.len(),

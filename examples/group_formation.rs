@@ -8,14 +8,14 @@
 //!
 //! Run with: `cargo run --release --example group_formation`
 
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::time;
 use gbcr_workloads::{GroupLayout, MicroBench};
 
 fn run_one(layout: GroupLayout, formation: Formation, label: &str) {
     let mb = MicroBench { comm_group_size: 4, layout, ..Default::default() };
     let spec = mb.job();
-    let base = run_job(&spec, None).expect("baseline");
+    let base = spec.runner().run().expect("baseline");
     let cfg = CoordinatorCfg {
         job: "micro".into(),
         mode: CkptMode::Buffering,
@@ -25,7 +25,7 @@ fn run_one(layout: GroupLayout, formation: Formation, label: &str) {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let ck = run_job(&spec, Some(cfg)).expect("ckpt run");
+    let ck = spec.runner().ckpt(cfg).run().expect("ckpt run");
     let ep = &ck.epochs[0];
     println!(
         "  {label}: effective delay {:6.1} s  ({} groups; first group = {:?})",

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example hpl_checkpoint`
 
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::time;
 use gbcr_workloads::{hpl, HplWorkload};
 use parking_lot::Mutex;
@@ -34,13 +34,13 @@ fn main() {
     );
 
     let digest = Arc::new(Mutex::new(0u64));
-    let base = run_job(&w.job(Some(digest.clone())), None).expect("baseline");
+    let base = w.job(Some(digest.clone())).runner().run().expect("baseline");
     assert_eq!(*digest.lock(), oracle, "baseline result");
     println!("baseline: {:.1} s (digest matches sequential oracle)", time::as_secs_f64(base.completion));
 
     for (label, g) in [("regular  All(32)", 32u32), ("group-based g=4  ", 4)] {
         let digest = Arc::new(Mutex::new(0u64));
-        let ck = run_job(&w.job(Some(digest.clone())), Some(cfg(g))).expect("ckpt run");
+        let ck = w.job(Some(digest.clone())).runner().ckpt(cfg(g)).run().expect("ckpt run");
         assert_eq!(*digest.lock(), oracle, "checkpointed result for g={g}");
         let ep = &ck.epochs[0];
         let eff = time::as_secs_f64(ck.completion - base.completion);

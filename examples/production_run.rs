@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example production_run`
 
 use gbcr_core::{
-    run_job, run_supervised, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, SupervisePolicy,
 };
 use gbcr_des::time;
 use gbcr_metrics::{young_interval, AdvisorInputs};
@@ -23,12 +23,13 @@ fn main() {
 
     // 1. Ground truth and cost measurement.
     let truth = Arc::new(Mutex::new(Vec::new()));
-    let base = run_job(&w.job(Some(truth.clone())), None).expect("baseline");
+    let base = w.job(Some(truth.clone())).runner().run().expect("baseline");
     let mut want = truth.lock().clone();
     want.sort();
-    let probe = run_job(
-        &w.job(None),
-        Some(CoordinatorCfg {
+    let probe = w
+        .job(None)
+        .runner()
+        .ckpt(CoordinatorCfg {
             job: "random-traffic".into(),
             mode: CkptMode::Buffering,
             formation: Formation::Static { group_size: 4 },
@@ -36,8 +37,8 @@ fn main() {
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
-        }),
-    )
+        })
+        .run()
     .expect("probe run");
     let delta = time::as_secs_f64(probe.completion - base.completion);
     println!(
@@ -69,9 +70,10 @@ fn main() {
 
     // 4. Supervised execution with two injected cluster failures.
     let results = Arc::new(Mutex::new(Vec::new()));
-    let report = run_supervised(
-        &w.job(Some(results.clone())),
-        CoordinatorCfg {
+    let report = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(CoordinatorCfg {
             job: "random-traffic".into(),
             mode: CkptMode::Buffering,
             formation: Formation::Static { group_size: 4 },
@@ -79,10 +81,10 @@ fn main() {
             incremental: false,
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
-        },
-        &[time::secs(20), time::secs(30)],
-    )
-    .expect("supervised run");
+        })
+        .supervised(SupervisePolicy::immediate())
+        .crashes(&[time::secs(20), time::secs(30)])
+        .expect("supervised run");
 
     for (i, a) in report.attempts.iter().enumerate() {
         println!(

@@ -5,7 +5,7 @@
 
 use bytes::Bytes;
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, RankCtx,
 };
 use gbcr_des::time;
 use gbcr_mpi::Msg;
@@ -38,7 +38,7 @@ fn main() {
     let spec = JobSpec::new("quickstart", 16, body);
 
     // --- Baseline run (no checkpoint).
-    let baseline = run_job(&spec, None).expect("baseline run");
+    let baseline = spec.runner().run().expect("baseline run");
     println!(
         "baseline completion: {:.1} s",
         time::as_secs_f64(baseline.completion)
@@ -54,7 +54,7 @@ fn main() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let ck = run_job(&spec, Some(cfg)).expect("checkpointed run");
+    let ck = spec.runner().ckpt(cfg).run().expect("checkpointed run");
     let ep = &ck.epochs[0];
 
     println!(

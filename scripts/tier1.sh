@@ -114,6 +114,20 @@ grep -qx "fig9 smoke: terms=2 migrations=1 supervisor_restarts=0 results_match=t
   exit 1
 }
 
+# Multi-tenant interference smoke: 32 two-rank tenants admitted into one
+# cluster simulation, aligned cluster-wide checkpointing vs group-based
+# staggering against identical workloads and shared-array demand. The
+# golden line pins the headline contrast (staggering keeps P99 epoch
+# latency bounded and goodput high while alignment piles 64 concurrent
+# PS streams onto the array). Fully deterministic in its seed.
+cargo run --release -p gbcr-bench --bin fig10 -- --smoke > target/fig10_smoke.out
+grep -qx "fig10 smoke: tenants=32 p99_clusterwide_ms=107.0 p99_group_ms=24.6 goodput_clusterwide=0.900 goodput_group=0.967 peak_streams=64/1" \
+  target/fig10_smoke.out || {
+  echo "tier1: multi-tenant interference smoke diverged from golden:" >&2
+  cat target/fig10_smoke.out >&2
+  exit 1
+}
+
 # Trace smoke: the traced 4-rank run must export schema-valid
 # Chrome/Perfetto JSON with properly nested spans, all five coordinator
 # protocol phases covered by the epoch span, and connection/storage

@@ -4,7 +4,7 @@
 //! recover on a fresh cluster to the exact result of an uninterrupted run.
 
 use gbcr_core::{
-    extract_images, restart_job, run_job, run_job_with_crash, CkptMode, CkptSchedule,
+    extract_images, restart_job, CkptMode, CkptSchedule,
     CoordinatorCfg, Formation, RestartSpec,
 };
 use gbcr_des::time;
@@ -31,16 +31,17 @@ fn crash_after_epoch_recovers_exactly() {
 
     // Ground truth.
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
     // Checkpoint at 1 s, power failure at 3 s (workload runs ~4.5 s+).
-    let crashed = run_job_with_crash(
-        &w.job(None),
-        Some(cfg("random-traffic", 4, vec![time::secs(1)])),
-        time::secs(3),
-    )
+    let crashed = w
+        .job(None)
+        .runner()
+        .ckpt(cfg("random-traffic", 4, vec![time::secs(1)]))
+        .crash_at(time::secs(3))
+        .run()
     .unwrap();
     assert_eq!(crashed.epochs.len(), 1, "epoch 0 completed before the crash");
     // The crashed run obviously produced no results.
@@ -63,17 +64,18 @@ fn crash_after_epoch_recovers_exactly() {
 fn crash_during_an_epoch_recovers_from_the_previous_one() {
     let w = RandomTraffic { steps: 200, ..Default::default() };
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
     // Epoch 0 at 1 s completes; epoch 1 at 4 s is interrupted by the crash
     // at 4.2 s (mid-epoch: image writes take ~1.4 s per group here).
-    let crashed = run_job_with_crash(
-        &w.job(None),
-        Some(cfg("random-traffic", 4, vec![time::secs(1), time::secs(4)])),
-        time::ms(4200),
-    )
+    let crashed = w
+        .job(None)
+        .runner()
+        .ckpt(cfg("random-traffic", 4, vec![time::secs(1), time::secs(4)]))
+        .crash_at(time::ms(4200))
+        .run()
     .unwrap();
     assert_eq!(
         crashed.epochs.len(),
@@ -108,11 +110,7 @@ fn hpl_crash_recovery_matches_oracle() {
     };
     let oracle = hpl::sequential_digest_sum(w.panels, w.grid_rows, w.grid_cols);
 
-    let crashed = run_job_with_crash(
-        &w.job(None),
-        Some(cfg("hpl", 4, vec![time::secs(2)])),
-        time::secs(6), // epoch 0 (2 s + ~2.5 s of writes) has completed
-    )
+    let crashed = w.job(None).runner().ckpt(cfg("hpl", 4, vec![time::secs(2)])).crash_at(time::secs(6)).run()
     .unwrap();
     assert_eq!(crashed.epochs.len(), 1);
     let images = extract_images(&crashed, "hpl", 0, w.n()).unwrap();
@@ -130,11 +128,12 @@ fn hpl_crash_recovery_matches_oracle() {
 #[test]
 fn recovering_from_the_interrupted_epoch_is_impossible() {
     let w = RandomTraffic { steps: 200, ..Default::default() };
-    let crashed = run_job_with_crash(
-        &w.job(None),
-        Some(cfg("random-traffic", 4, vec![time::secs(1), time::secs(4)])),
-        time::ms(4200),
-    )
+    let crashed = w
+        .job(None)
+        .runner()
+        .ckpt(cfg("random-traffic", 4, vec![time::secs(1), time::secs(4)]))
+        .crash_at(time::ms(4200))
+        .run()
     .unwrap();
     // Epoch 1 was cut short: its image set must be rejected with a typed
     // error a supervisor can catch (fall back to epoch 0).

@@ -7,7 +7,7 @@
 //! nothing the model reports.
 
 use gbcr_core::{
-    run_job, run_job_faulted, run_job_faulted_traced, run_supervised_faulty, CkptMode,
+    CkptMode,
     CkptSchedule, CoordinatorCfg, ElectionCfg, Formation, PhaseDeadlines, SupervisePolicy,
 };
 use gbcr_des::trace::Event;
@@ -53,12 +53,13 @@ proptest! {
             plan.push(time::ms(at), FaultKind::NodeKill { rank });
         }
         let faults = FaultConfig { plan, ..FaultConfig::none() };
-        let report = run_job_faulted_traced(
-            &w.job(None),
-            Some(cfg(n, ElectionCfg::failover(seed))),
-            &faults,
-            TraceLevel::Phases,
-        )
+        let report = w
+            .job(None)
+            .runner()
+            .ckpt(cfg(n, ElectionCfg::failover(seed)))
+            .faults(&faults)
+            .traced(TraceLevel::Phases)
+            .run()
         .expect("faulted run");
         let data = report.trace.as_ref().expect("traced run records data");
         let wins: Vec<(u64, u32)> = data
@@ -104,12 +105,12 @@ proptest! {
                 coord_mtbf: Some(time::secs(15)),
                 ..StochasticFaults::kills(seed, time::secs(40))
             };
-            run_supervised_faulty(
-                &w.job(None),
-                cfg(n, ElectionCfg::failover(seed)),
-                &faults,
-                &SupervisePolicy::default(),
-            )
+            w
+                .job(None)
+                .runner()
+                .ckpt(cfg(n, ElectionCfg::failover(seed)))
+                .supervised(SupervisePolicy::default())
+                .stochastic(&faults)
         };
         prop_assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
     }
@@ -130,7 +131,7 @@ proptest! {
         let n = 4;
         let w = RandomTraffic { n, steps: 150, ..RandomTraffic::default() };
         let truth = ResultsSink::default();
-        run_job(&w.job(Some(truth.clone())), Some(cfg(n, ElectionCfg::failover(seed))))
+        w.job(Some(truth.clone())).runner().ckpt(cfg(n, ElectionCfg::failover(seed))).run()
             .expect("fault-free run");
         let mut want = truth.lock().clone();
         want.sort();
@@ -140,11 +141,12 @@ proptest! {
             ..FaultConfig::none()
         };
         let results = ResultsSink::default();
-        let report = run_job_faulted(
-            &w.job(Some(results.clone())),
-            Some(cfg(n, ElectionCfg::failover(seed))),
-            &faults,
-        )
+        let report = w
+            .job(Some(results.clone()))
+            .runner()
+            .ckpt(cfg(n, ElectionCfg::failover(seed)))
+            .faults(&faults)
+            .run()
         .expect("coordinator-kill run");
         prop_assert_eq!(report.finished_ranks, n, "failover lost the job (kill at {kill_ms} ms)");
         let mut got = results.lock().clone();
@@ -163,7 +165,7 @@ fn fault_free_election_is_a_pure_observer() {
     let w = RandomTraffic { n, steps: 220, ..RandomTraffic::default() };
     let run = |election: ElectionCfg| {
         let sink = ResultsSink::default();
-        let report = run_job(&w.job(Some(sink.clone())), Some(cfg(n, election))).expect("clean run");
+        let report = w.job(Some(sink.clone())).runner().ckpt(cfg(n, election)).run().expect("clean run");
         let mut results = sink.lock().clone();
         results.sort();
         (

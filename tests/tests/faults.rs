@@ -3,7 +3,7 @@
 
 use gbcr_blcr::ProcessImage;
 use gbcr_core::{
-    extract_images, restart_job, run_job, run_job_faulted, run_supervised_faulty, CkptMode,
+    extract_images, restart_job, CkptMode,
     CkptSchedule, CoordinatorCfg, Formation, RestartSpec, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
@@ -33,7 +33,7 @@ fn cfg(at: Vec<Time>) -> CoordinatorCfg {
 fn node_kill_mid_epoch_restarts_from_last_complete_epoch() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
@@ -46,11 +46,12 @@ fn node_kill_mid_epoch_restarts_from_last_complete_epoch() {
         ..FaultConfig::none()
     };
     let results = Arc::new(Mutex::new(Vec::new()));
-    let crashed = run_job_faulted(
-        &w.job(Some(results.clone())),
-        Some(cfg(vec![time::secs(1), time::secs(3), time::secs(5)])),
-        &faults,
-    )
+    let crashed = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(cfg(vec![time::secs(1), time::secs(3), time::secs(5)]))
+        .faults(&faults)
+        .run()
     .unwrap();
 
     assert_eq!(crashed.killed_ranks, vec![2]);
@@ -98,11 +99,7 @@ fn torn_image_epochs_are_skipped_on_restart() {
         torn: Some(torn),
         ..FaultConfig::none()
     };
-    let crashed = run_job_faulted(
-        &w.job(None),
-        Some(cfg(vec![time::secs(1), time::secs(3)])),
-        &faults,
-    )
+    let crashed = w.job(None).runner().ckpt(cfg(vec![time::secs(1), time::secs(3)])).faults(&faults).run()
     .unwrap();
 
     // Both epochs ran protocol-wise, but the torn write keeps epoch 1 from
@@ -151,8 +148,8 @@ fn identical_seeds_give_byte_identical_supervised_reports() {
     let ckpt = cfg(vec![time::secs(1), time::secs(3), time::secs(5)]);
     let policy = SupervisePolicy::default();
 
-    let a = run_supervised_faulty(&w.job(None), ckpt.clone(), &faults, &policy).unwrap();
-    let b = run_supervised_faulty(&w.job(None), ckpt, &faults, &policy).unwrap();
+    let a = w.job(None).runner().ckpt(ckpt.clone()).supervised(policy.clone()).stochastic(&faults).unwrap();
+    let b = w.job(None).runner().ckpt(ckpt).supervised(policy.clone()).stochastic(&faults).unwrap();
 
     assert!(a.attempts.len() >= 2, "the seeded kill must force at least one restart");
     assert!(a.attempts.last().unwrap().finished);

@@ -2,7 +2,7 @@
 //! advisor's placement window must agree with what the full stack
 //! measures.
 
-use gbcr_core::{run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation};
+use gbcr_core::{CkptMode, CkptSchedule, CoordinatorCfg, Formation};
 use gbcr_des::time;
 use gbcr_metrics::{placement_window, young_interval, AdvisorInputs};
 use gbcr_storage::{StorageConfig, MB};
@@ -24,7 +24,7 @@ fn equation_individual_time_matches_measurement() {
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
         };
-        let report = run_job(&mb.job(), Some(cfg)).unwrap();
+        let report = mb.job().runner().ckpt(cfg).run().unwrap();
         let measured = time::as_secs_f64(report.epochs[0].mean_individual());
         let predicted =
             (u64::from(g) * mb.footprint) as f64 / cfg_storage.aggregate_rate(g as usize);
@@ -48,7 +48,7 @@ fn equation_total_time_matches_measurement() {
         deadlines: gbcr_core::PhaseDeadlines::none(),
         election: Default::default(),
     };
-    let report = run_job(&mb.job(), Some(cfg)).unwrap();
+    let report = mb.job().runner().ckpt(cfg).run().unwrap();
     let ep = &report.epochs[0];
     let predicted = ep.mean_individual() * ep.plan.group_count() as u64;
     let total = ep.total_time();
@@ -74,7 +74,7 @@ fn placement_window_prediction_matches_figure4_behavior() {
         ..Default::default()
     };
     let spec = pb.job();
-    let base = run_job(&spec, None).unwrap();
+    let base = spec.runner().run().unwrap();
     let measure = |at| {
         let cfg = CoordinatorCfg {
             job: "placement".into(),
@@ -85,7 +85,7 @@ fn placement_window_prediction_matches_figure4_behavior() {
             deadlines: gbcr_core::PhaseDeadlines::none(),
             election: Default::default(),
         };
-        let ck = run_job(&spec, Some(cfg)).unwrap();
+        let ck = spec.runner().ckpt(cfg).run().unwrap();
         (
             time::as_secs_f64(ck.completion.saturating_sub(base.completion)),
             ck.epochs[0].total_time(),

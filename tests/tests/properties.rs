@@ -7,7 +7,7 @@ use bytes::Bytes;
 use gbcr_blcr::codec::{Decoder, Encoder};
 use gbcr_blcr::ProcessImage;
 use gbcr_core::{
-    extract_images, restart_job, run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    extract_images, restart_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
     GroupPlan, RestartSpec,
 };
 use gbcr_des::{time, Sim};
@@ -215,7 +215,7 @@ proptest! {
     ) {
         let w = RandomTraffic { pattern_seed, steps: 110, ..Default::default() };
         let truth = Arc::new(Mutex::new(Vec::new()));
-        run_job(&w.job(Some(truth.clone())), None).unwrap();
+        w.job(Some(truth.clone())).runner().run().unwrap();
         let mut want = truth.lock().clone();
         want.sort();
 
@@ -229,7 +229,7 @@ proptest! {
             election: Default::default(),
         };
         let mid = Arc::new(Mutex::new(Vec::new()));
-        let report = run_job(&w.job(Some(mid.clone())), Some(cfg)).unwrap();
+        let report = w.job(Some(mid.clone())).runner().ckpt(cfg).run().unwrap();
         let mut got = mid.lock().clone();
         got.sort();
         prop_assert_eq!(&got, &want, "checkpointed run diverged");

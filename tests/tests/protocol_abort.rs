@@ -3,7 +3,7 @@
 //! supervisor, and storage-outage retry/failover.
 
 use gbcr_core::{
-    extract_images_manifested, proto, restart_job, run_job, run_job_faulted, CkptMode,
+    extract_images_manifested, proto, restart_job, CkptMode,
     CkptSchedule, CoordinatorCfg, Formation, PhaseDeadlines, RestartSpec,
 };
 use gbcr_des::{time, SimError, Time};
@@ -37,7 +37,7 @@ fn cfg(at: Vec<Time>, deadlines: PhaseDeadlines) -> CoordinatorCfg {
 fn phase_kill_escalates_and_restarts_from_last_manifest() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
@@ -56,11 +56,12 @@ fn phase_kill_escalates_and_restarts_from_last_manifest() {
     };
     let results = Arc::new(Mutex::new(Vec::new()));
     let deadlines = PhaseDeadlines::new(time::secs(2), time::secs(5));
-    let crashed = run_job_faulted(
-        &w.job(Some(results.clone())),
-        Some(cfg(vec![time::secs(1), time::secs(3)], deadlines)),
-        &faults,
-    )
+    let crashed = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(cfg(vec![time::secs(1), time::secs(3)], deadlines))
+        .faults(&faults)
+        .run()
     .unwrap();
 
     assert_eq!(crashed.killed_ranks, vec![2]);
@@ -108,11 +109,12 @@ fn torn_manifest_epochs_are_demoted_to_the_previous_manifest() {
         torn_manifests: Some(torn),
         ..FaultConfig::none()
     };
-    let crashed = run_job_faulted(
-        &w.job(None),
-        Some(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none())),
-        &faults,
-    )
+    let crashed = w
+        .job(None)
+        .runner()
+        .ckpt(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none()))
+        .faults(&faults)
+        .run()
     .unwrap();
 
     assert_eq!(crashed.epochs.len(), 2);
@@ -148,7 +150,7 @@ fn torn_manifest_epochs_are_demoted_to_the_previous_manifest() {
 fn storage_outage_retries_then_fails_over_to_secondary() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
@@ -163,11 +165,11 @@ fn storage_outage_retries_then_fails_over_to_secondary() {
     plan.push(time::ms(500), FaultKind::StorageOutage { target: 0, duration: time::secs(20) });
     let faults = FaultConfig { plan, ..FaultConfig::none() };
     let run = |sink| {
-        run_job_faulted(
-            &spec(sink),
-            Some(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none())),
-            &faults,
-        )
+        spec(sink)
+            .runner()
+            .ckpt(cfg(vec![time::secs(1), time::secs(3)], PhaseDeadlines::none()))
+            .faults(&faults)
+            .run()
         .unwrap()
     };
     let results = Arc::new(Mutex::new(Vec::new()));

@@ -3,7 +3,7 @@
 //! byte-level determinism, and cross-backend result agreement.
 
 use gbcr_core::{
-    extract_images, run_job, run_job_faulted, run_supervised_faulty, CkptMode, CkptSchedule,
+    extract_images, CkptMode, CkptSchedule,
     CoordinatorCfg, Formation, JobSpec, StoreBackend, SupervisePolicy,
 };
 use gbcr_des::{time, SimError, Time};
@@ -51,8 +51,18 @@ fn identical_seeds_give_byte_identical_replicated_reports() {
     let policy = SupervisePolicy::default();
 
     let a =
-        run_supervised_faulty(&replicated(w.job(None)), ckpt.clone(), &faults, &policy).unwrap();
-    let b = run_supervised_faulty(&replicated(w.job(None)), ckpt, &faults, &policy).unwrap();
+        replicated(w.job(None))
+            .runner()
+            .ckpt(ckpt.clone())
+            .supervised(policy.clone())
+            .stochastic(&faults)
+            .unwrap();
+    let b = replicated(w.job(None))
+        .runner()
+        .ckpt(ckpt)
+        .supervised(policy.clone())
+        .stochastic(&faults)
+        .unwrap();
 
     assert!(a.attempts.len() >= 2, "the seeded kill must force at least one restart");
     assert!(a.attempts.last().unwrap().finished);
@@ -68,7 +78,7 @@ fn identical_seeds_give_byte_identical_replicated_reports() {
 fn node_kill_recovers_from_remote_replica() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
     let truth = ResultsSink::default();
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
@@ -81,12 +91,11 @@ fn node_kill_recovers_from_remote_replica() {
         .expect("some seed kills mid-run");
     let faults = StochasticFaults::kills(seed, time::secs(60));
     let results = ResultsSink::default();
-    let report = run_supervised_faulty(
-        &replicated(w.job(Some(results.clone()))),
-        cfg(vec![time::secs(1), time::secs(3), time::secs(5)]),
-        &faults,
-        &SupervisePolicy::default(),
-    )
+    let report = replicated(w.job(Some(results.clone())))
+        .runner()
+        .ckpt(cfg(vec![time::secs(1), time::secs(3), time::secs(5)]))
+        .supervised(SupervisePolicy::default())
+        .stochastic(&faults)
     .unwrap();
 
     assert!(report.failures_survived() >= 1);
@@ -129,7 +138,7 @@ fn losing_every_copy_is_a_typed_no_restart_point() {
     };
 
     let report =
-        run_job_faulted(&spec, Some(cfg(vec![time::secs(1), time::secs(3)])), &faults).unwrap();
+        spec.runner().ckpt(cfg(vec![time::secs(1), time::secs(3)])).faults(&faults).run().unwrap();
     let mut killed = report.killed_ranks.clone();
     killed.sort_unstable();
     let mut expect = vec![0, peers[0], peers[1]];
@@ -164,9 +173,9 @@ fn fault_free_runs_agree_across_backends() {
 
     // Baseline: no checkpoint schedule, so the store is never touched and
     // the backend choice must be invisible down to the last byte.
-    let base_central = run_job(&w.job(None), None).unwrap();
-    let base_failover = run_job(&failover(w.job(None)), None).unwrap();
-    let base_replicated = run_job(&replicated(w.job(None)), None).unwrap();
+    let base_central = w.job(None).runner().run().unwrap();
+    let base_failover = failover(w.job(None)).runner().run().unwrap();
+    let base_replicated = replicated(w.job(None)).runner().run().unwrap();
     assert_eq!(format!("{base_central:?}"), format!("{base_failover:?}"));
     assert_eq!(format!("{base_central:?}"), format!("{base_replicated:?}"));
 
@@ -177,7 +186,7 @@ fn fault_free_runs_agree_across_backends() {
         let mut spec = spec;
         spec.body = w.job(Some(sink.clone())).body;
         let report =
-            run_job(&spec, Some(cfg(vec![time::secs(1), time::secs(3)]))).unwrap();
+            spec.runner().ckpt(cfg(vec![time::secs(1), time::secs(3)])).run().unwrap();
         assert_eq!(report.epochs.len(), 2);
         assert_eq!(report.manifest_commits, 2);
         assert_eq!(report.finished_ranks, w.n);

@@ -6,7 +6,7 @@
 
 use gbcr_blcr::codec::fnv1a;
 use gbcr_core::{
-    run_job, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, PhaseDeadlines,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec, PhaseDeadlines,
     RunReport,
 };
 use gbcr_des::{time, SchedKind};
@@ -25,7 +25,7 @@ fn run_with(kind: SchedKind, shards: usize, spec: &JobSpec, ckpt: CoordinatorCfg
     let _guard = SCHED_LOCK.lock();
     gbcr_des::set_sched_default(kind);
     gbcr_des::set_shard_count_default(shards);
-    let report = run_job(spec, Some(ckpt));
+    let report = spec.runner().ckpt(ckpt).run();
     gbcr_des::set_sched_default(SchedKind::Serial);
     gbcr_des::set_shard_count_default(0);
     report.expect("job completes")

@@ -3,7 +3,7 @@
 //! identical to a failure-free run.
 
 use gbcr_core::{
-    run_job, run_supervised, CkptMode, CkptSchedule, CoordinatorCfg, Formation,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, SupervisePolicy,
 };
 use gbcr_des::time;
 use gbcr_workloads::RandomTraffic;
@@ -26,19 +26,20 @@ fn cfg(at: Vec<gbcr_des::Time>) -> CoordinatorCfg {
 fn survives_two_cluster_failures_and_finishes_exactly() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
     let truth = Arc::new(Mutex::new(Vec::new()));
-    run_job(&w.job(Some(truth.clone())), None).unwrap();
+    w.job(Some(truth.clone())).runner().run().unwrap();
     let mut want = truth.lock().clone();
     want.sort();
 
     let results = Arc::new(Mutex::new(Vec::new()));
-    let report = run_supervised(
-        &w.job(Some(results.clone())),
-        cfg(vec![time::secs(1), time::secs(3), time::secs(5)]),
+    let report = w
+        .job(Some(results.clone()))
+        .runner()
+        .ckpt(cfg(vec![time::secs(1), time::secs(3), time::secs(5)]))
+        .supervised(SupervisePolicy::immediate())
         // Crash twice: once after epoch 0 completed (~3 s), once in the
         // restored attempt after its own first epochs.
-        &[time::ms(3500), time::ms(4800)],
-    )
-    .unwrap();
+        .crashes(&[time::ms(3500), time::ms(4800)])
+        .unwrap();
 
     assert_eq!(report.failures_survived(), 2);
     assert_eq!(report.attempts.len(), 3);
@@ -57,12 +58,13 @@ fn survives_two_cluster_failures_and_finishes_exactly() {
 #[test]
 fn crash_before_any_checkpoint_is_fatal() {
     let w = RandomTraffic { steps: 220, ..Default::default() };
-    let err = run_supervised(
-        &w.job(None),
-        cfg(vec![time::secs(3)]),
-        &[time::ms(500)], // long before epoch 0 completes
-    )
-    .unwrap_err();
+    let err = w
+        .job(None)
+        .runner()
+        .ckpt(cfg(vec![time::secs(3)]))
+        .supervised(SupervisePolicy::immediate())
+        .crashes(&[time::ms(500)]) // long before epoch 0 completes
+        .unwrap_err();
     assert!(
         matches!(&err, gbcr_des::SimError::NoRestartPoint { detail, .. }
             if detail.contains("preceded the first complete checkpoint")),

@@ -6,7 +6,7 @@
 
 use gbcr_bench::trace::{check_chrome_json, trace_smoke, COORDINATOR_PHASES};
 use gbcr_core::{
-    run_job, run_job_traced, CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
+    CkptMode, CkptSchedule, CoordinatorCfg, Formation, JobSpec,
     PhaseDeadlines,
 };
 use gbcr_des::trace::perfetto;
@@ -80,8 +80,8 @@ fn smoke_trace_exports_valid_perfetto_json() {
 #[test]
 fn traced_run_is_identical_to_untraced() {
     let (spec, cfg) = smoke_spec();
-    let plain = run_job(&spec, Some(cfg.clone())).expect("untraced run");
-    let traced = run_job_traced(&spec, Some(cfg), TraceLevel::Full).expect("traced run");
+    let plain = spec.runner().ckpt(cfg.clone()).run().expect("untraced run");
+    let traced = spec.runner().ckpt(cfg).traced(TraceLevel::Full).run().expect("traced run");
 
     assert_eq!(plain.completion, traced.completion);
     assert_eq!(plain.events, traced.events, "tracing must not schedule events");
@@ -105,7 +105,7 @@ fn traced_run_is_identical_to_untraced() {
 #[test]
 fn phases_level_drops_per_message_detail() {
     let (spec, cfg) = smoke_spec();
-    let r = run_job_traced(&spec, Some(cfg), TraceLevel::Phases).expect("traced run");
+    let r = spec.runner().ckpt(cfg).traced(TraceLevel::Phases).run().expect("traced run");
     let data = r.trace.as_deref().expect("trace recorded");
     assert!(!data.spans_named("rank.checkpoint").is_empty());
     assert!(data.spans_named("mpi.send").is_empty(), "no per-message spans at Phases");

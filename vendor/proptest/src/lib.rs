@@ -244,7 +244,7 @@ impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bounds for [`vec`], inclusive on both ends.
+    /// Element-count bounds for [`vec()`], inclusive on both ends.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -264,7 +264,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
